@@ -1,0 +1,67 @@
+//! Fig 6 (Criterion form): serialization / deserialization cost of the
+//! `PostSmContextsRequest` body under each SBI codec, plus the
+//! shared-memory descriptor pass for comparison.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use l25gc_codec::SmContextCreateData;
+
+fn bench_serialize(c: &mut Criterion) {
+    let msg = SmContextCreateData::sample();
+    let mut g = c.benchmark_group("fig6_serialize");
+    g.bench_function("json", |b| b.iter(|| std::hint::black_box(msg.to_json())));
+    g.bench_function("protobuf", |b| b.iter(|| std::hint::black_box(msg.to_proto())));
+    g.bench_function("flatbuffers", |b| b.iter(|| std::hint::black_box(msg.to_flat())));
+    g.bench_function("shm_descriptor", |b| {
+        b.iter(|| {
+            // L25GC passes the typed struct by descriptor: the "cost" is
+            // writing one 64-byte descriptor.
+            let desc = [0u64; 8];
+            std::hint::black_box(desc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_deserialize(c: &mut Criterion) {
+    let msg = SmContextCreateData::sample();
+    let json = msg.to_json();
+    let proto = msg.to_proto();
+    let flat = msg.to_flat();
+    let mut g = c.benchmark_group("fig6_deserialize");
+    g.bench_function("json", |b| {
+        b.iter(|| std::hint::black_box(SmContextCreateData::from_json(&json).unwrap()))
+    });
+    g.bench_function("protobuf", |b| {
+        b.iter(|| std::hint::black_box(SmContextCreateData::from_proto(&proto).unwrap()))
+    });
+    g.bench_function("flatbuffers_peek", |b| {
+        b.iter(|| std::hint::black_box(SmContextCreateData::flat_peek(&flat).unwrap()))
+    });
+    g.bench_function("flatbuffers_full", |b| {
+        b.iter(|| std::hint::black_box(SmContextCreateData::from_flat(&flat).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let msg = SmContextCreateData::sample();
+    let mut g = c.benchmark_group("fig6_roundtrip");
+    g.bench_function("json", |b| {
+        b.iter_batched(
+            || msg.clone(),
+            |m| SmContextCreateData::from_json(&m.to_json()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("protobuf", |b| {
+        b.iter_batched(
+            || msg.clone(),
+            |m| SmContextCreateData::from_proto(&m.to_proto()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_deserialize, bench_roundtrip);
+criterion_main!(benches);

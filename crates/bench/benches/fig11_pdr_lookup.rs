@@ -1,0 +1,79 @@
+//! Fig 11 (Criterion form): PDR lookup latency for PDR-LL, PDR-TSS
+//! (best/worst structure) and PDR-PS across rule counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l25gc_classifier::{
+    Classifier, Generator, LinearList, PacketKey, PartitionSort, Profile, TupleSpace,
+};
+
+const COUNTS: [usize; 4] = [10, 100, 1_000, 10_000];
+
+fn keys_for(gen: &mut Generator, rules: &[l25gc_classifier::PdrRule]) -> Vec<PacketKey> {
+    rules.iter().map(|r| gen.matching_key(r)).collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_lookup");
+    for &n in &COUNTS {
+        // PDR-LL + PDR-PS share the pinhole ruleset (see exp::pdr docs);
+        // keys hit the second half of the priority order (the paper's
+        // PDR-LL assumption).
+        let mut gen = Generator::new(11, Profile::Pinholes);
+        let rules = gen.rules(n);
+        let mut ll = LinearList::new();
+        let mut ps = PartitionSort::new();
+        for r in &rules {
+            ll.insert(r.clone());
+            ps.insert(r.clone());
+        }
+        let keys = keys_for(&mut gen, &rules[n / 2..]);
+        g.bench_with_input(BenchmarkId::new("PDR-LL", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(ll.lookup(&keys[i]))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("PDR-PS", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(ps.lookup(&keys[i]))
+            })
+        });
+
+        let mut gen = Generator::new(12, Profile::TssBest);
+        let rules = gen.rules(n);
+        let mut tss = TupleSpace::new();
+        for r in &rules {
+            tss.insert(r.clone());
+        }
+        let keys = keys_for(&mut gen, &rules);
+        g.bench_with_input(BenchmarkId::new("PDR-TSS_Best", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(tss.lookup(&keys[i]))
+            })
+        });
+
+        let mut gen = Generator::new(13, Profile::TssWorst);
+        let rules = gen.rules(n);
+        let mut tss = TupleSpace::new();
+        for r in &rules {
+            tss.insert(r.clone());
+        }
+        let keys = keys_for(&mut gen, &rules[n.saturating_sub(3)..]);
+        g.bench_with_input(BenchmarkId::new("PDR-TSS_Worst", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                std::hint::black_box(tss.lookup(&keys[i]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! The ONVM substrate under the microscope: SPSC descriptor ring
+//! push/pop (the shared-memory "send" primitive whose cost underpins the
+//! whole Fig 6/9 argument) and mempool alloc/free.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use l25gc_nfv::{ring, Mempool};
+
+#[derive(Debug, Clone, Copy)]
+struct Desc {
+    _handle: u32,
+    _meta: u64,
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_same_thread", |b| {
+        let (mut tx, mut rx) = ring::<Desc>(1024);
+        b.iter(|| {
+            tx.push(Desc { _handle: 1, _meta: 2 }).unwrap();
+            std::hint::black_box(rx.pop().unwrap())
+        })
+    });
+    g.bench_function("burst32", |b| {
+        let (mut tx, mut rx) = ring::<Desc>(1024);
+        let mut out = Vec::with_capacity(32);
+        b.iter(|| {
+            for i in 0..32u32 {
+                tx.push(Desc { _handle: i, _meta: 0 }).unwrap();
+            }
+            out.clear();
+            rx.pop_burst(&mut out, 32)
+        })
+    });
+    g.finish();
+
+    // Cross-thread streaming throughput.
+    let mut g = c.benchmark_group("spsc_ring_cross_thread");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("stream_100k", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = ring::<u64>(4096);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100_000u64 {
+                    let mut v = i;
+                    while let Err(back) = tx.push(v) {
+                        v = back;
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut got = 0u64;
+            while got < 100_000 {
+                if rx.pop().is_some() {
+                    got += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            producer.join().unwrap();
+            got
+        })
+    });
+    g.finish();
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mempool");
+    g.throughput(Throughput::Elements(1));
+    let pool = Mempool::new(4096, 2048);
+    g.bench_function("alloc_free", |b| {
+        b.iter(|| {
+            let h = pool.alloc().unwrap();
+            pool.free(std::hint::black_box(h));
+        })
+    });
+    g.bench_function("alloc_write_free_64B", |b| {
+        let payload = [0xabu8; 64];
+        b.iter(|| {
+            let h = pool.alloc().unwrap();
+            pool.write(h, &payload);
+            pool.free(h);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_mempool);
+criterion_main!(benches);

@@ -1,0 +1,563 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p l25gc-bench --bin reproduce --release -- all
+//! cargo run -p l25gc-bench --bin reproduce --release -- fig8 fig13 fig14
+//! ```
+//!
+//! Experiment ids: fig6 fig7 fig8 fig9 fig10 fig11 pdr-update scaling40g
+//! fig12 fig13 fig14 eq12 failover-cp fig15 fig16 fig17, plus the
+//! ablations ablate-dos, ablate-checkpoint, ablate-canary, ablate-lb.
+//!
+//! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
+//! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
+
+use l25gc_bench::{f, render_table};
+use l25gc_core::Deployment;
+use l25gc_nfv::CostModel;
+use l25gc_testbed::exp;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            let dir = args.get(i + 1).expect("--csv needs a directory").clone();
+            args.drain(i..=i + 1);
+            dir
+        });
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("fig6") {
+        fig6();
+    }
+    if want("fig7") {
+        fig7();
+    }
+    if want("fig8") {
+        fig8();
+    }
+    if want("fig9") {
+        fig9();
+    }
+    if want("fig10") {
+        fig10();
+    }
+    if want("fig11") {
+        fig11();
+    }
+    if want("pdr-update") {
+        pdr_update();
+    }
+    if want("scaling40g") {
+        scaling40g();
+    }
+    if want("fig12") {
+        fig12();
+    }
+    if want("fig13") {
+        fig13(csv_dir.as_deref());
+    }
+    if want("fig14") {
+        fig14(csv_dir.as_deref());
+    }
+    if want("eq12") {
+        eq12();
+    }
+    if want("failover-cp") {
+        failover_cp();
+    }
+    if want("fig15") {
+        fig15();
+    }
+    if want("fig16") {
+        fig16();
+    }
+    if want("fig17") {
+        fig17();
+    }
+    if want("ablate-dos") {
+        ablate_dos();
+    }
+    if want("ablate-checkpoint") {
+        ablate_checkpoint();
+    }
+    if want("ablate-canary") {
+        ablate_canary();
+    }
+    if want("ablate-lb") {
+        ablate_lb();
+    }
+}
+
+fn ablate_dos() {
+    let rows = exp::ablation::tss_dos(2_000);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.structure.to_string(),
+                f(r.before_ns),
+                f(r.after_ns),
+                format!("{:.1}x", r.slowdown),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation: tuple-space explosion DoS, 2000 attack rules (Sec 3.4)",
+            &["structure", "before (ns)", "after (ns)", "slowdown"],
+            &table
+        )
+    );
+}
+
+fn ablate_checkpoint() {
+    let rows = exp::ablation::checkpoint_sweep(&[1, 5, 10, 50, 100]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.interval_ms.to_string(),
+                r.checkpoints.to_string(),
+                r.replay_backlog.to_string(),
+                f(r.max_rtt_ms),
+                r.lost.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation: checkpoint interval (paper picks periodic 10ms-scale sync)",
+            &["interval (ms)", "checkpoints", "replay backlog", "max RTT (ms)", "lost"],
+            &table
+        )
+    );
+}
+
+fn ablate_canary() {
+    let rows: Vec<Vec<String>> = [1u32, 5, 10, 50]
+        .iter()
+        .map(|&pct| {
+            let r = exp::ablation::canary_rollout(pct, 10_000);
+            vec![
+                format!("{}%", r.weight_pct),
+                r.canary_sessions.to_string(),
+                format!("{:.1}%", r.canary_sessions as f64 / r.total as f64 * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation: canary rollout split (Sec 4)",
+            &["configured", "canary sessions /10k", "observed"],
+            &rows
+        )
+    );
+}
+
+fn ablate_lb() {
+    let rows: Vec<Vec<String>> = [2u32, 4, 8]
+        .iter()
+        .map(|&units| {
+            let r = exp::ablation::lb_scaling(units, 10_000);
+            vec![
+                r.units.to_string(),
+                r.min_load.to_string(),
+                r.max_load.to_string(),
+                r.migrated_on_failure.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation: UE-aware LB across 5GC units, 10k sessions (Sec 4)",
+            &["units", "min load", "max load", "migrated on unit failure"],
+            &rows
+        )
+    );
+}
+
+fn fig6() {
+    let rows = exp::serialization::fig6_serialization();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.codec.to_string(),
+                f(r.serialize_ns),
+                f(r.deserialize_ns),
+                r.wire_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 6: PostSmContextsRequest serialization (measured)",
+            &["codec", "serialize (ns)", "deserialize (ns)", "bytes"],
+            &table
+        )
+    );
+}
+
+fn fig7() {
+    let rows = exp::control_plane::fig7();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.message.to_string(),
+                f(r.free5gc_ms),
+                f(r.l25gc_ms),
+                format!("{:.0}%", r.reduction_pct),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 7: single PFCP message latency SMF<->UPF (paper: 21-39% reduction)",
+            &["message", "free5GC (ms)", "L25GC (ms)", "reduction"],
+            &table
+        )
+    );
+}
+
+fn fig8() {
+    let rows = exp::control_plane::fig8();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.event),
+                f(r.free5gc_ms),
+                f(r.onvm_upf_ms),
+                f(r.l25gc_ms),
+                format!("{:.0}%", r.reduction_pct()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 8: UE event completion time (paper: ~50% reduction, HO 227->130ms)",
+            &["event", "free5GC (ms)", "ONVM-UPF (ms)", "L25GC (ms)", "reduction"],
+            &table
+        )
+    );
+}
+
+fn fig9() {
+    let (rows, avg) = exp::serialization::fig9_speedup(&CostModel::paper());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.message.to_string(),
+                f(r.http_us),
+                f(r.shm_us),
+                format!("{:.1}x", r.speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 9: exchange speedup over HTTP (paper: 13x average)",
+            &["message", "HTTP (us)", "shm (us)", "speedup"],
+            &table
+        )
+    );
+    println!("average speedup: {avg:.1}x");
+}
+
+fn fig10() {
+    for (dep, name) in
+        [(Deployment::Free5gc, "free5GC"), (Deployment::L25gc, "L25GC")]
+    {
+        let rows = exp::dataplane::fig10(dep, &CostModel::paper(), 10.0);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    f(r.uni_gbps),
+                    f(r.bidir_gbps),
+                    f(r.latency_us),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!("Fig 10: {name} data plane (paper: 27x tput, 15x latency at 68B)"),
+                &["pkt size (B)", "uni (Gbps)", "bidir (Gbps)", "latency (us)"],
+                &table
+            )
+        );
+    }
+}
+
+fn fig11() {
+    let rows = exp::pdr::fig11(&exp::pdr::RULE_COUNTS);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.structure.to_string(),
+                r.rules.to_string(),
+                f(r.lookup_ns),
+                f(r.mpps),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 11: PDR lookup latency & throughput (measured; paper: PS best, TSS_Worst 2.9us@100)",
+            &["structure", "rules", "lookup (ns)", "rate (Mpps)"],
+            &table
+        )
+    );
+}
+
+fn pdr_update() {
+    let rows = exp::pdr::pdr_update();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.structure.to_string(), f(r.update_us)]).collect();
+    print!(
+        "{}",
+        render_table(
+            "PDR update latency (measured; paper: LL 0.38us, TSS 1.41us, PS 6.14us)",
+            &["structure", "update (us)"],
+            &table
+        )
+    );
+}
+
+fn scaling40g() {
+    let rows = exp::dataplane::scaling_40g(&CostModel::paper());
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.cores.to_string(), f(r.gbps)]).collect();
+    print!(
+        "{}",
+        render_table(
+            "Sec 5.3: UPF cores vs forwarding rate at MTU (paper: 1->10G, 2->28G, 4->40G)",
+            &["cores", "rate (Gbps)"],
+            &table
+        )
+    );
+}
+
+fn fig12() {
+    let rows = exp::webpage::fig12();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                f(r.plt_s),
+                f(r.max_stall_ms),
+                r.timeouts.to_string(),
+                r.spurious_retransmissions.to_string(),
+                r.retransmissions.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 12: page load with handovers (paper: 32s vs 28s, free5GC stalls 463ms)",
+            &["system", "PLT (s)", "max stall (ms)", "timeouts", "spurious rtx", "rtx"],
+            &table
+        )
+    );
+}
+
+fn write_series_csv(dir: &str, name: &str, series: &l25gc_sim::TimeSeries) {
+    let path = format!("{dir}/{name}.csv");
+    let mut out = String::from("time_s,rtt_us\n");
+    for (t, v) in series.sorted() {
+        out.push_str(&format!("{:.6},{:.1}\n", t.as_secs_f64(), v));
+    }
+    std::fs::write(&path, out).expect("writable csv dir");
+    println!("wrote {path}");
+}
+
+fn fig13(csv: Option<&str>) {
+    let rows = exp::paging::table1();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                f(r.base_rtt_us),
+                f(r.paging_time_ms),
+                f(r.rtt_after_ms),
+                r.pkts_higher_rtt.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 13/Table 1: paging (paper: 116us/59ms/63ms/608 vs 25us/28ms/30ms/294)",
+            &["system", "base RTT (us)", "paging (ms)", "RTT after (ms)", "#pkts higher RTT"],
+            &table
+        )
+    );
+    if let Some(dir) = csv {
+        for r in &rows {
+            write_series_csv(dir, &format!("fig13_{}", r.system), &r.series);
+        }
+    }
+}
+
+fn fig14(csv: Option<&str>) {
+    let rows = exp::handover::table2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                f(r.base_rtt_us),
+                f(r.rtt_after_ms),
+                r.pkts_higher_rtt.to_string(),
+                r.pkts_dropped.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 14/Table 2: handover (paper expt i: 118us/242ms/2301/0 vs 24us/132ms/1437/0)",
+            &["system", "base RTT (us)", "RTT after (ms)", "#pkts higher RTT", "#dropped"],
+            &table
+        )
+    );
+    if let Some(dir) = csv {
+        for (label, r) in &rows {
+            let name = label.replace([' ', '(', ')'], "_");
+            write_series_csv(dir, &format!("fig14_{name}"), &r.series);
+        }
+    }
+}
+
+fn eq12() {
+    let rows = exp::analytic::smart_buffering_table(&CostModel::paper());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.to_string(),
+                r.gnb_buffer.to_string(),
+                r.upf_buffer.to_string(),
+                r.drops_3gpp.to_string(),
+                r.drops_l25gc.to_string(),
+                f(r.extra_owd_ms),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Eq 1/2: smart buffering estimate (paper: ~800 drops case i, 0 case ii, +20ms OWD)",
+            &["case", "gNB buf", "UPF buf", "3GPP drops", "L25GC drops", "3GPP extra OWD (ms)"],
+            &table
+        )
+    );
+}
+
+fn failover_cp() {
+    let l25 = exp::failover::failover_handover_l25gc();
+    let gpp = exp::failover::failover_handover_3gpp();
+    let table = vec![
+        vec![
+            l25.approach.to_string(),
+            f(l25.ho_baseline_ms),
+            f(l25.ho_with_failure_ms),
+        ],
+        vec![
+            gpp.approach.to_string(),
+            f(gpp.ho_baseline_ms),
+            f(gpp.ho_with_failure_ms),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            "Sec 5.5.1: handover with mid-flight 5GC failure (paper: 134ms vs 401ms)",
+            &["approach", "HO no-failure (ms)", "HO with failure (ms)"],
+            &table
+        )
+    );
+}
+
+fn failover_data(title: &str, rows: &[exp::failover::FailoverDataRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.approach.to_string(),
+                f(r.transferred_mb),
+                r.packets_dropped.to_string(),
+                r.timeouts.to_string(),
+                f(r.max_rtt_ms),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            title,
+            &["approach", "transferred (MB)", "dropped", "timeouts", "max RTT (ms)"],
+            &table
+        )
+    );
+}
+
+fn fig15() {
+    failover_data(
+        "Fig 15: failover during data transfer (paper: 3GPP drops ~121 pkts, L25GC none)",
+        &exp::failover::fig15(),
+    );
+}
+
+fn fig16() {
+    failover_data(
+        "Fig 16: failover during handover + transfer (paper: seamless for L25GC)",
+        &exp::failover::fig16(),
+    );
+}
+
+fn fig17() {
+    let rows = exp::tcp_impact::fig17();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                f(r.transferred_mb),
+                f(r.max_rtt_ms),
+                r.timeouts.to_string(),
+                r.spurious_retransmissions.to_string(),
+                r.handovers.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 17: repeated handovers, 10 TCP flows (paper: 442MB vs 416MB, RTT 130 vs 328ms)",
+            &["system", "transferred (MB)", "max RTT (ms)", "timeouts", "spurious rtx", "handovers"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,83 @@
+//! # l25gc-bench — benchmarks and the figure/table reproducer
+//!
+//! Two kinds of targets:
+//!
+//! - **Criterion benches** (`cargo bench`): real wall-clock measurements
+//!   of the algorithmic components — the Fig 6 serialization comparison,
+//!   the Fig 11 PDR classifier sweep, the §5.3 update latencies, and the
+//!   ONVM substrate (SPSC ring, mempool, dual-key session table).
+//! - **`cargo run -p l25gc-bench --bin reproduce --release -- all`**:
+//!   regenerates every figure/table of the paper's evaluation (the
+//!   simulated experiments plus the measured ones) and prints them as
+//!   tables; EXPERIMENTS.md records a run next to the paper's values.
+//!
+//! This module hosts small table-formatting helpers shared by the
+//! binaries.
+
+/// Formats a table with a header row and aligned columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with a sensible number of digits.
+pub fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("long-name"));
+        let lines: Vec<&str> = t.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(123.456), "123");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.1234), "0.123");
+    }
+}

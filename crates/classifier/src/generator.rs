@@ -1,0 +1,266 @@
+//! ClassBench-style synthetic PDR generator.
+//!
+//! The paper extends ClassBench to emit PDRs with 20 PDI IEs for the
+//! Fig 11 experiments; production rule sets are unavailable, so this
+//! module plays that role (see DESIGN.md substitution table). Profiles
+//! control the *structure* that the two advanced classifiers are
+//! sensitive to: how many TSS tuples the set spans and how sortable the
+//! ranges are.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rule::{Field, FieldRange, PacketKey, PdrRule, NDIMS};
+
+/// Rule-set structure profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// A packet-oriented 5G session's flow rules: a realistic mixture of
+    /// exact app ports, port ranges, source prefixes of several lengths,
+    /// protocols and QFIs — the paper's default workload.
+    Mixed,
+    /// Every rule shares one tuple (all-exact fields with distinct
+    /// values): PDR-TSS resolves in a single hash probe ("TSS_Best").
+    TssBest,
+    /// Every rule has a distinct tuple (unique prefix-length/exactness
+    /// combination): PDR-TSS probes one sub-table per rule ("TSS_Worst").
+    TssWorst,
+    /// Per-flow pinhole rules: pairwise-disjoint exact matches (source
+    /// host, destination port, protocol), the shape of per-flow QoS /
+    /// firewall / NAT entries that §2.3's packet-oriented 5GC grows —
+    /// no rule shadows another, so a packet matches exactly one rule.
+    Pinholes,
+}
+
+/// Deterministic PDR generator.
+#[derive(Debug)]
+pub struct Generator {
+    rng: SmallRng,
+    profile: Profile,
+    next_id: u64,
+}
+
+impl Generator {
+    /// Creates a generator with the given seed and profile.
+    pub fn new(seed: u64, profile: Profile) -> Generator {
+        Generator { rng: SmallRng::seed_from_u64(seed), profile, next_id: 1 }
+    }
+
+    /// Generates `n` rules with distinct ids and distinct precedences
+    /// (priority strictly by generation order — earlier rules win).
+    pub fn rules(&mut self, n: usize) -> Vec<PdrRule> {
+        (0..n).map(|i| self.rule_at(i)).collect()
+    }
+
+    fn rule_at(&mut self, ordinal: usize) -> PdrRule {
+        let id = self.next_id;
+        self.next_id += 1;
+        let precedence = ordinal as u32 + 1;
+        match self.profile {
+            Profile::Mixed => self.mixed_rule(id, precedence),
+            Profile::TssBest => self.tss_best_rule(id, precedence),
+            Profile::TssWorst => self.tss_worst_rule(id, precedence, ordinal),
+            Profile::Pinholes => self.pinhole_rule(id, precedence, ordinal),
+        }
+    }
+
+    fn pinhole_rule(&mut self, id: u64, precedence: u32, ordinal: usize) -> PdrRule {
+        let r = &mut self.rng;
+        let mut rule = PdrRule::any(id, precedence);
+        rule.fields[Field::DstIp as usize] = FieldRange::exact(0x0a3c_0001);
+        rule.fields[Field::Teid as usize] = FieldRange::exact(0x100);
+        // Disjointness by construction: the source host encodes the
+        // ordinal, so no two rules share a source; the remaining exact
+        // dims vary realistically.
+        let src = 0xc0a8_0000u32.wrapping_add(ordinal as u32);
+        rule.fields[Field::SrcIp as usize] = FieldRange::exact(src);
+        rule.fields[Field::SrcPort as usize] =
+            FieldRange::exact(1024 + (r.gen_range(0u32..60000)));
+        rule.fields[Field::DstPort as usize] =
+            FieldRange::exact(*[53u32, 80, 123, 443, 5001, 8080].get(r.gen_range(0..6)).expect("in range"));
+        rule.fields[Field::Protocol as usize] =
+            FieldRange::exact(if r.gen_bool(0.5) { 6 } else { 17 });
+        rule.fields[Field::Qfi as usize] = FieldRange::exact(r.gen_range(1..=9));
+        rule
+    }
+
+    fn mixed_rule(&mut self, id: u64, precedence: u32) -> PdrRule {
+        let r = &mut self.rng;
+        let mut rule = PdrRule::any(id, precedence);
+        // All rules in one session: fixed UE IP destination + TEID.
+        rule.fields[Field::DstIp as usize] = FieldRange::exact(0x0a3c_0001); // 10.60.0.1
+        rule.fields[Field::Teid as usize] = FieldRange::exact(0x100);
+        // Source: skewed prefix-length distribution (ClassBench-like).
+        let plen = *[0u8, 8, 16, 16, 24, 24, 24, 32].get(r.gen_range(0..8)).expect("in range");
+        rule.fields[Field::SrcIp as usize] = FieldRange::prefix(r.gen::<u32>(), plen);
+        // Destination port: ClassBench-style port classes — exact
+        // well-known ports, the low/high halves, a small set of disjoint
+        // service-group ranges (operators configure port groups, they
+        // don't draw random ranges), or any.
+        rule.fields[Field::DstPort as usize] = match r.gen_range(0..5) {
+            0 => FieldRange::exact(*[53u32, 80, 123, 443, 8080].get(r.gen_range(0..5)).expect("in range")),
+            1 => FieldRange { lo: 1024, hi: 65535 },
+            2 => FieldRange { lo: 0, hi: 1023 },
+            3 => {
+                // 8 disjoint service groups of 500 ports each.
+                let g = r.gen_range(0u32..8);
+                let lo = 10_000 + g * 1_000;
+                FieldRange { lo, hi: lo + 499 }
+            }
+            _ => FieldRange { lo: 0, hi: 65535 },
+        };
+        // Protocol: TCP/UDP/any.
+        rule.fields[Field::Protocol as usize] = match r.gen_range(0..3) {
+            0 => FieldRange::exact(6),
+            1 => FieldRange::exact(17),
+            _ => FieldRange { lo: 0, hi: 255 },
+        };
+        // ToS/DSCP from a small codepoint set, often wildcard.
+        if r.gen_bool(0.3) {
+            rule.fields[Field::Tos as usize] =
+                FieldRange::exact(*[0u32, 0x2e << 2, 0x12 << 2].get(r.gen_range(0..3)).expect("in range"));
+        } else {
+            rule.fields[Field::Tos as usize] = FieldRange { lo: 0, hi: 255 };
+        }
+        // QFI 1..=9, sometimes wildcard.
+        if r.gen_bool(0.5) {
+            rule.fields[Field::Qfi as usize] = FieldRange::exact(r.gen_range(1..=9));
+        } else {
+            rule.fields[Field::Qfi as usize] = FieldRange { lo: 0, hi: 63 };
+        }
+        rule
+    }
+
+    fn tss_best_rule(&mut self, id: u64, precedence: u32) -> PdrRule {
+        // One tuple: every rule has the same exactness pattern — exact
+        // src/dst IP and dst port — with distinct values.
+        let mut rule = PdrRule::any(id, precedence);
+        rule.fields[Field::DstIp as usize] = FieldRange::exact(0x0a3c_0001);
+        rule.fields[Field::Teid as usize] = FieldRange::exact(0x100);
+        rule.fields[Field::SrcIp as usize] = FieldRange::exact(self.rng.gen());
+        rule.fields[Field::DstPort as usize] = FieldRange::exact(id as u32 & 0xffff);
+        rule.fields[Field::Protocol as usize] = FieldRange::exact(17);
+        rule
+    }
+
+    fn tss_worst_rule(&mut self, id: u64, precedence: u32, ordinal: usize) -> PdrRule {
+        // Distinct tuple per rule: enumerate unique (src plen, dst plen,
+        // port exactness, proto exactness, tos exactness) combinations.
+        // 31 × 31 × 2 × 2 × 2 ≈ 7.7k distinct tuples.
+        let mut rule = PdrRule::any(id, precedence);
+        let o = ordinal;
+        let src_plen = (o % 31 + 1) as u8;
+        let dst_plen = ((o / 31) % 31 + 1) as u8;
+        let port_exact = (o / (31 * 31)) % 2 == 1;
+        let proto_exact = (o / (31 * 31 * 2)) % 2 == 1;
+        let tos_exact = (o / (31 * 31 * 4)) % 2 == 1;
+        rule.fields[Field::SrcIp as usize] = FieldRange::prefix(self.rng.gen(), src_plen);
+        rule.fields[Field::DstIp as usize] = FieldRange::prefix(self.rng.gen(), dst_plen);
+        if port_exact {
+            rule.fields[Field::DstPort as usize] =
+                FieldRange::exact(self.rng.gen_range(0u32..65536));
+        }
+        if proto_exact {
+            rule.fields[Field::Protocol as usize] = FieldRange::exact(6);
+        }
+        if tos_exact {
+            rule.fields[Field::Tos as usize] = FieldRange::exact(0);
+        }
+        rule
+    }
+
+    /// Samples a packet key that matches `rule` (uniform within each
+    /// dimension's range).
+    pub fn matching_key(&mut self, rule: &PdrRule) -> PacketKey {
+        let mut key = PacketKey::default();
+        for d in 0..NDIMS {
+            let r = &rule.fields[d];
+            key.values[d] = if r.lo == r.hi {
+                r.lo
+            } else if r.hi == u32::MAX {
+                // avoid inclusive-range overflow
+                self.rng.gen_range(r.lo..=u32::MAX)
+            } else {
+                self.rng.gen_range(r.lo..=r.hi)
+            };
+        }
+        key
+    }
+
+    /// Samples a uniformly random key — usually matching nothing specific.
+    pub fn random_key(&mut self) -> PacketKey {
+        let mut key = PacketKey::default();
+        for v in key.values.iter_mut() {
+            *v = self.rng.gen();
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearList;
+    use crate::rule::Classifier;
+    use crate::tss::TupleSpace;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Generator::new(7, Profile::Mixed).rules(50);
+        let b = Generator::new(7, Profile::Mixed).rules(50);
+        assert_eq!(a, b);
+        let c = Generator::new(8, Profile::Mixed).rules(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_and_precedences_are_distinct() {
+        let rules = Generator::new(1, Profile::Mixed).rules(200);
+        let mut ids: Vec<u64> = rules.iter().map(|r| r.id).collect();
+        let mut precs: Vec<u32> = rules.iter().map(|r| r.precedence).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        precs.sort_unstable();
+        precs.dedup();
+        assert_eq!(ids.len(), 200);
+        assert_eq!(precs.len(), 200);
+    }
+
+    #[test]
+    fn tss_best_yields_one_subtable() {
+        let mut gen = Generator::new(1, Profile::TssBest);
+        let mut tss = TupleSpace::new();
+        for r in gen.rules(500) {
+            tss.insert(r);
+        }
+        assert_eq!(tss.subtable_count(), 1);
+    }
+
+    #[test]
+    fn tss_worst_yields_one_subtable_per_rule() {
+        let mut gen = Generator::new(1, Profile::TssWorst);
+        let mut tss = TupleSpace::new();
+        let rules = gen.rules(1000);
+        for r in rules {
+            tss.insert(r);
+        }
+        assert_eq!(tss.subtable_count(), 1000);
+    }
+
+    #[test]
+    fn matching_key_actually_matches() {
+        let mut gen = Generator::new(3, Profile::Mixed);
+        let rules = gen.rules(100);
+        let mut ll = LinearList::new();
+        for r in &rules {
+            ll.insert(r.clone());
+        }
+        for r in &rules {
+            let key = gen.matching_key(r);
+            assert!(r.matches(&key), "sampled key must match its rule");
+            // Lookup returns the rule or one with better priority.
+            let hit = ll.lookup(&key).expect("must match at least its own rule");
+            assert!(hit.precedence <= r.precedence);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Differential tests: PDR-TSS and PDR-PS must return exactly the same
+//! best-match as the reference PDR-LL for any rule set and any key —
+//! including after arbitrary interleaved removals.
+
+use l25gc_classifier::{
+    Classifier, FieldRange, Generator, LinearList, PacketKey, PartitionSort, PdrRule, Profile,
+    TupleSpace, NDIMS,
+};
+use proptest::prelude::*;
+
+/// An arbitrary rule: a few constrained dimensions, the rest wildcards.
+fn arb_rule(id: u64) -> impl Strategy<Value = PdrRule> {
+    (
+        0u32..1000,                                           // precedence
+        proptest::collection::vec((any::<u8>(), any::<u32>(), 0u32..64), 0..6),
+    )
+        .prop_map(move |(precedence, dims)| {
+            let mut rule = PdrRule::any(id, precedence);
+            for (dim_sel, base, span) in dims {
+                let d = usize::from(dim_sel) % NDIMS;
+                let lo = base % 256; // small domain to force overlaps
+                let hi = lo + span;
+                rule.fields[d] = FieldRange { lo, hi };
+            }
+            rule
+        })
+}
+
+fn arb_ruleset(max: usize) -> impl Strategy<Value = Vec<PdrRule>> {
+    (1..max).prop_flat_map(|n| {
+        (0..n).map(|i| arb_rule(i as u64 + 1)).collect::<Vec<_>>()
+    })
+}
+
+/// Keys drawn from the same small domain the rules constrain.
+fn arb_key() -> impl Strategy<Value = PacketKey> {
+    proptest::collection::vec(0u32..320, NDIMS).prop_map(|vals| {
+        let mut key = PacketKey::default();
+        key.values.copy_from_slice(&vals);
+        key
+    })
+}
+
+fn build_all(rules: &[PdrRule]) -> (LinearList, TupleSpace, PartitionSort) {
+    let mut ll = LinearList::new();
+    let mut tss = TupleSpace::new();
+    let mut ps = PartitionSort::new();
+    for r in rules {
+        ll.insert(r.clone());
+        tss.insert(r.clone());
+        ps.insert(r.clone());
+    }
+    (ll, tss, ps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All three classifiers agree on arbitrary rules and keys.
+    #[test]
+    fn classifiers_agree(rules in arb_ruleset(40), keys in proptest::collection::vec(arb_key(), 1..30)) {
+        let (ll, tss, ps) = build_all(&rules);
+        for key in &keys {
+            let expect = ll.lookup(key).map(|r| r.id);
+            prop_assert_eq!(tss.lookup(key).map(|r| r.id), expect, "TSS disagrees with LL");
+            prop_assert_eq!(ps.lookup(key).map(|r| r.id), expect, "PS disagrees with LL");
+        }
+    }
+
+    /// Agreement survives removing an arbitrary subset of rules.
+    #[test]
+    fn classifiers_agree_after_removals(
+        rules in arb_ruleset(30),
+        remove_mask in proptest::collection::vec(any::<bool>(), 30),
+        keys in proptest::collection::vec(arb_key(), 1..20),
+    ) {
+        let (mut ll, mut tss, mut ps) = build_all(&rules);
+        for (i, r) in rules.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                let a = ll.remove(r.id).map(|x| x.id);
+                let b = tss.remove(r.id).map(|x| x.id);
+                let c = ps.remove(r.id).map(|x| x.id);
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(a, c);
+            }
+        }
+        prop_assert_eq!(ll.len(), tss.len());
+        prop_assert_eq!(ll.len(), ps.len());
+        for key in &keys {
+            let expect = ll.lookup(key).map(|r| r.id);
+            prop_assert_eq!(tss.lookup(key).map(|r| r.id), expect);
+            prop_assert_eq!(ps.lookup(key).map(|r| r.id), expect);
+        }
+    }
+
+    /// Keys sampled *inside* a rule must always find a match at least as
+    /// good as that rule.
+    #[test]
+    fn matching_keys_always_hit(seed in any::<u64>()) {
+        let mut gen = Generator::new(seed, Profile::Mixed);
+        let rules = gen.rules(64);
+        let (ll, tss, ps) = build_all(&rules);
+        for r in &rules {
+            let key = gen.matching_key(r);
+            for (name, hit) in [
+                ("ll", ll.lookup(&key)),
+                ("tss", tss.lookup(&key)),
+                ("ps", ps.lookup(&key)),
+            ] {
+                let hit = hit.expect("key inside a rule must match");
+                prop_assert!(hit.precedence <= r.precedence, "{} returned worse match", name);
+            }
+        }
+    }
+}
+
+#[test]
+fn generator_profiles_agree_across_classifiers() {
+    // Deterministic (non-proptest) cross-check on all three profiles with
+    // larger rule counts, the sizes Fig 11 sweeps.
+    for profile in [Profile::Mixed, Profile::TssBest, Profile::TssWorst] {
+        let mut gen = Generator::new(42, profile);
+        let rules = gen.rules(500);
+        let (ll, tss, ps) = build_all(&rules);
+        for _ in 0..500 {
+            let key = gen.random_key();
+            let expect = ll.lookup(&key).map(|r| r.id);
+            assert_eq!(tss.lookup(&key).map(|r| r.id), expect, "{profile:?}");
+            assert_eq!(ps.lookup(&key).map(|r| r.id), expect, "{profile:?}");
+        }
+        for r in &rules {
+            let key = gen.matching_key(r);
+            let expect = ll.lookup(&key).map(|r| r.id);
+            assert_eq!(tss.lookup(&key).map(|r| r.id), expect, "{profile:?}");
+            assert_eq!(ps.lookup(&key).map(|r| r.id), expect, "{profile:?}");
+        }
+    }
+}

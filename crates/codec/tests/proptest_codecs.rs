@@ -1,0 +1,77 @@
+//! Property tests: JSON roundtrips arbitrary value trees; proto and flat
+//! codecs roundtrip arbitrary message field contents; parsers never panic
+//! on arbitrary input.
+
+use l25gc_codec::{json, SmContextCreateData, UeAuthenticationRequest, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::U64),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\\n\t]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrips_arbitrary_values(v in arb_value()) {
+        let text = json::to_string(&v);
+        prop_assert_eq!(json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn json_parse_never_panics(input in "\\PC{0,128}") {
+        let _ = json::parse(&input);
+    }
+
+    #[test]
+    fn sm_context_roundtrips_arbitrary_fields(
+        supi in "[a-z0-9\\-]{1,32}",
+        dnn in "[a-z\\.]{1,16}",
+        session in any::<u8>(),
+        sst in any::<u8>(),
+        n1 in proptest::collection::vec(any::<u8>(), 0..64),
+        flag in any::<bool>(),
+    ) {
+        let mut m = SmContextCreateData::sample();
+        m.supi = supi;
+        m.dnn = dnn;
+        m.pdu_session_id = session;
+        m.s_nssai.sst = sst;
+        m.n1_sm_msg = n1;
+        m.unauthenticated_supi = flag;
+        prop_assert_eq!(&SmContextCreateData::from_json(&m.to_json()).unwrap(), &m);
+        prop_assert_eq!(&SmContextCreateData::from_proto(&m.to_proto()).unwrap(), &m);
+        prop_assert_eq!(&SmContextCreateData::from_flat(&m.to_flat()).unwrap(), &m);
+    }
+
+    #[test]
+    fn ue_auth_roundtrips_arbitrary_fields(
+        id in "[a-z0-9\\-]{1,40}",
+        net in "[a-zA-Z0-9:\\.]{1,40}",
+    ) {
+        let m = UeAuthenticationRequest { supi_or_suci: id, serving_network_name: net };
+        prop_assert_eq!(
+            &UeAuthenticationRequest::from_proto(&m.to_proto()).unwrap(), &m);
+        prop_assert_eq!(&UeAuthenticationRequest::from_flat(&m.to_flat()).unwrap(), &m);
+    }
+
+    #[test]
+    fn proto_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SmContextCreateData::from_proto(&bytes);
+    }
+
+    #[test]
+    fn flat_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SmContextCreateData::from_flat(&bytes);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-UE and per-session state held by the control-plane NFs.
+//!
+//! Everything here derives `Clone`: a checkpoint of an NF (for the
+//! resiliency framework of §3.5) is literally a clone of its state.
+
+use l25gc_pkt::ngap::TunnelInfo;
+use l25gc_sim::SimTime;
+
+use crate::msg::{GnbId, UeId};
+
+/// 3GPP registration management state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RmState {
+    /// Not registered with the network.
+    #[default]
+    Deregistered,
+    /// Registered.
+    Registered,
+}
+
+/// 3GPP connection management state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CmState {
+    /// No NAS signalling connection (radio released; paged on DL data).
+    #[default]
+    Idle,
+    /// NAS signalling connection established.
+    Connected,
+}
+
+/// Progress of the registration procedure at the AMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegPhase {
+    /// No registration in progress.
+    #[default]
+    None,
+    /// Waiting for the AUSF authentication context.
+    AwaitAuthCtx,
+    /// Challenge sent to the UE; waiting for its response.
+    AwaitUeAuthResponse,
+    /// Waiting for AUSF to confirm the 5G-AKA result.
+    AwaitAkaConfirm,
+    /// Security mode command sent; waiting for completion.
+    AwaitSecurityMode,
+    /// Waiting for UDM UECM registration.
+    AwaitUecm,
+    /// Waiting for UDM subscription data.
+    AwaitSdmData,
+    /// Waiting for UDM change-subscription.
+    AwaitSdmSubscribe,
+    /// Waiting for the PCF AM policy.
+    AwaitAmPolicy,
+    /// Initial context setup sent to the gNB; waiting for completion.
+    AwaitContextSetup,
+}
+
+/// Progress of PDU session establishment at the AMF/SMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessPhase {
+    /// No establishment in progress.
+    #[default]
+    None,
+    /// AMF: waiting for SMF's CreateSmContext response.
+    AwaitSmContext,
+    /// AMF: waiting for SMF's N1N2 transfer (session accept + N2 info).
+    AwaitN1N2,
+    /// AMF: waiting for the gNB's resource-setup response.
+    AwaitAnSetup,
+    /// AMF: waiting for SMF to bind the AN tunnel.
+    AwaitTunnelBind,
+}
+
+/// Progress of the N2 handover at the AMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HoPhase {
+    /// No handover in progress.
+    #[default]
+    None,
+    /// Waiting for NRF discovery before preparation.
+    AwaitPrepDiscovery,
+    /// Preparation: waiting for SMF (buffering decision + new UL TEID).
+    AwaitSmPrepare,
+    /// Waiting for the target gNB's resource allocation.
+    AwaitTargetAck,
+    /// Waiting for SMF to record the target's DL tunnel.
+    AwaitSmPrepared,
+    /// Handover command issued; UE is moving (radio interruption).
+    Executing,
+    /// UE arrived; waiting for NRF re-validation before the path switch.
+    AwaitCompleteDiscovery,
+    /// Waiting for SMF to switch the DL path.
+    AwaitSmComplete,
+    /// Mobility registration update transactions after path switch.
+    AwaitMobilityUpdate(u8),
+}
+
+/// Progress of the paging / service-request procedure at the AMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagingPhase {
+    /// Nothing pending.
+    #[default]
+    None,
+    /// Paging sent to the gNB; waiting for the UE's service request.
+    AwaitServiceRequest,
+    /// Waiting for SMF to reactivate the UP path.
+    AwaitSmActivate,
+    /// Waiting for the gNB's context-setup response (new DL tunnel).
+    AwaitAnSetup,
+    /// Waiting for SMF to bind the new tunnel and flush the buffer.
+    AwaitTunnelBind,
+}
+
+/// Progress of the AN-release (active → idle) procedure at the AMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdlePhase {
+    /// Nothing pending.
+    #[default]
+    None,
+    /// Waiting for SMF to switch the session to buffering.
+    AwaitSmIdle,
+    /// Waiting for the gNB to confirm context release.
+    AwaitReleaseComplete,
+}
+
+/// The AMF's per-UE context.
+#[derive(Debug, Clone)]
+pub struct AmfUeCtx {
+    /// UE identity.
+    pub ue: UeId,
+    /// Subscription identity learned at registration.
+    pub supi: u64,
+    /// Assigned temporary identity.
+    pub guti: u64,
+    /// The gNB currently serving this UE.
+    pub serving_gnb: GnbId,
+    /// Handover target while one is in progress.
+    pub target_gnb: Option<GnbId>,
+    /// The gNB the UE just left (context released after the mobility
+    /// update completes).
+    pub prev_gnb: Option<GnbId>,
+    /// Registration management state.
+    pub rm: RmState,
+    /// Connection management state.
+    pub cm: CmState,
+    /// Registration procedure progress.
+    pub reg: RegPhase,
+    /// Session establishment progress.
+    pub sess: SessPhase,
+    /// Handover progress.
+    pub ho: HoPhase,
+    /// Paging progress.
+    pub paging: PagingPhase,
+    /// Idle-transition progress.
+    pub idle: IdlePhase,
+    /// Deregistration progress.
+    pub dereg: DeregPhase,
+    /// When the in-flight procedure started (for completion metrics).
+    pub proc_start: SimTime,
+    /// Expected 5G-AKA response while authentication is in flight.
+    pub expected_res: Option<[u8; 16]>,
+}
+
+impl AmfUeCtx {
+    /// Fresh context for a UE first seen at `gnb`.
+    pub fn new(ue: UeId, supi: u64, gnb: GnbId, now: SimTime) -> AmfUeCtx {
+        AmfUeCtx {
+            ue,
+            supi,
+            guti: 0xF000_0000_0000_0000 | supi,
+            serving_gnb: gnb,
+            target_gnb: None,
+            prev_gnb: None,
+            rm: RmState::Deregistered,
+            cm: CmState::Connected,
+            reg: RegPhase::None,
+            sess: SessPhase::None,
+            ho: HoPhase::None,
+            paging: PagingPhase::None,
+            idle: IdlePhase::None,
+            dereg: DeregPhase::None,
+            proc_start: now,
+            expected_res: None,
+        }
+    }
+}
+
+/// The SMF's per-session context.
+#[derive(Debug, Clone)]
+pub struct SmfSession {
+    /// Owning UE.
+    pub ue: UeId,
+    /// PDU session id (UE-scoped).
+    pub session_id: u8,
+    /// PFCP session endpoint id shared with the UPF.
+    pub seid: u64,
+    /// UE IP address allocated for the session (u32 form).
+    pub ue_ip: u32,
+    /// UPF-side uplink TEID.
+    pub ul_teid: u32,
+    /// UL TEID pre-allocated for a handover target, if any.
+    pub pending_ul_teid: Option<u32>,
+    /// Current AN-side (gNB) downlink tunnel.
+    pub an_tunnel: Option<TunnelInfo>,
+    /// Next PFCP sequence number for this session's transactions.
+    pub pfcp_seq: u32,
+}
+
+/// Progress of deregistration at the AMF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeregPhase {
+    /// Nothing pending.
+    #[default]
+    None,
+    /// Waiting for SMF to release the SM context.
+    AwaitSmRelease,
+    /// Waiting for the gNB to confirm context release.
+    AwaitAnRelease,
+}
+
+/// What kind of UE event completed (for Fig 8 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UeEvent {
+    /// Initial registration.
+    Registration,
+    /// PDU session establishment.
+    SessionRequest,
+    /// N2 handover.
+    Handover,
+    /// Paging (idle → active on DL data).
+    Paging,
+    /// Active → idle transition (AN release).
+    IdleTransition,
+    /// UE-initiated deregistration.
+    Deregistration,
+}
+
+/// A completed procedure, recorded by the AMF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRecord {
+    /// Which UE.
+    pub ue: UeId,
+    /// What completed.
+    pub event: UeEvent,
+    /// When the triggering message arrived.
+    pub start: SimTime,
+    /// When the procedure finished.
+    pub end: SimTime,
+}
+
+impl EventRecord {
+    /// Completion time of the event.
+    pub fn duration(&self) -> l25gc_sim::SimDuration {
+        self.end.duration_since(self.start)
+    }
+}

@@ -1,0 +1,232 @@
+//! The NF manager: service registry, liveness, canary routing, replica
+//! freeze/unfreeze.
+//!
+//! In ONVM the manager owns the shared memory pool, pumps the Rx/Tx
+//! rings, and "periodically (every few milliseconds) determines the
+//! status of all the registered active NFs" (§3.5.2). Deployment-wise it
+//! also implements L²5GC's canary rollout (§4): two instances of one
+//! service id, split by a configured traffic percentage.
+//!
+//! Replica instances are registered `Frozen` — the cgroup-freezer state
+//! that consumes no CPU — and woken by [`Manager::unfreeze`] on failover.
+
+use std::collections::HashMap;
+
+use l25gc_sim::{SimDuration, SimTime};
+
+/// A service identity (e.g. "SMF" = 3). Stable across versions/replicas.
+pub type ServiceId = u32;
+/// One running process of a service.
+pub type InstanceId = u32;
+
+/// Lifecycle state of an NF instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfState {
+    /// Scheduled and processing packets.
+    Active,
+    /// Replica kept in the cgroup freezer: consistent state, zero CPU.
+    Frozen,
+    /// Declared failed by the failure detector.
+    Failed,
+}
+
+/// Registry entry for one NF instance.
+#[derive(Debug, Clone)]
+pub struct NfInstance {
+    /// The service this instance implements.
+    pub service: ServiceId,
+    /// Unique instance id.
+    pub instance: InstanceId,
+    /// Lifecycle state.
+    pub state: NfState,
+    /// Canary weight: share of new traffic routed here, relative to the
+    /// other Active instances of the same service.
+    pub weight: u32,
+    /// Last heartbeat observed by the manager.
+    pub last_heartbeat: SimTime,
+}
+
+/// The NF manager's control-plane state.
+#[derive(Debug, Default)]
+pub struct Manager {
+    instances: HashMap<InstanceId, NfInstance>,
+    by_service: HashMap<ServiceId, Vec<InstanceId>>,
+}
+
+impl Manager {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an instance. Panics on duplicate instance id.
+    pub fn register(&mut self, service: ServiceId, instance: InstanceId, state: NfState, now: SimTime) {
+        assert!(
+            !self.instances.contains_key(&instance),
+            "duplicate instance id {instance}"
+        );
+        self.instances.insert(
+            instance,
+            NfInstance { service, instance, state, weight: 100, last_heartbeat: now },
+        );
+        self.by_service.entry(service).or_default().push(instance);
+    }
+
+    /// Sets an instance's canary weight (share of new traffic).
+    pub fn set_weight(&mut self, instance: InstanceId, weight: u32) {
+        self.instances.get_mut(&instance).expect("known instance").weight = weight;
+    }
+
+    /// Looks up an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&NfInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Thaws a frozen replica, making it eligible for routing. Returns
+    /// false if the instance is unknown or not frozen.
+    pub fn unfreeze(&mut self, id: InstanceId) -> bool {
+        match self.instances.get_mut(&id) {
+            Some(nf) if nf.state == NfState::Frozen => {
+                nf.state = NfState::Active;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks an instance failed (e.g. after a missed-heartbeat verdict).
+    pub fn mark_failed(&mut self, id: InstanceId) {
+        if let Some(nf) = self.instances.get_mut(&id) {
+            nf.state = NfState::Failed;
+        }
+    }
+
+    /// Records a heartbeat from an instance.
+    pub fn heartbeat(&mut self, id: InstanceId, now: SimTime) {
+        if let Some(nf) = self.instances.get_mut(&id) {
+            nf.last_heartbeat = now;
+        }
+    }
+
+    /// The periodic liveness sweep: any Active instance whose last
+    /// heartbeat is older than `timeout` is marked Failed and returned.
+    pub fn detect_failures(&mut self, now: SimTime, timeout: SimDuration) -> Vec<InstanceId> {
+        let mut failed = Vec::new();
+        for nf in self.instances.values_mut() {
+            if nf.state == NfState::Active && now.duration_since(nf.last_heartbeat) > timeout {
+                nf.state = NfState::Failed;
+                failed.push(nf.instance);
+            }
+        }
+        failed.sort_unstable();
+        failed
+    }
+
+    /// Routes a new flow/transaction to an Active instance of `service`,
+    /// splitting by canary weights. `roll` ∈ [0,1) supplies the
+    /// randomness (drawn from the caller's deterministic RNG).
+    pub fn route(&self, service: ServiceId, roll: f64) -> Option<InstanceId> {
+        let ids = self.by_service.get(&service)?;
+        let active: Vec<&NfInstance> = ids
+            .iter()
+            .filter_map(|id| self.instances.get(id))
+            .filter(|nf| nf.state == NfState::Active)
+            .collect();
+        let total: u64 = active.iter().map(|nf| u64::from(nf.weight)).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut point = (roll.clamp(0.0, 0.999_999) * total as f64) as u64;
+        for nf in &active {
+            let w = u64::from(nf.weight);
+            if point < w {
+                return Some(nf.instance);
+            }
+            point -= w;
+        }
+        active.last().map(|nf| nf.instance)
+    }
+
+    /// The frozen replica of a service, if any (local failover target).
+    pub fn frozen_replica(&self, service: ServiceId) -> Option<InstanceId> {
+        self.by_service.get(&service)?.iter().copied().find(|id| {
+            self.instances.get(id).map(|nf| nf.state == NfState::Frozen).unwrap_or(false)
+        })
+    }
+
+    /// All registered instances of a service.
+    pub fn instances_of(&self, service: ServiceId) -> Vec<&NfInstance> {
+        self.by_service
+            .get(&service)
+            .map(|ids| ids.iter().filter_map(|id| self.instances.get(id)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_prefers_active_instances() {
+        let mut m = Manager::new();
+        m.register(1, 10, NfState::Active, SimTime::ZERO);
+        m.register(1, 11, NfState::Frozen, SimTime::ZERO);
+        for roll in [0.0, 0.5, 0.99] {
+            assert_eq!(m.route(1, roll), Some(10), "frozen replica must not receive traffic");
+        }
+        assert_eq!(m.route(2, 0.5), None, "unknown service");
+    }
+
+    #[test]
+    fn canary_split_follows_weights() {
+        let mut m = Manager::new();
+        m.register(1, 10, NfState::Active, SimTime::ZERO); // old version
+        m.register(1, 11, NfState::Active, SimTime::ZERO); // canary
+        m.set_weight(10, 90);
+        m.set_weight(11, 10);
+        let hits_canary = (0..1000)
+            .filter(|i| m.route(1, *i as f64 / 1000.0) == Some(11))
+            .count();
+        assert!((80..120).contains(&hits_canary), "canary got {hits_canary}/1000");
+    }
+
+    #[test]
+    fn failover_unfreezes_replica() {
+        let mut m = Manager::new();
+        m.register(3, 30, NfState::Active, SimTime::ZERO);
+        m.register(3, 31, NfState::Frozen, SimTime::ZERO);
+        m.mark_failed(30);
+        assert_eq!(m.route(3, 0.5), None, "no active instance after failure");
+        let replica = m.frozen_replica(3).unwrap();
+        assert_eq!(replica, 31);
+        assert!(m.unfreeze(replica));
+        assert_eq!(m.route(3, 0.5), Some(31));
+        assert!(!m.unfreeze(replica), "double unfreeze is a no-op");
+    }
+
+    #[test]
+    fn heartbeat_timeout_detection() {
+        let mut m = Manager::new();
+        m.register(1, 10, NfState::Active, SimTime::ZERO);
+        m.register(1, 11, NfState::Active, SimTime::ZERO);
+        m.register(1, 12, NfState::Frozen, SimTime::ZERO);
+        let t1 = SimTime::ZERO + SimDuration::from_millis(10);
+        m.heartbeat(10, t1);
+        // Sweep at t=15ms with 6ms timeout: 11 missed, 10 fresh, 12 frozen
+        // (frozen replicas don't heartbeat and must not be declared dead).
+        let now = SimTime::ZERO + SimDuration::from_millis(15);
+        let failed = m.detect_failures(now, SimDuration::from_millis(6));
+        assert_eq!(failed, vec![11]);
+        assert_eq!(m.instance(10).unwrap().state, NfState::Active);
+        assert_eq!(m.instance(12).unwrap().state, NfState::Frozen);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance")]
+    fn duplicate_registration_panics() {
+        let mut m = Manager::new();
+        m.register(1, 10, NfState::Active, SimTime::ZERO);
+        m.register(2, 10, NfState::Active, SimTime::ZERO);
+    }
+}

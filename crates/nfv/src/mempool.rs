@@ -1,0 +1,197 @@
+//! Packet buffer mempool, the DPDK-hugepage analogue.
+//!
+//! All packet payloads live in one preallocated arena; NFs hold
+//! [`PktHandle`]s (descriptor = handle + metadata) and the arena is never
+//! copied — the zero-copy property the paper's data plane relies on.
+//! Allocation is a free-list pop; freeing is a push. Like a DPDK mempool,
+//! exhaustion is visible to the caller (the NIC would drop).
+
+use parking_lot::Mutex;
+
+/// An opaque handle to one packet buffer in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PktHandle(u32);
+
+/// Per-packet metadata carried in descriptors (the ONVM `onvm_pkt_meta`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PktMeta {
+    /// Target: service id for NF-to-NF, or output port.
+    pub dest: u32,
+    /// Action the manager should take.
+    pub action: PktAction,
+    /// Length of valid data in the buffer.
+    pub data_len: u32,
+}
+
+/// The action an NF stamps on a processed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PktAction {
+    /// Hand the descriptor to another NF (`dest` = service id).
+    #[default]
+    ToNf,
+    /// Transmit on a NIC port (`dest` = port id).
+    Out,
+    /// Drop and return the buffer to the pool.
+    Drop,
+}
+
+/// A fixed-size pool of packet buffers.
+pub struct Mempool {
+    /// One contiguous arena, `buf_size` bytes per slot.
+    arena: Mutex<Arena>,
+    buf_size: usize,
+}
+
+struct Arena {
+    data: Vec<u8>,
+    free: Vec<u32>,
+    allocated: usize,
+}
+
+impl Mempool {
+    /// Creates a pool of `count` buffers of `buf_size` bytes each.
+    pub fn new(count: usize, buf_size: usize) -> Mempool {
+        assert!(count > 0 && count <= u32::MAX as usize);
+        Mempool {
+            arena: Mutex::new(Arena {
+                data: vec![0u8; count * buf_size],
+                free: (0..count as u32).rev().collect(),
+                allocated: 0,
+            }),
+            buf_size,
+        }
+    }
+
+    /// Allocates a buffer, or `None` when the pool is exhausted.
+    pub fn alloc(&self) -> Option<PktHandle> {
+        let mut a = self.arena.lock();
+        let idx = a.free.pop()?;
+        a.allocated += 1;
+        Some(PktHandle(idx))
+    }
+
+    /// Returns a buffer to the pool.
+    ///
+    /// # Panics
+    /// Panics on double-free (the bug this layer must never mask).
+    pub fn free(&self, h: PktHandle) {
+        let mut a = self.arena.lock();
+        assert!(!a.free.contains(&h.0), "double free of {h:?}");
+        a.free.push(h.0);
+        a.allocated -= 1;
+    }
+
+    /// Copies `data` into the buffer. Panics if it exceeds the slot size.
+    pub fn write(&self, h: PktHandle, data: &[u8]) {
+        assert!(data.len() <= self.buf_size, "payload exceeds mempool slot");
+        let mut a = self.arena.lock();
+        let off = h.0 as usize * self.buf_size;
+        a.data[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes from the buffer into a fresh `Vec`.
+    pub fn read(&self, h: PktHandle, len: usize) -> Vec<u8> {
+        assert!(len <= self.buf_size);
+        let a = self.arena.lock();
+        let off = h.0 as usize * self.buf_size;
+        a.data[off..off + len].to_vec()
+    }
+
+    /// Applies `f` to the buffer contents in place (zero-copy access).
+    pub fn with<R>(&self, h: PktHandle, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut a = self.arena.lock();
+        let off = h.0 as usize * self.buf_size;
+        let size = self.buf_size;
+        f(&mut a.data[off..off + size])
+    }
+
+    /// Buffers currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.arena.lock().allocated
+    }
+
+    /// Total buffer count.
+    pub fn capacity(&self) -> usize {
+        self.arena.lock().free.len() + self.arena.lock().allocated
+    }
+
+    /// Slot size in bytes.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let pool = Mempool::new(4, 64);
+        let hs: Vec<_> = (0..4).map(|_| pool.alloc().unwrap()).collect();
+        assert_eq!(pool.in_use(), 4);
+        assert!(pool.alloc().is_none(), "pool exhausted");
+        for h in hs {
+            pool.free(h);
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.alloc().is_some());
+    }
+
+    #[test]
+    fn data_survives_roundtrip() {
+        let pool = Mempool::new(2, 32);
+        let a = pool.alloc().unwrap();
+        let b = pool.alloc().unwrap();
+        pool.write(a, b"hello");
+        pool.write(b, b"world");
+        assert_eq!(pool.read(a, 5), b"hello");
+        assert_eq!(pool.read(b, 5), b"world");
+    }
+
+    #[test]
+    fn with_mutates_in_place() {
+        let pool = Mempool::new(1, 16);
+        let h = pool.alloc().unwrap();
+        pool.with(h, |buf| buf[0] = 0xaa);
+        assert_eq!(pool.read(h, 1), vec![0xaa]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let pool = Mempool::new(2, 16);
+        let h = pool.alloc().unwrap();
+        pool.free(h);
+        pool.free(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mempool slot")]
+    fn oversized_write_panics() {
+        let pool = Mempool::new(1, 4);
+        let h = pool.alloc().unwrap();
+        pool.write(h, &[0u8; 5]);
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        use std::sync::Arc;
+        let pool = Arc::new(Mempool::new(64, 16));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if let Some(h) = pool.alloc() {
+                        pool.free(h);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+    }
+}

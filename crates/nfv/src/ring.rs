@@ -1,0 +1,246 @@
+//! Lock-free single-producer/single-consumer descriptor ring.
+//!
+//! The ONVM shared-memory fabric attaches an Rx and a Tx ring to every NF;
+//! the manager moves packet *descriptors* (not packet bytes) between rings
+//! to implement zero-copy NF-to-NF communication. This is a real
+//! concurrent data structure — benchmarked wall-clock in
+//! `l25gc-bench` — not a simulation artifact.
+//!
+//! Classic Lamport queue: `head` is owned by the consumer, `tail` by the
+//! producer; each reads the other's index with Acquire and publishes its
+//! own with Release. Capacity is rounded up to a power of two so index
+//! arithmetic is a mask.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+struct RingBuf<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: producer and consumer each touch disjoint slots, synchronized by
+// the head/tail indices with Acquire/Release ordering.
+unsafe impl<T: Send> Send for RingBuf<T> {}
+unsafe impl<T: Send> Sync for RingBuf<T> {}
+
+impl<T> Drop for RingBuf<T> {
+    fn drop(&mut self) {
+        // Drop any items still enqueued.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.slots[i & self.mask];
+            // SAFETY: slots in [head, tail) hold initialized values and
+            // nobody else can access them during drop.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing half of a ring.
+pub struct Producer<T> {
+    ring: Arc<RingBuf<T>>,
+    /// Cached consumer index, refreshed only when the ring looks full.
+    cached_head: usize,
+}
+
+/// The consuming half of a ring.
+pub struct Consumer<T> {
+    ring: Arc<RingBuf<T>>,
+    /// Cached producer index, refreshed only when the ring looks empty.
+    cached_tail: usize,
+}
+
+/// Creates a ring with capacity of at least `capacity` descriptors
+/// (rounded up to a power of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(RingBuf {
+        slots,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (Producer { ring: ring.clone(), cached_head: 0 }, Consumer { ring, cached_tail: 0 })
+}
+
+impl<T> Producer<T> {
+    /// Enqueues a descriptor; returns it back if the ring is full (the
+    /// caller decides whether that is a drop — as the NIC would — or
+    /// backpressure).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head > ring.mask {
+            self.cached_head = ring.head.load(Ordering::Acquire);
+            if tail - self.cached_head > ring.mask {
+                return Err(value);
+            }
+        }
+        // SAFETY: slot at `tail` is unoccupied (tail - head <= mask).
+        unsafe { (*ring.slots[tail & ring.mask].get()).write(value) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of occupied slots (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.load(Ordering::Relaxed) - ring.head.load(Ordering::Relaxed)
+    }
+
+    /// True when no descriptors are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the next descriptor, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = ring.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        // SAFETY: slot at `head` was initialized by the producer and
+        // published via the tail store.
+        let value = unsafe { (*ring.slots[head & ring.mask].get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues up to `max` descriptors into `out` (burst receive, the
+    /// DPDK poll-mode idiom). Returns how many were dequeued.
+    pub fn pop_burst(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Number of occupied slots (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.load(Ordering::Relaxed) - ring.head.load(Ordering::Relaxed)
+    }
+
+    /// True when no descriptors are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "ring full");
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        for round in 0..1000u64 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn burst_pop() {
+        let (mut tx, mut rx) = ring::<u32>(32);
+        for i in 0..20 {
+            tx.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 16), 16);
+        assert_eq!(out.len(), 16);
+        assert_eq!(rx.pop_burst(&mut out, 16), 4);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = ring::<u64>(1024);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected, "descriptors reordered or lost");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_queued_items() {
+        // Detectable under Miri/ASan; here it at least must not crash.
+        let (mut tx, rx) = ring::<String>(8);
+        tx.push("a".to_owned()).unwrap();
+        tx.push("b".to_owned()).unwrap();
+        drop(rx);
+        drop(tx);
+    }
+}

@@ -1,0 +1,130 @@
+//! Failure detection: the LB probe agent and S-BFD-style liveness
+//! sessions (§3.5.2).
+//!
+//! The NF manager covers *software* failures with its heartbeat sweep
+//! (`l25gc-nfv::Manager::detect_failures`); this module covers *node and
+//! link* failures from the outside: a simplified Seamless BFD session
+//! sends probes every `interval` and declares the peer down after
+//! `multiplier` consecutive misses. The paper's LB probe agent detects a
+//! dead 5GC unit in under 0.5 ms.
+
+use l25gc_sim::{SimDuration, SimTime};
+
+/// A simplified S-BFD session from the LB toward one 5GC unit.
+#[derive(Debug, Clone)]
+pub struct SbfdSession {
+    /// Probe transmit interval.
+    pub interval: SimDuration,
+    /// Consecutive misses before declaring failure.
+    pub multiplier: u32,
+    last_response: SimTime,
+    declared_down: bool,
+}
+
+impl SbfdSession {
+    /// The paper's configuration: detection within ~0.5 ms means probes
+    /// every ~150 µs with a ×3 multiplier.
+    pub fn paper(now: SimTime) -> SbfdSession {
+        SbfdSession {
+            interval: SimDuration::from_micros(150),
+            multiplier: 3,
+            last_response: now,
+            declared_down: false,
+        }
+    }
+
+    /// Records a probe response from the peer.
+    pub fn on_response(&mut self, now: SimTime) {
+        self.last_response = now;
+        self.declared_down = false;
+    }
+
+    /// The detection deadline: if no response arrives by then, the peer
+    /// is declared down.
+    pub fn deadline(&self) -> SimTime {
+        self.last_response + self.interval * u64::from(self.multiplier)
+    }
+
+    /// Evaluates liveness at `now`; returns true exactly once when the
+    /// peer transitions to down.
+    pub fn check(&mut self, now: SimTime) -> bool {
+        if !self.declared_down && now >= self.deadline() {
+            self.declared_down = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once the peer was declared down.
+    pub fn is_down(&self) -> bool {
+        self.declared_down
+    }
+
+    /// Worst-case detection latency from the instant of failure.
+    pub fn worst_case_detection(&self) -> SimDuration {
+        self.interval * u64::from(self.multiplier) + self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_peer_never_declared_down() {
+        let mut s = SbfdSession::paper(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += s.interval;
+            s.on_response(now);
+            assert!(!s.check(now));
+        }
+        assert!(!s.is_down());
+    }
+
+    #[test]
+    fn silent_peer_detected_within_half_millisecond() {
+        let mut s = SbfdSession::paper(SimTime::ZERO);
+        let fail_at = SimTime::ZERO + SimDuration::from_millis(5);
+        let mut now = SimTime::ZERO;
+        // Responsive until the failure.
+        while now < fail_at {
+            s.on_response(now);
+            now += s.interval;
+        }
+        // Silence after: find the detection instant.
+        let mut detected_at = None;
+        for _ in 0..100 {
+            now += SimDuration::from_micros(10);
+            if s.check(now) {
+                detected_at = Some(now);
+                break;
+            }
+        }
+        let detected_at = detected_at.expect("failure detected");
+        let latency = detected_at.duration_since(fail_at);
+        assert!(
+            latency <= SimDuration::from_micros(500),
+            "paper: <0.5 ms, got {latency}"
+        );
+    }
+
+    #[test]
+    fn detection_fires_exactly_once() {
+        let mut s = SbfdSession::paper(SimTime::ZERO);
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(s.check(late));
+        assert!(!s.check(late + SimDuration::from_secs(1)), "no repeat alarms");
+        assert!(s.is_down());
+    }
+
+    #[test]
+    fn recovery_clears_down_state() {
+        let mut s = SbfdSession::paper(SimTime::ZERO);
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(s.check(late));
+        s.on_response(late + SimDuration::from_millis(1));
+        assert!(!s.is_down());
+    }
+}

@@ -1,0 +1,31 @@
+//! # l25gc-resilience — the §3.5 failure-resiliency framework
+//!
+//! L²5GC avoids 3GPP's reattach-from-scratch recovery with four pieces,
+//! each implemented here as a driver-agnostic component:
+//!
+//! - [`logger`] — the LB-side packet logger: every inbound message gets
+//!   a counter and a copy in one of four queues (UL/DL × control/data);
+//!   replay restores the state tail lost since the last checkpoint, and
+//!   data floods cannot evict control entries.
+//! - [`replica`] — frozen local/remote replicas generic over the
+//!   replicated state (`Clone` = checkpoint), the periodic delta
+//!   checkpoint policy, and the sub-5 µs output-commit gate (external
+//!   synchrony).
+//! - [`detector`] — S-BFD-style liveness sessions detecting node/link
+//!   failure in < 0.5 ms.
+//! - [`lb`] — the UE-aware load balancer: session affinity, failover
+//!   migration, and the detect→reroute→replay timeline.
+//! - [`reattach`] — the 3GPP restoration baseline L²5GC is compared
+//!   against in §5.5.
+
+pub mod detector;
+pub mod lb;
+pub mod logger;
+pub mod reattach;
+pub mod replica;
+
+pub use detector::SbfdSession;
+pub use lb::{FailoverTimeline, UeAwareLb, UnitId};
+pub use logger::{classify, LoggedEntry, PacketLogger, QueueKind};
+pub use reattach::ReattachModel;
+pub use replica::{CheckpointPolicy, OutputCommit, Replica, ReplicaState};

@@ -1,0 +1,203 @@
+//! Replication: frozen local/remote replicas with periodic delta
+//! checkpoints and external synchrony (§3.5.1).
+//!
+//! The replica is generic over the replicated state `S: Clone` — in the
+//! testbed `S` is the whole `CoreNetwork`. A checkpoint is a clone taken
+//! at a counter watermark; on failover the replica state is the last
+//! checkpoint, and the packet logger replays everything logged at or
+//! after that watermark to reconstruct the lost tail. The local replica
+//! synchronizes per event (sub-5 µs shared-memory copy, the "no-replay"
+//! scheme); the remote replica synchronizes periodically to amortize the
+//! transfer.
+
+use l25gc_sim::{SimDuration, SimTime};
+
+/// Replica lifecycle, mirroring the cgroup-freezer states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Checkpointed and frozen: consumes no CPU.
+    Frozen,
+    /// Woken by the manager after a failover; now the active copy.
+    Active,
+}
+
+/// A replica of state `S` synchronized by checkpoints.
+#[derive(Debug)]
+pub struct Replica<S: Clone> {
+    /// Last checkpointed state.
+    snapshot: S,
+    /// Counter watermark: all inputs with counter `< synced_upto` are
+    /// reflected in `snapshot`.
+    synced_upto: u64,
+    /// Lifecycle.
+    pub state: ReplicaState,
+    /// When the last checkpoint was taken.
+    pub last_checkpoint_at: SimTime,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+impl<S: Clone> Replica<S> {
+    /// A frozen replica initialized from the primary's state.
+    pub fn new(initial: S, now: SimTime) -> Replica<S> {
+        Replica {
+            snapshot: initial,
+            synced_upto: 0,
+            state: ReplicaState::Frozen,
+            last_checkpoint_at: now,
+            checkpoints: 0,
+        }
+    }
+
+    /// Takes a checkpoint: clone the primary state and advance the
+    /// watermark to `counter` (typically `logger.next_counter()`).
+    ///
+    /// # Panics
+    /// Panics if the replica is already active (checkpointing a woken
+    /// replica would overwrite live state).
+    pub fn checkpoint(&mut self, primary: &S, counter: u64, now: SimTime) {
+        assert_eq!(self.state, ReplicaState::Frozen, "cannot checkpoint an active replica");
+        assert!(counter >= self.synced_upto, "watermark must not regress");
+        self.snapshot = primary.clone();
+        self.synced_upto = counter;
+        self.last_checkpoint_at = now;
+        self.checkpoints += 1;
+    }
+
+    /// The watermark: inputs below this counter are already reflected.
+    pub fn synced_upto(&self) -> u64 {
+        self.synced_upto
+    }
+
+    /// Wakes the replica, taking its state for live use. Inputs with
+    /// counters `>= synced_upto()` must be replayed into the returned
+    /// state by the caller.
+    pub fn unfreeze(&mut self, now: SimTime) -> S
+    where
+        S: Clone,
+    {
+        assert_eq!(self.state, ReplicaState::Frozen, "replica already active");
+        self.state = ReplicaState::Active;
+        self.last_checkpoint_at = now;
+        self.snapshot.clone()
+    }
+}
+
+/// The periodic checkpoint schedule for the remote replica.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// Interval between delta syncs.
+    pub interval: SimDuration,
+    /// Cost to transfer one delta (paid by the *local replica*, so the
+    /// primary's processing is never impeded — external synchrony).
+    pub transfer_cost: SimDuration,
+}
+
+impl CheckpointPolicy {
+    /// The paper's configuration: periodic sync (not per-event, unlike
+    /// Neutrino — §3.5.1 point 2) every 10 ms.
+    pub fn paper() -> CheckpointPolicy {
+        CheckpointPolicy {
+            interval: SimDuration::from_millis(10),
+            transfer_cost: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Next checkpoint instant after `last`.
+    pub fn next_after(&self, last: SimTime) -> SimTime {
+        last + self.interval
+    }
+}
+
+/// Output-commit gate for the local no-replay scheme: an NF "does not
+/// release any response unless the local replica is synchronized". With
+/// same-host shared memory the sync costs < 5 µs per event.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputCommit {
+    /// Per-event local synchronization delay.
+    pub local_sync: SimDuration,
+}
+
+impl OutputCommit {
+    /// The paper's bound (§3.5.1: "less than 5µs").
+    pub fn paper() -> OutputCommit {
+        OutputCommit { local_sync: SimDuration::from_micros(5) }
+    }
+
+    /// The extra delay an outgoing response pays before release.
+    pub fn gate_delay(&self) -> SimDuration {
+        self.local_sync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        counter_applied: u64,
+        items: Vec<u64>,
+    }
+
+    #[test]
+    fn checkpoint_then_unfreeze_restores_watermarked_state() {
+        let mut primary = Toy { counter_applied: 0, items: vec![] };
+        let mut rep = Replica::new(primary.clone(), SimTime::ZERO);
+
+        // Apply inputs 0..5 to the primary, checkpoint at watermark 5.
+        for c in 0..5 {
+            primary.counter_applied = c + 1;
+            primary.items.push(c);
+        }
+        rep.checkpoint(&primary, 5, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(rep.synced_upto(), 5);
+        assert_eq!(rep.checkpoints, 1);
+
+        // More inputs (5..8) arrive after the checkpoint; then the
+        // primary dies. The replica wakes with the watermarked state.
+        for c in 5..8 {
+            primary.counter_applied = c + 1;
+            primary.items.push(c);
+        }
+        let woken = rep.unfreeze(SimTime::ZERO + SimDuration::from_millis(20));
+        assert_eq!(woken.counter_applied, 5, "tail not yet applied");
+        assert_eq!(rep.state, ReplicaState::Active);
+        // Replaying 5..8 reconstructs the primary's final state.
+        let mut woken = woken;
+        for c in rep.synced_upto()..8 {
+            woken.counter_applied = c + 1;
+            woken.items.push(c);
+        }
+        assert_eq!(woken, primary);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot checkpoint an active replica")]
+    fn checkpoint_after_unfreeze_panics() {
+        let mut rep = Replica::new(Toy { counter_applied: 0, items: vec![] }, SimTime::ZERO);
+        rep.unfreeze(SimTime::ZERO);
+        rep.checkpoint(&Toy { counter_applied: 9, items: vec![] }, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica already active")]
+    fn double_unfreeze_panics() {
+        let mut rep = Replica::new(Toy { counter_applied: 0, items: vec![] }, SimTime::ZERO);
+        rep.unfreeze(SimTime::ZERO);
+        rep.unfreeze(SimTime::ZERO);
+    }
+
+    #[test]
+    fn policy_schedules_periodically() {
+        let p = CheckpointPolicy::paper();
+        let t0 = SimTime::ZERO;
+        let t1 = p.next_after(t0);
+        assert_eq!(t1.duration_since(t0), p.interval);
+    }
+
+    #[test]
+    fn output_commit_is_sub_5us() {
+        assert!(OutputCommit::paper().gate_delay() <= SimDuration::from_micros(5));
+    }
+}

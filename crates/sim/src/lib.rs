@@ -1,0 +1,39 @@
+//! # l25gc-sim — deterministic discrete-event simulation engine
+//!
+//! The time substrate for the L²5GC reproduction. Every latency figure in
+//! the paper's evaluation is a function of *event ordering* plus *path
+//! costs*; this crate provides the ordering half: a virtual clock
+//! ([`SimTime`]/[`SimDuration`]), a binary-heap scheduler ([`Engine`]) with
+//! deterministic tie-breaking, a seeded RNG ([`SimRng`]), and metric
+//! recorders ([`TimeSeries`], [`Stats`], [`Counters`]).
+//!
+//! Design follows the smoltcp school: event-driven, no background threads,
+//! no interior mutability, simulations are pure functions of their inputs.
+//!
+//! ```
+//! use l25gc_sim::{Engine, Mailbox, HasMailbox, SimTime, SimDuration};
+//!
+//! struct World { mailbox: Mailbox<World>, pings: u32 }
+//! impl HasMailbox for World {
+//!     fn mailbox(&mut self) -> &mut Mailbox<Self> { &mut self.mailbox }
+//! }
+//!
+//! let mut eng = Engine::new(42, World { mailbox: Mailbox::new(), pings: 0 });
+//! eng.schedule_at(SimTime::ZERO, |w: &mut World, ctx| {
+//!     w.pings += 1;
+//!     w.mailbox.send_in(ctx, SimDuration::from_millis(1), |w, _| w.pings += 1);
+//! });
+//! eng.run_with_mailbox();
+//! assert_eq!(eng.world().pings, 2);
+//! assert_eq!(eng.now(), SimTime::from_nanos(1_000_000));
+//! ```
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, EventFn, EventId, HasMailbox, Mailbox};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Counters, Stats, TimeSeries};

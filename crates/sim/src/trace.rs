@@ -1,0 +1,260 @@
+//! Metric recording: time series, latency statistics, and counters.
+//!
+//! Experiment harnesses record per-packet and per-event observations into
+//! these structures during a run; figure/table printers read them back out
+//! afterwards. All statistics are computed on demand so recording stays a
+//! single `Vec::push`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A series of `(time, value)` samples, e.g. RTT-over-time for Fig 13/14.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Samples may be recorded out of order; readers that
+    /// need order should call [`TimeSeries::sorted`].
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        self.samples.push((t, value));
+    }
+
+    /// Appends a duration sample in microseconds (the paper's usual unit).
+    pub fn record_dur(&mut self, t: SimTime, d: SimDuration) {
+        self.record(t, d.as_micros_f64());
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Samples sorted by time (stable, preserving recording order on ties).
+    pub fn sorted(&self) -> Vec<(SimTime, f64)> {
+        let mut v = self.samples.clone();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest sample value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                Some(m) if m >= v => m,
+                _ => v,
+            })
+        })
+    }
+
+    /// Number of samples strictly above `threshold` — e.g. "packets that
+    /// experienced higher RTT" in Tables 1 and 2.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.samples.iter().filter(|&&(_, v)| v > threshold).count()
+    }
+
+    /// Statistics over the values.
+    pub fn stats(&self) -> Stats {
+        Stats::from_values(self.samples.iter().map(|&(_, v)| v))
+    }
+
+    /// Mean value over samples with `t` in `[from, to)`.
+    pub fn mean_in_window(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Summary statistics over a set of scalar observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Median (0 if empty).
+    pub p50: f64,
+    /// 95th percentile (0 if empty).
+    pub p95: f64,
+    /// 99th percentile (0 if empty).
+    pub p99: f64,
+}
+
+impl Stats {
+    /// Computes statistics from an iterator of values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Stats {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Stats { count: 0, min: 0.0, max: 0.0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0 };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN observations"));
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let pct = |p: f64| -> f64 {
+            // Nearest-rank percentile on the sorted sample.
+            let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as usize;
+            v[rank.min(count) - 1]
+        };
+        Stats {
+            count,
+            min: v[0],
+            max: v[count - 1],
+            mean: sum / count as f64,
+            p50: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+        }
+    }
+
+    /// Computes statistics from durations, in microseconds.
+    pub fn from_durations<'a>(durs: impl IntoIterator<Item = &'a SimDuration>) -> Stats {
+        Stats::from_values(durs.into_iter().map(|d| d.as_micros_f64()))
+    }
+}
+
+/// A labelled monotonic counter set, e.g. packets sent/dropped/buffered.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == name) {
+            e.1 += n;
+        } else {
+            self.entries.push((name, n));
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.iter().find(|(k, _)| *k == name).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// All counters in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = Stats::from_values([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 5.0);
+    }
+
+    #[test]
+    fn stats_empty_is_zeroed() {
+        let s = Stats::from_values(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_of_single_value() {
+        let s = Stats::from_values([7.0]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn series_count_above_and_max() {
+        let mut ts = TimeSeries::new();
+        for (i, v) in [1.0, 10.0, 3.0, 12.0].iter().enumerate() {
+            ts.record(SimTime::from_nanos(i as u64), *v);
+        }
+        assert_eq!(ts.count_above(5.0), 2);
+        assert_eq!(ts.max(), Some(12.0));
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn series_window_mean() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_nanos(0), 2.0);
+        ts.record(SimTime::from_nanos(10), 4.0);
+        ts.record(SimTime::from_nanos(20), 100.0);
+        let m = ts.mean_in_window(SimTime::ZERO, SimTime::from_nanos(20));
+        assert_eq!(m, Some(3.0));
+        assert_eq!(ts.mean_in_window(SimTime::from_nanos(30), SimTime::from_nanos(40)), None);
+    }
+
+    #[test]
+    fn series_sorted_orders_by_time() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_nanos(20), 1.0);
+        ts.record(SimTime::from_nanos(10), 2.0);
+        let s = ts.sorted();
+        assert_eq!(s[0], (SimTime::from_nanos(10), 2.0));
+        assert_eq!(s[1], (SimTime::from_nanos(20), 1.0));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.inc("tx");
+        c.add("tx", 4);
+        c.inc("drop");
+        assert_eq!(c.get("tx"), 5);
+        assert_eq!(c.get("drop"), 1);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn record_dur_stores_microseconds() {
+        let mut ts = TimeSeries::new();
+        ts.record_dur(SimTime::ZERO, SimDuration::from_micros(250));
+        assert_eq!(ts.samples()[0].1, 250.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the discrete-event engine's ordering invariants.
+
+use l25gc_sim::{Engine, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in nondecreasing time order, with ties broken
+    /// by scheduling order, regardless of the order they were submitted in.
+    #[test]
+    fn execution_order_is_time_then_seq(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        #[derive(Default)]
+        struct W { ran: Vec<(u64, usize)> }
+
+        let mut eng = Engine::new(0, W::default());
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule_at(SimTime::from_nanos(t), move |w: &mut W, c| {
+                w.ran.push((c.now().as_nanos(), i));
+            });
+        }
+        eng.run();
+
+        let ran = &eng.world().ran;
+        prop_assert_eq!(ran.len(), times.len());
+        for pair in ran.windows(2) {
+            let (t0, i0) = pair[0];
+            let (t1, i1) = pair[1];
+            prop_assert!(t0 <= t1);
+            if t0 == t1 {
+                // Same instant: earlier-scheduled index runs first.
+                prop_assert!(i0 < i1);
+            }
+        }
+        // Each event observes its own scheduled time.
+        for &(t, i) in ran {
+            prop_assert_eq!(t, times[i]);
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        #[derive(Default)]
+        struct W { ran: Vec<usize> }
+
+        let mut eng = Engine::new(0, W::default());
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let id = eng.schedule_at(SimTime::from_nanos(t), move |w: &mut W, _| {
+                w.ran.push(i);
+            });
+            ids.push(id);
+        }
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                eng.cancel(*id);
+            } else {
+                expect.push(i);
+            }
+        }
+        eng.run();
+        let mut ran = eng.world().ran.clone();
+        ran.sort_unstable();
+        prop_assert_eq!(ran, expect);
+    }
+
+    /// run_until never executes an event past the deadline, and a
+    /// subsequent full run executes exactly the remainder.
+    #[test]
+    fn run_until_partitions_cleanly(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        deadline in 0u64..10_000,
+    ) {
+        #[derive(Default)]
+        struct W { ran: Vec<u64> }
+
+        let mut eng = Engine::new(0, W::default());
+        for &t in &times {
+            eng.schedule_at(SimTime::from_nanos(t), move |w: &mut W, c| {
+                w.ran.push(c.now().as_nanos());
+            });
+        }
+        eng.run_until(SimTime::from_nanos(deadline));
+        let before = eng.world().ran.len();
+        prop_assert!(eng.world().ran.iter().all(|&t| t <= deadline));
+        let expected_before = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(before, expected_before);
+        eng.run();
+        prop_assert_eq!(eng.world().ran.len(), times.len());
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper figure/table; see DESIGN.md §4 for the index.
+
+pub mod ablation;
+pub mod analytic;
+pub mod control_plane;
+pub mod dataplane;
+pub mod failover;
+pub mod handover;
+pub mod paging;
+pub mod pdr;
+pub mod serialization;
+pub mod tcp_impact;
+pub mod webpage;

@@ -1,0 +1,12 @@
+//! # l25gc-testbed — experiment harnesses
+//!
+//! Wires RAN + traffic + (optionally) the LB/resiliency layer around one
+//! or two 5GC units and reproduces every figure and table of the paper's
+//! evaluation. See DESIGN.md §4 for the experiment index.
+
+pub mod exp;
+pub mod netem;
+pub mod world;
+
+pub use netem::{NetEm, Shaper};
+pub use world::{Apps, Resilience, World};

@@ -1,0 +1,31 @@
+//! Fast PDR lookup (§3.4): install a growing per-session rule set into
+//! all three classifiers and measure real lookup latency — the Fig 11
+//! experiment in miniature, plus the update-latency comparison.
+//!
+//! ```text
+//! cargo run -p l25gc-testbed --example pdr_scaling --release
+//! ```
+
+use l25gc_testbed::exp::pdr::{fig11, pdr_update};
+
+fn main() {
+    println!("PDR lookup latency (measured wall-clock, 20 PDI IE dimensions):\n");
+    println!("{:>14} {:>8} {:>12} {:>12}", "structure", "rules", "lookup(ns)", "Mpps");
+    for row in fig11(&[10, 100, 1_000, 10_000]) {
+        println!(
+            "{:>14} {:>8} {:>12.0} {:>12.2}",
+            row.structure, row.rules, row.lookup_ns, row.mpps
+        );
+    }
+
+    println!("\nsingle-rule update latency (insert + remove on a 100-rule base):");
+    for row in pdr_update() {
+        println!("  {:>8}: {:.2} us", row.structure, row.update_us);
+    }
+
+    println!(
+        "\nthe paper's pick: PDR-PS — flat lookup latency with rule count, no \
+         software hashing (no tuple-space DoS surface), updates still in the \
+         microsecond range."
+    );
+}

@@ -1,0 +1,130 @@
+//! Property test over the whole system: random sequences of UE events
+//! (idle, paging-by-data, handover ping-pong, re-activation) at random
+//! times, under continuous downlink probing — no packets may be lost
+//! (smart buffering absorbs every interruption at these rates), all
+//! triggered procedures must complete, and the run must be deterministic.
+
+use l25gc_core::context::UeEvent;
+use l25gc_core::Deployment;
+use l25gc_sim::{Engine, SimDuration};
+use l25gc_testbed::World;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum UeAction {
+    /// Go idle (only valid while connected); the next data wave pages.
+    Idle,
+    /// Hand over to the other gNB (only valid while connected).
+    Handover,
+    /// Just keep streaming.
+    Stream,
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<(UeAction, u64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                Just(UeAction::Idle),
+                Just(UeAction::Handover),
+                Just(UeAction::Stream),
+            ],
+            // Gap before the next action, ms. Long enough for any
+            // procedure (paging ~30 ms, handover ~160 ms) to finish.
+            400u64..900,
+        ),
+        1..6,
+    )
+}
+
+fn run_scenario(dep: Deployment, actions: &[(UeAction, u64)], seed: u64) -> Engine<World> {
+    let mut eng = Engine::new(seed, World::new(dep, 2, 1));
+    World::bring_up_ue(&mut eng, 1);
+
+    let mut at = SimDuration::from_millis(10);
+    for (flow_id, &(action, gap_ms)) in actions.iter().enumerate() {
+        let flow_id = flow_id as u32;
+        match action {
+            UeAction::Idle => {
+                eng.schedule_in(at, |w: &mut World, ctx| {
+                    // Only meaningful while connected; the RAN knows.
+                    if w.ran.ues[&1].connected {
+                        let out = w.ran.trigger_idle(1);
+                        w.send_after(ctx, out.delay, out.env);
+                    }
+                });
+            }
+            UeAction::Handover => {
+                eng.schedule_in(at, |w: &mut World, ctx| {
+                    if w.ran.ues[&1].connected {
+                        let current = w.ran.ues[&1].serving_gnb;
+                        let target = if current == 1 { 2 } else { 1 };
+                        let out = w.ran.trigger_handover(1, target);
+                        w.send_after(ctx, out.delay, out.env);
+                    }
+                });
+            }
+            UeAction::Stream => {}
+        }
+        // A wave of downlink probes midway through the gap: wakes an
+        // idle UE (paging) or rides through/over a handover.
+        let wave_at = at + SimDuration::from_millis(gap_ms / 2);
+        eng.schedule_in(wave_at, move |w: &mut World, ctx| {
+            w.start_cbr(1, flow_id, 2_000, 200, SimDuration::from_millis(100), ctx);
+        });
+        at += SimDuration::from_millis(gap_ms);
+    }
+    eng.run_with_mailbox();
+    eng
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No event sequence loses packets or wedges a procedure.
+    #[test]
+    fn random_event_sequences_conserve_packets(
+        actions in arb_actions(),
+        dep_sel in 0u8..3,
+    ) {
+        let dep = match dep_sel {
+            0 => Deployment::Free5gc,
+            1 => Deployment::OnvmUpf,
+            _ => Deployment::L25gc,
+        };
+        let eng = run_scenario(dep, &actions, 999);
+        let w = eng.world();
+        for flow in &w.apps.cbr {
+            prop_assert_eq!(
+                flow.lost(),
+                0,
+                "{:?}: flow {} lost packets (sent {}, acked {})",
+                dep,
+                flow.flow,
+                flow.sent,
+                flow.acked
+            );
+        }
+        // Whatever went idle was paged back by its data wave.
+        let idles = w.core.events.iter().filter(|e| e.event == UeEvent::IdleTransition).count();
+        let pagings = w.core.events.iter().filter(|e| e.event == UeEvent::Paging).count();
+        prop_assert!(pagings >= idles.saturating_sub(1), "idles {idles} pagings {pagings}");
+        // No procedure left half-done at the AMF.
+        let ctx = &w.core.amf.ues[&1];
+        prop_assert_eq!(ctx.ho, l25gc_core::context::HoPhase::None);
+        prop_assert_eq!(ctx.paging, l25gc_core::context::PagingPhase::None);
+    }
+
+    /// Identical inputs replay identical histories (whole-system
+    /// determinism, the property checkpoint/replay relies on).
+    #[test]
+    fn world_is_deterministic(actions in arb_actions()) {
+        let a = run_scenario(Deployment::L25gc, &actions, 5);
+        let b = run_scenario(Deployment::L25gc, &actions, 5);
+        let evs = |e: &Engine<World>| {
+            e.world().core.events.iter().map(|r| (r.event, r.start, r.end)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(evs(&a), evs(&b));
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.world().apps.ue_received, b.world().apps.ue_received);
+    }
+}
