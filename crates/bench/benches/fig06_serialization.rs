@@ -9,8 +9,12 @@ fn bench_serialize(c: &mut Criterion) {
     let msg = SmContextCreateData::sample();
     let mut g = c.benchmark_group("fig6_serialize");
     g.bench_function("json", |b| b.iter(|| std::hint::black_box(msg.to_json())));
-    g.bench_function("protobuf", |b| b.iter(|| std::hint::black_box(msg.to_proto())));
-    g.bench_function("flatbuffers", |b| b.iter(|| std::hint::black_box(msg.to_flat())));
+    g.bench_function("protobuf", |b| {
+        b.iter(|| std::hint::black_box(msg.to_proto()))
+    });
+    g.bench_function("flatbuffers", |b| {
+        b.iter(|| std::hint::black_box(msg.to_flat()))
+    });
     g.bench_function("shm_descriptor", |b| {
         b.iter(|| {
             // L25GC passes the typed struct by descriptor: the "cost" is

@@ -17,7 +17,11 @@ fn bench_ring(c: &mut Criterion) {
     g.bench_function("push_pop_same_thread", |b| {
         let (mut tx, mut rx) = ring::<Desc>(1024);
         b.iter(|| {
-            tx.push(Desc { _handle: 1, _meta: 2 }).unwrap();
+            tx.push(Desc {
+                _handle: 1,
+                _meta: 2,
+            })
+            .unwrap();
             std::hint::black_box(rx.pop().unwrap())
         })
     });
@@ -26,7 +30,11 @@ fn bench_ring(c: &mut Criterion) {
         let mut out = Vec::with_capacity(32);
         b.iter(|| {
             for i in 0..32u32 {
-                tx.push(Desc { _handle: i, _meta: 0 }).unwrap();
+                tx.push(Desc {
+                    _handle: i,
+                    _meta: 0,
+                })
+                .unwrap();
             }
             out.clear();
             rx.pop_burst(&mut out, 32)

@@ -20,7 +20,14 @@ fn bench_lookup(c: &mut Criterion) {
         // Dual-key table.
         let mut t = DualKeyTable::new();
         for i in 0..n {
-            t.insert(0x100 + i, 0x0a3c_0000 + i, Session { _seid: u64::from(i), _buffer: vec![] });
+            t.insert(
+                0x100 + i,
+                0x0a3c_0000 + i,
+                Session {
+                    _seid: u64::from(i),
+                    _buffer: vec![],
+                },
+            );
         }
         g.bench_with_input(BenchmarkId::new("dual_key_by_teid", n), &n, |b, &n| {
             let mut i = 0;
@@ -43,7 +50,10 @@ fn bench_lookup(c: &mut Criterion) {
         let mut by_teid = HashMap::new();
         let mut by_ip = HashMap::new();
         for i in 0..n {
-            let s = Session { _seid: u64::from(i), _buffer: vec![] };
+            let s = Session {
+                _seid: u64::from(i),
+                _buffer: vec![],
+            };
             by_teid.insert(0x100 + i, s.clone());
             by_ip.insert(0x0a3c_0000 + i, s);
         }
@@ -63,7 +73,14 @@ fn bench_rebind(c: &mut Criterion) {
     let mut g = c.benchmark_group("session_table_rebind");
     let mut t = DualKeyTable::new();
     for i in 0..10_000u32 {
-        t.insert(i, 0x0a3c_0000 + i, Session { _seid: u64::from(i), _buffer: vec![] });
+        t.insert(
+            i,
+            0x0a3c_0000 + i,
+            Session {
+                _seid: u64::from(i),
+                _buffer: vec![],
+            },
+        );
     }
     let mut cur = 5_000u32;
     let mut next = 1_000_000u32;

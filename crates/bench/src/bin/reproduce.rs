@@ -11,6 +11,13 @@
 //!
 //! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
 //! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
+//!
+//! `--trace-out <path>` runs the traced end-to-end scenario (bring-up,
+//! handover, failover, paging) and writes its flight-recorder trace:
+//! Chrome `trace_event` JSON by default (load in `chrome://tracing` or
+//! <https://ui.perfetto.dev>), JSON Lines when the path ends in
+//! `.jsonl`. A latency/busy-time summary prints to stdout. With no
+//! experiment ids alongside it, only the trace runs.
 
 use l25gc_bench::{f, render_table};
 use l25gc_core::Deployment;
@@ -19,14 +26,26 @@ use l25gc_testbed::exp;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args.get(i + 1).expect("--csv needs a directory").clone();
-            args.drain(i..=i + 1);
-            dir
-        });
+    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).expect("--csv needs a directory").clone();
+        args.drain(i..=i + 1);
+        dir
+    });
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        let path = args
+            .get(i + 1)
+            .expect("--trace-out needs a file path")
+            .clone();
+        args.drain(i..=i + 1);
+        path
+    });
+    let only_trace = trace_out.is_some() && args.is_empty();
+    if let Some(path) = trace_out.as_deref() {
+        write_trace(path);
+    }
+    if only_trace {
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -92,6 +111,24 @@ fn main() {
     }
 }
 
+fn write_trace(path: &str) {
+    let bundle = l25gc_testbed::trace::trace_scenario();
+    let text = if path.ends_with(".jsonl") {
+        l25gc_obs::to_jsonl(&bundle)
+    } else {
+        l25gc_obs::to_chrome_trace(&bundle)
+    };
+    std::fs::write(path, text).expect("write trace file");
+    println!(
+        "wrote {path}: {} events, {} spans, {} segments ({} events lost to ring overwrites)\n",
+        bundle.events.len(),
+        bundle.spans.len(),
+        bundle.segments.len(),
+        bundle.dropped_events,
+    );
+    print!("{}", l25gc_obs::to_summary(&bundle));
+}
+
 fn ablate_dos() {
     let rows = exp::ablation::tss_dos(2_000);
     let table: Vec<Vec<String>> = rows
@@ -133,7 +170,13 @@ fn ablate_checkpoint() {
         "{}",
         render_table(
             "Ablation: checkpoint interval (paper picks periodic 10ms-scale sync)",
-            &["interval (ms)", "checkpoints", "replay backlog", "max RTT (ms)", "lost"],
+            &[
+                "interval (ms)",
+                "checkpoints",
+                "replay backlog",
+                "max RTT (ms)",
+                "lost"
+            ],
             &table
         )
     );
@@ -248,7 +291,13 @@ fn fig8() {
         "{}",
         render_table(
             "Fig 8: UE event completion time (paper: ~50% reduction, HO 227->130ms)",
-            &["event", "free5GC (ms)", "ONVM-UPF (ms)", "L25GC (ms)", "reduction"],
+            &[
+                "event",
+                "free5GC (ms)",
+                "ONVM-UPF (ms)",
+                "L25GC (ms)",
+                "reduction"
+            ],
             &table
         )
     );
@@ -279,9 +328,10 @@ fn fig9() {
 }
 
 fn fig10() {
-    for (dep, name) in
-        [(Deployment::Free5gc, "free5GC"), (Deployment::L25gc, "L25GC")]
-    {
+    for (dep, name) in [
+        (Deployment::Free5gc, "free5GC"),
+        (Deployment::L25gc, "L25GC"),
+    ] {
         let rows = exp::dataplane::fig10(dep, &CostModel::paper(), 10.0);
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -330,8 +380,10 @@ fn fig11() {
 
 fn pdr_update() {
     let rows = exp::pdr::pdr_update();
-    let table: Vec<Vec<String>> =
-        rows.iter().map(|r| vec![r.structure.to_string(), f(r.update_us)]).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.structure.to_string(), f(r.update_us)])
+        .collect();
     print!(
         "{}",
         render_table(
@@ -344,8 +396,10 @@ fn pdr_update() {
 
 fn scaling40g() {
     let rows = exp::dataplane::scaling_40g(&CostModel::paper());
-    let table: Vec<Vec<String>> =
-        rows.iter().map(|r| vec![r.cores.to_string(), f(r.gbps)]).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.cores.to_string(), f(r.gbps)])
+        .collect();
     print!(
         "{}",
         render_table(
@@ -375,7 +429,14 @@ fn fig12() {
         "{}",
         render_table(
             "Fig 12: page load with handovers (paper: 32s vs 28s, free5GC stalls 463ms)",
-            &["system", "PLT (s)", "max stall (ms)", "timeouts", "spurious rtx", "rtx"],
+            &[
+                "system",
+                "PLT (s)",
+                "max stall (ms)",
+                "timeouts",
+                "spurious rtx",
+                "rtx"
+            ],
             &table
         )
     );
@@ -409,7 +470,13 @@ fn fig13(csv: Option<&str>) {
         "{}",
         render_table(
             "Fig 13/Table 1: paging (paper: 116us/59ms/63ms/608 vs 25us/28ms/30ms/294)",
-            &["system", "base RTT (us)", "paging (ms)", "RTT after (ms)", "#pkts higher RTT"],
+            &[
+                "system",
+                "base RTT (us)",
+                "paging (ms)",
+                "RTT after (ms)",
+                "#pkts higher RTT"
+            ],
             &table
         )
     );
@@ -438,7 +505,13 @@ fn fig14(csv: Option<&str>) {
         "{}",
         render_table(
             "Fig 14/Table 2: handover (paper expt i: 118us/242ms/2301/0 vs 24us/132ms/1437/0)",
-            &["system", "base RTT (us)", "RTT after (ms)", "#pkts higher RTT", "#dropped"],
+            &[
+                "system",
+                "base RTT (us)",
+                "RTT after (ms)",
+                "#pkts higher RTT",
+                "#dropped"
+            ],
             &table
         )
     );
@@ -469,7 +542,14 @@ fn eq12() {
         "{}",
         render_table(
             "Eq 1/2: smart buffering estimate (paper: ~800 drops case i, 0 case ii, +20ms OWD)",
-            &["case", "gNB buf", "UPF buf", "3GPP drops", "L25GC drops", "3GPP extra OWD (ms)"],
+            &[
+                "case",
+                "gNB buf",
+                "UPF buf",
+                "3GPP drops",
+                "L25GC drops",
+                "3GPP extra OWD (ms)"
+            ],
             &table
         )
     );
@@ -517,7 +597,13 @@ fn failover_data(title: &str, rows: &[exp::failover::FailoverDataRow]) {
         "{}",
         render_table(
             title,
-            &["approach", "transferred (MB)", "dropped", "timeouts", "max RTT (ms)"],
+            &[
+                "approach",
+                "transferred (MB)",
+                "dropped",
+                "timeouts",
+                "max RTT (ms)"
+            ],
             &table
         )
     );
@@ -556,7 +642,14 @@ fn fig17() {
         "{}",
         render_table(
             "Fig 17: repeated handovers, 10 TCP flows (paper: 442MB vs 416MB, RTT 130 vs 328ms)",
-            &["system", "transferred (MB)", "max RTT (ms)", "timeouts", "spurious rtx", "handovers"],
+            &[
+                "system",
+                "transferred (MB)",
+                "max RTT (ms)",
+                "timeouts",
+                "spurious rtx",
+                "handovers"
+            ],
             &table
         )
     );

@@ -66,7 +66,10 @@ mod tests {
         let t = render_table(
             "demo",
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("long-name"));

@@ -43,7 +43,11 @@ pub struct Generator {
 impl Generator {
     /// Creates a generator with the given seed and profile.
     pub fn new(seed: u64, profile: Profile) -> Generator {
-        Generator { rng: SmallRng::seed_from_u64(seed), profile, next_id: 1 }
+        Generator {
+            rng: SmallRng::seed_from_u64(seed),
+            profile,
+            next_id: 1,
+        }
     }
 
     /// Generates `n` rules with distinct ids and distinct precedences
@@ -74,10 +78,12 @@ impl Generator {
         // dims vary realistically.
         let src = 0xc0a8_0000u32.wrapping_add(ordinal as u32);
         rule.fields[Field::SrcIp as usize] = FieldRange::exact(src);
-        rule.fields[Field::SrcPort as usize] =
-            FieldRange::exact(1024 + (r.gen_range(0u32..60000)));
-        rule.fields[Field::DstPort as usize] =
-            FieldRange::exact(*[53u32, 80, 123, 443, 5001, 8080].get(r.gen_range(0..6)).expect("in range"));
+        rule.fields[Field::SrcPort as usize] = FieldRange::exact(1024 + (r.gen_range(0u32..60000)));
+        rule.fields[Field::DstPort as usize] = FieldRange::exact(
+            *[53u32, 80, 123, 443, 5001, 8080]
+                .get(r.gen_range(0..6))
+                .expect("in range"),
+        );
         rule.fields[Field::Protocol as usize] =
             FieldRange::exact(if r.gen_bool(0.5) { 6 } else { 17 });
         rule.fields[Field::Qfi as usize] = FieldRange::exact(r.gen_range(1..=9));
@@ -91,15 +97,24 @@ impl Generator {
         rule.fields[Field::DstIp as usize] = FieldRange::exact(0x0a3c_0001); // 10.60.0.1
         rule.fields[Field::Teid as usize] = FieldRange::exact(0x100);
         // Source: skewed prefix-length distribution (ClassBench-like).
-        let plen = *[0u8, 8, 16, 16, 24, 24, 24, 32].get(r.gen_range(0..8)).expect("in range");
+        let plen = *[0u8, 8, 16, 16, 24, 24, 24, 32]
+            .get(r.gen_range(0..8))
+            .expect("in range");
         rule.fields[Field::SrcIp as usize] = FieldRange::prefix(r.gen::<u32>(), plen);
         // Destination port: ClassBench-style port classes — exact
         // well-known ports, the low/high halves, a small set of disjoint
         // service-group ranges (operators configure port groups, they
         // don't draw random ranges), or any.
         rule.fields[Field::DstPort as usize] = match r.gen_range(0..5) {
-            0 => FieldRange::exact(*[53u32, 80, 123, 443, 8080].get(r.gen_range(0..5)).expect("in range")),
-            1 => FieldRange { lo: 1024, hi: 65535 },
+            0 => FieldRange::exact(
+                *[53u32, 80, 123, 443, 8080]
+                    .get(r.gen_range(0..5))
+                    .expect("in range"),
+            ),
+            1 => FieldRange {
+                lo: 1024,
+                hi: 65535,
+            },
             2 => FieldRange { lo: 0, hi: 1023 },
             3 => {
                 // 8 disjoint service groups of 500 ports each.
@@ -117,8 +132,11 @@ impl Generator {
         };
         // ToS/DSCP from a small codepoint set, often wildcard.
         if r.gen_bool(0.3) {
-            rule.fields[Field::Tos as usize] =
-                FieldRange::exact(*[0u32, 0x2e << 2, 0x12 << 2].get(r.gen_range(0..3)).expect("in range"));
+            rule.fields[Field::Tos as usize] = FieldRange::exact(
+                *[0u32, 0x2e << 2, 0x12 << 2]
+                    .get(r.gen_range(0..3))
+                    .expect("in range"),
+            );
         } else {
             rule.fields[Field::Tos as usize] = FieldRange { lo: 0, hi: 255 };
         }

@@ -62,9 +62,7 @@ mod tests {
     fn first_match_is_best_priority() {
         let mut ll = LinearList::new();
         ll.insert(PdrRule::any(1, 200)); // catch-all, low priority
-        ll.insert(
-            PdrRule::any(2, 100).with(Field::DstPort, FieldRange::exact(80)),
-        );
+        ll.insert(PdrRule::any(2, 100).with(Field::DstPort, FieldRange::exact(80)));
         let http = PacketKey::default().with(Field::DstPort, 80);
         let other = PacketKey::default().with(Field::DstPort, 22);
         assert_eq!(ll.lookup(&http).unwrap().id, 2);

@@ -221,8 +221,12 @@ impl Partition {
     }
 
     fn recompute_bound(&mut self) {
-        self.best_precedence =
-            self.rules.iter().map(|r| r.precedence).min().unwrap_or(u32::MAX);
+        self.best_precedence = self
+            .rules
+            .iter()
+            .map(|r| r.precedence)
+            .min()
+            .unwrap_or(u32::MAX);
     }
 }
 
@@ -249,7 +253,10 @@ impl PartitionSort {
     /// Number of non-empty partitions. PartitionSort's claim is that this
     /// stays small and stable for realistic rulesets.
     pub fn partition_count(&self) -> usize {
-        self.partitions.iter().filter(|p| !p.rules.is_empty()).count()
+        self.partitions
+            .iter()
+            .filter(|p| !p.rules.is_empty())
+            .count()
     }
 
     fn refresh_order(&mut self) {
@@ -261,7 +268,11 @@ impl PartitionSort {
 
 impl Classifier for PartitionSort {
     fn insert(&mut self, rule: PdrRule) {
-        assert!(!self.index.contains_key(&rule.id), "duplicate rule id {}", rule.id);
+        assert!(
+            !self.index.contains_key(&rule.id),
+            "duplicate rule id {}",
+            rule.id
+        );
         // Greedy online assignment, biggest partition first (the ICNP
         // paper's online heuristic: large sortable rulesets absorb the
         // most rules, keeping the partition count low).
@@ -293,7 +304,11 @@ impl Classifier for PartitionSort {
     fn remove(&mut self, id: RuleId) -> Option<PdrRule> {
         let pi = self.index.remove(&id)?;
         let part = &mut self.partitions[pi];
-        let pos = part.rules.iter().position(|r| r.id == id).expect("index consistent");
+        let pos = part
+            .rules
+            .iter()
+            .position(|r| r.id == id)
+            .expect("index consistent");
         let rule = part.rules.remove(pos);
         if rule.precedence == part.best_precedence {
             part.recompute_bound();
@@ -342,13 +357,18 @@ mod tests {
         for i in 0..100u32 {
             ps.insert(PdrRule::any(i as u64, 100).with(
                 Field::DstIp,
-                FieldRange { lo: i * 10, hi: i * 10 + 9 },
+                FieldRange {
+                    lo: i * 10,
+                    hi: i * 10 + 9,
+                },
             ));
         }
         assert_eq!(ps.partition_count(), 1);
         let key = PacketKey::default().with(Field::DstIp, 555);
         assert_eq!(ps.lookup(&key).unwrap().id, 55);
-        assert!(ps.lookup(&PacketKey::default().with(Field::DstIp, 10_000)).is_none());
+        assert!(ps
+            .lookup(&PacketKey::default().with(Field::DstIp, 10_000))
+            .is_none());
     }
 
     #[test]
@@ -370,9 +390,7 @@ mod tests {
     #[test]
     fn priority_wins_across_partitions() {
         let mut ps = PartitionSort::new();
-        ps.insert(
-            PdrRule::any(1, 200).with(Field::DstIp, FieldRange::prefix(0x0a00_0000, 8)),
-        );
+        ps.insert(PdrRule::any(1, 200).with(Field::DstIp, FieldRange::prefix(0x0a00_0000, 8)));
         ps.insert(PdrRule::any(2, 100).with(Field::DstIp, FieldRange::exact(0x0a01_0203)));
         let key = PacketKey::default().with(Field::DstIp, 0x0a01_0203);
         assert_eq!(ps.lookup(&key).unwrap().id, 2);
@@ -386,12 +404,19 @@ mod tests {
             ps.insert(
                 PdrRule::any(i, 100)
                     .with(Field::DstIp, FieldRange::prefix(0x0a00_0000, 8))
-                    .with(Field::DstPort, FieldRange { lo: ports.0, hi: ports.1 }),
+                    .with(
+                        Field::DstPort,
+                        FieldRange {
+                            lo: ports.0,
+                            hi: ports.1,
+                        },
+                    ),
             );
         }
         assert_eq!(ps.partition_count(), 1);
-        let key =
-            PacketKey::default().with(Field::DstIp, 0x0a01_0101).with(Field::DstPort, 150);
+        let key = PacketKey::default()
+            .with(Field::DstIp, 0x0a01_0101)
+            .with(Field::DstPort, 150);
         assert_eq!(ps.lookup(&key).unwrap().id, 2);
     }
 

@@ -72,7 +72,10 @@ pub struct FieldRange {
 
 impl FieldRange {
     /// The full-range wildcard.
-    pub const ANY: FieldRange = FieldRange { lo: 0, hi: u32::MAX };
+    pub const ANY: FieldRange = FieldRange {
+        lo: 0,
+        hi: u32::MAX,
+    };
 
     /// A range matching exactly one value.
     pub const fn exact(v: u32) -> FieldRange {
@@ -87,7 +90,10 @@ impl FieldRange {
             return FieldRange::ANY;
         }
         let mask = u32::MAX << (32 - u32::from(plen));
-        FieldRange { lo: addr & mask, hi: addr | !mask }
+        FieldRange {
+            lo: addr & mask,
+            hi: addr | !mask,
+        }
     }
 
     /// True if `v` falls within the range.
@@ -151,7 +157,11 @@ pub struct PdrRule {
 impl PdrRule {
     /// A rule matching everything, at the given precedence.
     pub fn any(id: RuleId, precedence: u32) -> PdrRule {
-        PdrRule { id, precedence, fields: [FieldRange::ANY; NDIMS] }
+        PdrRule {
+            id,
+            precedence,
+            fields: [FieldRange::ANY; NDIMS],
+        }
     }
 
     /// Sets one dimension, builder-style.
@@ -163,7 +173,10 @@ impl PdrRule {
     /// True if the key matches every dimension.
     #[inline]
     pub fn matches(&self, key: &PacketKey) -> bool {
-        self.fields.iter().zip(key.values.iter()).all(|(r, &v)| r.contains(v))
+        self.fields
+            .iter()
+            .zip(key.values.iter())
+            .all(|(r, &v)| r.contains(v))
     }
 
     /// True if `self` beats `other` under (precedence, id) ordering.

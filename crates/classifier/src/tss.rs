@@ -31,7 +31,11 @@ fn tuple_of(rule: &PdrRule) -> Tuple {
 fn masks_of(tuple: &Tuple) -> [u32; NDIMS] {
     let mut m = [0u32; NDIMS];
     for (i, &plen) in tuple.iter().enumerate() {
-        m[i] = if plen == 0 { 0 } else { u32::MAX << (32 - u32::from(plen)) };
+        m[i] = if plen == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(plen))
+        };
     }
     m
 }
@@ -96,7 +100,11 @@ impl TupleSpace {
 
 impl Classifier for TupleSpace {
     fn insert(&mut self, rule: PdrRule) {
-        assert!(!self.rules.contains_key(&rule.id), "duplicate rule id {}", rule.id);
+        assert!(
+            !self.rules.contains_key(&rule.id),
+            "duplicate rule id {}",
+            rule.id
+        );
         let tuple = tuple_of(&rule);
         let idx = *self.tuple_index.entry(tuple).or_insert_with(|| {
             self.tables.push(SubTable::new(tuple));
@@ -175,9 +183,7 @@ mod tests {
     fn shared_tuple_single_subtable() {
         let mut tss = TupleSpace::new();
         for i in 0..100u32 {
-            tss.insert(
-                PdrRule::any(i as u64, 100).with(Field::DstIp, FieldRange::exact(i)),
-            );
+            tss.insert(PdrRule::any(i as u64, 100).with(Field::DstIp, FieldRange::exact(i)));
         }
         assert_eq!(tss.subtable_count(), 1, "exact-match rules share one tuple");
         let key = PacketKey::default().with(Field::DstIp, 42);
@@ -193,19 +199,19 @@ mod tests {
                     .with(Field::DstIp, FieldRange::prefix(0xff00_0000, plen)),
             );
         }
-        assert_eq!(tss.subtable_count(), 20, "each prefix length is its own tuple");
+        assert_eq!(
+            tss.subtable_count(),
+            20,
+            "each prefix length is its own tuple"
+        );
     }
 
     #[test]
     fn best_priority_wins_across_subtables() {
         let mut tss = TupleSpace::new();
         // /8 prefix at low priority, /32 exact at high priority.
-        tss.insert(
-            PdrRule::any(1, 200).with(Field::DstIp, FieldRange::prefix(0x0a00_0000, 8)),
-        );
-        tss.insert(
-            PdrRule::any(2, 100).with(Field::DstIp, FieldRange::exact(0x0a01_0203)),
-        );
+        tss.insert(PdrRule::any(1, 200).with(Field::DstIp, FieldRange::prefix(0x0a00_0000, 8)));
+        tss.insert(PdrRule::any(2, 100).with(Field::DstIp, FieldRange::exact(0x0a01_0203)));
         let key = PacketKey::default().with(Field::DstIp, 0x0a01_0203);
         assert_eq!(tss.lookup(&key).unwrap().id, 2);
         let broad = PacketKey::default().with(Field::DstIp, 0x0a09_0909);
@@ -220,8 +226,12 @@ mod tests {
         // sharing the /30 prefix of 4.
         let mut tss = TupleSpace::new();
         tss.insert(PdrRule::any(1, 10).with(Field::SrcPort, FieldRange { lo: 3, hi: 5 }));
-        assert!(tss.lookup(&PacketKey::default().with(Field::SrcPort, 4)).is_some());
-        assert!(tss.lookup(&PacketKey::default().with(Field::SrcPort, 6)).is_none());
+        assert!(tss
+            .lookup(&PacketKey::default().with(Field::SrcPort, 4))
+            .is_some());
+        assert!(tss
+            .lookup(&PacketKey::default().with(Field::SrcPort, 6))
+            .is_none());
     }
 
     #[test]

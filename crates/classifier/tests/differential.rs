@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// An arbitrary rule: a few constrained dimensions, the rest wildcards.
 fn arb_rule(id: u64) -> impl Strategy<Value = PdrRule> {
     (
-        0u32..1000,                                           // precedence
+        0u32..1000, // precedence
         proptest::collection::vec((any::<u8>(), any::<u32>(), 0u32..64), 0..6),
     )
         .prop_map(move |(precedence, dims)| {
@@ -27,9 +27,7 @@ fn arb_rule(id: u64) -> impl Strategy<Value = PdrRule> {
 }
 
 fn arb_ruleset(max: usize) -> impl Strategy<Value = Vec<PdrRule>> {
-    (1..max).prop_flat_map(|n| {
-        (0..n).map(|i| arb_rule(i as u64 + 1)).collect::<Vec<_>>()
-    })
+    (1..max).prop_flat_map(|n| (0..n).map(|i| arb_rule(i as u64 + 1)).collect::<Vec<_>>())
 }
 
 /// Keys drawn from the same small domain the rules constrain.

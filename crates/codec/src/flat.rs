@@ -17,7 +17,10 @@ pub struct FlatBuilder {
 impl FlatBuilder {
     /// Creates a builder whose fixed region holds `fixed_size` bytes.
     pub fn new(fixed_size: usize) -> FlatBuilder {
-        FlatBuilder { fixed: vec![0u8; fixed_size], heap: Vec::new() }
+        FlatBuilder {
+            fixed: vec![0u8; fixed_size],
+            heap: Vec::new(),
+        }
     }
 
     /// Writes a `u64` at a fixed offset.
@@ -88,12 +91,16 @@ impl<'a> FlatView<'a> {
 
     /// Reads a `u64` at a fixed offset.
     pub fn u64(&self, off: usize) -> Result<u64, FlatError> {
-        Ok(u64::from_le_bytes(self.slice(off, 8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(
+            self.slice(off, 8)?.try_into().expect("8"),
+        ))
     }
 
     /// Reads a `u32` at a fixed offset.
     pub fn u32(&self, off: usize) -> Result<u32, FlatError> {
-        Ok(u32::from_le_bytes(self.slice(off, 4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(
+            self.slice(off, 4)?.try_into().expect("4"),
+        ))
     }
 
     /// Reads one byte at a fixed offset.
@@ -155,7 +162,10 @@ mod tests {
         b.put_u32(0, 1000); // bogus heap offset
         b.put_u32(4, 10);
         let buf = b.finish();
-        assert_eq!(FlatView::new(&buf).bytes(0).unwrap_err(), FlatError::OutOfBounds);
+        assert_eq!(
+            FlatView::new(&buf).bytes(0).unwrap_err(),
+            FlatError::OutOfBounds
+        );
     }
 
     #[test]

@@ -33,6 +33,15 @@ fn write_value(out: &mut String, v: &Value) {
             }
             out.push_str(core::str::from_utf8(&buf[i..]).expect("digits"));
         }
+        Value::F64(x) => {
+            // `{}` prints f64 shortest-roundtrip; whole numbers gain a
+            // ".0" so the value re-parses as F64, not U64.
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&format!("{x}"));
+            }
+        }
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => {
             out.push('[');
@@ -94,7 +103,10 @@ pub enum ParseError {
 
 /// Parses JSON text into a [`Value`].
 pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -170,8 +182,44 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
+        // A fraction or exponent makes this an F64; a bare integer stays
+        // U64 so SBI payload round-trips are exact.
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(ParseError::BadNumber);
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(ParseError::BadNumber);
+            }
+        }
         let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        text.parse::<u64>().map(Value::U64).map_err(|_| ParseError::BadNumber)
+        if fractional {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| ParseError::BadNumber)
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| ParseError::BadNumber)
+        }
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
@@ -282,10 +330,29 @@ mod tests {
                     .field("sd", Value::Str("010203".into()))
                     .build(),
             )
-            .field("tags", Value::Array(vec![Value::U64(1), Value::Null, Value::Str("x".into())]))
+            .field(
+                "tags",
+                Value::Array(vec![Value::U64(1), Value::Null, Value::Str("x".into())]),
+            )
             .build();
         let text = to_string(&v);
         assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn fractional_numbers() {
+        assert_eq!(parse("1.5").unwrap(), Value::F64(1.5));
+        assert_eq!(parse("0.001").unwrap(), Value::F64(0.001));
+        assert_eq!(parse("2e3").unwrap(), Value::F64(2000.0));
+        assert_eq!(parse("1.25e-2").unwrap(), Value::F64(0.0125));
+        assert_eq!(parse("7"), Ok(Value::U64(7)), "bare integers stay U64");
+        assert_eq!(parse("1."), Err(ParseError::BadNumber));
+        assert_eq!(parse("1e"), Err(ParseError::BadNumber));
+        // F64 round-trips through the writer, including whole values.
+        for x in [1.5f64, 0.25, 123_456.789, 3.0] {
+            let text = to_string(&Value::F64(x));
+            assert_eq!(parse(&text).unwrap(), Value::F64(x), "{text}");
+        }
     }
 
     #[test]
@@ -313,7 +380,10 @@ mod tests {
         assert_eq!(parse(""), Err(ParseError::UnexpectedEnd));
         assert_eq!(parse("{"), Err(ParseError::UnexpectedEnd));
         assert_eq!(parse("12x"), Err(ParseError::TrailingInput));
-        assert!(matches!(parse("{'a':1}"), Err(ParseError::UnexpectedChar(_))));
+        assert!(matches!(
+            parse("{'a':1}"),
+            Err(ParseError::UnexpectedChar(_))
+        ));
         assert_eq!(parse("\"\\q\""), Err(ParseError::BadEscape));
     }
 

@@ -20,7 +20,9 @@ fn req_str(v: &Value, key: &str) -> Result<String, String> {
 }
 
 fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
-    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing numeric field {key}"))
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing numeric field {key}"))
 }
 
 /// Single Network Slice Selection Assistance Information.
@@ -94,9 +96,15 @@ impl SmContextCreateData {
             pei: "imeisv-4370816125816151".into(),
             pdu_session_id: 1,
             dnn: "internet".into(),
-            s_nssai: SNssai { sst: 1, sd: "010203".into() },
+            s_nssai: SNssai {
+                sst: 1,
+                sd: "010203".into(),
+            },
             serving_nf_id: "9f7d5a3c-8e2b-41a6-b0c3-d94e51f20a77".into(),
-            guami: Guami { plmn_id: "20893".into(), amf_id: "cafe00".into() },
+            guami: Guami {
+                plmn_id: "20893".into(),
+                amf_id: "cafe00".into(),
+            },
             request_type: "INITIAL_REQUEST".into(),
             an_type: "3GPP_ACCESS".into(),
             rat_type: "NR".into(),
@@ -106,8 +114,10 @@ impl SmContextCreateData {
             },
             sm_context_status_uri: "http://10.200.200.1:8000/namf-callback/v1/smContextStatus/0"
                 .into(),
-            n1_sm_msg: vec![0x2e, 0x01, 0x01, 0xc1, 0xff, 0xff, 0x91, 0xa1, 0x28, 0x01, 0x00,
-                0x7b, 0x00, 0x07, 0x80, 0x00, 0x0a, 0x00, 0x00, 0x0d, 0x00],
+            n1_sm_msg: vec![
+                0x2e, 0x01, 0x01, 0xc1, 0xff, 0xff, 0x91, 0xa1, 0x28, 0x01, 0x00, 0x7b, 0x00, 0x07,
+                0x80, 0x00, 0x0a, 0x00, 0x00, 0x0d, 0x00,
+            ],
         }
     }
 
@@ -117,7 +127,10 @@ impl SmContextCreateData {
     pub fn to_value(&self) -> Value {
         ObjectBuilder::new()
             .field("supi", Value::Str(self.supi.clone()))
-            .field("unauthenticatedSupi", Value::Bool(self.unauthenticated_supi))
+            .field(
+                "unauthenticatedSupi",
+                Value::Bool(self.unauthenticated_supi),
+            )
             .field("pei", Value::Str(self.pei.clone()))
             .field("pduSessionId", Value::U64(self.pdu_session_id.into()))
             .field("dnn", Value::Str(self.dnn.clone()))
@@ -146,7 +159,10 @@ impl SmContextCreateData {
                     .field("tai", Value::Str(self.ue_location.tai.clone()))
                     .build(),
             )
-            .field("smContextStatusUri", Value::Str(self.sm_context_status_uri.clone()))
+            .field(
+                "smContextStatusUri",
+                Value::Str(self.sm_context_status_uri.clone()),
+            )
             .field(
                 "n1SmMsg",
                 // JSON carries binary as hex (free5GC uses base64; same
@@ -183,9 +199,15 @@ impl SmContextCreateData {
             pei: req_str(v, "pei")?,
             pdu_session_id: req_u64(v, "pduSessionId")? as u8,
             dnn: req_str(v, "dnn")?,
-            s_nssai: SNssai { sst: req_u64(s_nssai, "sst")? as u8, sd: req_str(s_nssai, "sd")? },
+            s_nssai: SNssai {
+                sst: req_u64(s_nssai, "sst")? as u8,
+                sd: req_str(s_nssai, "sd")?,
+            },
             serving_nf_id: req_str(v, "servingNfId")?,
-            guami: Guami { plmn_id: req_str(guami, "plmnId")?, amf_id: req_str(guami, "amfId")? },
+            guami: Guami {
+                plmn_id: req_str(guami, "plmnId")?,
+                amf_id: req_str(guami, "amfId")?,
+            },
             request_type: req_str(v, "requestType")?,
             an_type: req_str(v, "anType")?,
             rat_type: req_str(v, "ratType")?,
@@ -243,13 +265,22 @@ impl SmContextCreateData {
             pei: String::new(),
             pdu_session_id: 0,
             dnn: String::new(),
-            s_nssai: SNssai { sst: 0, sd: String::new() },
+            s_nssai: SNssai {
+                sst: 0,
+                sd: String::new(),
+            },
             serving_nf_id: String::new(),
-            guami: Guami { plmn_id: String::new(), amf_id: String::new() },
+            guami: Guami {
+                plmn_id: String::new(),
+                amf_id: String::new(),
+            },
             request_type: String::new(),
             an_type: String::new(),
             rat_type: String::new(),
-            ue_location: UserLocation { nr_cell_id: String::new(), tai: String::new() },
+            ue_location: UserLocation {
+                nr_cell_id: String::new(),
+                tai: String::new(),
+            },
             sm_context_status_uri: String::new(),
             n1_sm_msg: Vec::new(),
         };
@@ -356,22 +387,30 @@ impl SmContextCreateData {
     /// testing; a real FlatBuffers consumer would keep using the view).
     pub fn from_flat(buf: &[u8]) -> Result<SmContextCreateData, FlatError> {
         let v = FlatView::new(buf);
-        let s = |i: usize| -> Result<String, FlatError> {
-            Ok(v.str(Self::F_REFS + i * 8)?.to_owned())
-        };
+        let s =
+            |i: usize| -> Result<String, FlatError> { Ok(v.str(Self::F_REFS + i * 8)?.to_owned()) };
         Ok(SmContextCreateData {
             unauthenticated_supi: v.bool(Self::F_BOOL)?,
             pdu_session_id: v.u8(Self::F_SESSION)?,
             supi: s(0)?,
             pei: s(1)?,
             dnn: s(2)?,
-            s_nssai: SNssai { sst: v.u8(Self::F_SST)?, sd: s(3)? },
+            s_nssai: SNssai {
+                sst: v.u8(Self::F_SST)?,
+                sd: s(3)?,
+            },
             serving_nf_id: s(4)?,
-            guami: Guami { plmn_id: s(5)?, amf_id: s(6)? },
+            guami: Guami {
+                plmn_id: s(5)?,
+                amf_id: s(6)?,
+            },
             request_type: s(7)?,
             an_type: s(8)?,
             rat_type: s(9)?,
-            ue_location: UserLocation { nr_cell_id: s(10)?, tai: s(11)? },
+            ue_location: UserLocation {
+                nr_cell_id: s(10)?,
+                tai: s(11)?,
+            },
             sm_context_status_uri: s(12)?,
             n1_sm_msg: v.bytes(Self::F_REFS + 13 * 8)?.to_vec(),
         })
@@ -551,7 +590,10 @@ impl UeAuthenticationRequest {
     pub fn to_value(&self) -> Value {
         ObjectBuilder::new()
             .field("supiOrSuci", Value::Str(self.supi_or_suci.clone()))
-            .field("servingNetworkName", Value::Str(self.serving_network_name.clone()))
+            .field(
+                "servingNetworkName",
+                Value::Str(self.serving_network_name.clone()),
+            )
             .build()
     }
 
@@ -578,8 +620,10 @@ impl UeAuthenticationRequest {
 
     /// Decodes from protobuf wire format.
     pub fn from_proto(bytes: &[u8]) -> Result<UeAuthenticationRequest, DecodeError> {
-        let mut out =
-            UeAuthenticationRequest { supi_or_suci: String::new(), serving_network_name: String::new() };
+        let mut out = UeAuthenticationRequest {
+            supi_or_suci: String::new(),
+            serving_network_name: String::new(),
+        };
         let mut r = Reader::new(bytes);
         while let Some((field, v)) = r.next_field()? {
             match field {
@@ -640,7 +684,10 @@ mod tests {
                 .unwrap(),
             m
         );
-        assert_eq!(UeAuthenticationRequest::from_proto(&m.to_proto()).unwrap(), m);
+        assert_eq!(
+            UeAuthenticationRequest::from_proto(&m.to_proto()).unwrap(),
+            m
+        );
         assert_eq!(UeAuthenticationRequest::from_flat(&m.to_flat()).unwrap(), m);
     }
 
@@ -650,7 +697,10 @@ mod tests {
         let m = SmContextCreateData::sample();
         let json_len = m.to_json().len();
         let proto_len = m.to_proto().len();
-        assert!(json_len > proto_len, "JSON ({json_len}) should exceed proto ({proto_len})");
+        assert!(
+            json_len > proto_len,
+            "JSON ({json_len}) should exceed proto ({proto_len})"
+        );
     }
 
     #[test]

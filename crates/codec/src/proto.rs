@@ -242,7 +242,10 @@ mod tests {
         assert_eq!(f, 4);
         let mut inner = Reader::new(v.bytes().unwrap());
         assert_eq!(inner.next_field().unwrap().unwrap().1.u64().unwrap(), 1);
-        assert_eq!(inner.next_field().unwrap().unwrap().1.str().unwrap(), "010203");
+        assert_eq!(
+            inner.next_field().unwrap().unwrap().1.str().unwrap(),
+            "010203"
+        );
         let (f, v) = r.next_field().unwrap().unwrap();
         assert_eq!((f, v.bytes().unwrap()), (5, &[0xde, 0xad][..]));
     }

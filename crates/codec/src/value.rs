@@ -12,8 +12,11 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Unsigned integer (the only numeric type SBI payloads here need).
+    /// Unsigned integer (the numeric type SBI payloads need).
     U64(u64),
+    /// Fractional number (trace timestamps in microseconds; SBI payloads
+    /// never use this variant).
+    F64(f64),
     /// UTF-8 string.
     Str(String),
     /// Ordered list.
@@ -35,6 +38,16 @@ impl Value {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric (integers widen losslessly up to
+    /// 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
             _ => None,
         }
     }
@@ -120,7 +133,10 @@ mod tests {
 
     #[test]
     fn opt_skips_none() {
-        let v = ObjectBuilder::new().opt("a", None).opt("b", Some(Value::Bool(true))).build();
+        let v = ObjectBuilder::new()
+            .opt("a", None)
+            .opt("b", Some(Value::Bool(true)))
+            .build();
         assert!(v.get("a").is_none());
         assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
     }

@@ -15,8 +15,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 32, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
-                .prop_map(Value::Object),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(Value::Object),
         ]
     })
 }

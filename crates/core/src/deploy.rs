@@ -37,9 +37,7 @@ impl Deployment {
     /// The N4 transport and format for this deployment.
     pub fn n4(self) -> (Transport, SerFormat) {
         match self {
-            Deployment::Free5gc | Deployment::OnvmUpf => {
-                (Transport::UdpSocket, SerFormat::PfcpTlv)
-            }
+            Deployment::Free5gc | Deployment::OnvmUpf => (Transport::UdpSocket, SerFormat::PfcpTlv),
             // L²5GC keeps PFCP as the message format but moves it onto the
             // descriptor ring (§5.2: "Retaining the N4 interface's use of
             // PFCP ... makes our UPF universally compatible").
@@ -60,7 +58,10 @@ impl Deployment {
     /// Datapath (`Msg::Data`) delays are handled by the driver separately
     /// (they depend on queueing at the UPF); this covers signalling only.
     pub fn control_hop(self, cost: &CostModel, env: &Envelope) -> SimDuration {
-        debug_assert!(!matches!(env.msg, Msg::Data(_)), "data uses the datapath model");
+        debug_assert!(
+            !matches!(env.msg, Msg::Data(_)),
+            "data uses the datapath model"
+        );
         let len = env.wire_len();
         match (env.from, env.to) {
             // N1/N2: gNB ↔ AMF over SCTP, identical in all deployments.
@@ -109,7 +110,10 @@ mod tests {
         Envelope::new(
             Endpoint::Amf,
             Endpoint::Smf,
-            Msg::Sbi { op: SbiOp::CreateSmContextReq, ue: 1 as UeId },
+            Msg::Sbi {
+                op: SbiOp::CreateSmContextReq,
+                ue: 1 as UeId,
+            },
         )
     }
 
@@ -155,7 +159,10 @@ mod tests {
         let env = Envelope::new(
             Endpoint::Gnb(1),
             Endpoint::Amf,
-            Msg::Ngap(NgapMessage::HandoverRequired { ue: 1, target_gnb: 2 }),
+            Msg::Ngap(NgapMessage::HandoverRequired {
+                ue: 1,
+                target_gnb: 2,
+            }),
         );
         let a = Deployment::Free5gc.control_hop(&cost, &env);
         let b = Deployment::L25gc.control_hop(&cost, &env);

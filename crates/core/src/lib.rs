@@ -26,7 +26,9 @@ pub mod upf;
 
 pub use context::{EventRecord, UeEvent};
 pub use deploy::Deployment;
-pub use msg::{DataPacket, Direction, Endpoint, Envelope, GnbId, Msg, SbiOp, SmContextUpdate, UeId};
+pub use msg::{
+    DataPacket, Direction, Endpoint, Envelope, GnbId, Msg, SbiOp, SmContextUpdate, UeId,
+};
 pub use net::{CoreNetwork, HandoverScheme, Output, UPF_N3_ADDR};
 pub use qer::{Qer, QerTable};
 pub use udr::{AuthVector, Subscriber, Udr};

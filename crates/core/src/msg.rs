@@ -348,7 +348,9 @@ mod tests {
     fn request_response_pairing() {
         assert!(SbiOp::CreateSmContextReq.is_request());
         assert!(!SbiOp::CreateSmContextResp.is_request());
-        assert!(SbiOp::UpdateSmContextReq(SmContextUpdate::HoPrepare { target_gnb: 2 }).is_request());
+        assert!(
+            SbiOp::UpdateSmContextReq(SmContextUpdate::HoPrepare { target_gnb: 2 }).is_request()
+        );
         assert!(!SbiOp::UpdateSmContextResp(SmContextUpdate::HoComplete).is_request());
     }
 

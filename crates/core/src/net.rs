@@ -11,18 +11,19 @@
 use std::collections::HashMap;
 
 use l25gc_nfv::cost::CostModel;
+use l25gc_obs::{EventKind, Obs, ProcKind};
 use l25gc_pkt::ipv4::Ipv4Addr;
 use l25gc_pkt::nas::NasMessage;
 use l25gc_pkt::ngap::{NgapMessage, TunnelInfo};
 use l25gc_pkt::pfcp::{
-    self, ApplyAction, CreateFar, CreatePdr, ForwardingParameters, FTeid, IeSet, Interface,
+    self, ApplyAction, CreateFar, CreatePdr, FTeid, ForwardingParameters, IeSet, Interface,
     MsgType, Pdi, UeIpAddress, UpdateFar, UpdatePdr,
 };
 use l25gc_sim::{SimDuration, SimTime};
 
 use crate::context::{
-    AmfUeCtx, CmState, DeregPhase, EventRecord, HoPhase, IdlePhase, PagingPhase, RegPhase,
-    RmState, SessPhase, SmfSession, UeEvent,
+    AmfUeCtx, CmState, DeregPhase, EventRecord, HoPhase, IdlePhase, PagingPhase, RegPhase, RmState,
+    SessPhase, SmfSession, UeEvent,
 };
 use crate::deploy::Deployment;
 use crate::msg::{DataPacket, Endpoint, Envelope, Msg, SbiOp, SmContextUpdate, UeId};
@@ -124,6 +125,10 @@ pub struct CoreNetwork {
     pub upf: Upf,
     /// Completed UE events (Fig 8 accounting).
     pub events: Vec<EventRecord>,
+    /// Flight recorder, procedure spans, and latency histograms. A
+    /// replica's clone keeps recording independently from the
+    /// checkpoint instant on.
+    pub obs: Obs,
     /// Current virtual time as seen by the last `handle` call (used by
     /// the UPF queueing model).
     upf_now: SimTime,
@@ -142,8 +147,30 @@ impl CoreNetwork {
             udm: Udm::default(),
             upf: Upf::new(PdrBackend::PartitionSort),
             events: Vec::new(),
+            obs: Obs::new(),
             upf_now: SimTime::ZERO,
         }
+    }
+
+    /// Drains everything this core recorded — its own [`Obs`] bundle plus
+    /// the UPF-U's per-packet flight recorder — into `out` for export.
+    pub fn drain_trace(&mut self, out: &mut l25gc_obs::TraceBundle) {
+        self.obs.drain_into(out);
+        out.dropped_events += self.upf.flight.dropped();
+        self.upf.flight.drain_into(&mut out.events);
+    }
+
+    /// Records a completed UE event both in the Fig 8 accounting and as a
+    /// procedure span (with a per-procedure latency histogram sample).
+    fn push_event(&mut self, rec: EventRecord) {
+        let kind = proc_kind(rec.event);
+        self.obs
+            .spans
+            .record_completed(kind, rec.ue, rec.start, rec.end);
+        self.obs
+            .hists
+            .record(kind.name(), rec.duration().as_nanos());
+        self.events.push(rec);
     }
 
     /// Starts the N4 association (node-level PFCP handshake the SMF and
@@ -157,7 +184,10 @@ impl CoreNetwork {
             Msg::N4(pfcp::Message::node(
                 MsgType::AssociationSetupRequest,
                 1,
-                IeSet { node_id: Some(Ipv4Addr::new(10, 200, 200, 1)), ..IeSet::default() },
+                IeSet {
+                    node_id: Some(Ipv4Addr::new(10, 200, 200, 1)),
+                    ..IeSet::default()
+                },
             )),
         )
     }
@@ -168,7 +198,11 @@ impl CoreNetwork {
         Envelope::new(
             Endpoint::Smf,
             Endpoint::UpfC,
-            Msg::N4(pfcp::Message::node(MsgType::HeartbeatRequest, 0, IeSet::default())),
+            Msg::N4(pfcp::Message::node(
+                MsgType::HeartbeatRequest,
+                0,
+                IeSet::default(),
+            )),
         )
     }
 
@@ -182,6 +216,15 @@ impl CoreNetwork {
     pub fn handle(&mut self, env: Envelope, now: SimTime) -> Vec<Output> {
         self.upf_now = now;
         let handler = handler_cost(&self.cost, &env);
+        // One segment per control message handled: which NF was busy,
+        // with what, from when, for how long (the Fig 8 per-NF
+        // decomposition). Data packets skip this — they pay no control
+        // handler cost and would flood the segment log.
+        if !matches!(env.msg, Msg::Data(_)) {
+            self.obs
+                .spans
+                .record_segment(nf_name(env.to), msg_label(&env.msg), now, handler);
+        }
         let mut outs = Outs { items: Vec::new() };
         match (env.to, &env.msg) {
             (Endpoint::Amf, Msg::Ngap(m)) => self.amf_ngap(m.clone(), now, &mut outs),
@@ -202,10 +245,16 @@ impl CoreNetwork {
         outs.items
             .into_iter()
             .map(|(fixed, env)| match fixed {
-                Some(d) => Output { delay: handler + d, env },
+                Some(d) => Output {
+                    delay: handler + d,
+                    env,
+                },
                 None => {
                     let hop = self.deployment.control_hop(&self.cost, &env);
-                    Output { delay: handler + hop, env }
+                    Output {
+                        delay: handler + hop,
+                        env,
+                    }
                 }
             })
             .collect()
@@ -216,13 +265,20 @@ impl CoreNetwork {
     fn amf_ngap(&mut self, m: NgapMessage, now: SimTime, outs: &mut Outs) {
         match m {
             // ---- Registration (TS 23.502 §4.2.2.2) ----
-            NgapMessage::InitialUeMessage { ue, gnb, nas: NasMessage::RegistrationRequest { supi } } => {
+            NgapMessage::InitialUeMessage {
+                ue,
+                gnb,
+                nas: NasMessage::RegistrationRequest { supi },
+            } => {
                 let mut ctx = AmfUeCtx::new(ue, supi, gnb, now);
                 ctx.reg = RegPhase::AwaitAuthCtx;
                 self.amf.ues.insert(ue, ctx);
                 outs.sbi(Endpoint::Amf, Endpoint::Ausf, SbiOp::UeAuthCtxCreateReq, ue);
             }
-            NgapMessage::UplinkNasTransport { ue, nas: NasMessage::AuthenticationResponse { res } } => {
+            NgapMessage::UplinkNasTransport {
+                ue,
+                nas: NasMessage::AuthenticationResponse { res },
+            } => {
                 let ctx = self.ue_ctx(ue);
                 debug_assert_eq!(ctx.reg, RegPhase::AwaitUeAuthResponse);
                 let expected = ctx.expected_res.take().expect("challenge outstanding");
@@ -234,9 +290,17 @@ impl CoreNetwork {
                     return;
                 }
                 ctx.reg = RegPhase::AwaitAkaConfirm;
-                outs.sbi(Endpoint::Amf, Endpoint::Ausf, SbiOp::Auth5gAkaConfirmReq, ue);
+                outs.sbi(
+                    Endpoint::Amf,
+                    Endpoint::Ausf,
+                    SbiOp::Auth5gAkaConfirmReq,
+                    ue,
+                );
             }
-            NgapMessage::UplinkNasTransport { ue, nas: NasMessage::SecurityModeComplete } => {
+            NgapMessage::UplinkNasTransport {
+                ue,
+                nas: NasMessage::SecurityModeComplete,
+            } => {
                 let ctx = self.ue_ctx(ue);
                 debug_assert_eq!(ctx.reg, RegPhase::AwaitSecurityMode);
                 ctx.reg = RegPhase::AwaitUecm;
@@ -251,22 +315,37 @@ impl CoreNetwork {
                 // Registration completes when the UE's RegistrationComplete
                 // arrives (UplinkNasTransport below).
             }
-            NgapMessage::UplinkNasTransport { ue, nas: NasMessage::RegistrationComplete } => {
+            NgapMessage::UplinkNasTransport {
+                ue,
+                nas: NasMessage::RegistrationComplete,
+            } => {
                 let ctx = self.ue_ctx(ue);
                 ctx.rm = RmState::Registered;
                 ctx.reg = RegPhase::None;
-                let rec = EventRecord { ue, event: UeEvent::Registration, start: ctx.proc_start, end: now };
-                self.events.push(rec);
+                let rec = EventRecord {
+                    ue,
+                    event: UeEvent::Registration,
+                    start: ctx.proc_start,
+                    end: now,
+                };
+                self.push_event(rec);
             }
 
             // ---- PDU session establishment (TS 23.502 §4.3.2.2) ----
-            NgapMessage::UplinkNasTransport { ue, nas: NasMessage::PduSessionEstablishmentRequest { .. } } => {
+            NgapMessage::UplinkNasTransport {
+                ue,
+                nas: NasMessage::PduSessionEstablishmentRequest { .. },
+            } => {
                 let ctx = self.ue_ctx(ue);
                 ctx.proc_start = now;
                 ctx.sess = SessPhase::AwaitSmContext;
                 outs.sbi(Endpoint::Amf, Endpoint::Smf, SbiOp::CreateSmContextReq, ue);
             }
-            NgapMessage::PduSessionResourceSetupResponse { ue, downlink_tunnel, .. } => {
+            NgapMessage::PduSessionResourceSetupResponse {
+                ue,
+                downlink_tunnel,
+                ..
+            } => {
                 let ctx = self.ue_ctx(ue);
                 if ctx.paging == PagingPhase::AwaitAnSetup {
                     ctx.paging = PagingPhase::AwaitTunnelBind;
@@ -314,7 +393,7 @@ impl CoreNetwork {
                         start: ctx.proc_start,
                         end: now,
                     };
-                    self.events.push(rec);
+                    self.push_event(rec);
                 } else if ctx.idle == IdlePhase::AwaitReleaseComplete {
                     ctx.idle = IdlePhase::None;
                     ctx.cm = CmState::Idle;
@@ -324,14 +403,18 @@ impl CoreNetwork {
                         start: ctx.proc_start,
                         end: now,
                     };
-                    self.events.push(rec);
+                    self.push_event(rec);
                 }
                 // After a handover, the source gNB's release completion
                 // needs no further action.
             }
 
             // ---- Paging: service request from the woken UE ----
-            NgapMessage::InitialUeMessage { ue, gnb, nas: NasMessage::ServiceRequest { .. } } => {
+            NgapMessage::InitialUeMessage {
+                ue,
+                gnb,
+                nas: NasMessage::ServiceRequest { .. },
+            } => {
                 let ctx = self.ue_ctx(ue);
                 debug_assert_eq!(ctx.paging, PagingPhase::AwaitServiceRequest);
                 ctx.serving_gnb = gnb;
@@ -348,7 +431,10 @@ impl CoreNetwork {
             }
 
             // ---- Deregistration (TS 23.502 §4.2.2.3) ----
-            NgapMessage::UplinkNasTransport { ue, nas: NasMessage::DeregistrationRequest { .. } } => {
+            NgapMessage::UplinkNasTransport {
+                ue,
+                nas: NasMessage::DeregistrationRequest { .. },
+            } => {
                 let ctx = self.ue_ctx(ue);
                 ctx.proc_start = now;
                 ctx.dereg = DeregPhase::AwaitSmRelease;
@@ -361,14 +447,32 @@ impl CoreNetwork {
                 ctx.proc_start = now;
                 ctx.target_gnb = Some(target_gnb);
                 ctx.ho = HoPhase::AwaitPrepDiscovery;
+                self.obs.event(
+                    now,
+                    EventKind::HandoverPhase {
+                        ue,
+                        phase: "prepare",
+                    },
+                );
                 // free5GC (re)discovers the target-side serving NFs at the
                 // NRF before touching the SM context.
                 outs.sbi(Endpoint::Amf, Endpoint::Nrf, SbiOp::NfDiscoveryReq, ue);
             }
-            NgapMessage::HandoverRequestAcknowledge { ue, downlink_tunnel, .. } => {
+            NgapMessage::HandoverRequestAcknowledge {
+                ue,
+                downlink_tunnel,
+                ..
+            } => {
                 let ctx = self.ue_ctx(ue);
                 debug_assert_eq!(ctx.ho, HoPhase::AwaitTargetAck);
                 ctx.ho = HoPhase::AwaitSmPrepared;
+                self.obs.event(
+                    now,
+                    EventKind::HandoverPhase {
+                        ue,
+                        phase: "target_ack",
+                    },
+                );
                 outs.sbi(
                     Endpoint::Amf,
                     Endpoint::Smf,
@@ -384,6 +488,13 @@ impl CoreNetwork {
                 ctx.prev_gnb = Some(ctx.serving_gnb);
                 ctx.serving_gnb = gnb;
                 ctx.ho = HoPhase::AwaitCompleteDiscovery;
+                self.obs.event(
+                    now,
+                    EventKind::HandoverPhase {
+                        ue,
+                        phase: "path_switch",
+                    },
+                );
                 // Path-switch: re-validate the UPF/SMF selection at the NRF
                 // before updating the SM context (free5GC behaviour).
                 outs.sbi(Endpoint::Amf, Endpoint::Nrf, SbiOp::NfDiscoveryReq, ue);
@@ -423,7 +534,10 @@ impl CoreNetwork {
                 outs.ngap(
                     Endpoint::Amf,
                     Endpoint::Gnb(gnb),
-                    NgapMessage::DownlinkNasTransport { ue, nas: NasMessage::SecurityModeCommand },
+                    NgapMessage::DownlinkNasTransport {
+                        ue,
+                        nas: NasMessage::SecurityModeCommand,
+                    },
                 );
             }
             SbiOp::UecmRegistrationResp => {
@@ -458,7 +572,14 @@ impl CoreNetwork {
                         start: ctx.proc_start,
                         end: now,
                     };
-                    self.events.push(rec);
+                    self.obs.event(
+                        now,
+                        EventKind::HandoverPhase {
+                            ue,
+                            phase: "complete",
+                        },
+                    );
+                    self.push_event(rec);
                     if let Some(src) = prev {
                         outs.ngap(
                             Endpoint::Amf,
@@ -493,7 +614,12 @@ impl CoreNetwork {
                 // calls back with N1N2MessageTransfer.
             }
             SbiOp::N1N2MessageTransferReq { ul_teid } => {
-                outs.sbi(Endpoint::Amf, Endpoint::Smf, SbiOp::N1N2MessageTransferResp, ue);
+                outs.sbi(
+                    Endpoint::Amf,
+                    Endpoint::Smf,
+                    SbiOp::N1N2MessageTransferResp,
+                    ue,
+                );
                 let ctx = self.amf.ues.get_mut(&ue).expect("known UE");
                 if ctx.cm == CmState::Idle {
                     // Downlink-data notification for an idle UE: page it.
@@ -501,7 +627,11 @@ impl CoreNetwork {
                     ctx.paging = PagingPhase::AwaitServiceRequest;
                     let gnb = ctx.serving_gnb;
                     let guti = ctx.guti;
-                    outs.ngap(Endpoint::Amf, Endpoint::Gnb(gnb), NgapMessage::Paging { guti });
+                    outs.ngap(
+                        Endpoint::Amf,
+                        Endpoint::Gnb(gnb),
+                        NgapMessage::Paging { guti },
+                    );
                 } else {
                     debug_assert_eq!(ctx.sess, SessPhase::AwaitN1N2);
                     ctx.sess = SessPhase::AwaitAnSetup;
@@ -534,7 +664,10 @@ impl CoreNetwork {
                 outs.ngap(
                     Endpoint::Amf,
                     Endpoint::Gnb(gnb),
-                    NgapMessage::DownlinkNasTransport { ue, nas: NasMessage::DeregistrationAccept },
+                    NgapMessage::DownlinkNasTransport {
+                        ue,
+                        nas: NasMessage::DeregistrationAccept,
+                    },
                 );
                 outs.ngap(
                     Endpoint::Amf,
@@ -550,7 +683,12 @@ impl CoreNetwork {
                 match ctx.ho {
                     HoPhase::AwaitPrepDiscovery => {
                         ctx.ho = HoPhase::AwaitSmPrepare;
-                        outs.sbi(Endpoint::Amf, Endpoint::Smf, SbiOp::SmContextRetrieveReq, ue);
+                        outs.sbi(
+                            Endpoint::Amf,
+                            Endpoint::Smf,
+                            SbiOp::SmContextRetrieveReq,
+                            ue,
+                        );
                     }
                     HoPhase::AwaitCompleteDiscovery => {
                         ctx.ho = HoPhase::AwaitSmComplete;
@@ -605,7 +743,7 @@ impl CoreNetwork {
                         },
                     )
                 };
-                self.events.push(rec);
+                self.push_event(rec);
                 // Deliver the NAS accept (already carried in the resource
                 // setup request; this is the completion indication to the
                 // RAN driver).
@@ -638,10 +776,20 @@ impl CoreNetwork {
                     ctx.ho = HoPhase::Executing;
                     (ctx.serving_gnb, ctx.target_gnb.expect("target chosen"))
                 };
+                self.obs.event(
+                    now,
+                    EventKind::HandoverPhase {
+                        ue,
+                        phase: "execute",
+                    },
+                );
                 outs.ngap(
                     Endpoint::Amf,
                     Endpoint::Gnb(src),
-                    NgapMessage::HandoverCommand { ue, target_gnb: target },
+                    NgapMessage::HandoverCommand {
+                        ue,
+                        target_gnb: target,
+                    },
                 );
             }
             SmContextUpdate::HoComplete => {
@@ -669,7 +817,10 @@ impl CoreNetwork {
                     let ctx = self.ue_ctx(ue);
                     debug_assert_eq!(ctx.paging, PagingPhase::AwaitSmActivate);
                     ctx.paging = PagingPhase::AwaitAnSetup;
-                    (ctx.serving_gnb, self.smf.sessions.get(&ue).map(|s| s.ul_teid).unwrap_or(0))
+                    (
+                        ctx.serving_gnb,
+                        self.smf.sessions.get(&ue).map(|s| s.ul_teid).unwrap_or(0),
+                    )
                 };
                 outs.ngap(
                     Endpoint::Amf,
@@ -677,7 +828,10 @@ impl CoreNetwork {
                     NgapMessage::PduSessionResourceSetupRequest {
                         ue,
                         session_id: 1,
-                        uplink_tunnel: TunnelInfo { teid: ul_teid, addr: UPF_N3_ADDR.to_u32() },
+                        uplink_tunnel: TunnelInfo {
+                            teid: ul_teid,
+                            addr: UPF_N3_ADDR.to_u32(),
+                        },
                         nas: NasMessage::ServiceAccept,
                     },
                 );
@@ -687,9 +841,14 @@ impl CoreNetwork {
                     let ctx = self.ue_ctx(ue);
                     debug_assert_eq!(ctx.paging, PagingPhase::AwaitTunnelBind);
                     ctx.paging = PagingPhase::None;
-                    EventRecord { ue, event: UeEvent::Paging, start: ctx.proc_start, end: now }
+                    EventRecord {
+                        ue,
+                        event: UeEvent::Paging,
+                        start: ctx.proc_start,
+                        end: now,
+                    }
                 };
-                self.events.push(rec);
+                self.push_event(rec);
             }
             SmContextUpdate::HoPrepare { .. } => {
                 unreachable!("SMF acks HoPrepare with HoPrepareAck")
@@ -726,7 +885,12 @@ impl CoreNetwork {
         match op {
             SbiOp::UeAuthCtxCreateReq => {
                 // Fetch an authentication vector from the UDM first.
-                outs.sbi(Endpoint::Ausf, Endpoint::Udm, SbiOp::GenerateAuthDataReq, ue);
+                outs.sbi(
+                    Endpoint::Ausf,
+                    Endpoint::Udm,
+                    SbiOp::GenerateAuthDataReq,
+                    ue,
+                );
             }
             SbiOp::GenerateAuthDataResp { rand, sqn, xres } => {
                 outs.sbi(
@@ -737,7 +901,12 @@ impl CoreNetwork {
                 );
             }
             SbiOp::Auth5gAkaConfirmReq => {
-                outs.sbi(Endpoint::Ausf, Endpoint::Amf, SbiOp::Auth5gAkaConfirmResp, ue);
+                outs.sbi(
+                    Endpoint::Ausf,
+                    Endpoint::Amf,
+                    SbiOp::Auth5gAkaConfirmResp,
+                    ue,
+                );
             }
             other => panic!("AUSF cannot handle {other:?}"),
         }
@@ -746,7 +915,12 @@ impl CoreNetwork {
     fn udm_sbi(&mut self, op: SbiOp, ue: UeId, outs: &mut Outs) {
         match op {
             SbiOp::GenerateAuthDataReq => {
-                let supi = self.amf.ues.get(&ue).map(|c| c.supi).expect("UE known to AMF");
+                let supi = self
+                    .amf
+                    .ues
+                    .get(&ue)
+                    .map(|c| c.supi)
+                    .expect("UE known to AMF");
                 // RAND derived deterministically per challenge; a real UDM
                 // draws it from a CSPRNG.
                 let seed = self
@@ -758,7 +932,11 @@ impl CoreNetwork {
                 let mut rand = [0u8; 16];
                 rand[..8].copy_from_slice(&supi.to_be_bytes());
                 rand[8..].copy_from_slice(&seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_be_bytes());
-                let AuthVector { rand, autn: _, xres } = self
+                let AuthVector {
+                    rand,
+                    autn: _,
+                    xres,
+                } = self
                     .udm
                     .udr
                     .generate_auth_vector(supi, rand)
@@ -771,9 +949,12 @@ impl CoreNetwork {
                     ue,
                 )
             }
-            SbiOp::UecmRegistrationReq => {
-                outs.sbi(Endpoint::Udm, Endpoint::Amf, SbiOp::UecmRegistrationResp, ue)
-            }
+            SbiOp::UecmRegistrationReq => outs.sbi(
+                Endpoint::Udm,
+                Endpoint::Amf,
+                SbiOp::UecmRegistrationResp,
+                ue,
+            ),
             SbiOp::SdmGetAmDataReq => {
                 outs.sbi(Endpoint::Udm, Endpoint::Amf, SbiOp::SdmGetAmDataResp, ue)
             }
@@ -833,7 +1014,12 @@ impl CoreNetwork {
                 // AMF acknowledged the N1/N2 transfer; nothing further.
             }
             SbiOp::SmContextRetrieveReq => {
-                outs.sbi(Endpoint::Smf, Endpoint::Amf, SbiOp::SmContextRetrieveResp, ue);
+                outs.sbi(
+                    Endpoint::Smf,
+                    Endpoint::Amf,
+                    SbiOp::SmContextRetrieveResp,
+                    ue,
+                );
             }
             SbiOp::ReleaseSmContextReq => {
                 let s = self.smf.sessions.get_mut(&ue).expect("session exists");
@@ -944,11 +1130,21 @@ impl CoreNetwork {
                 // Correlate with the pending AMF transaction via the UE's
                 // AMF phase; the SMF echoes the matching update kind.
                 let update = self.classify_mod_ack(ue);
-                outs.sbi(Endpoint::Smf, Endpoint::Amf, SbiOp::UpdateSmContextResp(update), ue);
+                outs.sbi(
+                    Endpoint::Smf,
+                    Endpoint::Amf,
+                    SbiOp::UpdateSmContextResp(update),
+                    ue,
+                );
             }
             MsgType::SessionDeletionResponse => {
                 self.smf.sessions.remove(&ue);
-                outs.sbi(Endpoint::Smf, Endpoint::Amf, SbiOp::ReleaseSmContextResp, ue);
+                outs.sbi(
+                    Endpoint::Smf,
+                    Endpoint::Amf,
+                    SbiOp::ReleaseSmContextResp,
+                    ue,
+                );
             }
             MsgType::SessionReportRequest => {
                 // Downlink data notification: ack to the UPF and alert the
@@ -964,7 +1160,10 @@ impl CoreNetwork {
                         MsgType::SessionReportResponse,
                         seid,
                         seq,
-                        IeSet { cause: Some(pfcp::Cause::Accepted), ..IeSet::default() },
+                        IeSet {
+                            cause: Some(pfcp::Cause::Accepted),
+                            ..IeSet::default()
+                        },
                     ),
                 );
                 outs.sbi(
@@ -987,13 +1186,17 @@ impl CoreNetwork {
         if ctx.idle == IdlePhase::AwaitSmIdle {
             SmContextUpdate::Idle
         } else if ctx.paging == PagingPhase::AwaitTunnelBind {
-            SmContextUpdate::Active { an_tunnel: s.an_tunnel.expect("tunnel bound") }
+            SmContextUpdate::Active {
+                an_tunnel: s.an_tunnel.expect("tunnel bound"),
+            }
         } else if ctx.ho == HoPhase::AwaitSmPrepare {
             SmContextUpdate::HoPrepareAck {
                 new_ul_teid: s.pending_ul_teid.expect("teid pre-allocated"),
             }
         } else if ctx.ho == HoPhase::AwaitSmPrepared {
-            SmContextUpdate::HoPrepared { target_dl: s.an_tunnel.expect("target recorded") }
+            SmContextUpdate::HoPrepared {
+                target_dl: s.an_tunnel.expect("target recorded"),
+            }
         } else if ctx.ho == HoPhase::AwaitSmComplete {
             SmContextUpdate::HoComplete
         } else {
@@ -1013,7 +1216,10 @@ impl CoreNetwork {
                     precedence: 255,
                     pdi: Pdi {
                         source_interface: Some(Interface::Access),
-                        f_teid: Some(FTeid { teid: s.ul_teid, addr: UPF_N3_ADDR }),
+                        f_teid: Some(FTeid {
+                            teid: s.ul_teid,
+                            addr: UPF_N3_ADDR,
+                        }),
                         ..Pdi::default()
                     },
                     outer_header_removal: true,
@@ -1046,13 +1252,25 @@ impl CoreNetwork {
                     }),
                 },
                 // DL buffers until the AN tunnel is bound.
-                CreateFar { far_id: 2, apply_action: ApplyAction::BUFF, forwarding: None },
+                CreateFar {
+                    far_id: 2,
+                    apply_action: ApplyAction::BUFF,
+                    forwarding: None,
+                },
             ],
             // Default best-effort QoS flow: unlimited MBR.
-            create_qers: vec![pfcp::CreateQer { qer_id: 1, mbr_bps: 0 }],
+            create_qers: vec![pfcp::CreateQer {
+                qer_id: 1,
+                mbr_bps: 0,
+            }],
             ..IeSet::default()
         };
-        pfcp::Message::session(MsgType::SessionEstablishmentRequest, s.seid, s.pfcp_seq, ies)
+        pfcp::Message::session(
+            MsgType::SessionEstablishmentRequest,
+            s.seid,
+            s.pfcp_seq,
+            ies,
+        )
     }
 
     // ================= UPF =================
@@ -1096,6 +1314,8 @@ impl CoreNetwork {
                     .map(|s| s.ue)
                     .expect("SMF created the session");
                 self.upf.establish(seid, ue, &m.ies);
+                self.obs
+                    .event(self.upf_now, EventKind::PfcpEstablish { seid });
                 outs.n4(
                     Endpoint::UpfC,
                     Endpoint::Smf,
@@ -1103,12 +1323,25 @@ impl CoreNetwork {
                         MsgType::SessionEstablishmentResponse,
                         seid,
                         m.seq,
-                        IeSet { cause: Some(pfcp::Cause::Accepted), ..IeSet::default() },
+                        IeSet {
+                            cause: Some(pfcp::Cause::Accepted),
+                            ..IeSet::default()
+                        },
                     ),
                 );
             }
             MsgType::SessionModificationRequest => {
                 let released = self.upf.modify(seid, &m.ies);
+                self.obs.event(self.upf_now, EventKind::PfcpModify { seid });
+                if !released.is_empty() {
+                    self.obs.event(
+                        self.upf_now,
+                        EventKind::UpfBufferDrain {
+                            seid,
+                            released: released.len(),
+                        },
+                    );
+                }
                 outs.n4(
                     Endpoint::UpfC,
                     Endpoint::Smf,
@@ -1116,21 +1349,27 @@ impl CoreNetwork {
                         MsgType::SessionModificationResponse,
                         seid,
                         m.seq,
-                        IeSet { cause: Some(pfcp::Cause::Accepted), ..IeSet::default() },
+                        IeSet {
+                            cause: Some(pfcp::Cause::Accepted),
+                            ..IeSet::default()
+                        },
                     ),
                 );
                 // Flushed buffer: deliver in order, paced at the datapath
                 // service rate.
                 let svc = self.cost.datapath_service(self.deployment.datapath(), 1400);
-                let lat = self.cost.datapath_latency(self.deployment.datapath())
-                    + self.cost.path_lat;
+                let lat =
+                    self.cost.datapath_latency(self.deployment.datapath()) + self.cost.path_lat;
                 for (i, (tun, pkt)) in released.into_iter().enumerate() {
                     outs.raw(
                         lat + svc * (i as u64 + 1),
                         Envelope::new(
                             Endpoint::UpfU,
                             Endpoint::Gnb(tun.addr),
-                            Msg::Data(DataPacket { tunnel_teid: Some(tun.teid), ..pkt }),
+                            Msg::Data(DataPacket {
+                                tunnel_teid: Some(tun.teid),
+                                ..pkt
+                            }),
                         ),
                     );
                 }
@@ -1138,6 +1377,7 @@ impl CoreNetwork {
             MsgType::SessionDeletionRequest => {
                 let deleted = self.upf.delete(seid);
                 debug_assert!(deleted, "deletion targets a live session");
+                self.obs.event(self.upf_now, EventKind::PfcpDelete { seid });
                 outs.n4(
                     Endpoint::UpfC,
                     Endpoint::Smf,
@@ -1145,7 +1385,10 @@ impl CoreNetwork {
                         MsgType::SessionDeletionResponse,
                         seid,
                         m.seq,
-                        IeSet { cause: Some(pfcp::Cause::Accepted), ..IeSet::default() },
+                        IeSet {
+                            cause: Some(pfcp::Cause::Accepted),
+                            ..IeSet::default()
+                        },
                     ),
                 );
             }
@@ -1177,7 +1420,10 @@ impl CoreNetwork {
                 env: Envelope::new(
                     Endpoint::UpfU,
                     Endpoint::Gnb(tun.addr),
-                    Msg::Data(DataPacket { tunnel_teid: Some(tun.teid), ..p }),
+                    Msg::Data(DataPacket {
+                        tunnel_teid: Some(tun.teid),
+                        ..p
+                    }),
                 ),
             }],
             Verdict::Buffered { report, seid } => {
@@ -1223,27 +1469,189 @@ pub fn handler_cost(cost: &CostModel, env: &Envelope) -> SimDuration {
         // Heavy: AKA vector generation, SM context creation (IP
         // allocation, context setup), policy decisions, subscription
         // fetches, UPF rule install.
-        (Endpoint::Udm, Msg::Sbi { op: SbiOp::GenerateAuthDataReq, .. }) => scale(8.0),
-        (Endpoint::Smf, Msg::Sbi { op: SbiOp::CreateSmContextReq, .. }) => scale(20.0),
-        (Endpoint::Pcf, Msg::Sbi { op: SbiOp::SmPolicyCreateReq, .. }) => scale(15.0),
-        (Endpoint::Udm, Msg::Sbi { op: SbiOp::SdmGetSmDataReq, .. }) => scale(10.0),
-        (Endpoint::Pcf, Msg::Sbi { op: SbiOp::AmPolicyCreateReq, .. }) => scale(6.0),
-        (Endpoint::Udm, Msg::Sbi { op: SbiOp::SdmGetAmDataReq, .. }) => scale(5.0),
-        (Endpoint::Udm, Msg::Sbi { op: SbiOp::UecmRegistrationReq, .. }) => scale(4.0),
-        (Endpoint::Ausf, Msg::Sbi { op: SbiOp::UeAuthCtxCreateReq, .. }) => scale(4.0),
-        (Endpoint::Ausf, Msg::Sbi { op: SbiOp::Auth5gAkaConfirmReq, .. }) => scale(3.0),
+        (
+            Endpoint::Udm,
+            Msg::Sbi {
+                op: SbiOp::GenerateAuthDataReq,
+                ..
+            },
+        ) => scale(8.0),
+        (
+            Endpoint::Smf,
+            Msg::Sbi {
+                op: SbiOp::CreateSmContextReq,
+                ..
+            },
+        ) => scale(20.0),
+        (
+            Endpoint::Pcf,
+            Msg::Sbi {
+                op: SbiOp::SmPolicyCreateReq,
+                ..
+            },
+        ) => scale(15.0),
+        (
+            Endpoint::Udm,
+            Msg::Sbi {
+                op: SbiOp::SdmGetSmDataReq,
+                ..
+            },
+        ) => scale(10.0),
+        (
+            Endpoint::Pcf,
+            Msg::Sbi {
+                op: SbiOp::AmPolicyCreateReq,
+                ..
+            },
+        ) => scale(6.0),
+        (
+            Endpoint::Udm,
+            Msg::Sbi {
+                op: SbiOp::SdmGetAmDataReq,
+                ..
+            },
+        ) => scale(5.0),
+        (
+            Endpoint::Udm,
+            Msg::Sbi {
+                op: SbiOp::UecmRegistrationReq,
+                ..
+            },
+        ) => scale(4.0),
+        (
+            Endpoint::Ausf,
+            Msg::Sbi {
+                op: SbiOp::UeAuthCtxCreateReq,
+                ..
+            },
+        ) => scale(4.0),
+        (
+            Endpoint::Ausf,
+            Msg::Sbi {
+                op: SbiOp::Auth5gAkaConfirmReq,
+                ..
+            },
+        ) => scale(3.0),
         (Endpoint::UpfC, Msg::N4(m)) if m.msg_type == MsgType::SessionEstablishmentRequest => {
             scale(2.0)
         }
         // Medium: SMF updates and AMF procedure steps.
-        (Endpoint::Smf, Msg::Sbi { op: SbiOp::UpdateSmContextReq(_), .. }) => scale(2.0),
-        (Endpoint::Smf, Msg::Sbi { op: SbiOp::SmContextRetrieveReq, .. }) => scale(2.0),
+        (
+            Endpoint::Smf,
+            Msg::Sbi {
+                op: SbiOp::UpdateSmContextReq(_),
+                ..
+            },
+        ) => scale(2.0),
+        (
+            Endpoint::Smf,
+            Msg::Sbi {
+                op: SbiOp::SmContextRetrieveReq,
+                ..
+            },
+        ) => scale(2.0),
         (Endpoint::Smf, Msg::N4(m)) if m.msg_type == MsgType::SessionReportRequest => scale(2.0),
         (Endpoint::Amf, Msg::Ngap(NgapMessage::InitialUeMessage { .. })) => scale(2.0),
         (Endpoint::Amf, Msg::Ngap(_)) => scale(1.0),
         (Endpoint::Amf, Msg::Sbi { .. }) => scale(1.0),
         // Light: everything else (acks, relays, UPF modifications).
         _ => scale(0.5),
+    }
+}
+
+/// The flight-recorder / trace name of an endpoint.
+pub fn nf_name(ep: Endpoint) -> &'static str {
+    match ep {
+        Endpoint::Ue(_) => "ue",
+        Endpoint::Gnb(_) => "gnb",
+        Endpoint::Amf => "amf",
+        Endpoint::Smf => "smf",
+        Endpoint::Ausf => "ausf",
+        Endpoint::Udm => "udm",
+        Endpoint::Pcf => "pcf",
+        Endpoint::Nrf => "nrf",
+        Endpoint::UpfC => "upf-c",
+        Endpoint::UpfU => "upf-u",
+        Endpoint::Dn => "dn",
+    }
+}
+
+/// A short static label for a message, used as the segment name in
+/// traces (SBI operations by name, NGAP/N4 by message type).
+pub fn msg_label(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::Sbi { op, .. } => match op {
+            SbiOp::UeAuthCtxCreateReq => "UeAuthCtxCreateReq",
+            SbiOp::UeAuthCtxCreateResp { .. } => "UeAuthCtxCreateResp",
+            SbiOp::GenerateAuthDataReq => "GenerateAuthDataReq",
+            SbiOp::GenerateAuthDataResp { .. } => "GenerateAuthDataResp",
+            SbiOp::Auth5gAkaConfirmReq => "Auth5gAkaConfirmReq",
+            SbiOp::Auth5gAkaConfirmResp => "Auth5gAkaConfirmResp",
+            SbiOp::UecmRegistrationReq => "UecmRegistrationReq",
+            SbiOp::UecmRegistrationResp => "UecmRegistrationResp",
+            SbiOp::SdmGetAmDataReq => "SdmGetAmDataReq",
+            SbiOp::SdmGetAmDataResp => "SdmGetAmDataResp",
+            SbiOp::SdmSubscribeReq => "SdmSubscribeReq",
+            SbiOp::SdmSubscribeResp => "SdmSubscribeResp",
+            SbiOp::AmPolicyCreateReq => "AmPolicyCreateReq",
+            SbiOp::AmPolicyCreateResp => "AmPolicyCreateResp",
+            SbiOp::CreateSmContextReq => "CreateSmContextReq",
+            SbiOp::CreateSmContextResp => "CreateSmContextResp",
+            SbiOp::SdmGetSmDataReq => "SdmGetSmDataReq",
+            SbiOp::SdmGetSmDataResp => "SdmGetSmDataResp",
+            SbiOp::SmPolicyCreateReq => "SmPolicyCreateReq",
+            SbiOp::SmPolicyCreateResp => "SmPolicyCreateResp",
+            SbiOp::N1N2MessageTransferReq { .. } => "N1N2MessageTransferReq",
+            SbiOp::N1N2MessageTransferResp => "N1N2MessageTransferResp",
+            SbiOp::NfDiscoveryReq => "NfDiscoveryReq",
+            SbiOp::NfDiscoveryResp => "NfDiscoveryResp",
+            SbiOp::SmContextRetrieveReq => "SmContextRetrieveReq",
+            SbiOp::SmContextRetrieveResp => "SmContextRetrieveResp",
+            SbiOp::ReleaseSmContextReq => "ReleaseSmContextReq",
+            SbiOp::ReleaseSmContextResp => "ReleaseSmContextResp",
+            SbiOp::UpdateSmContextReq(_) => "UpdateSmContextReq",
+            SbiOp::UpdateSmContextResp(_) => "UpdateSmContextResp",
+        },
+        Msg::Ngap(m) => match m {
+            NgapMessage::InitialUeMessage { .. } => "InitialUeMessage",
+            NgapMessage::DownlinkNasTransport { .. } => "DownlinkNasTransport",
+            NgapMessage::UplinkNasTransport { .. } => "UplinkNasTransport",
+            NgapMessage::InitialContextSetupRequest { .. } => "InitialContextSetupRequest",
+            NgapMessage::InitialContextSetupResponse { .. } => "InitialContextSetupResponse",
+            NgapMessage::HandoverRequired { .. } => "HandoverRequired",
+            NgapMessage::HandoverRequest { .. } => "HandoverRequest",
+            NgapMessage::HandoverRequestAcknowledge { .. } => "HandoverRequestAcknowledge",
+            NgapMessage::HandoverCommand { .. } => "HandoverCommand",
+            NgapMessage::HandoverNotify { .. } => "HandoverNotify",
+            _ => "ngap",
+        },
+        Msg::N4(m) => match m.msg_type {
+            MsgType::AssociationSetupRequest => "AssociationSetupRequest",
+            MsgType::AssociationSetupResponse => "AssociationSetupResponse",
+            MsgType::HeartbeatRequest => "HeartbeatRequest",
+            MsgType::HeartbeatResponse => "HeartbeatResponse",
+            MsgType::SessionEstablishmentRequest => "SessionEstablishmentRequest",
+            MsgType::SessionEstablishmentResponse => "SessionEstablishmentResponse",
+            MsgType::SessionModificationRequest => "SessionModificationRequest",
+            MsgType::SessionModificationResponse => "SessionModificationResponse",
+            MsgType::SessionDeletionRequest => "SessionDeletionRequest",
+            MsgType::SessionDeletionResponse => "SessionDeletionResponse",
+            MsgType::SessionReportRequest => "SessionReportRequest",
+            MsgType::SessionReportResponse => "SessionReportResponse",
+        },
+        Msg::Data(_) => "data",
+    }
+}
+
+/// Maps a Fig 8 UE event to its span kind.
+fn proc_kind(ev: UeEvent) -> ProcKind {
+    match ev {
+        UeEvent::Registration => ProcKind::Registration,
+        UeEvent::SessionRequest => ProcKind::SessionEstablishment,
+        UeEvent::Handover => ProcKind::Handover,
+        UeEvent::Paging => ProcKind::Paging,
+        UeEvent::IdleTransition => ProcKind::IdleTransition,
+        UeEvent::Deregistration => ProcKind::Deregistration,
     }
 }
 
@@ -1274,13 +1682,19 @@ fn build_modification(s: &mut SmfSession, kind: ModKind) -> pfcp::Message {
         precedence: None,
         pdi: Some(Pdi {
             source_interface: Some(Interface::Access),
-            f_teid: Some(FTeid { teid, addr: UPF_N3_ADDR }),
+            f_teid: Some(FTeid {
+                teid,
+                addr: UPF_N3_ADDR,
+            }),
             ..Pdi::default()
         }),
         far_id: None,
     };
     let ies = match kind {
-        ModKind::ForwardTo(tun) => IeSet { update_fars: vec![far_forward(tun)], ..IeSet::default() },
+        ModKind::ForwardTo(tun) => IeSet {
+            update_fars: vec![far_forward(tun)],
+            ..IeSet::default()
+        },
         ModKind::IdleBuffer => IeSet {
             update_fars: vec![UpdateFar {
                 far_id: 2,
@@ -1300,9 +1714,10 @@ fn build_modification(s: &mut SmfSession, kind: ModKind) -> pfcp::Message {
             ..IeSet::default()
         },
         // 3GPP baseline: TEID only; DL keeps flowing to the source gNB.
-        ModKind::HoPrepareHairpin { new_teid } => {
-            IeSet { update_pdrs: vec![new_teid_pdr(new_teid)], ..IeSet::default() }
-        }
+        ModKind::HoPrepareHairpin { new_teid } => IeSet {
+            update_pdrs: vec![new_teid_pdr(new_teid)],
+            ..IeSet::default()
+        },
         // Record the target tunnel but keep buffering (smart) / keep
         // forwarding to the source (hairpin handled by FAR state).
         ModKind::HoPrepared { target_dl } => IeSet {
@@ -1331,11 +1746,13 @@ struct Outs {
 
 impl Outs {
     fn sbi(&mut self, from: Endpoint, to: Endpoint, op: SbiOp, ue: UeId) {
-        self.items.push((None, Envelope::new(from, to, Msg::Sbi { op, ue })));
+        self.items
+            .push((None, Envelope::new(from, to, Msg::Sbi { op, ue })));
     }
 
     fn ngap(&mut self, from: Endpoint, to: Endpoint, m: NgapMessage) {
-        self.items.push((None, Envelope::new(from, to, Msg::Ngap(m))));
+        self.items
+            .push((None, Envelope::new(from, to, Msg::Ngap(m))));
     }
 
     fn n4(&mut self, from: Endpoint, to: Endpoint, m: pfcp::Message) {
@@ -1393,7 +1810,10 @@ mod tests {
             &Envelope::new(
                 Endpoint::Ausf,
                 Endpoint::Udm,
-                Msg::Sbi { op: SbiOp::GenerateAuthDataReq, ue: 1 },
+                Msg::Sbi {
+                    op: SbiOp::GenerateAuthDataReq,
+                    ue: 1,
+                },
             ),
         );
         let light = handler_cost(
@@ -1401,7 +1821,10 @@ mod tests {
             &Envelope::new(
                 Endpoint::Amf,
                 Endpoint::Ausf,
-                Msg::Sbi { op: SbiOp::Auth5gAkaConfirmResp, ue: 1 },
+                Msg::Sbi {
+                    op: SbiOp::Auth5gAkaConfirmResp,
+                    ue: 1,
+                },
             ),
         );
         assert!(heavy > light * 4u64, "AKA vector generation is heavy");

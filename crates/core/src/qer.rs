@@ -168,7 +168,10 @@ mod tests {
         let mut q = Qer::with_mbr(1, 1e6, 12_000.0);
         // Drain the bucket.
         assert!(q.police(at(0), 1500));
-        assert!(!q.police(at(0), 1500), "second back-to-back MTU exceeds burst");
+        assert!(
+            !q.police(at(0), 1500),
+            "second back-to-back MTU exceeds burst"
+        );
         // After 100 ms, 100 kbit accrued (capped at burst): passes again.
         assert!(q.police(at(100), 1500));
     }
@@ -220,7 +223,7 @@ mod proptests {
             let mut now = SimTime::ZERO;
             let mut passed_bits = 0.0f64;
             for gap in &gaps_us {
-                now = now + SimDuration::from_micros(*gap);
+                now += SimDuration::from_micros(*gap);
                 if q.police(now, pkt) {
                     passed_bits += pkt as f64 * 8.0;
                 }
@@ -245,7 +248,7 @@ mod proptests {
             let interval = SimDuration::from_secs_f64(pkt as f64 * 8.0 / (rate / 2.0));
             let mut now = SimTime::ZERO;
             for _ in 0..500 {
-                now = now + interval;
+                now += interval;
                 prop_assert!(q.police(now, pkt), "conforming packet dropped");
             }
             prop_assert_eq!(q.dropped, 0);

@@ -101,7 +101,10 @@ impl Udr {
             sqn: 0,
             dnn: "internet".into(),
             sst: 1,
-            ambr: Ambr { dl_bps: 0, ul_bps: 0 },
+            ambr: Ambr {
+                dl_bps: 0,
+                ul_bps: 0,
+            },
         })
     }
 
@@ -169,7 +172,9 @@ mod tests {
         let mut udr = Udr::new();
         udr.provision_default(101);
         let rand = [0x5a; 16];
-        let av = udr.generate_auth_vector(101, rand).expect("known subscriber");
+        let av = udr
+            .generate_auth_vector(101, rand)
+            .expect("known subscriber");
         let sub = udr.get(101).unwrap();
         let res = Udr::ue_response(sub, rand, sub.sqn);
         assert_eq!(res, av.xres, "USIM and UDM agree");

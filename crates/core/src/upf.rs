@@ -15,6 +15,7 @@ use l25gc_classifier::{
     Classifier, Field, FieldRange, LinearList, PacketKey, PartitionSort, PdrRule, TupleSpace,
 };
 use l25gc_nfv::DualKeyTable;
+use l25gc_obs::{DropCode, EventKind, FlightRecorder};
 use l25gc_pkt::ngap::TunnelInfo;
 use l25gc_pkt::pfcp::{self, ApplyAction};
 use l25gc_sim::{Counters, SimTime};
@@ -191,6 +192,9 @@ pub struct Upf {
     pub default_buffer_cap: usize,
     /// Forwarding/drop counters.
     pub counters: Counters,
+    /// Per-packet flight recorder: drops (with reason), buffering
+    /// episodes. Bounded; overwrites its oldest entry under pressure.
+    pub flight: FlightRecorder,
     /// The forwarding core's run-to-completion server state: packets
     /// arriving while a previous packet is in service queue behind it
     /// (the contention that separates experiment (ii) from (i)).
@@ -206,8 +210,22 @@ impl Upf {
             backend,
             default_buffer_cap: 3000,
             counters: Counters::new(),
+            flight: FlightRecorder::with_default_capacity(),
             busy_until: SimTime::ZERO,
         }
+    }
+
+    /// Samples the total smart-buffer occupancy (packets across all
+    /// sessions) into the flight recorder as a `Gauge`.
+    pub fn record_buffer_occupancy(&mut self, now: SimTime) {
+        let depth: u64 = self.sessions.iter().map(|s| s.buffer.len() as u64).sum();
+        self.flight.record(
+            now,
+            EventKind::Gauge {
+                name: "upf:buffer",
+                value: depth,
+            },
+        );
     }
 
     /// Looks up a session by SEID.
@@ -267,7 +285,11 @@ impl Upf {
                 qers.install(Qer::unlimited(q.qer_id));
             } else {
                 // Burst: 100 ms worth of tokens, a common policer setting.
-                qers.install(Qer::with_mbr(q.qer_id, q.mbr_bps as f64, q.mbr_bps as f64 * 0.1));
+                qers.install(Qer::with_mbr(
+                    q.qer_id,
+                    q.mbr_bps as f64,
+                    q.mbr_bps as f64 * 0.1,
+                ));
             }
         }
 
@@ -285,7 +307,10 @@ impl Upf {
                 tunnel: dl_far
                     .forwarding
                     .and_then(|f| f.outer_header_creation)
-                    .map(|o| TunnelInfo { teid: o.teid, addr: o.addr.to_u32() }),
+                    .map(|o| TunnelInfo {
+                        teid: o.teid,
+                        addr: o.addr.to_u32(),
+                    }),
             },
             ul_far: ApplyAction::FORW,
             pdrs,
@@ -310,7 +335,10 @@ impl Upf {
         // F-TEID (the paper's piggybacked IE).
         let mut new_ul_teid = None;
         {
-            let s = self.sessions.by_teid_mut(teid).expect("seid index consistent");
+            let s = self
+                .sessions
+                .by_teid_mut(teid)
+                .expect("seid index consistent");
             for upd in &ies.update_pdrs {
                 if let Some(pdi) = &upd.pdi {
                     if let Some(ft) = pdi.f_teid {
@@ -318,10 +346,8 @@ impl Upf {
                             s.pending_ul_teid = Some(ft.teid);
                             new_ul_teid = Some(ft.teid);
                             // Re-point the uplink PDR's TEID dimension.
-                            let mut rule = s
-                                .pdrs
-                                .remove(s.ul_rule_id)
-                                .expect("uplink rule installed");
+                            let mut rule =
+                                s.pdrs.remove(s.ul_rule_id).expect("uplink rule installed");
                             rule.fields[Field::Teid as usize] = FieldRange::exact(ft.teid);
                             s.pdrs.insert(rule);
                         }
@@ -337,8 +363,10 @@ impl Upf {
                 }
                 if let Some(fwd) = &upd.forwarding {
                     if let Some(ohc) = fwd.outer_header_creation {
-                        s.dl_far.tunnel =
-                            Some(TunnelInfo { teid: ohc.teid, addr: ohc.addr.to_u32() });
+                        s.dl_far.tunnel = Some(TunnelInfo {
+                            teid: ohc.teid,
+                            addr: ohc.addr.to_u32(),
+                        });
                     }
                 }
             }
@@ -385,27 +413,60 @@ impl Upf {
     // ---------------- UPF-U: per-packet forwarding ----------------
 
     /// Processes one user packet and returns the forwarding verdict.
-    pub fn forward(&mut self, pkt: DataPacket, tunnel_teid: Option<u32>, now: l25gc_sim::SimTime) -> Verdict {
+    pub fn forward(
+        &mut self,
+        pkt: DataPacket,
+        tunnel_teid: Option<u32>,
+        now: l25gc_sim::SimTime,
+    ) -> Verdict {
         match pkt.dir {
             Direction::Uplink => {
                 let teid = tunnel_teid.expect("uplink packets arrive in a GTP tunnel");
                 let Some(s) = self.sessions.by_teid_mut(teid) else {
                     self.counters.inc("drop_no_session");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::NoSession,
+                            seid: 0,
+                        },
+                    );
                     return Verdict::Drop(DropReason::NoSession);
                 };
                 let key = packet_key(&pkt, s.ue_ip, teid);
                 let Some(rule_id) = s.pdrs.lookup(&key).map(|r| r.id) else {
                     self.counters.inc("drop_no_pdr");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::NoPdr,
+                            seid: s.seid,
+                        },
+                    );
                     return Verdict::Drop(DropReason::NoPdr);
                 };
                 if let Some(qer_ids) = s.qer_bindings.get(&rule_id).cloned() {
                     if !s.qers.police(&qer_ids, now, pkt.size) {
                         self.counters.inc("drop_qer");
+                        self.flight.record(
+                            now,
+                            EventKind::PacketDrop {
+                                reason: DropCode::QerPoliced,
+                                seid: s.seid,
+                            },
+                        );
                         return Verdict::Drop(DropReason::QerPoliced);
                     }
                 }
                 if s.ul_far.drop {
                     self.counters.inc("drop_far");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::FarDrop,
+                            seid: s.seid,
+                        },
+                    );
                     return Verdict::Drop(DropReason::FarDrop);
                 }
                 self.counters.inc("ul_forwarded");
@@ -415,28 +476,72 @@ impl Upf {
                 let ue_ip = downlink_ue_ip(&pkt);
                 let Some(s) = self.sessions.by_ue_ip_mut(ue_ip) else {
                     self.counters.inc("drop_no_session");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::NoSession,
+                            seid: 0,
+                        },
+                    );
                     return Verdict::Drop(DropReason::NoSession);
                 };
                 let key = packet_key(&pkt, s.ue_ip, 0);
                 let Some(rule_id) = s.pdrs.lookup(&key).map(|r| r.id) else {
                     self.counters.inc("drop_no_pdr");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::NoPdr,
+                            seid: s.seid,
+                        },
+                    );
                     return Verdict::Drop(DropReason::NoPdr);
                 };
                 if let Some(qer_ids) = s.qer_bindings.get(&rule_id).cloned() {
                     if !s.qers.police(&qer_ids, now, pkt.size) {
                         self.counters.inc("drop_qer");
+                        self.flight.record(
+                            now,
+                            EventKind::PacketDrop {
+                                reason: DropCode::QerPoliced,
+                                seid: s.seid,
+                            },
+                        );
                         return Verdict::Drop(DropReason::QerPoliced);
                     }
                 }
                 let far = s.dl_far;
                 if far.action.drop {
                     self.counters.inc("drop_far");
+                    self.flight.record(
+                        now,
+                        EventKind::PacketDrop {
+                            reason: DropCode::FarDrop,
+                            seid: s.seid,
+                        },
+                    );
                     return Verdict::Drop(DropReason::FarDrop);
                 }
                 if far.action.buffer {
                     if s.buffer.len() >= s.buffer_cap {
                         self.counters.inc("drop_buffer_overflow");
+                        self.flight.record(
+                            now,
+                            EventKind::PacketDrop {
+                                reason: DropCode::BufferOverflow,
+                                seid: s.seid,
+                            },
+                        );
                         return Verdict::Drop(DropReason::BufferOverflow);
+                    }
+                    if s.buffer.is_empty() {
+                        self.flight.record(
+                            now,
+                            EventKind::UpfBufferStart {
+                                seid: s.seid,
+                                depth: 1,
+                            },
+                        );
                     }
                     s.buffer.push_back(pkt);
                     self.counters.inc("dl_buffered");
@@ -444,7 +549,10 @@ impl Upf {
                     if report {
                         s.ddn_reported = true;
                     }
-                    return Verdict::Buffered { report, seid: s.seid };
+                    return Verdict::Buffered {
+                        report,
+                        seid: s.seid,
+                    };
                 }
                 match far.tunnel {
                     Some(tun) => {
@@ -453,6 +561,13 @@ impl Upf {
                     }
                     None => {
                         self.counters.inc("drop_no_tunnel");
+                        self.flight.record(
+                            now,
+                            EventKind::PacketDrop {
+                                reason: DropCode::NoTunnel,
+                                seid: s.seid,
+                            },
+                        );
                         Verdict::Drop(DropReason::NoTunnel)
                     }
                 }
@@ -492,13 +607,19 @@ fn pdr_to_rule(seid: u64, ordinal: u64, p: &pfcp::CreatePdr) -> PdrRule {
         rule.fields[Field::Teid as usize] = FieldRange::exact(ft.teid);
     }
     if let Some(ue) = p.pdi.ue_ip {
-        let dim = if ue.is_destination { Field::DstIp } else { Field::SrcIp };
+        let dim = if ue.is_destination {
+            Field::DstIp
+        } else {
+            Field::SrcIp
+        };
         rule.fields[dim as usize] = FieldRange::exact(ue.addr.to_u32());
     }
     for f in &p.pdi.sdf_filters {
         rule.fields[Field::SrcIp as usize] = FieldRange::prefix(f.src_addr.to_u32(), f.src_prefix);
-        rule.fields[Field::DstPort as usize] =
-            FieldRange { lo: f.dst_port.min.into(), hi: f.dst_port.max.into() };
+        rule.fields[Field::DstPort as usize] = FieldRange {
+            lo: f.dst_port.min.into(),
+            hi: f.dst_port.max.into(),
+        };
         if let Some(proto) = f.protocol {
             rule.fields[Field::Protocol as usize] = FieldRange::exact(proto.into());
         }
@@ -511,7 +632,7 @@ mod tests {
     use super::*;
     use l25gc_pkt::ipv4::Ipv4Addr;
     use l25gc_pkt::pfcp::{
-        CreateFar, CreatePdr, ForwardingParameters, FTeid, IeSet, Interface, Pdi, UeIpAddress,
+        CreateFar, CreatePdr, FTeid, ForwardingParameters, IeSet, Interface, Pdi, UeIpAddress,
         UpdateFar,
     };
     use l25gc_sim::SimTime;
@@ -559,7 +680,11 @@ mod tests {
                         outer_header_creation: None,
                     }),
                 },
-                CreateFar { far_id: 2, apply_action: ApplyAction::BUFF, forwarding: None },
+                CreateFar {
+                    far_id: 2,
+                    apply_action: ApplyAction::BUFF,
+                    forwarding: None,
+                },
             ],
             ..IeSet::default()
         }
@@ -581,7 +706,10 @@ mod tests {
     }
 
     fn ul_pkt(ue: UeId, seq: u64) -> DataPacket {
-        DataPacket { dir: Direction::Uplink, ..dl_pkt(ue, seq) }
+        DataPacket {
+            dir: Direction::Uplink,
+            ..dl_pkt(ue, seq)
+        }
     }
 
     fn far_forward_to(tun: TunnelInfo) -> IeSet {
@@ -613,14 +741,22 @@ mod tests {
             Verdict::Buffered { report: false, .. }
         ));
         // Bind the AN tunnel: buffered packet released.
-        let tun = TunnelInfo { teid: 0x200, addr: 1 };
+        let tun = TunnelInfo {
+            teid: 0x200,
+            addr: 1,
+        };
         let released = upf.modify(0x55, &far_forward_to(tun));
         assert_eq!(released.len(), 1);
         assert_eq!(released[0].0, tun);
         // Now DL forwards directly.
-        assert!(matches!(upf.forward(dl_pkt(ue, 1), None, SimTime::ZERO), Verdict::ToGnb(t, _) if t == tun));
+        assert!(
+            matches!(upf.forward(dl_pkt(ue, 1), None, SimTime::ZERO), Verdict::ToGnb(t, _) if t == tun)
+        );
         // UL forwards to DN.
-        assert!(matches!(upf.forward(ul_pkt(ue, 0), Some(0x100), SimTime::ZERO), Verdict::ToDn(_)));
+        assert!(matches!(
+            upf.forward(ul_pkt(ue, 0), Some(0x100), SimTime::ZERO),
+            Verdict::ToDn(_)
+        ));
     }
 
     #[test]
@@ -630,7 +766,10 @@ mod tests {
             upf.forward(ul_pkt(9, 0), Some(0x999), SimTime::ZERO),
             Verdict::Drop(DropReason::NoSession)
         );
-        assert_eq!(upf.forward(dl_pkt(9, 0), None, SimTime::ZERO), Verdict::Drop(DropReason::NoSession));
+        assert_eq!(
+            upf.forward(dl_pkt(9, 0), None, SimTime::ZERO),
+            Verdict::Drop(DropReason::NoSession)
+        );
         assert_eq!(upf.counters.get("drop_no_session"), 2);
     }
 
@@ -652,7 +791,10 @@ mod tests {
         // First DL packet raises the report; later ones don't.
         assert!(matches!(
             upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO),
-            Verdict::Buffered { report: true, seid: 0x66 }
+            Verdict::Buffered {
+                report: true,
+                seid: 0x66
+            }
         ));
         for seq in 1..5 {
             assert!(matches!(
@@ -661,7 +803,10 @@ mod tests {
             ));
         }
         // Wake up: flush and forward; a later idle episode reports again.
-        let tun = TunnelInfo { teid: 0x201, addr: 1 };
+        let tun = TunnelInfo {
+            teid: 0x201,
+            addr: 1,
+        };
         let released = upf.modify(0x66, &far_forward_to(tun));
         assert_eq!(released.len(), 5);
         assert_eq!(
@@ -683,7 +828,10 @@ mod tests {
         upf.default_buffer_cap = 3;
         upf.establish(0x77, ue, &establishment_ies(0x102, ue_ip_for(ue)));
         for seq in 0..3 {
-            assert!(matches!(upf.forward(dl_pkt(ue, seq), None, SimTime::ZERO), Verdict::Buffered { .. }));
+            assert!(matches!(
+                upf.forward(dl_pkt(ue, seq), None, SimTime::ZERO),
+                Verdict::Buffered { .. }
+            ));
         }
         assert_eq!(
             upf.forward(dl_pkt(ue, 3), None, SimTime::ZERO),
@@ -697,7 +845,10 @@ mod tests {
         let ue: UeId = 4;
         let mut upf = Upf::new(PdrBackend::PartitionSort);
         upf.establish(0x88, ue, &establishment_ies(0x103, ue_ip_for(ue)));
-        let tun = TunnelInfo { teid: 0x300, addr: 1 };
+        let tun = TunnelInfo {
+            teid: 0x300,
+            addr: 1,
+        };
         upf.modify(0x88, &far_forward_to(tun));
         // Handover prep: new UL TEID piggybacked with BUFF action.
         let prep = IeSet {
@@ -705,7 +856,10 @@ mod tests {
                 pdr_id: 1,
                 precedence: None,
                 pdi: Some(Pdi {
-                    f_teid: Some(FTeid { teid: 0x104, addr: Ipv4Addr::new(10, 200, 200, 102) }),
+                    f_teid: Some(FTeid {
+                        teid: 0x104,
+                        addr: Ipv4Addr::new(10, 200, 200, 102),
+                    }),
                     ..Pdi::default()
                 }),
                 far_id: None,
@@ -724,13 +878,22 @@ mod tests {
             Verdict::Drop(DropReason::NoSession)
         ));
         // DL packets buffer during the handover.
-        assert!(matches!(upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO), Verdict::Buffered { report: false, .. }));
+        assert!(matches!(
+            upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO),
+            Verdict::Buffered { report: false, .. }
+        ));
         // Complete: forward to the target and flush.
-        let target = TunnelInfo { teid: 0x400, addr: 2 };
+        let target = TunnelInfo {
+            teid: 0x400,
+            addr: 2,
+        };
         let released = upf.modify(0x88, &far_forward_to(target));
         assert_eq!(released.len(), 1);
         assert_eq!(released[0].0, target);
-        assert!(matches!(upf.forward(ul_pkt(ue, 1), Some(0x104), SimTime::ZERO), Verdict::ToDn(_)));
+        assert!(matches!(
+            upf.forward(ul_pkt(ue, 1), Some(0x104), SimTime::ZERO),
+            Verdict::ToDn(_)
+        ));
     }
 
     #[test]
@@ -747,19 +910,69 @@ mod tests {
     }
 
     #[test]
+    fn drops_and_buffering_land_on_flight_recorder() {
+        let ue: UeId = 7;
+        let mut upf = Upf::new(PdrBackend::Linear);
+        upf.default_buffer_cap = 1;
+        upf.establish(0xbb, ue, &establishment_ies(0x107, ue_ip_for(ue)));
+        // Unknown TEID: no session is known, so the drop carries seid 0.
+        upf.forward(ul_pkt(9, 0), Some(0x999), SimTime::ZERO);
+        // First DL packet opens a buffering episode; the second overflows.
+        upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO);
+        upf.forward(dl_pkt(ue, 1), None, SimTime::ZERO);
+        upf.record_buffer_occupancy(SimTime::from_nanos(5));
+
+        let kinds: Vec<_> = upf.flight.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PacketDrop {
+                    reason: DropCode::NoSession,
+                    seid: 0
+                },
+                EventKind::UpfBufferStart {
+                    seid: 0xbb,
+                    depth: 1
+                },
+                EventKind::PacketDrop {
+                    reason: DropCode::BufferOverflow,
+                    seid: 0xbb
+                },
+                EventKind::Gauge {
+                    name: "upf:buffer",
+                    value: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn all_backends_agree_on_forwarding() {
-        for backend in [PdrBackend::Linear, PdrBackend::Tss, PdrBackend::PartitionSort] {
+        for backend in [
+            PdrBackend::Linear,
+            PdrBackend::Tss,
+            PdrBackend::PartitionSort,
+        ] {
             let ue: UeId = 6;
             let mut upf = Upf::new(backend);
             upf.establish(0xaa, ue, &establishment_ies(0x106, ue_ip_for(ue)));
-            let tun = TunnelInfo { teid: 0x500, addr: 1 };
+            let tun = TunnelInfo {
+                teid: 0x500,
+                addr: 1,
+            };
             upf.modify(0xaa, &far_forward_to(tun));
             assert!(
-                matches!(upf.forward(ul_pkt(ue, 0), Some(0x106), SimTime::ZERO), Verdict::ToDn(_)),
+                matches!(
+                    upf.forward(ul_pkt(ue, 0), Some(0x106), SimTime::ZERO),
+                    Verdict::ToDn(_)
+                ),
                 "{backend:?}"
             );
             assert!(
-                matches!(upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO), Verdict::ToGnb(..)),
+                matches!(
+                    upf.forward(dl_pkt(ue, 0), None, SimTime::ZERO),
+                    Verdict::ToGnb(..)
+                ),
                 "{backend:?}"
             );
         }

@@ -188,7 +188,12 @@ impl CostModel {
 
     /// One-way latency for a control message of `wire_len` bytes over
     /// `transport`, serialized as `format`.
-    pub fn message_hop(&self, transport: Transport, format: SerFormat, wire_len: usize) -> SimDuration {
+    pub fn message_hop(
+        &self,
+        transport: Transport,
+        format: SerFormat,
+        wire_len: usize,
+    ) -> SimDuration {
         let base = match transport {
             Transport::SharedMemory => self.shm_hop,
             Transport::UdpSocket => self.udp_hop,
@@ -214,8 +219,7 @@ impl CostModel {
         req_len: usize,
         resp_len: usize,
     ) -> SimDuration {
-        self.message_hop(transport, format, req_len)
-            + self.message_hop(transport, format, resp_len)
+        self.message_hop(transport, format, req_len) + self.message_hop(transport, format, resp_len)
     }
 
     /// Per-packet datapath service time (CPU occupancy at the UPF) for a
@@ -284,8 +288,14 @@ mod tests {
             + m.datapath_service(DataPath::Dpdk, 100) * 2;
         let k = kernel_rtt.as_micros_f64();
         let d = dpdk_rtt.as_micros_f64();
-        assert!((100.0..135.0).contains(&k), "free5GC base RTT {k} µs (paper: 116)");
-        assert!((20.0..32.0).contains(&d), "L25GC base RTT {d} µs (paper: 25)");
+        assert!(
+            (100.0..135.0).contains(&k),
+            "free5GC base RTT {k} µs (paper: 116)"
+        );
+        assert!(
+            (20.0..32.0).contains(&d),
+            "L25GC base RTT {d} µs (paper: 25)"
+        );
     }
 
     #[test]
@@ -307,7 +317,10 @@ mod tests {
         assert!((9.0..=10.0).contains(&one), "1 core {one} Gbps");
         // 2 cores on a 40 G link: ~28 Gbps.
         let two = m.datapath_gbps(DataPath::Dpdk, 1500, 2, 40.0);
-        assert!((24.0..32.0).contains(&two), "2 cores {two} Gbps (paper: 28)");
+        assert!(
+            (24.0..32.0).contains(&two),
+            "2 cores {two} Gbps (paper: 28)"
+        );
         // 4 cores: comfortably 40 G.
         let four = m.datapath_gbps(DataPath::Dpdk, 1500, 4, 40.0);
         assert!(four >= 40.0 - 1e-9, "4 cores {four} Gbps (paper: 40)");
@@ -334,10 +347,8 @@ mod tests {
         let req = 300;
         let resp = 60;
         let handler = m.handler;
-        let free5gc =
-            m.transaction(Transport::UdpSocket, SerFormat::PfcpTlv, req, resp) + handler;
-        let l25gc =
-            m.transaction(Transport::SharedMemory, SerFormat::None, req, resp) + handler;
+        let free5gc = m.transaction(Transport::UdpSocket, SerFormat::PfcpTlv, req, resp) + handler;
+        let l25gc = m.transaction(Transport::SharedMemory, SerFormat::None, req, resp) + handler;
         let reduction = 1.0 - l25gc.as_secs_f64() / free5gc.as_secs_f64();
         assert!(
             (0.21..0.39).contains(&reduction),

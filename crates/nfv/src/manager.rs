@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use l25gc_obs::{EventKind, FlightRecorder};
 use l25gc_sim::{SimDuration, SimTime};
 
 /// A service identity (e.g. "SMF" = 3). Stable across versions/replicas.
@@ -51,6 +52,8 @@ pub struct NfInstance {
 pub struct Manager {
     instances: HashMap<InstanceId, NfInstance>,
     by_service: HashMap<ServiceId, Vec<InstanceId>>,
+    /// Lifecycle flight recorder: heartbeats, failures, unfreezes.
+    pub flight: FlightRecorder,
 }
 
 impl Manager {
@@ -59,22 +62,43 @@ impl Manager {
         Self::default()
     }
 
+    fn record_lifecycle(&mut self, id: InstanceId, at: SimTime, make: fn(u32, u32) -> EventKind) {
+        if let Some(nf) = self.instances.get(&id) {
+            self.flight.record(at, make(nf.service, nf.instance));
+        }
+    }
+
     /// Registers an instance. Panics on duplicate instance id.
-    pub fn register(&mut self, service: ServiceId, instance: InstanceId, state: NfState, now: SimTime) {
+    pub fn register(
+        &mut self,
+        service: ServiceId,
+        instance: InstanceId,
+        state: NfState,
+        now: SimTime,
+    ) {
         assert!(
             !self.instances.contains_key(&instance),
             "duplicate instance id {instance}"
         );
         self.instances.insert(
             instance,
-            NfInstance { service, instance, state, weight: 100, last_heartbeat: now },
+            NfInstance {
+                service,
+                instance,
+                state,
+                weight: 100,
+                last_heartbeat: now,
+            },
         );
         self.by_service.entry(service).or_default().push(instance);
     }
 
     /// Sets an instance's canary weight (share of new traffic).
     pub fn set_weight(&mut self, instance: InstanceId, weight: u32) {
-        self.instances.get_mut(&instance).expect("known instance").weight = weight;
+        self.instances
+            .get_mut(&instance)
+            .expect("known instance")
+            .weight = weight;
     }
 
     /// Looks up an instance.
@@ -83,11 +107,16 @@ impl Manager {
     }
 
     /// Thaws a frozen replica, making it eligible for routing. Returns
-    /// false if the instance is unknown or not frozen.
-    pub fn unfreeze(&mut self, id: InstanceId) -> bool {
+    /// false if the instance is unknown or not frozen. Records an
+    /// `NfUnfreeze` event on success.
+    pub fn unfreeze(&mut self, id: InstanceId, now: SimTime) -> bool {
         match self.instances.get_mut(&id) {
             Some(nf) if nf.state == NfState::Frozen => {
                 nf.state = NfState::Active;
+                self.record_lifecycle(id, now, |service, instance| EventKind::NfUnfreeze {
+                    service,
+                    instance,
+                });
                 true
             }
             _ => false,
@@ -95,21 +124,32 @@ impl Manager {
     }
 
     /// Marks an instance failed (e.g. after a missed-heartbeat verdict).
-    pub fn mark_failed(&mut self, id: InstanceId) {
+    /// Records an `NfFailure` event for known instances.
+    pub fn mark_failed(&mut self, id: InstanceId, now: SimTime) {
         if let Some(nf) = self.instances.get_mut(&id) {
             nf.state = NfState::Failed;
+            self.record_lifecycle(id, now, |service, instance| EventKind::NfFailure {
+                service,
+                instance,
+            });
         }
     }
 
-    /// Records a heartbeat from an instance.
+    /// Records a heartbeat from an instance, both in the registry and on
+    /// the lifecycle flight recorder.
     pub fn heartbeat(&mut self, id: InstanceId, now: SimTime) {
         if let Some(nf) = self.instances.get_mut(&id) {
             nf.last_heartbeat = now;
+            self.record_lifecycle(id, now, |service, instance| EventKind::NfHeartbeat {
+                service,
+                instance,
+            });
         }
     }
 
     /// The periodic liveness sweep: any Active instance whose last
-    /// heartbeat is older than `timeout` is marked Failed and returned.
+    /// heartbeat is older than `timeout` is marked Failed (recording an
+    /// `NfFailure` event each) and returned.
     pub fn detect_failures(&mut self, now: SimTime, timeout: SimDuration) -> Vec<InstanceId> {
         let mut failed = Vec::new();
         for nf in self.instances.values_mut() {
@@ -119,6 +159,12 @@ impl Manager {
             }
         }
         failed.sort_unstable();
+        for &id in &failed {
+            self.record_lifecycle(id, now, |service, instance| EventKind::NfFailure {
+                service,
+                instance,
+            });
+        }
         failed
     }
 
@@ -150,7 +196,10 @@ impl Manager {
     /// The frozen replica of a service, if any (local failover target).
     pub fn frozen_replica(&self, service: ServiceId) -> Option<InstanceId> {
         self.by_service.get(&service)?.iter().copied().find(|id| {
-            self.instances.get(id).map(|nf| nf.state == NfState::Frozen).unwrap_or(false)
+            self.instances
+                .get(id)
+                .map(|nf| nf.state == NfState::Frozen)
+                .unwrap_or(false)
         })
     }
 
@@ -173,7 +222,11 @@ mod tests {
         m.register(1, 10, NfState::Active, SimTime::ZERO);
         m.register(1, 11, NfState::Frozen, SimTime::ZERO);
         for roll in [0.0, 0.5, 0.99] {
-            assert_eq!(m.route(1, roll), Some(10), "frozen replica must not receive traffic");
+            assert_eq!(
+                m.route(1, roll),
+                Some(10),
+                "frozen replica must not receive traffic"
+            );
         }
         assert_eq!(m.route(2, 0.5), None, "unknown service");
     }
@@ -188,7 +241,10 @@ mod tests {
         let hits_canary = (0..1000)
             .filter(|i| m.route(1, *i as f64 / 1000.0) == Some(11))
             .count();
-        assert!((80..120).contains(&hits_canary), "canary got {hits_canary}/1000");
+        assert!(
+            (80..120).contains(&hits_canary),
+            "canary got {hits_canary}/1000"
+        );
     }
 
     #[test]
@@ -196,13 +252,30 @@ mod tests {
         let mut m = Manager::new();
         m.register(3, 30, NfState::Active, SimTime::ZERO);
         m.register(3, 31, NfState::Frozen, SimTime::ZERO);
-        m.mark_failed(30);
+        let t = SimTime::from_nanos(100);
+        m.mark_failed(30, t);
         assert_eq!(m.route(3, 0.5), None, "no active instance after failure");
         let replica = m.frozen_replica(3).unwrap();
         assert_eq!(replica, 31);
-        assert!(m.unfreeze(replica));
+        assert!(m.unfreeze(replica, t));
         assert_eq!(m.route(3, 0.5), Some(31));
-        assert!(!m.unfreeze(replica), "double unfreeze is a no-op");
+        assert!(!m.unfreeze(replica, t), "double unfreeze is a no-op");
+
+        let kinds: Vec<_> = m.flight.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::NfFailure {
+                    service: 3,
+                    instance: 30
+                },
+                EventKind::NfUnfreeze {
+                    service: 3,
+                    instance: 31
+                },
+            ],
+            "failover timeline lands on the flight recorder"
+        );
     }
 
     #[test]
@@ -220,6 +293,22 @@ mod tests {
         assert_eq!(failed, vec![11]);
         assert_eq!(m.instance(10).unwrap().state, NfState::Active);
         assert_eq!(m.instance(12).unwrap().state, NfState::Frozen);
+        assert!(
+            m.flight.iter().any(|e| e.kind
+                == EventKind::NfFailure {
+                    service: 1,
+                    instance: 11
+                }),
+            "sweep records the failure event"
+        );
+        assert!(
+            m.flight.iter().any(|e| e.kind
+                == EventKind::NfHeartbeat {
+                    service: 1,
+                    instance: 10
+                }),
+            "heartbeats are recorded"
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! Allocation is a free-list pop; freeing is a push. Like a DPDK mempool,
 //! exhaustion is visible to the caller (the NIC would drop).
 
+use l25gc_obs::{EventKind, FlightRecorder};
+use l25gc_sim::SimTime;
 use parking_lot::Mutex;
 
 /// An opaque handle to one packet buffer in the pool.
@@ -70,6 +72,34 @@ impl Mempool {
         Some(PktHandle(idx))
     }
 
+    /// [`Mempool::alloc`], recording a `MempoolExhausted` event when the
+    /// pool has no free buffer (the moment a hardware NIC would tail-drop).
+    pub fn alloc_traced(&self, fr: &mut FlightRecorder, now: SimTime) -> Option<PktHandle> {
+        let h = self.alloc();
+        if h.is_none() {
+            let cap = self.capacity();
+            fr.record(
+                now,
+                EventKind::MempoolExhausted {
+                    in_use: cap,
+                    capacity: cap,
+                },
+            );
+        }
+        h
+    }
+
+    /// Samples current occupancy into `fr` as a `Gauge` event.
+    pub fn record_occupancy(&self, name: &'static str, fr: &mut FlightRecorder, now: SimTime) {
+        fr.record(
+            now,
+            EventKind::Gauge {
+                name,
+                value: self.in_use() as u64,
+            },
+        );
+    }
+
     /// Returns a buffer to the pool.
     ///
     /// # Panics
@@ -112,7 +142,10 @@ impl Mempool {
 
     /// Total buffer count.
     pub fn capacity(&self) -> usize {
-        self.arena.lock().free.len() + self.arena.lock().allocated
+        // One lock for both reads: two `.lock()` temporaries in a single
+        // expression both live to the end of it, which self-deadlocks.
+        let a = self.arena.lock();
+        a.free.len() + a.allocated
     }
 
     /// Slot size in bytes.
@@ -136,6 +169,34 @@ mod tests {
         }
         assert_eq!(pool.in_use(), 0);
         assert!(pool.alloc().is_some());
+    }
+
+    #[test]
+    fn traced_alloc_records_exhaustion_and_occupancy() {
+        let mut fr = FlightRecorder::new(8);
+        let t = SimTime::from_nanos;
+        let pool = Mempool::new(2, 16);
+        let _a = pool.alloc_traced(&mut fr, t(1)).unwrap();
+        let _b = pool.alloc_traced(&mut fr, t(2)).unwrap();
+        assert!(pool.alloc_traced(&mut fr, t(3)).is_none());
+        pool.record_occupancy("mempool", &mut fr, t(4));
+
+        let kinds: Vec<_> = fr.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.len(), 2, "successful allocs record nothing");
+        assert_eq!(
+            kinds[0],
+            EventKind::MempoolExhausted {
+                in_use: 2,
+                capacity: 2
+            }
+        );
+        assert_eq!(
+            kinds[1],
+            EventKind::Gauge {
+                name: "mempool",
+                value: 2
+            }
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
+use l25gc_obs::{EventKind, FlightRecorder};
+use l25gc_sim::SimTime;
 
 struct RingBuf<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -49,6 +51,8 @@ pub struct Producer<T> {
     ring: Arc<RingBuf<T>>,
     /// Cached consumer index, refreshed only when the ring looks full.
     cached_head: usize,
+    /// Label used by the traced operations and the depth gauge.
+    label: &'static str,
 }
 
 /// The consuming half of a ring.
@@ -56,21 +60,41 @@ pub struct Consumer<T> {
     ring: Arc<RingBuf<T>>,
     /// Cached producer index, refreshed only when the ring looks empty.
     cached_tail: usize,
+    /// Label used by the traced operations and the depth gauge.
+    label: &'static str,
 }
 
 /// Creates a ring with capacity of at least `capacity` descriptors
 /// (rounded up to a power of two, minimum 2).
 pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_labeled(capacity, "ring")
+}
+
+/// [`ring`], with a label that names this ring in flight-recorder events
+/// and depth gauges (e.g. `"rx:amf"`).
+pub fn ring_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
-    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
-        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
     let ring = Arc::new(RingBuf {
         slots,
         mask: cap - 1,
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
     });
-    (Producer { ring: ring.clone(), cached_head: 0 }, Consumer { ring, cached_tail: 0 })
+    (
+        Producer {
+            ring: ring.clone(),
+            cached_head: 0,
+            label,
+        },
+        Consumer {
+            ring,
+            cached_tail: 0,
+            label,
+        },
+    )
 }
 
 impl<T> Producer<T> {
@@ -92,6 +116,29 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// [`Producer::push`], recording a `RingEnqueueStall` event when the
+    /// ring is full. The happy path costs nothing beyond `push`.
+    pub fn push_traced(
+        &mut self,
+        value: T,
+        fr: &mut FlightRecorder,
+        now: SimTime,
+    ) -> Result<(), T> {
+        match self.push(value) {
+            Ok(()) => Ok(()),
+            Err(back) => {
+                fr.record(
+                    now,
+                    EventKind::RingEnqueueStall {
+                        ring: self.label,
+                        depth: self.len(),
+                    },
+                );
+                Err(back)
+            }
+        }
+    }
+
     /// Number of occupied slots (approximate under concurrency).
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
@@ -106,6 +153,23 @@ impl<T> Producer<T> {
     /// The ring's capacity.
     pub fn capacity(&self) -> usize {
         self.ring.mask + 1
+    }
+
+    /// The label given at construction.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Samples the current depth into `fr` as a `Gauge` event named after
+    /// the ring's label.
+    pub fn record_depth(&self, fr: &mut FlightRecorder, now: SimTime) {
+        fr.record(
+            now,
+            EventKind::Gauge {
+                name: self.label,
+                value: self.len() as u64,
+            },
+        );
     }
 }
 
@@ -143,6 +207,17 @@ impl<T> Consumer<T> {
         n
     }
 
+    /// [`Consumer::pop`], recording a `RingDequeueStall` event when the
+    /// ring is empty (the NF span out of work — a wakeup in the ADN
+    /// shared-memory design, a wasted poll in DPDK).
+    pub fn pop_traced(&mut self, fr: &mut FlightRecorder, now: SimTime) -> Option<T> {
+        let v = self.pop();
+        if v.is_none() {
+            fr.record(now, EventKind::RingDequeueStall { ring: self.label });
+        }
+        v
+    }
+
     /// Number of occupied slots (approximate under concurrency).
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
@@ -152,6 +227,23 @@ impl<T> Consumer<T> {
     /// True when no descriptors are queued (approximate under concurrency).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The label given at construction.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Samples the current depth into `fr` as a `Gauge` event named after
+    /// the ring's label.
+    pub fn record_depth(&self, fr: &mut FlightRecorder, now: SimTime) {
+        fr.record(
+            now,
+            EventKind::Gauge {
+                name: self.label,
+                value: self.len() as u64,
+            },
+        );
     }
 }
 
@@ -232,6 +324,40 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn traced_ops_record_stalls_and_gauges() {
+        let mut fr = FlightRecorder::new(16);
+        let t = SimTime::from_nanos;
+        let (mut tx, mut rx) = ring_labeled::<u32>(2, "rx:test");
+
+        assert_eq!(rx.pop_traced(&mut fr, t(1)), None, "empty pop stalls");
+        tx.push_traced(0, &mut fr, t(2)).unwrap();
+        tx.push_traced(1, &mut fr, t(3)).unwrap();
+        assert!(
+            tx.push_traced(2, &mut fr, t(4)).is_err(),
+            "full push stalls"
+        );
+        tx.record_depth(&mut fr, t(5));
+
+        let kinds: Vec<_> = fr.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.len(), 3, "successful ops record nothing");
+        assert_eq!(kinds[0], EventKind::RingDequeueStall { ring: "rx:test" });
+        assert_eq!(
+            kinds[1],
+            EventKind::RingEnqueueStall {
+                ring: "rx:test",
+                depth: 2
+            }
+        );
+        assert_eq!(
+            kinds[2],
+            EventKind::Gauge {
+                name: "rx:test",
+                value: 2
+            }
+        );
     }
 
     #[test]

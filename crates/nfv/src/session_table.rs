@@ -38,8 +38,14 @@ impl<V> DualKeyTable<V> {
     /// already bound (TEIDs and UE IPs are allocator-unique by
     /// construction; a collision is a 5GC bug, not an input condition).
     pub fn insert(&mut self, teid: u32, ue_ip: u32, value: V) {
-        assert!(!self.by_teid.contains_key(&teid), "TEID {teid:#x} already bound");
-        assert!(!self.by_ue_ip.contains_key(&ue_ip), "UE IP {ue_ip:#x} already bound");
+        assert!(
+            !self.by_teid.contains_key(&teid),
+            "TEID {teid:#x} already bound"
+        );
+        assert!(
+            !self.by_ue_ip.contains_key(&ue_ip),
+            "UE IP {ue_ip:#x} already bound"
+        );
         let idx = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(value);
@@ -56,7 +62,9 @@ impl<V> DualKeyTable<V> {
 
     /// Uplink lookup by tunnel id.
     pub fn by_teid(&self, teid: u32) -> Option<&V> {
-        self.by_teid.get(&teid).and_then(|&i| self.slots[i].as_ref())
+        self.by_teid
+            .get(&teid)
+            .and_then(|&i| self.slots[i].as_ref())
     }
 
     /// Mutable uplink lookup.
@@ -67,7 +75,9 @@ impl<V> DualKeyTable<V> {
 
     /// Downlink lookup by UE IP.
     pub fn by_ue_ip(&self, ue_ip: u32) -> Option<&V> {
-        self.by_ue_ip.get(&ue_ip).and_then(|&i| self.slots[i].as_ref())
+        self.by_ue_ip
+            .get(&ue_ip)
+            .and_then(|&i| self.slots[i].as_ref())
     }
 
     /// Mutable downlink lookup.

@@ -1,0 +1,291 @@
+//! A fixed-memory log2-bucket latency histogram.
+//!
+//! The layout follows the HdrHistogram idea specialised to power-of-two
+//! groups: values below `2^bits` land in exact unit-width buckets; above
+//! that, each doubling of magnitude gets `2^bits` buckets of equal width,
+//! so the bucket width at value `v` is at most `v >> bits`. Quantile
+//! estimates therefore carry a bounded *relative* error of `2^-bits`
+//! (3.125 % at the default `bits = 5`), regardless of the value range.
+//!
+//! The bucket array is allocated once at construction — recording is
+//! allocation-free — and two histograms with the same precision merge by
+//! element-wise addition, which is what lets per-NF recorders be combined
+//! into a fleet-wide distribution at export time.
+
+/// Default precision: 2^5 = 32 sub-buckets per power-of-two group.
+pub const DEFAULT_BITS: u32 = 5;
+
+/// A mergeable log2-bucket histogram over `u64` samples (nanoseconds, byte
+/// counts, queue depths — any non-negative magnitude).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Log2Histogram {
+    /// A histogram with `2^bits` sub-buckets per power-of-two group.
+    ///
+    /// `bits` must be in `1..=16`; memory is `(65 - bits) << bits`
+    /// buckets (1920 × 8 bytes = 15 KiB at the default 5).
+    pub fn with_bits(bits: u32) -> Log2Histogram {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        let len = (65 - bits as usize) << bits;
+        Log2Histogram {
+            bits,
+            buckets: vec![0; len],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A histogram at [`DEFAULT_BITS`] precision.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::with_bits(DEFAULT_BITS)
+    }
+
+    /// The precision this histogram was built with.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Bucket index for a value. Values below `2^bits` are exact.
+    fn index(&self, v: u64) -> usize {
+        let b = self.bits;
+        if v < (1u64 << b) {
+            v as usize
+        } else {
+            // Highest set bit m >= b; group g = m - b + 1 >= 1.
+            let m = 63 - v.leading_zeros();
+            let g = (m - b + 1) as usize;
+            let sub = ((v >> (m - b)) - (1u64 << b)) as usize;
+            (g << b) + sub
+        }
+    }
+
+    /// Inclusive `[low, high]` value range covered by bucket `i`.
+    fn bucket_bounds(&self, i: usize) -> (u64, u64) {
+        let b = self.bits;
+        let g = i >> b;
+        if g == 0 {
+            (i as u64, i as u64)
+        } else {
+            let m = b + g as u32 - 1;
+            let sub = (i & ((1 << b) - 1)) as u64;
+            let width = 1u64 << (m - b);
+            let low = ((1u64 << b) + sub) << (m - b);
+            // `width - 1` first: the top bucket's high end is exactly
+            // `u64::MAX` and `low + width` would overflow.
+            (low, low + (width - 1))
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    pub fn record(&mut self, v: u64) {
+        let i = self.index(v);
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An estimate of the `q`-quantile (`0.0..=1.0`) by nearest-rank walk.
+    ///
+    /// The estimate `est` brackets the exact nearest-rank quantile
+    /// `exact` of the recorded samples as
+    /// `exact <= est <= exact + (exact >> bits)` — i.e. relative error is
+    /// bounded by `2^-bits` from above and zero from below.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank: smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = self.bucket_bounds(i);
+                // The bucket's high end over-estimates by at most the
+                // bucket width (<= exact >> bits); clamping to the exact
+                // recorded max keeps the top quantiles tight.
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram of the same precision into this one.
+    /// Equivalent to having recorded both sample streams into one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        assert_eq!(self.bits, other.bits, "precision mismatch in merge");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over a sorted copy, for comparison.
+    fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let rank = ((q * v.len() as f64).ceil() as usize).max(1);
+        v[rank.min(v.len()) - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 5, 17, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_line() {
+        let h = Log2Histogram::with_bits(5);
+        let mut next = 0u64;
+        for i in 0..h.buckets.len() {
+            let (low, high) = h.bucket_bounds(i);
+            assert_eq!(low, next, "bucket {i} starts where the last ended");
+            assert!(high >= low);
+            if high == u64::MAX {
+                return; // covered the whole line
+            }
+            next = high + 1;
+        }
+        panic!("buckets did not reach u64::MAX");
+    }
+
+    #[test]
+    fn index_maps_into_own_bucket() {
+        let h = Log2Histogram::with_bits(5);
+        for v in [
+            0u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            1 << 20,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let i = h.index(v);
+            let (low, high) = h.bucket_bounds(i);
+            assert!(low <= v && v <= high, "v={v} i={i} [{low},{high}]");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_on_a_spread() {
+        let mut h = Log2Histogram::new();
+        let samples: Vec<u64> = (0..2000u64).map(|i| i * i * 37 + 13).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q} est={est} exact={exact}");
+            assert!(
+                est - exact <= exact >> DEFAULT_BITS,
+                "q={q} est={est} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut both = Log2Histogram::new();
+        for i in 0..500u64 {
+            let v = i * 7919 % 100_000;
+            a.record(v);
+            both.record(v);
+        }
+        for i in 0..300u64 {
+            let v = i * 104_729 % 1_000_000;
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mixed_precision() {
+        let mut a = Log2Histogram::with_bits(5);
+        let b = Log2Histogram::with_bits(6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn recording_does_not_allocate() {
+        let mut h = Log2Histogram::new();
+        let cap = h.buckets.capacity();
+        for i in 0..100_000u64 {
+            h.record(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert_eq!(h.buckets.capacity(), cap);
+    }
+}

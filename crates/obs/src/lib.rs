@@ -1,0 +1,182 @@
+//! Flight-recorder observability for the L25GC reproduction.
+//!
+//! The paper's evaluation hinges on *where time goes*: per-NF shares of
+//! control-plane procedures (Fig 8), ring/mempool behaviour under load,
+//! and the failover timeline (§5.5). This crate is the shared
+//! instrumentation substrate the other crates record into:
+//!
+//! - [`hist::Log2Histogram`] — fixed-memory latency distributions with a
+//!   bounded relative error, mergeable across NFs;
+//! - [`events::FlightRecorder`] — a bounded ring of typed, timestamped
+//!   events (stalls, drops, PFCP ops, handover phases, gauges) that
+//!   overwrites its oldest entry and counts what it lost;
+//! - [`span::SpanLog`] — completed procedure spans plus per-NF
+//!   message-handling segments;
+//! - [`export`] — JSON Lines (with its own parser), Chrome `trace_event`
+//!   JSON for Perfetto, and a human-readable summary table.
+//!
+//! Everything is simulation-clock driven (`SimTime`), `std`-only, and
+//! allocation-free on the record path; the recorders are plain values a
+//! component embeds and the harness drains at export time.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod hist;
+pub mod span;
+
+pub use events::{DropCode, Event, EventKind, FlightRecorder};
+pub use export::{
+    parse_jsonl_line, to_chrome_trace, to_jsonl, to_summary, JsonlError, ParsedField, ParsedLine,
+    TraceBundle,
+};
+pub use hist::Log2Histogram;
+pub use span::{ProcKind, SpanLog};
+
+use l25gc_sim::SimTime;
+
+/// Named histograms with creation-order iteration (HashMap-indexed
+/// lookup, `Vec`-ordered listing — same discipline as `sim::trace`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSet {
+    entries: Vec<(&'static str, Log2Histogram)>,
+    index: std::collections::HashMap<&'static str, usize>,
+}
+
+impl HistogramSet {
+    /// An empty set.
+    pub fn new() -> HistogramSet {
+        HistogramSet::default()
+    }
+
+    /// Records `v` into the named histogram, creating it on first use.
+    pub fn record(&mut self, name: &'static str, v: u64) {
+        let i = *self.index.entry(name).or_insert_with(|| {
+            self.entries.push((name, Log2Histogram::new()));
+            self.entries.len() - 1
+        });
+        self.entries[i].1.record(v);
+    }
+
+    /// The named histogram, if any value was recorded into it.
+    pub fn get(&self, name: &str) -> Option<&Log2Histogram> {
+        self.index.get(name).map(|&i| &self.entries[i].1)
+    }
+
+    /// All histograms, in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Log2Histogram)> {
+        self.entries.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// Merges another set into this one (matching names merge, new names
+    /// append).
+    pub fn absorb(&mut self, other: &HistogramSet) {
+        for (name, h) in other.iter() {
+            let i = *self.index.entry(name).or_insert_with(|| {
+                self.entries.push((name, Log2Histogram::new()));
+                self.entries.len() - 1
+            });
+            self.entries[i].1.merge(h);
+        }
+    }
+}
+
+/// The per-component observability bundle: a flight recorder, a span
+/// log, and named histograms, embedded as one value.
+///
+/// `Obs` is `Clone` because components that own one (e.g. the core
+/// network) are themselves cloned for replica checkpointing; a clone is
+/// an independent recorder from that point on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obs {
+    /// Event ring.
+    pub flight: FlightRecorder,
+    /// Procedure spans and per-NF segments.
+    pub spans: SpanLog,
+    /// Named latency/size distributions.
+    pub hists: HistogramSet,
+}
+
+impl Obs {
+    /// A bundle with default capacities.
+    pub fn new() -> Obs {
+        Obs {
+            flight: FlightRecorder::with_default_capacity(),
+            spans: SpanLog::new(),
+            hists: HistogramSet::new(),
+        }
+    }
+
+    /// Shorthand for recording an event now.
+    pub fn event(&mut self, at: SimTime, kind: EventKind) {
+        self.flight.record(at, kind);
+    }
+
+    /// Drains this bundle's events and copies spans/segments into a
+    /// [`TraceBundle`] for export.
+    pub fn drain_into(&mut self, out: &mut TraceBundle) {
+        out.dropped_events += self.flight.dropped();
+        self.flight.drain_into(&mut out.events);
+        out.spans.extend(self.spans.spans().iter().copied());
+        out.segments.extend(self.spans.segments().iter().copied());
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_set_indexes_and_orders() {
+        let mut set = HistogramSet::new();
+        set.record("b_second", 10);
+        set.record("a_first", 20);
+        set.record("b_second", 30);
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["b_second", "a_first"],
+            "creation order, not sorted"
+        );
+        assert_eq!(set.get("b_second").unwrap().count(), 2);
+        assert!(set.get("missing").is_none());
+    }
+
+    #[test]
+    fn histogram_set_absorb_merges_and_appends() {
+        let mut a = HistogramSet::new();
+        a.record("shared", 1);
+        let mut b = HistogramSet::new();
+        b.record("shared", 2);
+        b.record("only_b", 3);
+        a.absorb(&b);
+        assert_eq!(a.get("shared").unwrap().count(), 2);
+        assert_eq!(a.get("only_b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn obs_drains_into_bundle() {
+        let mut obs = Obs::new();
+        obs.event(
+            SimTime::from_nanos(5),
+            EventKind::Gauge {
+                name: "x",
+                value: 1,
+            },
+        );
+        obs.spans
+            .record_completed(ProcKind::Paging, 9, SimTime::ZERO, SimTime::from_nanos(10));
+        let mut bundle = TraceBundle::new();
+        obs.drain_into(&mut bundle);
+        assert_eq!(bundle.events.len(), 1);
+        assert_eq!(bundle.spans.len(), 1);
+        assert!(obs.flight.is_empty(), "events drained");
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the log2 histogram: the quantile error bound and
+//! merge/concatenation equivalence on arbitrary sample sets.
+
+use l25gc_obs::hist::{Log2Histogram, DEFAULT_BITS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted copy.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let rank = ((q * v.len() as f64).ceil() as usize).max(1);
+    v[rank.min(v.len()) - 1]
+}
+
+proptest! {
+    /// `exact <= est <= exact + (exact >> bits)` for every quantile, on
+    /// arbitrary samples spanning the full u64 range.
+    #[test]
+    fn quantile_error_is_bounded(
+        samples in proptest::collection::vec(any::<u64>(), 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = exact_quantile(&samples, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "q={} est={} exact={}", q, est, exact);
+        prop_assert!(
+            est - exact <= exact >> DEFAULT_BITS,
+            "q={} est={} exact={}", q, est, exact
+        );
+    }
+
+    /// Merging two histograms equals recording the concatenated stream.
+    #[test]
+    fn merge_is_concatenation(
+        xs in proptest::collection::vec(any::<u64>(), 0..200),
+        ys in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut both = Log2Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, both);
+    }
+}

@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn verifying_a_packet_including_its_checksum_yields_zero() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let c = checksum(&data);
         data[10..12].copy_from_slice(&c.to_be_bytes());
         assert_eq!(checksum(&data), 0);

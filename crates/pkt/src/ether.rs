@@ -28,7 +28,11 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
     }
 }
 
@@ -151,7 +155,11 @@ pub struct Repr {
 impl Repr {
     /// Parses the header of `frame`.
     pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Repr {
-        Repr { dst: frame.dst(), src: frame.src(), ethertype: frame.ethertype() }
+        Repr {
+            dst: frame.dst(),
+            src: frame.src(),
+            ethertype: frame.ethertype(),
+        }
     }
 
     /// Bytes this header occupies.
@@ -189,7 +197,10 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        assert_eq!(Frame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
@@ -204,6 +215,9 @@ mod tests {
         assert!(MacAddr::BROADCAST.is_broadcast());
         assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
         assert!(!MacAddr([0x02, 0, 0, 0, 0, 1]).is_broadcast());
-        assert_eq!(format!("{}", MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1])), "de:ad:be:ef:00:01");
+        assert_eq!(
+            format!("{}", MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1])),
+            "de:ad:be:ef:00:01"
+        );
     }
 }

@@ -215,8 +215,12 @@ mod tests {
 
     #[test]
     fn gpdu_roundtrip() {
-        let repr =
-            Repr { msg_type: MessageType::GPdu, teid: 0x0042_4242, seq: None, payload_len: 5 };
+        let repr = Repr {
+            msg_type: MessageType::GPdu,
+            teid: 0x0042_4242,
+            seq: None,
+            payload_len: 5,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut p);
@@ -229,8 +233,12 @@ mod tests {
 
     #[test]
     fn roundtrip_with_sequence() {
-        let repr =
-            Repr { msg_type: MessageType::GPdu, teid: 7, seq: Some(0x1234), payload_len: 3 };
+        let repr = Repr {
+            msg_type: MessageType::GPdu,
+            teid: 7,
+            seq: Some(0x1234),
+            payload_len: 3,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut p);
@@ -244,8 +252,12 @@ mod tests {
 
     #[test]
     fn end_marker_roundtrip() {
-        let repr =
-            Repr { msg_type: MessageType::EndMarker, teid: 99, seq: None, payload_len: 0 };
+        let repr = Repr {
+            msg_type: MessageType::EndMarker,
+            teid: 99,
+            seq: None,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut p);
@@ -257,7 +269,10 @@ mod tests {
     fn wrong_version_rejected() {
         let mut buf = [0u8; HEADER_LEN];
         buf[0] = (2 << 5) | 0x10;
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::BadVersion);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
     }
 
     #[test]
@@ -269,16 +284,29 @@ mod tests {
 
     #[test]
     fn truncated_payload_rejected() {
-        let repr = Repr { msg_type: MessageType::GPdu, teid: 1, seq: None, payload_len: 10 };
+        let repr = Repr {
+            msg_type: MessageType::GPdu,
+            teid: 1,
+            seq: None,
+            payload_len: 10,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut p);
-        assert_eq!(Packet::new_checked(&buf[..HEADER_LEN + 5]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&buf[..HEADER_LEN + 5]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
     fn unknown_message_type() {
-        let repr = Repr { msg_type: MessageType::GPdu, teid: 1, seq: None, payload_len: 0 };
+        let repr = Repr {
+            msg_type: MessageType::GPdu,
+            teid: 1,
+            seq: None,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut p = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut p);

@@ -311,12 +311,18 @@ mod tests {
     fn version_check() {
         let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x65; // version 6
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::BadVersion);
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
     }
 
     #[test]
     fn truncation_checks() {
-        assert_eq!(Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
         // total_len larger than buffer
         let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x45;

@@ -93,9 +93,7 @@ impl NasMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![self.discriminant()];
         match self {
-            NasMessage::RegistrationRequest { supi } => {
-                out.extend_from_slice(&supi.to_be_bytes())
-            }
+            NasMessage::RegistrationRequest { supi } => out.extend_from_slice(&supi.to_be_bytes()),
             NasMessage::AuthenticationRequest { rand, sqn } => {
                 out.extend_from_slice(rand);
                 out.extend_from_slice(&sqn.to_be_bytes());
@@ -124,7 +122,9 @@ impl NasMessage {
     pub fn decode(buf: &[u8]) -> Result<NasMessage> {
         let (&ty, rest) = buf.split_first().ok_or(Error::Truncated)?;
         let u64of = |b: &[u8]| -> Result<u64> {
-            Ok(u64::from_be_bytes(b.get(..8).ok_or(Error::Truncated)?.try_into().expect("8")))
+            Ok(u64::from_be_bytes(
+                b.get(..8).ok_or(Error::Truncated)?.try_into().expect("8"),
+            ))
         };
         let arr16 = |b: &[u8]| -> Result<[u8; 16]> {
             Ok(b.get(..16).ok_or(Error::Truncated)?.try_into().expect("16"))
@@ -134,7 +134,10 @@ impl NasMessage {
             0x56 => {
                 let rand = arr16(rest)?;
                 let sqn = u64::from_be_bytes(
-                    rest.get(16..24).ok_or(Error::Truncated)?.try_into().expect("8"),
+                    rest.get(16..24)
+                        .ok_or(Error::Truncated)?
+                        .try_into()
+                        .expect("8"),
                 );
                 NasMessage::AuthenticationRequest { rand, sqn }
             }
@@ -149,7 +152,10 @@ impl NasMessage {
             0xc2 => {
                 let session_id = *rest.first().ok_or(Error::Truncated)?;
                 let ue_ip = u32::from_be_bytes(
-                    rest.get(1..5).ok_or(Error::Truncated)?.try_into().expect("4"),
+                    rest.get(1..5)
+                        .ok_or(Error::Truncated)?
+                        .try_into()
+                        .expect("4"),
                 );
                 NasMessage::PduSessionEstablishmentAccept { session_id, ue_ip }
             }
@@ -173,15 +179,23 @@ mod tests {
 
     fn all_messages() -> Vec<NasMessage> {
         vec![
-            NasMessage::RegistrationRequest { supi: 208_930_000_000_001 },
-            NasMessage::AuthenticationRequest { rand: [7u8; 16], sqn: 3 },
+            NasMessage::RegistrationRequest {
+                supi: 208_930_000_000_001,
+            },
+            NasMessage::AuthenticationRequest {
+                rand: [7u8; 16],
+                sqn: 3,
+            },
             NasMessage::AuthenticationResponse { res: [9u8; 16] },
             NasMessage::SecurityModeCommand,
             NasMessage::SecurityModeComplete,
             NasMessage::RegistrationAccept { guti: 0xdead },
             NasMessage::RegistrationComplete,
             NasMessage::PduSessionEstablishmentRequest { session_id: 1 },
-            NasMessage::PduSessionEstablishmentAccept { session_id: 1, ue_ip: 0x0a3c_0001 },
+            NasMessage::PduSessionEstablishmentAccept {
+                session_id: 1,
+                ue_ip: 0x0a3c_0001,
+            },
             NasMessage::ServiceRequest { guti: 0xdead },
             NasMessage::ServiceAccept,
             NasMessage::DeregistrationRequest { guti: 0xdead },
@@ -208,7 +222,10 @@ mod tests {
 
     #[test]
     fn unknown_type_rejected() {
-        assert_eq!(NasMessage::decode(&[0xff, 0, 0]).unwrap_err(), Error::UnknownType);
+        assert_eq!(
+            NasMessage::decode(&[0xff, 0, 0]).unwrap_err(),
+            Error::UnknownType
+        );
         assert_eq!(NasMessage::decode(&[]).unwrap_err(), Error::Truncated);
     }
 
@@ -216,7 +233,10 @@ mod tests {
     fn discriminants_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for m in all_messages() {
-            assert!(seen.insert(m.discriminant()), "duplicate discriminant for {m:?}");
+            assert!(
+                seen.insert(m.discriminant()),
+                "duplicate discriminant for {m:?}"
+            );
         }
     }
 }

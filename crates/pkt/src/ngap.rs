@@ -198,13 +198,22 @@ impl NgapMessage {
             | UeContextReleaseRequest { ue }
             | UeContextReleaseCommand { ue }
             | UeContextReleaseComplete { ue } => put_u64(&mut out, *ue),
-            PduSessionResourceSetupRequest { ue, session_id, uplink_tunnel, nas } => {
+            PduSessionResourceSetupRequest {
+                ue,
+                session_id,
+                uplink_tunnel,
+                nas,
+            } => {
                 put_u64(&mut out, *ue);
                 out.push(*session_id);
                 put_tun(&mut out, uplink_tunnel);
                 put_nas(&mut out, nas);
             }
-            PduSessionResourceSetupResponse { ue, session_id, downlink_tunnel } => {
+            PduSessionResourceSetupResponse {
+                ue,
+                session_id,
+                downlink_tunnel,
+            } => {
                 put_u64(&mut out, *ue);
                 out.push(*session_id);
                 put_tun(&mut out, downlink_tunnel);
@@ -213,12 +222,20 @@ impl NgapMessage {
                 put_u64(&mut out, *ue);
                 put_u32(&mut out, *target_gnb);
             }
-            HandoverRequest { ue, session_id, uplink_tunnel } => {
+            HandoverRequest {
+                ue,
+                session_id,
+                uplink_tunnel,
+            } => {
                 put_u64(&mut out, *ue);
                 out.push(*session_id);
                 put_tun(&mut out, uplink_tunnel);
             }
-            HandoverRequestAcknowledge { ue, session_id, downlink_tunnel } => {
+            HandoverRequestAcknowledge {
+                ue,
+                session_id,
+                downlink_tunnel,
+            } => {
                 put_u64(&mut out, *ue);
                 out.push(*session_id);
                 put_tun(&mut out, downlink_tunnel);
@@ -242,10 +259,23 @@ impl NgapMessage {
         let (&ty, rest) = buf.split_first().ok_or(Error::Truncated)?;
         let mut r = Reader { buf: rest };
         Ok(match ty {
-            1 => InitialUeMessage { ue: r.u64()?, gnb: r.u32()?, nas: r.nas()? },
-            2 => DownlinkNasTransport { ue: r.u64()?, nas: r.nas()? },
-            3 => UplinkNasTransport { ue: r.u64()?, nas: r.nas()? },
-            4 => InitialContextSetupRequest { ue: r.u64()?, nas: r.nas()? },
+            1 => InitialUeMessage {
+                ue: r.u64()?,
+                gnb: r.u32()?,
+                nas: r.nas()?,
+            },
+            2 => DownlinkNasTransport {
+                ue: r.u64()?,
+                nas: r.nas()?,
+            },
+            3 => UplinkNasTransport {
+                ue: r.u64()?,
+                nas: r.nas()?,
+            },
+            4 => InitialContextSetupRequest {
+                ue: r.u64()?,
+                nas: r.nas()?,
+            },
             5 => InitialContextSetupResponse { ue: r.u64()? },
             6 => PduSessionResourceSetupRequest {
                 ue: r.u64()?,
@@ -258,15 +288,28 @@ impl NgapMessage {
                 session_id: r.u8()?,
                 downlink_tunnel: r.tunnel()?,
             },
-            8 => HandoverRequired { ue: r.u64()?, target_gnb: r.u32()? },
-            9 => HandoverRequest { ue: r.u64()?, session_id: r.u8()?, uplink_tunnel: r.tunnel()? },
+            8 => HandoverRequired {
+                ue: r.u64()?,
+                target_gnb: r.u32()?,
+            },
+            9 => HandoverRequest {
+                ue: r.u64()?,
+                session_id: r.u8()?,
+                uplink_tunnel: r.tunnel()?,
+            },
             10 => HandoverRequestAcknowledge {
                 ue: r.u64()?,
                 session_id: r.u8()?,
                 downlink_tunnel: r.tunnel()?,
             },
-            11 => HandoverCommand { ue: r.u64()?, target_gnb: r.u32()? },
-            12 => HandoverNotify { ue: r.u64()?, gnb: r.u32()? },
+            11 => HandoverCommand {
+                ue: r.u64()?,
+                target_gnb: r.u32()?,
+            },
+            12 => HandoverNotify {
+                ue: r.u64()?,
+                gnb: r.u32()?,
+            },
             13 => Paging { guti: r.u64()? },
             14 => UeContextReleaseRequest { ue: r.u64()? },
             15 => UeContextReleaseCommand { ue: r.u64()? },
@@ -308,7 +351,10 @@ impl<'a> Reader<'a> {
     }
 
     fn tunnel(&mut self) -> Result<TunnelInfo> {
-        Ok(TunnelInfo { teid: self.u32()?, addr: self.u32()? })
+        Ok(TunnelInfo {
+            teid: self.u32()?,
+            addr: self.u32()?,
+        })
     }
 
     fn nas(&mut self) -> Result<NasMessage> {
@@ -323,24 +369,61 @@ mod tests {
 
     fn all_messages() -> Vec<NgapMessage> {
         use NgapMessage::*;
-        let tun = TunnelInfo { teid: 0x100, addr: 0x0ac8_c866 };
+        let tun = TunnelInfo {
+            teid: 0x100,
+            addr: 0x0ac8_c866,
+        };
         vec![
-            InitialUeMessage { ue: 1, gnb: 10, nas: NasMessage::RegistrationRequest { supi: 5 } },
-            DownlinkNasTransport { ue: 1, nas: NasMessage::SecurityModeCommand },
-            UplinkNasTransport { ue: 1, nas: NasMessage::SecurityModeComplete },
-            InitialContextSetupRequest { ue: 1, nas: NasMessage::RegistrationAccept { guti: 9 } },
+            InitialUeMessage {
+                ue: 1,
+                gnb: 10,
+                nas: NasMessage::RegistrationRequest { supi: 5 },
+            },
+            DownlinkNasTransport {
+                ue: 1,
+                nas: NasMessage::SecurityModeCommand,
+            },
+            UplinkNasTransport {
+                ue: 1,
+                nas: NasMessage::SecurityModeComplete,
+            },
+            InitialContextSetupRequest {
+                ue: 1,
+                nas: NasMessage::RegistrationAccept { guti: 9 },
+            },
             InitialContextSetupResponse { ue: 1 },
             PduSessionResourceSetupRequest {
                 ue: 1,
                 session_id: 1,
                 uplink_tunnel: tun,
-                nas: NasMessage::PduSessionEstablishmentAccept { session_id: 1, ue_ip: 7 },
+                nas: NasMessage::PduSessionEstablishmentAccept {
+                    session_id: 1,
+                    ue_ip: 7,
+                },
             },
-            PduSessionResourceSetupResponse { ue: 1, session_id: 1, downlink_tunnel: tun },
-            HandoverRequired { ue: 1, target_gnb: 11 },
-            HandoverRequest { ue: 1, session_id: 1, uplink_tunnel: tun },
-            HandoverRequestAcknowledge { ue: 1, session_id: 1, downlink_tunnel: tun },
-            HandoverCommand { ue: 1, target_gnb: 11 },
+            PduSessionResourceSetupResponse {
+                ue: 1,
+                session_id: 1,
+                downlink_tunnel: tun,
+            },
+            HandoverRequired {
+                ue: 1,
+                target_gnb: 11,
+            },
+            HandoverRequest {
+                ue: 1,
+                session_id: 1,
+                uplink_tunnel: tun,
+            },
+            HandoverRequestAcknowledge {
+                ue: 1,
+                session_id: 1,
+                downlink_tunnel: tun,
+            },
+            HandoverCommand {
+                ue: 1,
+                target_gnb: 11,
+            },
             HandoverNotify { ue: 1, gnb: 11 },
             Paging { guti: 9 },
             UeContextReleaseRequest { ue: 1 },
@@ -363,7 +446,10 @@ mod tests {
         for msg in all_messages() {
             let bytes = msg.encode();
             for cut in 0..bytes.len() {
-                assert!(NgapMessage::decode(&bytes[..cut]).is_err(), "{msg:?} cut at {cut}");
+                assert!(
+                    NgapMessage::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} cut at {cut}"
+                );
             }
         }
     }
@@ -377,7 +463,10 @@ mod tests {
     fn discriminants_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for m in all_messages() {
-            assert!(seen.insert(m.discriminant()), "duplicate discriminant for {m:?}");
+            assert!(
+                seen.insert(m.discriminant()),
+                "duplicate discriminant for {m:?}"
+            );
         }
     }
 }

@@ -85,7 +85,11 @@ pub struct GtpFlow {
 /// `Ether(IPv4(UDP:2152(GTP-U(IPv4(UDP(payload))))))`.
 pub fn build_gtp_frame(flow: &GtpFlow, payload: &[u8]) -> Vec<u8> {
     // Inner UDP + IPv4.
-    let inner_udp = udp::Repr { src_port: 40_000, dst_port: flow.inner_dport, payload_len: payload.len() };
+    let inner_udp = udp::Repr {
+        src_port: 40_000,
+        dst_port: flow.inner_dport,
+        payload_len: payload.len(),
+    };
     let inner_ip = ipv4::Repr {
         src: flow.inner_src,
         dst: flow.inner_dst,
@@ -120,8 +124,11 @@ pub fn build_gtp_frame(flow: &GtpFlow, payload: &[u8]) -> Vec<u8> {
     }
 
     // Outer UDP (2152) + IPv4 + Ethernet.
-    let outer_udp =
-        udp::Repr { src_port: udp::GTPU_PORT, dst_port: udp::GTPU_PORT, payload_len: gtp_buf.len() };
+    let outer_udp = udp::Repr {
+        src_port: udp::GTPU_PORT,
+        dst_port: udp::GTPU_PORT,
+        payload_len: gtp_buf.len(),
+    };
     let outer_ip = ipv4::Repr {
         src: flow.outer_src,
         dst: flow.outer_dst,
@@ -130,7 +137,11 @@ pub fn build_gtp_frame(flow: &GtpFlow, payload: &[u8]) -> Vec<u8> {
         ttl: 64,
         payload_len: outer_udp.total_len(),
     };
-    let eth = ether::Repr { dst: flow.dst_mac, src: flow.src_mac, ethertype: EtherType::Ipv4 };
+    let eth = ether::Repr {
+        dst: flow.dst_mac,
+        src: flow.src_mac,
+        ethertype: EtherType::Ipv4,
+    };
     let mut frame = vec![0u8; ether::HEADER_LEN + outer_ip.total_len()];
     {
         let mut e = ether::Frame::new_unchecked(&mut frame[..]);
@@ -198,8 +209,14 @@ mod tests {
             w.finish().unwrap();
         }
         // Global header.
-        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), PCAP_MAGIC);
-        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), LINKTYPE_ETHERNET);
+        assert_eq!(
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            PCAP_MAGIC
+        );
+        assert_eq!(
+            u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+            LINKTYPE_ETHERNET
+        );
         // First record header: ts=0, lengths equal.
         let cap = u32::from_le_bytes(buf[32..36].try_into().unwrap());
         let orig = u32::from_le_bytes(buf[36..40].try_into().unwrap());

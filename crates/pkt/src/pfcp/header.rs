@@ -123,7 +123,11 @@ impl Header {
         }
         // Wire length counts everything after the 4-byte prefix.
         let wire_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
-        let header_len = if s_flag { SESSION_HEADER_LEN } else { NODE_HEADER_LEN };
+        let header_len = if s_flag {
+            SESSION_HEADER_LEN
+        } else {
+            NODE_HEADER_LEN
+        };
         if buf.len() < 4 + wire_len || 4 + wire_len < header_len {
             return Err(Error::Truncated);
         }
@@ -133,9 +137,16 @@ impl Header {
         } else {
             (None, 4)
         };
-        let seq =
-            u32::from_be_bytes([0, buf[seq_off], buf[seq_off + 1], buf[seq_off + 2]]);
-        Ok((Header { msg_type, seid, seq, body_len: 4 + wire_len - header_len }, header_len))
+        let seq = u32::from_be_bytes([0, buf[seq_off], buf[seq_off + 1], buf[seq_off + 2]]);
+        Ok((
+            Header {
+                msg_type,
+                seid,
+                seq,
+                body_len: 4 + wire_len - header_len,
+            },
+            header_len,
+        ))
     }
 
     /// Emits the header into the front of `buf`, which must hold at least
@@ -174,7 +185,12 @@ mod tests {
 
     #[test]
     fn node_header_roundtrip() {
-        let h = Header { msg_type: MsgType::HeartbeatRequest, seid: None, seq: 0x00ab_cdef, body_len: 4 };
+        let h = Header {
+            msg_type: MsgType::HeartbeatRequest,
+            seid: None,
+            seq: 0x00ab_cdef,
+            body_len: 4,
+        };
         let mut buf = vec![0u8; NODE_HEADER_LEN + 4];
         let n = h.emit(&mut buf).unwrap();
         assert_eq!(n, NODE_HEADER_LEN);
@@ -201,7 +217,12 @@ mod tests {
 
     #[test]
     fn seq_is_24_bits() {
-        let h = Header { msg_type: MsgType::HeartbeatRequest, seid: None, seq: 0xffff_ffff, body_len: 0 };
+        let h = Header {
+            msg_type: MsgType::HeartbeatRequest,
+            seid: None,
+            seq: 0xffff_ffff,
+            body_len: 0,
+        };
         let mut buf = vec![0u8; NODE_HEADER_LEN];
         h.emit(&mut buf).unwrap();
         let (parsed, _) = Header::parse(&buf).unwrap();
@@ -211,7 +232,12 @@ mod tests {
     #[test]
     fn s_flag_must_match_type() {
         // Session type with S=0 is malformed.
-        let h = Header { msg_type: MsgType::HeartbeatRequest, seid: None, seq: 1, body_len: 0 };
+        let h = Header {
+            msg_type: MsgType::HeartbeatRequest,
+            seid: None,
+            seq: 1,
+            body_len: 0,
+        };
         let mut buf = vec![0u8; NODE_HEADER_LEN];
         h.emit(&mut buf).unwrap();
         buf[1] = MsgType::SessionReportRequest.to_byte();
@@ -227,7 +253,12 @@ mod tests {
 
     #[test]
     fn truncated_body_rejected() {
-        let h = Header { msg_type: MsgType::HeartbeatRequest, seid: None, seq: 1, body_len: 100 };
+        let h = Header {
+            msg_type: MsgType::HeartbeatRequest,
+            seid: None,
+            seq: 1,
+            body_len: 100,
+        };
         let mut buf = vec![0u8; NODE_HEADER_LEN];
         h.emit(&mut buf).unwrap();
         assert_eq!(Header::parse(&buf).unwrap_err(), Error::Truncated);

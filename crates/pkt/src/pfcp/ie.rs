@@ -185,7 +185,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The wildcard range matching every port.
-    pub const ANY: PortRange = PortRange { min: 0, max: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        min: 0,
+        max: u16::MAX,
+    };
 
     /// A range matching exactly one port.
     pub const fn exact(p: u16) -> PortRange {
@@ -290,13 +293,23 @@ impl SdfFilter {
             src_prefix,
             dst_addr: Ipv4Addr([v[5], v[6], v[7], v[8]]),
             dst_prefix,
-            src_port: PortRange { min: u16at(10), max: u16at(12) },
-            dst_port: PortRange { min: u16at(14), max: u16at(16) },
+            src_port: PortRange {
+                min: u16at(10),
+                max: u16at(12),
+            },
+            dst_port: PortRange {
+                min: u16at(14),
+                max: u16at(16),
+            },
             protocol: if v[19] != 0 { Some(v[18]) } else { None },
             tos: v[20],
             tos_mask: v[21],
             spi: if v[26] != 0 { Some(u32at(22)) } else { None },
-            flow_label: if v[31] != 0 { Some(u32at(27) & 0x000f_ffff) } else { None },
+            flow_label: if v[31] != 0 {
+                Some(u32at(27) & 0x000f_ffff)
+            } else {
+                None
+            },
             filter_id: u32at(32),
         })
     }
@@ -378,17 +391,37 @@ pub struct ApplyAction {
 
 impl ApplyAction {
     /// Plain forwarding.
-    pub const FORW: ApplyAction =
-        ApplyAction { drop: false, forward: true, buffer: false, notify_cp: false, duplicate: false };
+    pub const FORW: ApplyAction = ApplyAction {
+        drop: false,
+        forward: true,
+        buffer: false,
+        notify_cp: false,
+        duplicate: false,
+    };
     /// Buffer and notify the control plane — the idle-mode (paging) action.
-    pub const BUFF_NOCP: ApplyAction =
-        ApplyAction { drop: false, forward: false, buffer: true, notify_cp: true, duplicate: false };
+    pub const BUFF_NOCP: ApplyAction = ApplyAction {
+        drop: false,
+        forward: false,
+        buffer: true,
+        notify_cp: true,
+        duplicate: false,
+    };
     /// Buffer without notification — L²5GC's smart-handover action.
-    pub const BUFF: ApplyAction =
-        ApplyAction { drop: false, forward: false, buffer: true, notify_cp: false, duplicate: false };
+    pub const BUFF: ApplyAction = ApplyAction {
+        drop: false,
+        forward: false,
+        buffer: true,
+        notify_cp: false,
+        duplicate: false,
+    };
     /// Drop.
-    pub const DROP: ApplyAction =
-        ApplyAction { drop: true, forward: false, buffer: false, notify_cp: false, duplicate: false };
+    pub const DROP: ApplyAction = ApplyAction {
+        drop: true,
+        forward: false,
+        buffer: false,
+        notify_cp: false,
+        duplicate: false,
+    };
 
     fn to_byte(self) -> u8 {
         (self.drop as u8)
@@ -448,7 +481,9 @@ pub struct ForwardingParameters {
 impl ForwardingParameters {
     fn encode(&self, out: &mut Vec<u8>, ie_type: u16) {
         put_tlv(out, ie_type, |b| {
-            put_tlv(b, IE_DESTINATION_INTERFACE, |b| b.push(self.dest_interface.to_byte()));
+            put_tlv(b, IE_DESTINATION_INTERFACE, |b| {
+                b.push(self.dest_interface.to_byte())
+            });
             if let Some(ohc) = &self.outer_header_creation {
                 ohc.encode(b);
             }
@@ -496,13 +531,19 @@ pub struct CreatePdr {
 impl CreatePdr {
     fn encode_grouped(&self, out: &mut Vec<u8>, ie_type: u16) {
         put_tlv(out, ie_type, |b| {
-            put_tlv(b, IE_PDR_ID, |b| b.extend_from_slice(&self.pdr_id.to_be_bytes()));
-            put_tlv(b, IE_PRECEDENCE, |b| b.extend_from_slice(&self.precedence.to_be_bytes()));
+            put_tlv(b, IE_PDR_ID, |b| {
+                b.extend_from_slice(&self.pdr_id.to_be_bytes())
+            });
+            put_tlv(b, IE_PRECEDENCE, |b| {
+                b.extend_from_slice(&self.precedence.to_be_bytes())
+            });
             self.pdi.encode(b);
             if self.outer_header_removal {
                 put_tlv(b, IE_OUTER_HEADER_REMOVAL, |b| b.push(0)); // GTP-U/UDP/IPv4
             }
-            put_tlv(b, IE_FAR_ID, |b| b.extend_from_slice(&self.far_id.to_be_bytes()));
+            put_tlv(b, IE_FAR_ID, |b| {
+                b.extend_from_slice(&self.far_id.to_be_bytes())
+            });
             for q in &self.qer_ids {
                 put_tlv(b, IE_QER_ID, |b| b.extend_from_slice(&q.to_be_bytes()));
             }
@@ -570,7 +611,9 @@ pub struct CreateFar {
 impl CreateFar {
     fn encode_grouped(&self, out: &mut Vec<u8>, ie_type: u16, fwd_type: u16) {
         put_tlv(out, ie_type, |b| {
-            put_tlv(b, IE_FAR_ID, |b| b.extend_from_slice(&self.far_id.to_be_bytes()));
+            put_tlv(b, IE_FAR_ID, |b| {
+                b.extend_from_slice(&self.far_id.to_be_bytes())
+            });
             put_tlv(b, IE_APPLY_ACTION, |b| b.push(self.apply_action.to_byte()));
             if let Some(fp) = &self.forwarding {
                 fp.encode(b, fwd_type);
@@ -628,7 +671,9 @@ impl UpdateFar {
     /// Encodes as an Update FAR IE.
     pub fn encode(&self, out: &mut Vec<u8>) {
         put_tlv(out, IE_UPDATE_FAR, |b| {
-            put_tlv(b, IE_FAR_ID, |b| b.extend_from_slice(&self.far_id.to_be_bytes()));
+            put_tlv(b, IE_FAR_ID, |b| {
+                b.extend_from_slice(&self.far_id.to_be_bytes())
+            });
             if let Some(a) = self.apply_action {
                 put_tlv(b, IE_APPLY_ACTION, |b| b.push(a.to_byte()));
             }
@@ -657,7 +702,11 @@ impl UpdateFar {
                 _ => {}
             }
         }
-        Ok(UpdateFar { far_id: far_id.ok_or(Error::Malformed)?, apply_action: action, forwarding: fwd })
+        Ok(UpdateFar {
+            far_id: far_id.ok_or(Error::Malformed)?,
+            apply_action: action,
+            forwarding: fwd,
+        })
     }
 }
 
@@ -678,7 +727,9 @@ impl UpdatePdr {
     /// Encodes as an Update PDR IE.
     pub fn encode(&self, out: &mut Vec<u8>) {
         put_tlv(out, IE_UPDATE_PDR, |b| {
-            put_tlv(b, IE_PDR_ID, |b| b.extend_from_slice(&self.pdr_id.to_be_bytes()));
+            put_tlv(b, IE_PDR_ID, |b| {
+                b.extend_from_slice(&self.pdr_id.to_be_bytes())
+            });
             if let Some(p) = self.precedence {
                 put_tlv(b, IE_PRECEDENCE, |b| b.extend_from_slice(&p.to_be_bytes()));
             }
@@ -715,7 +766,12 @@ impl UpdatePdr {
                 _ => {}
             }
         }
-        Ok(UpdatePdr { pdr_id: pdr_id.ok_or(Error::Malformed)?, precedence, pdi, far_id })
+        Ok(UpdatePdr {
+            pdr_id: pdr_id.ok_or(Error::Malformed)?,
+            precedence,
+            pdi,
+            far_id,
+        })
     }
 }
 
@@ -733,8 +789,12 @@ impl CreateQer {
     /// Encodes as a Create QER IE.
     pub fn encode(&self, out: &mut Vec<u8>) {
         put_tlv(out, IE_CREATE_QER, |b| {
-            put_tlv(b, IE_QER_ID, |b| b.extend_from_slice(&self.qer_id.to_be_bytes()));
-            put_tlv(b, IE_MBR, |b| b.extend_from_slice(&self.mbr_bps.to_be_bytes()));
+            put_tlv(b, IE_QER_ID, |b| {
+                b.extend_from_slice(&self.qer_id.to_be_bytes())
+            });
+            put_tlv(b, IE_MBR, |b| {
+                b.extend_from_slice(&self.mbr_bps.to_be_bytes())
+            });
         });
     }
 
@@ -755,7 +815,10 @@ impl CreateQer {
                 _ => {}
             }
         }
-        Ok(CreateQer { qer_id: qer_id.ok_or(Error::Malformed)?, mbr_bps: mbr })
+        Ok(CreateQer {
+            qer_id: qer_id.ok_or(Error::Malformed)?,
+            mbr_bps: mbr,
+        })
     }
 }
 
@@ -927,7 +990,10 @@ mod tests {
             precedence: 255,
             pdi: Pdi {
                 source_interface: Some(Interface::Access),
-                f_teid: Some(FTeid { teid: 0x100, addr: Ipv4Addr::new(10, 200, 200, 102) }),
+                f_teid: Some(FTeid {
+                    teid: 0x100,
+                    addr: Ipv4Addr::new(10, 200, 200, 102),
+                }),
                 ue_ip: None,
                 sdf_filters: vec![],
                 qfi: Some(9),
@@ -995,7 +1061,11 @@ mod tests {
     #[test]
     fn update_far_buffering_roundtrip() {
         // The smart-handover piggyback: switch the FAR to BUFF.
-        let upd = UpdateFar { far_id: 2, apply_action: Some(ApplyAction::BUFF), forwarding: None };
+        let upd = UpdateFar {
+            far_id: 2,
+            apply_action: Some(ApplyAction::BUFF),
+            forwarding: None,
+        };
         let mut buf = Vec::new();
         upd.encode(&mut buf);
         let set = IeSet::decode(&buf).unwrap();
@@ -1008,7 +1078,10 @@ mod tests {
         let upd = UpdatePdr {
             pdr_id: 1,
             precedence: Some(10),
-            pdi: Some(Pdi { source_interface: Some(Interface::Access), ..Pdi::default() }),
+            pdi: Some(Pdi {
+                source_interface: Some(Interface::Access),
+                ..Pdi::default()
+            }),
             far_id: Some(3),
         };
         let mut buf = Vec::new();
@@ -1024,7 +1097,10 @@ mod tests {
             src_prefix: 16,
             dst_addr: Ipv4Addr::new(10, 60, 0, 1),
             dst_prefix: 32,
-            src_port: PortRange { min: 1024, max: 65535 },
+            src_port: PortRange {
+                min: 1024,
+                max: 65535,
+            },
             dst_port: PortRange::exact(53),
             protocol: Some(17),
             tos: 0xb8,
@@ -1108,7 +1184,10 @@ mod tests {
 
     #[test]
     fn apply_action_bits() {
-        assert_eq!(ApplyAction::from_byte(ApplyAction::BUFF_NOCP.to_byte()), ApplyAction::BUFF_NOCP);
+        assert_eq!(
+            ApplyAction::from_byte(ApplyAction::BUFF_NOCP.to_byte()),
+            ApplyAction::BUFF_NOCP
+        );
         assert_eq!(ApplyAction::DROP.to_byte(), 0x01);
         assert_eq!(ApplyAction::FORW.to_byte(), 0x02);
         assert_eq!(ApplyAction::BUFF.to_byte(), 0x04);

@@ -10,7 +10,7 @@ pub mod ie;
 
 pub use header::{Header, MsgType};
 pub use ie::{
-    ApplyAction, Cause, CreateFar, CreatePdr, CreateQer, ForwardingParameters, FTeid, IeSet,
+    ApplyAction, Cause, CreateFar, CreatePdr, CreateQer, FTeid, ForwardingParameters, IeSet,
     Interface, OuterHeaderCreation, Pdi, PortRange, SdfFilter, UeIpAddress, UpdateFar, UpdatePdr,
 };
 
@@ -33,13 +33,23 @@ impl Message {
     /// Creates a session-scoped message.
     pub fn session(msg_type: MsgType, seid: u64, seq: u32, ies: IeSet) -> Message {
         debug_assert!(msg_type.is_session());
-        Message { msg_type, seid: Some(seid), seq, ies }
+        Message {
+            msg_type,
+            seid: Some(seid),
+            seq,
+            ies,
+        }
     }
 
     /// Creates a node-scoped message.
     pub fn node(msg_type: MsgType, seq: u32, ies: IeSet) -> Message {
         debug_assert!(!msg_type.is_session());
-        Message { msg_type, seid: None, seq, ies }
+        Message {
+            msg_type,
+            seid: None,
+            seq,
+            ies,
+        }
     }
 
     /// Encodes the whole message to bytes.
@@ -63,7 +73,12 @@ impl Message {
         let (header, off) = Header::parse(buf)?;
         let body = &buf[off..off + header.body_len];
         let ies = IeSet::decode(body)?;
-        Ok(Message { msg_type: header.msg_type, seid: header.seid, seq: header.seq, ies })
+        Ok(Message {
+            msg_type: header.msg_type,
+            seid: header.seid,
+            seq: header.seq,
+            ies,
+        })
     }
 }
 
@@ -86,7 +101,10 @@ mod tests {
                     precedence: 255,
                     pdi: Pdi {
                         source_interface: Some(Interface::Access),
-                        f_teid: Some(FTeid { teid: 1, addr: Ipv4Addr::new(10, 200, 200, 102) }),
+                        f_teid: Some(FTeid {
+                            teid: 1,
+                            addr: Ipv4Addr::new(10, 200, 200, 102),
+                        }),
                         ..Pdi::default()
                     },
                     outer_header_removal: true,
@@ -121,7 +139,11 @@ mod tests {
             MsgType::SessionReportRequest,
             0x99,
             3,
-            IeSet { report_downlink_data: true, downlink_data_pdr: Some(2), ..IeSet::default() },
+            IeSet {
+                report_downlink_data: true,
+                downlink_data_pdr: Some(2),
+                ..IeSet::default()
+            },
         );
         let bytes = msg.encode();
         let parsed = Message::decode(&bytes).unwrap();
@@ -135,7 +157,10 @@ mod tests {
             MsgType::SessionModificationResponse,
             0x42,
             9,
-            IeSet { cause: Some(Cause::Accepted), ..IeSet::default() },
+            IeSet {
+                cause: Some(Cause::Accepted),
+                ..IeSet::default()
+            },
         );
         let bytes = msg.encode();
         assert_eq!(Message::decode(&bytes).unwrap(), msg);

@@ -247,7 +247,11 @@ mod tests {
             dst_port: 50123,
             seq: 0xdead_beef,
             ack_num: 0x0102_0304,
-            flags: Flags { ack: true, psh: true, ..Flags::default() },
+            flags: Flags {
+                ack: true,
+                psh: true,
+                ..Flags::default()
+            },
             window: 65535,
         };
         let mut buf = [0u8; HEADER_LEN + 3];
@@ -265,7 +269,13 @@ mod tests {
 
     #[test]
     fn flags_byte_mapping() {
-        let f = Flags { fin: true, syn: false, rst: true, psh: false, ack: true };
+        let f = Flags {
+            fin: true,
+            syn: false,
+            rst: true,
+            psh: false,
+            ack: true,
+        };
         assert_eq!(Flags::from_byte(f.to_byte()), f);
         assert!(Flags::from_byte(0x12).ack);
         assert!(Flags::from_byte(0x12).syn);
@@ -275,9 +285,15 @@ mod tests {
     fn bad_data_offset_rejected() {
         let mut buf = [0u8; HEADER_LEN];
         buf[12] = 4 << 4; // offset 16 bytes < 20
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
         buf[12] = 8 << 4; // offset 32 bytes > buffer
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
@@ -287,7 +303,10 @@ mod tests {
             dst_port: 2,
             seq: 3,
             ack_num: 0,
-            flags: Flags { syn: true, ..Flags::default() },
+            flags: Flags {
+                syn: true,
+                ..Flags::default()
+            },
             window: 100,
         };
         let mut buf = [0u8; HEADER_LEN];

@@ -169,7 +169,11 @@ mod tests {
 
     #[test]
     fn roundtrip_with_checksum() {
-        let repr = Repr { src_port: 2152, dst_port: 2152, payload_len: 4 };
+        let repr = Repr {
+            src_port: 2152,
+            dst_port: 2152,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut d = Datagram::new_unchecked(&mut buf[..]);
         repr.emit(&mut d);
@@ -185,7 +189,11 @@ mod tests {
 
     #[test]
     fn zero_checksum_always_verifies() {
-        let repr = Repr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let repr = Repr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut d = Datagram::new_unchecked(&mut buf[..]);
         repr.emit(&mut d);
@@ -195,7 +203,11 @@ mod tests {
 
     #[test]
     fn corrupt_payload_fails_checksum() {
-        let repr = Repr { src_port: 5, dst_port: 6, payload_len: 4 };
+        let repr = Repr {
+            src_port: 5,
+            dst_port: 6,
+            payload_len: 4,
+        };
         let mut buf = vec![0u8; repr.total_len()];
         let mut d = Datagram::new_unchecked(&mut buf[..]);
         repr.emit(&mut d);
@@ -210,9 +222,15 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(Datagram::new_checked(&[0u8; 4][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 4][..]).unwrap_err(),
+            Error::Truncated
+        );
         let mut buf = [0u8; 8];
         buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // claims 20 bytes
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -83,7 +83,13 @@ impl Ran {
     pub fn new(gnb_count: u32, cost: CostModel) -> Ran {
         let mut gnbs = HashMap::new();
         for id in 1..=gnb_count {
-            gnbs.insert(id, RanGnb { buffer_cap: 1300, ..RanGnb::default() });
+            gnbs.insert(
+                id,
+                RanGnb {
+                    buffer_cap: 1300,
+                    ..RanGnb::default()
+                },
+            );
         }
         Ran {
             ues: HashMap::new(),
@@ -100,7 +106,14 @@ impl Ran {
         assert!(self.gnbs.contains_key(&gnb), "unknown gNB {gnb}");
         self.ues.insert(
             ue,
-            RanUe { ue, supi, serving_gnb: gnb, registered: false, connected: false, session_up: false },
+            RanUe {
+                ue,
+                supi,
+                serving_gnb: gnb,
+                registered: false,
+                connected: false,
+                session_up: false,
+            },
         );
     }
 
@@ -168,7 +181,9 @@ impl Ran {
                 Endpoint::Amf,
                 Msg::Ngap(NgapMessage::UplinkNasTransport {
                     ue,
-                    nas: NasMessage::DeregistrationRequest { guti: 0xF000_0000_0000_0000 | u.supi },
+                    nas: NasMessage::DeregistrationRequest {
+                        guti: 0xF000_0000_0000_0000 | u.supi,
+                    },
                 }),
             ),
         }
@@ -184,7 +199,10 @@ impl Ran {
             env: Envelope::new(
                 Endpoint::Gnb(u.serving_gnb),
                 Endpoint::Amf,
-                Msg::Ngap(NgapMessage::HandoverRequired { ue, target_gnb: target }),
+                Msg::Ngap(NgapMessage::HandoverRequired {
+                    ue,
+                    target_gnb: target,
+                }),
             ),
         }
     }
@@ -237,7 +255,12 @@ impl Ran {
                     },
                 ]
             }
-            NgapMessage::PduSessionResourceSetupRequest { ue, session_id, uplink_tunnel, nas } => {
+            NgapMessage::PduSessionResourceSetupRequest {
+                ue,
+                session_id,
+                uplink_tunnel,
+                nas,
+            } => {
                 let g = self.gnbs.get_mut(&gnb).expect("known gNB");
                 g.ul_teid.insert(ue, uplink_tunnel.teid);
                 let dl_teid = g.alloc_dl_teid(ue);
@@ -250,7 +273,10 @@ impl Ran {
                             Msg::Ngap(NgapMessage::PduSessionResourceSetupResponse {
                                 ue,
                                 session_id,
-                                downlink_tunnel: TunnelInfo { teid: dl_teid, addr: gnb },
+                                downlink_tunnel: TunnelInfo {
+                                    teid: dl_teid,
+                                    addr: gnb,
+                                },
                             }),
                         ),
                     },
@@ -305,7 +331,10 @@ impl Ran {
                             env: Envelope::new(
                                 Endpoint::Gnb(gnb),
                                 Endpoint::UpfU,
-                                Msg::Data(DataPacket { tunnel_teid: None, ..pkt }),
+                                Msg::Data(DataPacket {
+                                    tunnel_teid: None,
+                                    ..pkt
+                                }),
                             ),
                         });
                     }
@@ -317,7 +346,11 @@ impl Ran {
                 }
                 outs
             }
-            NgapMessage::HandoverRequest { ue, session_id, uplink_tunnel } => {
+            NgapMessage::HandoverRequest {
+                ue,
+                session_id,
+                uplink_tunnel,
+            } => {
                 // Target gNB prepares resources.
                 let g = self.gnbs.get_mut(&gnb).expect("known gNB");
                 g.ul_teid.insert(ue, uplink_tunnel.teid);
@@ -330,7 +363,10 @@ impl Ran {
                         Msg::Ngap(NgapMessage::HandoverRequestAcknowledge {
                             ue,
                             session_id,
-                            downlink_tunnel: TunnelInfo { teid: dl_teid, addr: gnb },
+                            downlink_tunnel: TunnelInfo {
+                                teid: dl_teid,
+                                addr: gnb,
+                            },
                         }),
                     ),
                 }]
@@ -351,7 +387,10 @@ impl Ran {
                     env: Envelope::new(
                         Endpoint::Gnb(target_gnb),
                         Endpoint::Amf,
-                        Msg::Ngap(NgapMessage::HandoverNotify { ue, gnb: target_gnb }),
+                        Msg::Ngap(NgapMessage::HandoverNotify {
+                            ue,
+                            gnb: target_gnb,
+                        }),
                     ),
                 }]
             }
@@ -437,7 +476,9 @@ impl Ran {
                         Msg::Ngap(NgapMessage::InitialUeMessage {
                             ue,
                             gnb,
-                            nas: NasMessage::ServiceRequest { guti: 0xF000_0000_0000_0000 | u.supi },
+                            nas: NasMessage::ServiceRequest {
+                                guti: 0xF000_0000_0000_0000 | u.supi,
+                            },
                         }),
                     ),
                 }]
@@ -472,7 +513,10 @@ impl Ran {
                     env: Envelope::new(
                         Endpoint::Gnb(gnb),
                         Endpoint::Ue(ue),
-                        Msg::Data(DataPacket { tunnel_teid: None, ..pkt }),
+                        Msg::Data(DataPacket {
+                            tunnel_teid: None,
+                            ..pkt
+                        }),
                     ),
                 }]
             }
@@ -488,7 +532,10 @@ impl Ran {
                     env: Envelope::new(
                         Endpoint::Gnb(gnb),
                         Endpoint::UpfU,
-                        Msg::Data(DataPacket { tunnel_teid: Some(teid), ..pkt }),
+                        Msg::Data(DataPacket {
+                            tunnel_teid: Some(teid),
+                            ..pkt
+                        }),
                     ),
                 }]
             }
@@ -527,7 +574,10 @@ mod tests {
                 Endpoint::Ue(1),
                 Msg::Ngap(NgapMessage::DownlinkNasTransport {
                     ue: 1,
-                    nas: NasMessage::AuthenticationRequest { rand: [1; 16], sqn: 1 },
+                    nas: NasMessage::AuthenticationRequest {
+                        rand: [1; 16],
+                        sqn: 1,
+                    },
                 }),
             ),
             SimTime::ZERO,
@@ -552,16 +602,23 @@ mod tests {
                 Msg::Ngap(NgapMessage::PduSessionResourceSetupRequest {
                     ue: 1,
                     session_id: 1,
-                    uplink_tunnel: TunnelInfo { teid: 0x101, addr: 7 },
-                    nas: NasMessage::PduSessionEstablishmentAccept { session_id: 1, ue_ip: 5 },
+                    uplink_tunnel: TunnelInfo {
+                        teid: 0x101,
+                        addr: 7,
+                    },
+                    nas: NasMessage::PduSessionEstablishmentAccept {
+                        session_id: 1,
+                        ue_ip: 5,
+                    },
                 }),
             ),
             SimTime::ZERO,
         );
         // Response to AMF with a fresh DL TEID + NAS accept to the UE.
         assert_eq!(outs.len(), 2);
-        let Msg::Ngap(NgapMessage::PduSessionResourceSetupResponse { downlink_tunnel, .. }) =
-            outs[0].env.msg
+        let Msg::Ngap(NgapMessage::PduSessionResourceSetupResponse {
+            downlink_tunnel, ..
+        }) = outs[0].env.msg
         else {
             panic!("expected setup response");
         };
@@ -586,11 +643,15 @@ mod tests {
             tunnel_teid: None,
             ack_seq: None,
         };
-        let outs =
-            r.handle(Envelope::new(Endpoint::Ue(1), Endpoint::Gnb(1), Msg::Data(pkt)), SimTime::ZERO);
+        let outs = r.handle(
+            Envelope::new(Endpoint::Ue(1), Endpoint::Gnb(1), Msg::Data(pkt)),
+            SimTime::ZERO,
+        );
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].env.to, Endpoint::UpfU);
-        let Msg::Data(p) = outs[0].env.msg else { panic!() };
+        let Msg::Data(p) = outs[0].env.msg else {
+            panic!()
+        };
         assert_eq!(p.tunnel_teid, Some(0x101));
     }
 
@@ -610,8 +671,10 @@ mod tests {
             tunnel_teid: Some(teid),
             ack_seq: None,
         };
-        let outs =
-            r.handle(Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)), SimTime::ZERO);
+        let outs = r.handle(
+            Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)),
+            SimTime::ZERO,
+        );
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].env.to, Endpoint::Ue(1));
     }
@@ -626,7 +689,10 @@ mod tests {
             Envelope::new(
                 Endpoint::Amf,
                 Endpoint::Gnb(1),
-                Msg::Ngap(NgapMessage::HandoverCommand { ue: 1, target_gnb: 2 }),
+                Msg::Ngap(NgapMessage::HandoverCommand {
+                    ue: 1,
+                    target_gnb: 2,
+                }),
             ),
             SimTime::ZERO,
         );
@@ -645,8 +711,10 @@ mod tests {
             tunnel_teid: Some(teid),
             ack_seq: None,
         };
-        let outs =
-            r.handle(Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)), SimTime::ZERO);
+        let outs = r.handle(
+            Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)),
+            SimTime::ZERO,
+        );
         assert!(outs.is_empty());
         assert_eq!(r.counters.get("gnb_buffered"), 1);
         // Context release at the source re-injects toward the UPF.
@@ -658,10 +726,12 @@ mod tests {
             ),
             SimTime::ZERO,
         );
-        let reinjected: Vec<_> =
-            outs.iter().filter(|o| o.env.to == Endpoint::UpfU).collect();
+        let reinjected: Vec<_> = outs.iter().filter(|o| o.env.to == Endpoint::UpfU).collect();
         assert_eq!(reinjected.len(), 1);
-        assert!(reinjected[0].delay >= r.cost.upf_gnb_prop, "hairpin pays propagation");
+        assert!(
+            reinjected[0].delay >= r.cost.upf_gnb_prop,
+            "hairpin pays propagation"
+        );
         assert_eq!(r.counters.get("hairpin_reinjected"), 1);
     }
 
@@ -675,7 +745,10 @@ mod tests {
             Envelope::new(
                 Endpoint::Amf,
                 Endpoint::Gnb(1),
-                Msg::Ngap(NgapMessage::HandoverCommand { ue: 1, target_gnb: 2 }),
+                Msg::Ngap(NgapMessage::HandoverCommand {
+                    ue: 1,
+                    target_gnb: 2,
+                }),
             ),
             SimTime::ZERO,
         );
@@ -692,7 +765,10 @@ mod tests {
                 tunnel_teid: Some(teid),
                 ack_seq: None,
             };
-            r.handle(Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)), SimTime::ZERO);
+            r.handle(
+                Envelope::new(Endpoint::UpfU, Endpoint::Gnb(1), Msg::Data(pkt)),
+                SimTime::ZERO,
+            );
         }
         assert_eq!(r.counters.get("gnb_buffered"), 2);
         assert_eq!(r.counters.get("gnb_drop_buffer_overflow"), 2);
@@ -703,7 +779,11 @@ mod tests {
         let mut r = ran();
         let guti = 0xF000_0000_0000_0000 | 101;
         let outs = r.handle(
-            Envelope::new(Endpoint::Amf, Endpoint::Gnb(1), Msg::Ngap(NgapMessage::Paging { guti })),
+            Envelope::new(
+                Endpoint::Amf,
+                Endpoint::Gnb(1),
+                Msg::Ngap(NgapMessage::Paging { guti }),
+            ),
             SimTime::ZERO,
         );
         assert_eq!(outs[0].env.to, Endpoint::Ue(1));
@@ -711,7 +791,10 @@ mod tests {
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].delay, r.cost.ran_paging_fixed);
         match &outs[0].env.msg {
-            Msg::Ngap(NgapMessage::InitialUeMessage { nas: NasMessage::ServiceRequest { .. }, .. }) => {}
+            Msg::Ngap(NgapMessage::InitialUeMessage {
+                nas: NasMessage::ServiceRequest { .. },
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

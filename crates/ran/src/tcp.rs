@@ -82,8 +82,9 @@ impl TcpSender {
     /// A sender with `total_bytes` of application data (rounded up to
     /// whole segments), or unbounded when `None`.
     pub fn new(ue: UeId, flow: u32, total_bytes: Option<u64>) -> TcpSender {
-        let total_segments =
-            total_bytes.map(|b| b.div_ceil(MSS as u64)).unwrap_or(u64::MAX);
+        let total_segments = total_bytes
+            .map(|b| b.div_ceil(MSS as u64))
+            .unwrap_or(u64::MAX);
         TcpSender {
             ue,
             flow,
@@ -246,8 +247,11 @@ impl TcpSender {
                 self.cwnd += newly as f64 / self.cwnd; // congestion avoidance
             }
 
-            self.rto_deadline =
-                if self.in_flight() > 0 { Some(now + self.rto) } else { None };
+            self.rto_deadline = if self.in_flight() > 0 {
+                Some(now + self.rto)
+            } else {
+                None
+            };
         } else if self.in_flight() > 0 {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -294,14 +298,21 @@ impl TcpSender {
         self.sent.clear();
         self.next_seq = self.highest_acked + 1;
         let max_rto = SimDuration::from_secs(60);
-        self.rto = if self.rto >= max_rto { max_rto } else { (self.rto * 2u64).min(max_rto) };
+        self.rto = if self.rto >= max_rto {
+            max_rto
+        } else {
+            (self.rto * 2u64).min(max_rto)
+        };
         self.rto_deadline = Some(now + self.rto);
         self.cwnd_trace.record(now, self.cwnd);
         vec![self.retransmit(self.highest_acked, now)]
     }
 
     fn rtt_sample(&mut self, rtt: SimDuration, now: SimTime) {
-        debug_assert!(rtt < SimDuration::from_secs(3600), "absurd RTT sample {rtt} at {now}");
+        debug_assert!(
+            rtt < SimDuration::from_secs(3600),
+            "absurd RTT sample {rtt} at {now}"
+        );
         if std::env::var_os("L25GC_TCP_DEBUG").is_some() && rtt > SimDuration::from_secs(1) {
             eprintln!(
                 "big RTT sample {rtt} at {now}: flow={} acked={} next={} max_sent={} rto={} sent_len={}",
@@ -357,7 +368,12 @@ pub struct TcpReceiver {
 impl TcpReceiver {
     /// A fresh receiver.
     pub fn new() -> TcpReceiver {
-        TcpReceiver { next_expected: 0, ooo: Vec::new(), delivered: 0, duplicates: 0 }
+        TcpReceiver {
+            next_expected: 0,
+            ooo: Vec::new(),
+            delivered: 0,
+            duplicates: 0,
+        }
     }
 
     /// Processes one data segment, returning the cumulative ACK to send

@@ -25,7 +25,7 @@ pub struct WebObject {
 /// The paper's page: high-resolution images + JS + CSS.
 pub fn paper_page() -> Vec<WebObject> {
     let mut objs = vec![WebObject { bytes: 60_000 }]; // HTML
-    // "a few high-resolution images (each ~15MB)".
+                                                      // "a few high-resolution images (each ~15MB)".
     for _ in 0..5 {
         objs.push(WebObject { bytes: 15_000_000 });
     }
@@ -70,14 +70,24 @@ impl PageLoad {
             .map(|(i, bytes)| TcpSender::new(ue, first_flow + i as u32, Some(bytes)))
             .collect();
         let flows = senders.iter().map(|s| s.flow).collect();
-        (PageLoad { flows, started: now, finished: None }, senders)
+        (
+            PageLoad {
+                flows,
+                started: now,
+                finished: None,
+            },
+            senders,
+        )
     }
 
     /// Marks completion once every connection finished. Call after each
     /// ack delivery with the driver's sender map.
     pub fn update(&mut self, senders: &HashMap<u32, TcpSender>, now: SimTime) {
         if self.finished.is_none()
-            && self.flows.iter().all(|f| senders.get(f).map(|s| s.is_complete()).unwrap_or(false))
+            && self
+                .flows
+                .iter()
+                .all(|f| senders.get(f).map(|s| s.is_complete()).unwrap_or(false))
         {
             self.finished = Some(now);
         }
@@ -104,7 +114,11 @@ impl PageLoad {
 
     /// Total RTO timeouts across the page's connections.
     pub fn timeouts(&self, senders: &HashMap<u32, TcpSender>) -> u64 {
-        self.flows.iter().filter_map(|f| senders.get(f)).map(|s| s.timeouts).sum()
+        self.flows
+            .iter()
+            .filter_map(|f| senders.get(f))
+            .map(|s| s.timeouts)
+            .sum()
     }
 }
 
@@ -132,8 +146,7 @@ mod tests {
     fn completion_requires_all_connections() {
         let objs = [WebObject { bytes: 1400 }, WebObject { bytes: 1400 }];
         let (mut pl, senders) = PageLoad::new(1, &objs, 2, 0, SimTime::ZERO);
-        let mut map: HashMap<u32, TcpSender> =
-            senders.into_iter().map(|s| (s.flow, s)).collect();
+        let mut map: HashMap<u32, TcpSender> = senders.into_iter().map(|s| (s.flow, s)).collect();
         // Finish only the first connection.
         let n0 = map[&0].total_segments;
         map.get_mut(&0).unwrap().pump(SimTime::ZERO);

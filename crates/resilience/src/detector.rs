@@ -115,7 +115,10 @@ mod tests {
         let mut s = SbfdSession::paper(SimTime::ZERO);
         let late = SimTime::ZERO + SimDuration::from_secs(1);
         assert!(s.check(late));
-        assert!(!s.check(late + SimDuration::from_secs(1)), "no repeat alarms");
+        assert!(
+            !s.check(late + SimDuration::from_secs(1)),
+            "no repeat alarms"
+        );
         assert!(s.is_down());
     }
 

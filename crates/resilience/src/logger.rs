@@ -96,7 +96,10 @@ impl PacketLogger {
             q.pop_front();
             self.overflow_drops += 1;
         }
-        q.push_back(LoggedEntry { counter, env: env.clone() });
+        q.push_back(LoggedEntry {
+            counter,
+            env: env.clone(),
+        });
         counter
     }
 
@@ -183,14 +186,20 @@ mod tests {
         Envelope::new(
             Endpoint::Gnb(1),
             Endpoint::Amf,
-            Msg::Sbi { op: SbiOp::SmContextRetrieveReq, ue: 1 as UeId },
+            Msg::Sbi {
+                op: SbiOp::SmContextRetrieveReq,
+                ue: 1 as UeId,
+            },
         )
     }
 
     #[test]
     fn classification() {
         assert_eq!(classify(&data_env(Direction::Uplink, 0)), QueueKind::UlData);
-        assert_eq!(classify(&data_env(Direction::Downlink, 0)), QueueKind::DlData);
+        assert_eq!(
+            classify(&data_env(Direction::Downlink, 0)),
+            QueueKind::DlData
+        );
         assert_eq!(classify(&ctrl_env()), QueueKind::UlControl);
     }
 

@@ -56,7 +56,11 @@ impl<S: Clone> Replica<S> {
     /// Panics if the replica is already active (checkpointing a woken
     /// replica would overwrite live state).
     pub fn checkpoint(&mut self, primary: &S, counter: u64, now: SimTime) {
-        assert_eq!(self.state, ReplicaState::Frozen, "cannot checkpoint an active replica");
+        assert_eq!(
+            self.state,
+            ReplicaState::Frozen,
+            "cannot checkpoint an active replica"
+        );
         assert!(counter >= self.synced_upto, "watermark must not regress");
         self.snapshot = primary.clone();
         self.synced_upto = counter;
@@ -121,7 +125,9 @@ pub struct OutputCommit {
 impl OutputCommit {
     /// The paper's bound (§3.5.1: "less than 5µs").
     pub fn paper() -> OutputCommit {
-        OutputCommit { local_sync: SimDuration::from_micros(5) }
+        OutputCommit {
+            local_sync: SimDuration::from_micros(5),
+        }
     }
 
     /// The extra delay an outgoing response pays before release.
@@ -142,7 +148,10 @@ mod tests {
 
     #[test]
     fn checkpoint_then_unfreeze_restores_watermarked_state() {
-        let mut primary = Toy { counter_applied: 0, items: vec![] };
+        let mut primary = Toy {
+            counter_applied: 0,
+            items: vec![],
+        };
         let mut rep = Replica::new(primary.clone(), SimTime::ZERO);
 
         // Apply inputs 0..5 to the primary, checkpoint at watermark 5.
@@ -175,15 +184,34 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot checkpoint an active replica")]
     fn checkpoint_after_unfreeze_panics() {
-        let mut rep = Replica::new(Toy { counter_applied: 0, items: vec![] }, SimTime::ZERO);
+        let mut rep = Replica::new(
+            Toy {
+                counter_applied: 0,
+                items: vec![],
+            },
+            SimTime::ZERO,
+        );
         rep.unfreeze(SimTime::ZERO);
-        rep.checkpoint(&Toy { counter_applied: 9, items: vec![] }, 1, SimTime::ZERO);
+        rep.checkpoint(
+            &Toy {
+                counter_applied: 9,
+                items: vec![],
+            },
+            1,
+            SimTime::ZERO,
+        );
     }
 
     #[test]
     #[should_panic(expected = "replica already active")]
     fn double_unfreeze_panics() {
-        let mut rep = Replica::new(Toy { counter_applied: 0, items: vec![] }, SimTime::ZERO);
+        let mut rep = Replica::new(
+            Toy {
+                counter_applied: 0,
+                items: vec![],
+            },
+            SimTime::ZERO,
+        );
         rep.unfreeze(SimTime::ZERO);
         rep.unfreeze(SimTime::ZERO);
     }

@@ -1,0 +1,75 @@
+//! Collection strategies (mirror of `proptest::collection`).
+
+use crate::rng::TestRng;
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Number of elements a collection strategy may produce.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below(self.max - self.min + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are drawn
+/// from `element`.
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    let size = size.into();
+    BoxedStrategy::new(move |rng| {
+        let n = size.pick(rng);
+        (0..n).map(|_| element.gen_value(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_bounds_respected() {
+        let mut rng = TestRng::new(1);
+        let ranged = vec(0u8..255, 2..5);
+        let exact = vec(0u8..255, 7usize);
+        for _ in 0..100 {
+            let v = ranged.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert_eq!(exact.gen_value(&mut rng).len(), 7);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Option strategies (mirror of `proptest::option`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `Some` of the inner strategy three times out of four, else `None`.
+pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(inner.gen_value(rng))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::new(1);
+        let drawn: Vec<_> = (0..100).map(|_| s.gen_value(&mut rng)).collect();
+        assert!(drawn.iter().any(Option::is_some));
+        assert!(drawn.iter().any(Option::is_none));
+        assert!(drawn.iter().flatten().all(|&v| v < 10));
+    }
+}

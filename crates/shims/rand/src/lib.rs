@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the exact API surface it uses instead of depending on crates.io:
+//! [`rngs::SmallRng`] seeded from a `u64`, [`Rng::gen`], [`Rng::gen_range`]
+//! over half-open and inclusive integer/float ranges, and [`SeedableRng`].
+//!
+//! The generator is xoshiro256++ with SplitMix64 seed expansion — the same
+//! family the real `SmallRng` uses on 64-bit targets. Streams are
+//! deterministic across platforms but make no attempt to reproduce the
+//! upstream crate's exact value sequences; nothing in this workspace
+//! asserts on specific drawn values, only on determinism and statistics.
+
+pub mod rngs;
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce uniformly.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types [`Rng::gen_range`] can sample. The blanket [`SampleRange`]
+/// impls below go through this trait, which is what lets the compiler
+/// infer the integer type of a literal range from the call site (e.g.
+/// `slice.get(rng.gen_range(0..3))` forcing `usize`), same as upstream.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)` — or `[lo, hi]` when `inclusive`.
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Ranges that can be sampled uniformly to yield a `T`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value over the type's full range (`[0, 1)` for `f64`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                // u128 arithmetic so full-width inclusive ranges can't
+                // overflow the span computation.
+                let span = (hi as u128) - (lo as u128) + u128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                lo + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = ((hi as i128) - (lo as i128)) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                ((lo as i128) + ((rng.next_u64() as u128 % span) as i128)) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = f64::sample(rng);
+        let v = lo + unit * (hi - lo);
+        // Guard against rounding pushing the value onto either boundary.
+        if v >= hi || v < lo {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn determinism() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!((10..20u64).contains(&r.gen_range(10u64..20)));
+            assert!((0..=9usize).contains(&r.gen_range(0usize..=9)));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_inclusive_range_does_not_overflow() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _: u32 = r.gen_range(0u32..=u32::MAX);
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

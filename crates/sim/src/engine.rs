@@ -277,7 +277,12 @@ impl<W> Mailbox<W> {
     }
 
     /// Schedules `f` to run `d` after the current instant.
-    pub fn send_in(&mut self, ctx: &Ctx, d: SimDuration, f: impl FnOnce(&mut W, &mut Ctx) + 'static) {
+    pub fn send_in(
+        &mut self,
+        ctx: &Ctx,
+        d: SimDuration,
+        f: impl FnOnce(&mut W, &mut Ctx) + 'static,
+    ) {
         self.send_at(ctx.now() + d, f);
     }
 
@@ -331,11 +336,7 @@ impl<W: HasMailbox + 'static> Engine<W> {
                 StepOutcome::Stopped => break,
                 StepOutcome::Empty | StepOutcome::PastDeadline => {
                     self.pump();
-                    let head_ok = self
-                        .queue
-                        .peek()
-                        .map(|h| h.at <= deadline)
-                        .unwrap_or(false);
+                    let head_ok = self.queue.peek().map(|h| h.at <= deadline).unwrap_or(false);
                     if !head_ok {
                         break;
                     }
@@ -396,7 +397,9 @@ mod tests {
         let id = eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| {
             w.log.push((0, "cancelled"))
         });
-        eng.schedule_at(SimTime::from_nanos(20), |w: &mut World, _| w.log.push((0, "kept")));
+        eng.schedule_at(SimTime::from_nanos(20), |w: &mut World, _| {
+            w.log.push((0, "kept"))
+        });
         eng.cancel(id);
         eng.run();
         assert_eq!(eng.world().log, vec![(0, "kept")]);
@@ -405,8 +408,12 @@ mod tests {
     #[test]
     fn run_until_advances_clock_to_deadline() {
         let mut eng = Engine::new(1, World::default());
-        eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| w.log.push((0, "x")));
-        eng.schedule_at(SimTime::from_nanos(100), |w: &mut World, _| w.log.push((0, "y")));
+        eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| {
+            w.log.push((0, "x"))
+        });
+        eng.schedule_at(SimTime::from_nanos(100), |w: &mut World, _| {
+            w.log.push((0, "y"))
+        });
         let t = eng.run_until(SimTime::from_nanos(50));
         assert_eq!(t, SimTime::from_nanos(50));
         assert_eq!(eng.world().log.len(), 1);
@@ -441,7 +448,13 @@ mod tests {
 
     #[test]
     fn mailbox_chains_events() {
-        let mut eng = Engine::new(7, MbWorld { mailbox: Mailbox::new(), hits: vec![] });
+        let mut eng = Engine::new(
+            7,
+            MbWorld {
+                mailbox: Mailbox::new(),
+                hits: vec![],
+            },
+        );
         eng.schedule_at(SimTime::from_nanos(1), |w: &mut MbWorld, c| {
             w.hits.push(c.now().as_nanos());
             w.mailbox.send_in(c, SimDuration::from_nanos(9), |w, c| {
@@ -458,7 +471,13 @@ mod tests {
     #[test]
     fn deterministic_given_same_seed() {
         fn run(seed: u64) -> Vec<u64> {
-            let mut eng = Engine::new(seed, MbWorld { mailbox: Mailbox::new(), hits: vec![] });
+            let mut eng = Engine::new(
+                seed,
+                MbWorld {
+                    mailbox: Mailbox::new(),
+                    hits: vec![],
+                },
+            );
             eng.schedule_at(SimTime::ZERO, |w: &mut MbWorld, c| {
                 for _ in 0..10 {
                     let jitter = c.rng().range_u64(0, 1000);
@@ -491,7 +510,13 @@ mod tests {
 
     #[test]
     fn run_for_with_mailbox_respects_deadline() {
-        let mut eng = Engine::new(1, MbWorld { mailbox: Mailbox::new(), hits: vec![] });
+        let mut eng = Engine::new(
+            1,
+            MbWorld {
+                mailbox: Mailbox::new(),
+                hits: vec![],
+            },
+        );
         eng.schedule_at(SimTime::from_nanos(1), |w: &mut MbWorld, c| {
             w.hits.push(c.now().as_nanos());
             w.mailbox.send_in(c, SimDuration::from_secs(10), |w, c| {

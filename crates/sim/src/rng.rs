@@ -17,7 +17,9 @@ impl SimRng {
     /// Creates a generator from a seed. Identical seeds yield identical
     /// streams on every platform.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator; useful to give each

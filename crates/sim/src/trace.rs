@@ -109,13 +109,23 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Computes statistics from an iterator of values.
+    /// Computes statistics from an iterator of values. NaN observations
+    /// (e.g. a rate computed over an empty window) are skipped rather
+    /// than poisoning the whole summary.
     pub fn from_values(values: impl IntoIterator<Item = f64>) -> Stats {
-        let mut v: Vec<f64> = values.into_iter().collect();
+        let mut v: Vec<f64> = values.into_iter().filter(|x| !x.is_nan()).collect();
         if v.is_empty() {
-            return Stats { count: 0, min: 0.0, max: 0.0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0 };
+            return Stats {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN observations"));
+        v.sort_by(f64::total_cmp);
         let count = v.len();
         let sum: f64 = v.iter().sum();
         let pct = |p: f64| -> f64 {
@@ -141,9 +151,14 @@ impl Stats {
 }
 
 /// A labelled monotonic counter set, e.g. packets sent/dropped/buffered.
+///
+/// Lookup goes through a `HashMap` index so `add`/`inc` on the data path
+/// are O(1) regardless of how many distinct counters a run creates; the
+/// `entries` vector preserves creation order for deterministic printing.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
     entries: Vec<(&'static str, u64)>,
+    index: std::collections::HashMap<&'static str, usize>,
 }
 
 impl Counters {
@@ -154,10 +169,12 @@ impl Counters {
 
     /// Adds `n` to the named counter, creating it at zero if absent.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == name) {
-            e.1 += n;
-        } else {
-            self.entries.push((name, n));
+        match self.index.get(name) {
+            Some(&i) => self.entries[i].1 += n,
+            None => {
+                self.index.insert(name, self.entries.len());
+                self.entries.push((name, n));
+            }
         }
     }
 
@@ -168,7 +185,10 @@ impl Counters {
 
     /// Reads a counter; absent counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
-        self.entries.iter().find(|(k, _)| *k == name).map(|&(_, v)| v).unwrap_or(0)
+        self.index
+            .get(name)
+            .map(|&i| self.entries[i].1)
+            .unwrap_or(0)
     }
 
     /// All counters in creation order.
@@ -208,6 +228,35 @@ mod tests {
     }
 
     #[test]
+    fn stats_skip_nan_instead_of_panicking() {
+        // Regression: `sort_by(partial_cmp)` used to panic on NaN input.
+        let s = Stats::from_values([2.0, f64::NAN, 1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 3, "NaN observations are excluded");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+
+        let all_nan = Stats::from_values([f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.count, 0, "all-NaN input degrades to empty");
+    }
+
+    #[test]
+    fn counters_iterate_in_creation_order_at_scale() {
+        let mut c = Counters::new();
+        let names: Vec<&'static str> = vec!["zeta", "alpha", "mid", "beta", "last"];
+        for (i, n) in names.iter().enumerate() {
+            c.add(n, i as u64 + 1);
+        }
+        for n in &names {
+            c.inc(n);
+        }
+        let seen: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(seen, names, "creation order survives indexed lookup");
+        assert_eq!(c.get("zeta"), 2);
+        assert_eq!(c.get("last"), 6);
+    }
+
+    #[test]
     fn series_count_above_and_max() {
         let mut ts = TimeSeries::new();
         for (i, v) in [1.0, 10.0, 3.0, 12.0].iter().enumerate() {
@@ -226,7 +275,10 @@ mod tests {
         ts.record(SimTime::from_nanos(20), 100.0);
         let m = ts.mean_in_window(SimTime::ZERO, SimTime::from_nanos(20));
         assert_eq!(m, Some(3.0));
-        assert_eq!(ts.mean_in_window(SimTime::from_nanos(30), SimTime::from_nanos(40)), None);
+        assert_eq!(
+            ts.mean_in_window(SimTime::from_nanos(30), SimTime::from_nanos(40)),
+            None
+        );
     }
 
     #[test]

@@ -58,10 +58,10 @@ pub fn tss_dos(n_attack: usize) -> Vec<DosRow> {
         .into_iter()
         .map(|mut r| {
             r.id += 1_000_000; // keep ids disjoint from the victim's
-            // Highest priority: every lookup must consider the attack
-            // tables before accepting a victim match (the attacker
-            // controls its own rules' priorities). They never match
-            // victim traffic thanks to the disjoint address block.
+                               // Highest priority: every lookup must consider the attack
+                               // tables before accepting a victim match (the attacker
+                               // controls its own rules' priorities). They never match
+                               // victim traffic thanks to the disjoint address block.
             r.precedence = 0;
             r.fields[Field::DstIp as usize] = FieldRange::exact(0xdead_0000);
             r
@@ -134,8 +134,12 @@ pub fn checkpoint_sweep(intervals_ms: &[u64]) -> Vec<CheckpointRow> {
             let mut eng = Engine::new(61, World::new(Deployment::L25gc, 2, 1));
             World::bring_up_ue(&mut eng, 1);
             World::enable_resilience(&mut eng);
-            eng.world_mut().res.as_mut().expect("harness").policy.interval =
-                SimDuration::from_millis(ms);
+            eng.world_mut()
+                .res
+                .as_mut()
+                .expect("harness")
+                .policy
+                .interval = SimDuration::from_millis(ms);
             eng.schedule_in(SimDuration::ZERO, |w: &mut World, ctx| {
                 w.start_cbr(1, 0, 10_000, 200, SimDuration::from_secs(1), ctx);
             });
@@ -189,7 +193,11 @@ pub fn canary_rollout(weight_pct: u32, total: usize) -> CanaryRow {
     let canary_sessions = (0..total)
         .filter(|_| m.route(SMF, rng.f64()) == Some(31))
         .count();
-    CanaryRow { weight_pct, canary_sessions, total }
+    CanaryRow {
+        weight_pct,
+        canary_sessions,
+        total,
+    }
 }
 
 // ---------------------------------------------------------------------

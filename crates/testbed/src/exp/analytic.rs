@@ -74,11 +74,18 @@ pub fn smart_buffering_table(cost: &CostModel) -> Vec<SmartBufferingRow> {
         prop: cost.upf_gnb_prop,
     };
     let mut rows = Vec::new();
-    for (case, gnb, upf) in
-        [("case i: equal buffers", 500u64, 500u64), ("case ii: bigger UPF buffer", 500, 1500)]
-    {
-        let s_gnb = BufferingScenario { buffer_pkts: gnb, ..base };
-        let s_upf = BufferingScenario { buffer_pkts: upf, ..base };
+    for (case, gnb, upf) in [
+        ("case i: equal buffers", 500u64, 500u64),
+        ("case ii: bigger UPF buffer", 500, 1500),
+    ] {
+        let s_gnb = BufferingScenario {
+            buffer_pkts: gnb,
+            ..base
+        };
+        let s_upf = BufferingScenario {
+            buffer_pkts: upf,
+            ..base
+        };
         let owd = eq2_owd(&base);
         rows.push(SmartBufferingRow {
             case,
@@ -110,7 +117,10 @@ mod tests {
     fn case_ii_upf_sees_no_loss() {
         let rows = smart_buffering_table(&CostModel::paper());
         let ii = &rows[1];
-        assert_eq!(ii.drops_l25gc, 0, "1500-packet UPF buffer absorbs the burst");
+        assert_eq!(
+            ii.drops_l25gc, 0,
+            "1500-packet UPF buffer absorbs the burst"
+        );
         assert_eq!(ii.drops_3gpp, 800, "gNB still overflows");
     }
 

@@ -34,7 +34,10 @@ fn pfcp_exchange(dep: Deployment, req: pfcp::Message, resp_len: usize) -> SimDur
         MsgType::SessionModificationResponse,
         1,
         1,
-        IeSet { cause: Some(pfcp::Cause::Accepted), ..IeSet::default() },
+        IeSet {
+            cause: Some(pfcp::Cause::Accepted),
+            ..IeSet::default()
+        },
     );
     let mut resp_env = Envelope::new(Endpoint::UpfC, Endpoint::Smf, Msg::N4(resp));
     // Use the caller-provided response size via padding semantics: the
@@ -51,12 +54,8 @@ fn pfcp_exchange(dep: Deployment, req: pfcp::Message, resp_len: usize) -> SimDur
 
 /// Computes Fig 7 for the three PFCP messages the paper highlights.
 pub fn fig7() -> Vec<PfcpLatencyRow> {
-    let session_establishment = pfcp::Message::session(
-        MsgType::SessionEstablishmentRequest,
-        1,
-        1,
-        IeSet::default(),
-    );
+    let session_establishment =
+        pfcp::Message::session(MsgType::SessionEstablishmentRequest, 1, 1, IeSet::default());
     let modification = pfcp::Message::session(
         MsgType::SessionModificationRequest,
         1,
@@ -74,7 +73,11 @@ pub fn fig7() -> Vec<PfcpLatencyRow> {
         MsgType::SessionReportRequest,
         1,
         1,
-        IeSet { report_downlink_data: true, downlink_data_pdr: Some(2), ..IeSet::default() },
+        IeSet {
+            report_downlink_data: true,
+            downlink_data_pdr: Some(2),
+            ..IeSet::default()
+        },
     );
 
     [
@@ -154,17 +157,25 @@ pub fn fig8() -> Vec<EventRow> {
     let onvm = run_events(Deployment::OnvmUpf);
     let l25 = run_events(Deployment::L25gc);
     let get = |set: &[(UeEvent, f64)], ev: UeEvent| {
-        set.iter().find(|(e, _)| *e == ev).map(|&(_, ms)| ms).expect("event completed")
+        set.iter()
+            .find(|(e, _)| *e == ev)
+            .map(|&(_, ms)| ms)
+            .expect("event completed")
     };
-    [UeEvent::Registration, UeEvent::SessionRequest, UeEvent::Handover, UeEvent::Paging]
-        .into_iter()
-        .map(|ev| EventRow {
-            event: ev,
-            free5gc_ms: get(&free, ev),
-            onvm_upf_ms: get(&onvm, ev),
-            l25gc_ms: get(&l25, ev),
-        })
-        .collect()
+    [
+        UeEvent::Registration,
+        UeEvent::SessionRequest,
+        UeEvent::Handover,
+        UeEvent::Paging,
+    ]
+    .into_iter()
+    .map(|ev| EventRow {
+        event: ev,
+        free5gc_ms: get(&free, ev),
+        onvm_upf_ms: get(&onvm, ev),
+        l25gc_ms: get(&l25, ev),
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -212,7 +223,10 @@ mod tests {
     #[test]
     fn fig8_handover_near_paper_values() {
         let rows = fig8();
-        let ho = rows.iter().find(|r| r.event == UeEvent::Handover).expect("HO row");
+        let ho = rows
+            .iter()
+            .find(|r| r.event == UeEvent::Handover)
+            .expect("HO row");
         // Paper Table 2: 227 ms vs 130 ms (HO data interruption); the
         // Fig 8 completion additionally includes the mobility
         // registration update, so the free5GC bar sits above 227.
@@ -231,7 +245,10 @@ mod tests {
     #[test]
     fn fig8_paging_near_paper_values() {
         let rows = fig8();
-        let pg = rows.iter().find(|r| r.event == UeEvent::Paging).expect("paging row");
+        let pg = rows
+            .iter()
+            .find(|r| r.event == UeEvent::Paging)
+            .expect("paging row");
         assert!(
             (45.0..75.0).contains(&pg.free5gc_ms),
             "free5GC paging {:.0} ms (paper ≈ 59)",

@@ -89,9 +89,16 @@ mod tests {
         let free = fig10(Deployment::Free5gc, &cost, 10.0);
         let l25 = fig10(Deployment::L25gc, &cost, 10.0);
         let ratio = l25[0].uni_gbps / free[0].uni_gbps;
-        assert!((20.0..30.0).contains(&ratio), "68 B ratio {ratio} (paper: 27x)");
+        assert!(
+            (20.0..30.0).contains(&ratio),
+            "68 B ratio {ratio} (paper: 27x)"
+        );
         // L25GC is at line rate for small packets.
-        assert!(l25[0].uni_gbps > 9.9, "line rate at 68 B: {}", l25[0].uni_gbps);
+        assert!(
+            l25[0].uni_gbps > 9.9,
+            "line rate at 68 B: {}",
+            l25[0].uni_gbps
+        );
         // free5GC throughput grows with packet size.
         assert!(free[5].uni_gbps > free[0].uni_gbps * 10.0);
     }
@@ -117,8 +124,16 @@ mod tests {
     #[test]
     fn scaling_matches_section53() {
         let rows = scaling_40g(&CostModel::paper());
-        assert!((rows[0].gbps - 10.0).abs() < 0.5, "1 core ⇒ 10 G, got {}", rows[0].gbps);
-        assert!((24.0..32.0).contains(&rows[1].gbps), "2 cores ⇒ ~28 G, got {}", rows[1].gbps);
+        assert!(
+            (rows[0].gbps - 10.0).abs() < 0.5,
+            "1 core ⇒ 10 G, got {}",
+            rows[0].gbps
+        );
+        assert!(
+            (24.0..32.0).contains(&rows[1].gbps),
+            "2 cores ⇒ ~28 G, got {}",
+            rows[1].gbps
+        );
         assert!(rows[2].gbps >= 39.0, "4 cores ⇒ 40 G, got {}", rows[2].gbps);
     }
 
@@ -129,6 +144,11 @@ mod tests {
         // At MTU one direction is port-capped at 10 G while the shared
         // core can push ~14 G total across both ports.
         let last = l25.last().unwrap();
-        assert!(last.bidir_gbps > last.uni_gbps * 1.3, "{} vs {}", last.bidir_gbps, last.uni_gbps);
+        assert!(
+            last.bidir_gbps > last.uni_gbps * 1.3,
+            "{} vs {}",
+            last.bidir_gbps,
+            last.uni_gbps
+        );
     }
 }

@@ -176,7 +176,11 @@ pub fn run_failover_data(
     let w = eng.world();
     let tx = &w.apps.tcp[&0];
     FailoverDataRow {
-        approach: if resilient { "L25GC failover" } else { "3GPP reattach" },
+        approach: if resilient {
+            "L25GC failover"
+        } else {
+            "3GPP reattach"
+        },
         transferred_mb: (tx.acked_segments() * MSS as u64) as f64 / 1e6,
         packets_dropped: w.outage_drops,
         timeouts: tx.timeouts,
@@ -246,7 +250,11 @@ mod tests {
         let l25 = &rows[0];
         let gpp = &rows[1];
         assert_eq!(l25.packets_dropped, 0, "the logger loses nothing");
-        assert!(gpp.packets_dropped > 50, "reattach drops in-flight data: {}", gpp.packets_dropped);
+        assert!(
+            gpp.packets_dropped > 50,
+            "reattach drops in-flight data: {}",
+            gpp.packets_dropped
+        );
         assert!(gpp.timeouts > 0, "the 3GPP outage exceeds the RTO");
         assert!(
             l25.transferred_mb > gpp.transferred_mb,
@@ -267,6 +275,10 @@ mod tests {
         // dropped packets) and eats RTO timeouts; L25GC's worst delay is
         // bounded by the handover stall plus a few failover ms.
         assert!(gpp.timeouts >= 1, "reattach outage exceeds the RTO");
-        assert!(l25.max_rtt_ms < 400.0, "L25GC worst RTT bounded: {}", l25.max_rtt_ms);
+        assert!(
+            l25.max_rtt_ms < 400.0,
+            "L25GC worst RTT bounded: {}",
+            l25.max_rtt_ms
+        );
     }
 }

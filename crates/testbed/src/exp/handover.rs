@@ -43,7 +43,14 @@ pub fn run_handover(deployment: Deployment, concurrent_ues: u64) -> HandoverRow 
     // All UEs stream 10 Kpps downlink for 3 s; UE 1 hands over at 1 s.
     eng.schedule_in(SimDuration::ZERO, move |w: &mut World, ctx| {
         for ue in 1..=concurrent_ues {
-            w.start_cbr(ue, ue as u32 - 1, 10_000, 200, SimDuration::from_secs(3), ctx);
+            w.start_cbr(
+                ue,
+                ue as u32 - 1,
+                10_000,
+                200,
+                SimDuration::from_secs(3),
+                ctx,
+            );
         }
     });
     eng.schedule_in(SimDuration::from_secs(1), |w: &mut World, ctx| {
@@ -61,16 +68,17 @@ pub fn run_handover(deployment: Deployment, concurrent_ues: u64) -> HandoverRow 
         .expect("handover completed");
     let flow = &w.apps.cbr[0]; // UE 1's flow
     let warmup_end = traffic_start + SimDuration::from_millis(900);
-    let base_rtt_us =
-        flow.rtt.mean_in_window(traffic_start, warmup_end).expect("warm-up samples");
+    let base_rtt_us = flow
+        .rtt
+        .mean_in_window(traffic_start, warmup_end)
+        .expect("warm-up samples");
     let threshold = SimDuration::from_micros_f64(base_rtt_us * 4.0);
     // "HO time" in Table 2 is the data-interruption window: from the
     // trigger until the flushed packets reach the UE ≈ the max RTT.
     let rtt_after_ms = flow.max_rtt().expect("samples") / 1000.0;
     // The paper counts delayed packets across *all* concurrent flows in
     // experiment (ii) ("an increased RTT ... for all the data packets").
-    let pkts_higher_rtt: usize =
-        w.apps.cbr.iter().map(|f| f.pkts_above(threshold)).sum();
+    let pkts_higher_rtt: usize = w.apps.cbr.iter().map(|f| f.pkts_above(threshold)).sum();
     let pkts_dropped: u64 = w.apps.cbr.iter().map(|f| f.lost()).sum();
     HandoverRow {
         system: match deployment {
@@ -109,8 +117,16 @@ mod tests {
         let l25 = run_handover(Deployment::L25gc, 1);
 
         // Base RTT 118 µs vs 24 µs.
-        assert!((90.0..140.0).contains(&free.base_rtt_us), "free base {}", free.base_rtt_us);
-        assert!((15.0..40.0).contains(&l25.base_rtt_us), "l25 base {}", l25.base_rtt_us);
+        assert!(
+            (90.0..140.0).contains(&free.base_rtt_us),
+            "free base {}",
+            free.base_rtt_us
+        );
+        assert!(
+            (15.0..40.0).contains(&l25.base_rtt_us),
+            "l25 base {}",
+            l25.base_rtt_us
+        );
 
         // Data interruption ≈ 227 ms vs 130 ms; our model lands close.
         assert!(
@@ -123,7 +139,10 @@ mod tests {
             "l25 RTT-after {} ms (paper 132)",
             l25.rtt_after_ms
         );
-        assert!(free.rtt_after_ms > l25.rtt_after_ms * 1.3, "free5GC stalls longer");
+        assert!(
+            free.rtt_after_ms > l25.rtt_after_ms * 1.3,
+            "free5GC stalls longer"
+        );
 
         // More packets see elevated RTT under free5GC (2301 vs 1437).
         assert!(
@@ -132,7 +151,11 @@ mod tests {
             free.pkts_higher_rtt,
             l25.pkts_higher_rtt
         );
-        assert!((1_000..3_200).contains(&free.pkts_higher_rtt), "{}", free.pkts_higher_rtt);
+        assert!(
+            (1_000..3_200).contains(&free.pkts_higher_rtt),
+            "{}",
+            free.pkts_higher_rtt
+        );
 
         // No drops with a 3 K buffer in either system (expt i).
         assert_eq!(free.pkts_dropped, 0);
@@ -158,6 +181,9 @@ mod tests {
         // Before the handover: flat base RTT; around it: the spike.
         let before = row.base_rtt_us;
         let spike = row.series.max().unwrap();
-        assert!(spike > before * 1000.0, "spike {spike} µs over base {before} µs");
+        assert!(
+            spike > before * 1000.0,
+            "spike {spike} µs over base {before} µs"
+        );
     }
 }

@@ -40,10 +40,7 @@ pub fn run_paging(deployment: Deployment) -> PagingRow {
     });
     eng.run_with_mailbox();
     let warm_end = eng.now();
-    let base_rtt_us = eng
-        .world()
-        .apps
-        .cbr[0]
+    let base_rtt_us = eng.world().apps.cbr[0]
         .mean_rtt_in(SimTime::ZERO, warm_end)
         .expect("warm-up RTT samples");
 
@@ -85,7 +82,10 @@ pub fn run_paging(deployment: Deployment) -> PagingRow {
 
 /// Table 1: free5GC vs L²5GC.
 pub fn table1() -> Vec<PagingRow> {
-    vec![run_paging(Deployment::Free5gc), run_paging(Deployment::L25gc)]
+    vec![
+        run_paging(Deployment::Free5gc),
+        run_paging(Deployment::L25gc),
+    ]
 }
 
 #[cfg(test)]
@@ -99,14 +99,33 @@ mod tests {
         let l25 = &rows[1];
 
         // Base RTT: 116 µs vs 25 µs (≈ 4×).
-        assert!((90.0..140.0).contains(&free.base_rtt_us), "free base {}", free.base_rtt_us);
-        assert!((15.0..40.0).contains(&l25.base_rtt_us), "l25 base {}", l25.base_rtt_us);
+        assert!(
+            (90.0..140.0).contains(&free.base_rtt_us),
+            "free base {}",
+            free.base_rtt_us
+        );
+        assert!(
+            (15.0..40.0).contains(&l25.base_rtt_us),
+            "l25 base {}",
+            l25.base_rtt_us
+        );
         let base_ratio = free.base_rtt_us / l25.base_rtt_us;
-        assert!((3.0..6.0).contains(&base_ratio), "~4x base RTT gap, got {base_ratio:.1}");
+        assert!(
+            (3.0..6.0).contains(&base_ratio),
+            "~4x base RTT gap, got {base_ratio:.1}"
+        );
 
         // Paging time: 59 ms vs 28 ms (≈ 2×).
-        assert!((45.0..75.0).contains(&free.paging_time_ms), "free paging {}", free.paging_time_ms);
-        assert!((20.0..40.0).contains(&l25.paging_time_ms), "l25 paging {}", l25.paging_time_ms);
+        assert!(
+            (45.0..75.0).contains(&free.paging_time_ms),
+            "free paging {}",
+            free.paging_time_ms
+        );
+        assert!(
+            (20.0..40.0).contains(&l25.paging_time_ms),
+            "l25 paging {}",
+            l25.paging_time_ms
+        );
         assert!(
             free.paging_time_ms / l25.paging_time_ms >= 1.7,
             "paper: at least ~2x paging reduction"
@@ -140,6 +159,9 @@ mod tests {
         // The spike is the paging stall; afterwards RTT returns to base.
         assert!(peak > row.base_rtt_us * 100.0, "clear spike");
         let last = sorted.last().unwrap().1;
-        assert!(last < row.base_rtt_us * 4.0, "drains back to base, got {last}");
+        assert!(
+            last < row.base_rtt_us * 4.0,
+            "drains back to base, got {last}"
+        );
     }
 }

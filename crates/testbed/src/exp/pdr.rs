@@ -53,7 +53,12 @@ fn measure_lookups<C: Classifier>(c: &C, keys: &[PacketKey]) -> f64 {
 fn row(structure: &'static str, rules: usize, lookup_ns: f64) -> PdrRow {
     // Forwarding rate when the classifier is the bottleneck stage.
     let mpps = 1e3 / lookup_ns; // 1e9 ns/s ÷ ns ÷ 1e6
-    PdrRow { structure, rules, lookup_ns, mpps }
+    PdrRow {
+        structure,
+        rules,
+        lookup_ns,
+        mpps,
+    }
 }
 
 /// Runs the Fig 11a/b sweep. Returns rows for PDR-LL, PDR-TSS (best and
@@ -77,8 +82,7 @@ fn fig11_with_profile(rule_counts: &[usize], profile: Profile) -> Vec<PdrRow> {
         for r in &rules {
             ll.insert(r.clone());
         }
-        let keys: Vec<PacketKey> =
-            rules[n / 2..].iter().map(|r| gen.matching_key(r)).collect();
+        let keys: Vec<PacketKey> = rules[n / 2..].iter().map(|r| gen.matching_key(r)).collect();
         rows.push(row("PDR-LL", n, measure_lookups(&ll, &keys)));
 
         // ---- PDR-PS on the same mixed set. ----
@@ -95,8 +99,7 @@ fn fig11_with_profile(rule_counts: &[usize], profile: Profile) -> Vec<PdrRow> {
         for r in &best_rules {
             tss.insert(r.clone());
         }
-        let keys: Vec<PacketKey> =
-            best_rules.iter().map(|r| gen.matching_key(r)).collect();
+        let keys: Vec<PacketKey> = best_rules.iter().map(|r| gen.matching_key(r)).collect();
         rows.push(row("PDR-TSS_Best", n, measure_lookups(&tss, &keys)));
 
         // ---- PDR-TSS worst case: a tuple per rule; match in the last
@@ -108,8 +111,10 @@ fn fig11_with_profile(rule_counts: &[usize], profile: Profile) -> Vec<PdrRow> {
         for r in &worst_rules {
             tss.insert(r.clone());
         }
-        let keys: Vec<PacketKey> =
-            worst_rules[n.saturating_sub(3)..].iter().map(|r| gen.matching_key(r)).collect();
+        let keys: Vec<PacketKey> = worst_rules[n.saturating_sub(3)..]
+            .iter()
+            .map(|r| gen.matching_key(r))
+            .collect();
         rows.push(row("PDR-TSS_Worst", n, measure_lookups(&tss, &keys)));
     }
     rows
@@ -148,9 +153,18 @@ pub fn pdr_update() -> Vec<UpdateRow> {
     }
 
     vec![
-        UpdateRow { structure: "PDR-LL", update_us: measure(&mut LinearList::new(), base, fresh) },
-        UpdateRow { structure: "PDR-TSS", update_us: measure(&mut TupleSpace::new(), base, fresh) },
-        UpdateRow { structure: "PDR-PS", update_us: measure(&mut PartitionSort::new(), base, fresh) },
+        UpdateRow {
+            structure: "PDR-LL",
+            update_us: measure(&mut LinearList::new(), base, fresh),
+        },
+        UpdateRow {
+            structure: "PDR-TSS",
+            update_us: measure(&mut TupleSpace::new(), base, fresh),
+        },
+        UpdateRow {
+            structure: "PDR-PS",
+            update_us: measure(&mut PartitionSort::new(), base, fresh),
+        },
     ]
 }
 
@@ -159,7 +173,9 @@ mod tests {
     use super::*;
 
     fn rows_for<'a>(rows: &'a [PdrRow], s: &str, n: usize) -> &'a PdrRow {
-        rows.iter().find(|r| r.structure == s && r.rules == n).expect("row")
+        rows.iter()
+            .find(|r| r.structure == s && r.rules == n)
+            .expect("row")
     }
 
     #[test]
@@ -172,8 +188,16 @@ mod tests {
         let worst = rows_for(&rows, "PDR-TSS_Worst", 1_000);
         // The paper's ordering at large rule counts:
         // PS ≤ TSS_Best < LL << TSS_Worst.
-        assert!(ps.lookup_ns < ll.lookup_ns, "PS {} < LL {}", ps.lookup_ns, ll.lookup_ns);
-        assert!(best.lookup_ns < ll.lookup_ns, "TSS_Best beats LL at 1k rules");
+        assert!(
+            ps.lookup_ns < ll.lookup_ns,
+            "PS {} < LL {}",
+            ps.lookup_ns,
+            ll.lookup_ns
+        );
+        assert!(
+            best.lookup_ns < ll.lookup_ns,
+            "TSS_Best beats LL at 1k rules"
+        );
         assert!(worst.lookup_ns > best.lookup_ns * 5.0, "TSS_Worst blows up");
         // Fig 11b is the reciprocal: PS has the best throughput.
         assert!(ps.mpps >= best.mpps * 0.5);
@@ -190,7 +214,12 @@ mod tests {
     #[test]
     fn update_ordering_matches_paper() {
         let rows = pdr_update();
-        let get = |s: &str| rows.iter().find(|r| r.structure == s).expect("row").update_us;
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.structure == s)
+                .expect("row")
+                .update_us
+        };
         let ll = get("PDR-LL");
         let tss = get("PDR-TSS");
         let ps = get("PDR-PS");
@@ -201,7 +230,10 @@ mod tests {
         // flips with optimization level and allocator noise).
         assert!(ll < tss, "LL {ll} < TSS {tss}");
         assert!(ll < ps, "LL {ll} < PS {ps}");
-        assert!(tss < ps * 5.0 && ps < tss * 5.0, "same magnitude: TSS {tss}, PS {ps}");
+        assert!(
+            tss < ps * 5.0 && ps < tss * 5.0,
+            "same magnitude: TSS {tss}, PS {ps}"
+        );
         assert!(ps < 100.0, "PS update stays microseconds-scale: {ps}");
     }
 }

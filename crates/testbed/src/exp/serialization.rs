@@ -107,9 +107,21 @@ pub struct SpeedupRow {
 /// Computes Fig 9 for the selected control-plane messages.
 pub fn fig9_speedup(cost: &CostModel) -> (Vec<SpeedupRow>, f64) {
     let msgs: Vec<(&'static str, usize, usize)> = vec![
-        ("PostSmContexts (AMF→SMF)", SmContextCreateData::sample().to_json().len(), 260),
-        ("UpdateSmContext (AMF→SMF)", SmContextUpdateData::sample().to_json().len(), 280),
-        ("UeAuthentication (AMF→AUSF)", UeAuthenticationRequest::sample().to_json().len(), 540),
+        (
+            "PostSmContexts (AMF→SMF)",
+            SmContextCreateData::sample().to_json().len(),
+            260,
+        ),
+        (
+            "UpdateSmContext (AMF→SMF)",
+            SmContextUpdateData::sample().to_json().len(),
+            280,
+        ),
+        (
+            "UeAuthentication (AMF→AUSF)",
+            UeAuthenticationRequest::sample().to_json().len(),
+            540,
+        ),
         ("AmPolicyCreate (AMF→PCF)", 420, 680),
         ("UecmRegistration (AMF→UDM)", 380, 120),
         ("SdmGetData (AMF→UDM)", 150, 900),
@@ -137,15 +149,24 @@ mod tests {
     fn fig6_ordering_matches_paper() {
         let rows = fig6_serialization();
         let get = |name: &str| {
-            rows.iter().find(|r| r.codec.starts_with(name)).expect("row present").clone()
+            rows.iter()
+                .find(|r| r.codec.starts_with(name))
+                .expect("row present")
+                .clone()
         };
         let json = get("JSON");
         let proto = get("Protobuf");
         let flat = get("FlatBuffers");
         let shm = get("L25GC");
         // Serialization: JSON > protobuf > flatbuffers >> shm.
-        assert!(json.serialize_ns > proto.serialize_ns, "JSON slower than proto");
-        assert!(proto.serialize_ns > shm.serialize_ns, "proto slower than shm");
+        assert!(
+            json.serialize_ns > proto.serialize_ns,
+            "JSON slower than proto"
+        );
+        assert!(
+            proto.serialize_ns > shm.serialize_ns,
+            "proto slower than shm"
+        );
         // Deserialization: flat's zero-parse read beats both full parsers.
         assert!(json.deserialize_ns > flat.deserialize_ns);
         assert!(proto.deserialize_ns > flat.deserialize_ns);

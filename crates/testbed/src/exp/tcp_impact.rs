@@ -65,9 +65,14 @@ pub fn run_tcp_impact(
 
     let w = eng.world();
     let senders = &w.apps.tcp;
-    let transferred: u64 = senders.values().map(|s| s.acked_segments() * MSS as u64).sum();
-    let max_rtt_us =
-        senders.values().filter_map(|s| s.rtt_trace.max()).fold(0.0f64, f64::max);
+    let transferred: u64 = senders
+        .values()
+        .map(|s| s.acked_segments() * MSS as u64)
+        .sum();
+    let max_rtt_us = senders
+        .values()
+        .filter_map(|s| s.rtt_trace.max())
+        .fold(0.0f64, f64::max);
     let handovers = w
         .core
         .events
@@ -108,7 +113,11 @@ mod tests {
         let rows = fig17();
         let free = &rows[0];
         let l25 = &rows[1];
-        assert!(free.handovers >= 6, "handovers executed: {}", free.handovers);
+        assert!(
+            free.handovers >= 6,
+            "handovers executed: {}",
+            free.handovers
+        );
         assert!(l25.handovers >= 6);
 
         // free5GC times out on handovers; L25GC doesn't (RTT cap ≈ 130 ms
@@ -137,6 +146,10 @@ mod tests {
         // Karn's rule (its stalled segments get retransmitted and are
         // excluded from RTT sampling), so the free5GC penalty shows up
         // as timeouts/goodput above, not in max-RTT.
-        assert!((100.0..320.0).contains(&l25.max_rtt_ms), "L25GC max RTT {}", l25.max_rtt_ms);
+        assert!(
+            (100.0..320.0).contains(&l25.max_rtt_ms),
+            "L25GC max RTT {}",
+            l25.max_rtt_ms
+        );
     }
 }

@@ -51,7 +51,10 @@ pub fn run_plt(deployment: Deployment, ho_interval: SimDuration) -> PltRow {
 
     let w = eng.world();
     let page = w.apps.page.as_ref().expect("page experiment");
-    assert!(page.is_complete(), "page must finish within the experiment window");
+    assert!(
+        page.is_complete(),
+        "page must finish within the experiment window"
+    );
     let senders = &w.apps.tcp;
     let max_stall_us = senders
         .values()
@@ -75,7 +78,12 @@ impl World {
     /// Arms the next ping-pong handover (used by the Fig 12 harness).
     pub fn arm_next_handover(&mut self, ctx: &mut l25gc_sim::Ctx, interval: SimDuration) {
         self.mailbox.send_in(ctx, interval, move |w, ctx| {
-            if w.apps.page.as_ref().map(|p| p.is_complete()).unwrap_or(true) {
+            if w.apps
+                .page
+                .as_ref()
+                .map(|p| p.is_complete())
+                .unwrap_or(true)
+            {
                 return;
             }
             let current = w.ran.ues[&1].serving_gnb;
@@ -90,7 +98,10 @@ impl World {
 /// Fig 12: free5GC vs L²5GC with intermittent handovers (every 5 s).
 pub fn fig12() -> Vec<PltRow> {
     let interval = SimDuration::from_secs(5);
-    vec![run_plt(Deployment::Free5gc, interval), run_plt(Deployment::L25gc, interval)]
+    vec![
+        run_plt(Deployment::Free5gc, interval),
+        run_plt(Deployment::L25gc, interval),
+    ]
 }
 
 #[cfg(test)]
@@ -107,9 +118,17 @@ mod tests {
         // Firefox/Linux stack, so the measured gain is smaller; the
         // *ordering* and the timeout mechanism are the reproducible
         // shape (see EXPERIMENTS.md).
-        assert!(l25.plt_s < free.plt_s, "L25GC must load faster: {} vs {}", l25.plt_s, free.plt_s);
+        assert!(
+            l25.plt_s < free.plt_s,
+            "L25GC must load faster: {} vs {}",
+            l25.plt_s,
+            free.plt_s
+        );
         let gain = (free.plt_s - l25.plt_s) / free.plt_s * 100.0;
-        assert!((0.5..30.0).contains(&gain), "PLT gain {gain:.1}% (paper 12.5%)");
+        assert!(
+            (0.5..30.0).contains(&gain),
+            "PLT gain {gain:.1}% (paper 12.5%)"
+        );
         // The floor: ~77 MB at 30 Mbps is ≥ 20 s.
         assert!(l25.plt_s > 18.0, "PLT {} s", l25.plt_s);
         assert!(free.plt_s < 60.0);

@@ -6,6 +6,7 @@
 
 pub mod exp;
 pub mod netem;
+pub mod trace;
 pub mod world;
 
 pub use netem::{NetEm, Shaper};

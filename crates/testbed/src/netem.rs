@@ -21,12 +21,22 @@ pub struct Shaper {
 impl Shaper {
     /// An unshaped direction (zero delay, infinite rate).
     pub fn unshaped() -> Shaper {
-        Shaper { rate_bps: None, prop: SimDuration::ZERO, queue_pkts: None, busy_until: SimTime::ZERO }
+        Shaper {
+            rate_bps: None,
+            prop: SimDuration::ZERO,
+            queue_pkts: None,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// A shaped direction.
     pub fn new(rate_bps: f64, prop: SimDuration, queue_pkts: Option<usize>) -> Shaper {
-        Shaper { rate_bps: Some(rate_bps), prop, queue_pkts, busy_until: SimTime::ZERO }
+        Shaper {
+            rate_bps: Some(rate_bps),
+            prop,
+            queue_pkts,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// Computes the transit delay for a packet of `size` bytes arriving
@@ -68,7 +78,11 @@ pub struct NetEm {
 impl NetEm {
     /// No shaping at all (the data-plane microbenchmarks).
     pub fn off() -> NetEm {
-        NetEm { dl: Shaper::unshaped(), ul: Shaper::unshaped(), dl_drops: 0 }
+        NetEm {
+            dl: Shaper::unshaped(),
+            ul: Shaper::unshaped(),
+            dl_drops: 0,
+        }
     }
 
     /// The §5.4.1 web experiment: 30 Mbps bottleneck, 20 ms RTT. The
@@ -162,6 +176,9 @@ mod tests {
         let dl = ne.dl.transit(SimTime::ZERO, 1500).unwrap();
         let ul = ne.ul.transit(SimTime::ZERO, 40).unwrap();
         let rtt = (dl + ul).as_millis_f64();
-        assert!((20.0..22.0).contains(&rtt), "configured RTT ≈ 20 ms, got {rtt}");
+        assert!(
+            (20.0..22.0).contains(&rtt),
+            "configured RTT ≈ 20 ms, got {rtt}"
+        );
     }
 }

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use l25gc_core::msg::{DataPacket, Endpoint, Envelope, Msg, UeId};
 use l25gc_core::net::{CoreNetwork, HandoverScheme};
 use l25gc_core::Deployment;
+use l25gc_obs::{EventKind, ProcKind};
 use l25gc_ran::{echo, CbrFlow, PageLoad, Ran, TcpReceiver, TcpSender};
 use l25gc_resilience::{CheckpointPolicy, FailoverTimeline, PacketLogger, Replica, ReplicaState};
 use l25gc_sim::{Ctx, Engine, HasMailbox, Mailbox, SimDuration, SimTime};
@@ -190,7 +191,8 @@ impl World {
             res.checkpoints_deferred += 1;
         }
         let interval = res.policy.interval;
-        self.mailbox.send_in(ctx, interval, |w, ctx| w.take_checkpoint(ctx));
+        self.mailbox
+            .send_in(ctx, interval, |w, ctx| w.take_checkpoint(ctx));
     }
 
     /// Kills the primary at the current instant. With resiliency on, the
@@ -201,28 +203,78 @@ impl World {
         self.primary_alive = false;
         if let Some(res) = self.res.as_ref() {
             let delay = res.timeline.total();
-            self.mailbox.send_in(ctx, delay, |w, ctx| w.failover(ctx));
+            let failed_at = ctx.now();
+            self.mailbox
+                .send_in(ctx, delay, move |w, ctx| w.failover(failed_at, ctx));
         }
     }
 
-    fn failover(&mut self, ctx: &mut Ctx) {
+    fn failover(&mut self, failed_at: SimTime, ctx: &mut Ctx) {
         let res = self.res.as_mut().expect("resilience enabled");
+        let timeline = res.timeline;
         // Wake the replica with the checkpointed state.
         self.core = res.replica.unfreeze(ctx.now());
-        res.suppress_remaining =
-            res.outputs_released.saturating_sub(res.outputs_at_checkpoint);
+        res.suppress_remaining = res
+            .outputs_released
+            .saturating_sub(res.outputs_at_checkpoint);
         self.primary_alive = true;
+        // Record the failover timeline on the *live* (replica) core, which
+        // is the one whose trace gets drained afterwards. Unit-level ids:
+        // service 0 = the 5GC unit, instance 1 = primary, 2 = replica.
+        let now = ctx.now();
+        self.core.obs.event(
+            failed_at,
+            EventKind::NfFailure {
+                service: 0,
+                instance: 1,
+            },
+        );
+        self.core.obs.event(
+            now,
+            EventKind::NfUnfreeze {
+                service: 0,
+                instance: 2,
+            },
+        );
+        self.core
+            .obs
+            .spans
+            .record_completed(ProcKind::Failover, 0, failed_at, now);
+        self.core.obs.hists.record(
+            ProcKind::Failover.name(),
+            now.duration_since(failed_at).as_nanos(),
+        );
+        // Per-phase segments: detect, then reroute, with replay overlapped
+        // into the tail of rerouting by the timeline's overlap fraction.
+        let detect_end = failed_at + timeline.detect;
+        self.core
+            .obs
+            .spans
+            .record_segment("lb", "detect", failed_at, timeline.detect);
+        self.core
+            .obs
+            .spans
+            .record_segment("lb", "reroute", detect_end, timeline.reroute);
+        let replay_start = detect_end
+            + timeline
+                .reroute
+                .saturating_sub(timeline.replay * timeline.overlap);
+        self.core
+            .obs
+            .spans
+            .record_segment("lb", "replay", replay_start, timeline.replay);
         // Replay the log in counter order. Each entry re-enters the core
         // back-to-back (replay already accounted in the timeline).
         let entries = res.logger.replay();
         let per_entry = SimDuration::from_micros(2);
         for (i, e) in entries.into_iter().enumerate() {
             let env = e.env;
-            self.mailbox.send_in(ctx, per_entry * (i as u64 + 1), move |w, ctx| {
-                w.in_replay = true;
-                w.deliver_to_core(env, ctx);
-                w.in_replay = false;
-            });
+            self.mailbox
+                .send_in(ctx, per_entry * (i as u64 + 1), move |w, ctx| {
+                    w.in_replay = true;
+                    w.deliver_to_core(env, ctx);
+                    w.in_replay = false;
+                });
         }
     }
 
@@ -252,7 +304,10 @@ impl World {
                 .map(|(t, _)| *t);
             let (seid, far_tunnel) = {
                 let s = &self.core.smf.sessions[&ue];
-                (s.seid, dl_teid.map(|teid| l25gc_pkt::ngap::TunnelInfo { teid, addr: gnb }))
+                (
+                    s.seid,
+                    dl_teid.map(|teid| l25gc_pkt::ngap::TunnelInfo { teid, addr: gnb }),
+                )
             };
             if let Some(tun) = far_tunnel {
                 use l25gc_pkt::pfcp;
@@ -276,7 +331,12 @@ impl World {
                     sess.buffer.clear();
                 }
                 self.core.upf.modify(seid, &ies);
-                self.core.smf.sessions.get_mut(&ue).expect("session").an_tunnel = Some(tun);
+                self.core
+                    .smf
+                    .sessions
+                    .get_mut(&ue)
+                    .expect("session")
+                    .an_tunnel = Some(tun);
             }
         }
     }
@@ -286,7 +346,8 @@ impl World {
         if is_core(env.to) && is_core(env.from) {
             self.in_flight_internal += 1;
         }
-        self.mailbox.send_in(ctx, delay, move |w, ctx| w.deliver(env, ctx));
+        self.mailbox
+            .send_in(ctx, delay, move |w, ctx| w.deliver(env, ctx));
     }
 
     /// Routes one delivered envelope.
@@ -378,7 +439,11 @@ impl World {
             let reply = echo(&pkt, ctx.now());
             let gnb = self.ran.ues[&ue].serving_gnb;
             let hop = self.ran.ue_data_hop;
-            self.send_after(ctx, hop, Envelope::new(Endpoint::Ue(ue), Endpoint::Gnb(gnb), Msg::Data(reply)));
+            self.send_after(
+                ctx,
+                hop,
+                Envelope::new(Endpoint::Ue(ue), Endpoint::Gnb(gnb), Msg::Data(reply)),
+            );
         }
         if let Some(rx) = self.apps.tcp_rx.get_mut(&pkt.flow) {
             let ack = rx.on_segment(pkt.seq);
@@ -397,8 +462,11 @@ impl World {
         self.apps.dn_received += 1;
         if let Some(ack) = pkt.ack_seq {
             // An ack for a CBR probe or a TCP segment.
-            if let Some(flow) =
-                self.apps.cbr.iter_mut().find(|f| f.ue == pkt.ue && f.flow == pkt.flow)
+            if let Some(flow) = self
+                .apps
+                .cbr
+                .iter_mut()
+                .find(|f| f.ue == pkt.ue && f.flow == pkt.flow)
             {
                 flow.on_ack(pkt.seq, ctx.now());
                 return;
@@ -449,7 +517,8 @@ impl World {
         }
         self.apps.tcp_tick.insert(flow, deadline);
         let wait = deadline.duration_since(ctx.now());
-        self.mailbox.send_in(ctx, wait, move |w, ctx| w.tcp_tick(flow, ctx));
+        self.mailbox
+            .send_in(ctx, wait, move |w, ctx| w.tcp_tick(flow, ctx));
     }
 
     fn tcp_tick(&mut self, flow: u32, ctx: &mut Ctx) {
@@ -512,11 +581,17 @@ impl World {
         let path = self.core.cost.path_lat;
         match self.netem.dl.transit(ctx.now(), pkt.size) {
             Some(d) => {
-                self.send_after(ctx, d + path, Envelope::new(Endpoint::Dn, Endpoint::UpfU, Msg::Data(pkt)));
+                self.send_after(
+                    ctx,
+                    d + path,
+                    Envelope::new(Endpoint::Dn, Endpoint::UpfU, Msg::Data(pkt)),
+                );
             }
             None => self.netem.dl_drops += 1,
         }
-        self.mailbox.send_in(ctx, interval, move |w, ctx| w.cbr_emit(idx, interval, end, ctx));
+        self.mailbox.send_in(ctx, interval, move |w, ctx| {
+            w.cbr_emit(idx, interval, end, ctx)
+        });
     }
 
     // ---------------- convenience: full UE bring-up ----------------
@@ -667,7 +742,10 @@ mod tests {
         });
         eng.run_with_mailbox();
         let w = eng.world();
-        assert!(w.core.events.iter().any(|e| e.event == UeEvent::Paging), "paging completed");
+        assert!(
+            w.core.events.iter().any(|e| e.event == UeEvent::Paging),
+            "paging completed"
+        );
         let flow = &w.apps.cbr[0];
         assert!(flow.acked > 0, "buffered packets were flushed and acked");
         let max_rtt_ms = flow.max_rtt().expect("samples") / 1000.0;
@@ -690,13 +768,24 @@ mod tests {
         });
         eng.run_with_mailbox();
         let w = eng.world();
-        let ho = w.core.events.iter().find(|e| e.event == UeEvent::Handover).expect("HO done");
+        let ho = w
+            .core
+            .events
+            .iter()
+            .find(|e| e.event == UeEvent::Handover)
+            .expect("HO done");
         let ho_ms = ho.duration().as_millis_f64();
-        assert!((110.0..170.0).contains(&ho_ms), "L25GC HO ≈ 130 ms, got {ho_ms}");
+        assert!(
+            (110.0..170.0).contains(&ho_ms),
+            "L25GC HO ≈ 130 ms, got {ho_ms}"
+        );
         assert_eq!(w.ran.ues[&1].serving_gnb, 2);
         let flow = &w.apps.cbr[0];
         assert_eq!(flow.lost(), 0, "smart buffering loses nothing");
-        assert!(flow.max_rtt().unwrap() > 50_000.0, "buffered packets saw the HO delay");
+        assert!(
+            flow.max_rtt().unwrap() > 50_000.0,
+            "buffered packets saw the HO delay"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ fn run(resilient: bool) {
 
     let w = eng.world();
     let tx = &w.apps.tcp[&0];
-    let label = if resilient { "L25GC failover" } else { "3GPP reattach " };
+    let label = if resilient {
+        "L25GC failover"
+    } else {
+        "3GPP reattach "
+    };
     println!(
         "{label}: transferred {:.1} MB, dropped {} packets, {} RTO timeouts",
         (tx.acked_segments() * l25gc_ran::MSS as u64) as f64 / 1e6,

@@ -18,14 +18,16 @@ use l25gc_pkt::{gtpu, ipv4, udp, Ipv4Addr};
 use l25gc_sim::{SimDuration, SimTime};
 
 fn main() -> std::io::Result<()> {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/l25gc_ul.pcap".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/l25gc_ul.pcap".into());
     let flow = GtpFlow {
         src_mac: MacAddr([0x02, 0, 0, 0, 0, 0x65]),
         dst_mac: MacAddr([0x02, 0, 0, 0, 0, 0x66]),
         outer_src: Ipv4Addr::new(10, 200, 200, 101), // gNB N3
         outer_dst: Ipv4Addr::new(10, 200, 200, 102), // UPF N3
         teid: 0x101,
-        inner_src: Ipv4Addr::new(10, 60, 0, 1), // UE
+        inner_src: Ipv4Addr::new(10, 60, 0, 1),    // UE
         inner_dst: Ipv4Addr::new(10, 100, 200, 3), // DN server
         inner_dport: 5001,
     };

@@ -35,7 +35,11 @@ fn run(dep: Deployment) -> (f64, f64, u64) {
         .find(|e| e.event == UeEvent::Handover)
         .expect("handover completed");
     let flow = &w.apps.cbr[0];
-    (ho.duration().as_millis_f64(), flow.max_rtt().unwrap() / 1000.0, flow.lost())
+    (
+        ho.duration().as_millis_f64(),
+        flow.max_rtt().unwrap() / 1000.0,
+        flow.lost(),
+    )
 }
 
 fn main() {
@@ -44,7 +48,10 @@ fn main() {
     let (l25_ho, l25_stall, l25_lost) = run(Deployment::L25gc);
     println!("free5GC: control completion {free_ho:.0} ms, worst stall {free_stall:.0} ms, lost {free_lost}");
     println!("L25GC:   control completion {l25_ho:.0} ms, worst stall {l25_stall:.0} ms, lost {l25_lost}");
-    assert!(l25_ho < free_ho, "shared-memory signalling completes the handover sooner");
+    assert!(
+        l25_ho < free_ho,
+        "shared-memory signalling completes the handover sooner"
+    );
     assert_eq!(l25_lost, 0, "the 3K UPF buffer absorbs the interruption");
 
     println!("\nEq 1 / Eq 2 estimate — UPF buffering vs 3GPP hairpin through the source gNB:");

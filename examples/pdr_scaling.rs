@@ -10,7 +10,10 @@ use l25gc_testbed::exp::pdr::{fig11, pdr_update};
 
 fn main() {
     println!("PDR lookup latency (measured wall-clock, 20 PDI IE dimensions):\n");
-    println!("{:>14} {:>8} {:>12} {:>12}", "structure", "rules", "lookup(ns)", "Mpps");
+    println!(
+        "{:>14} {:>8} {:>12} {:>12}",
+        "structure", "rules", "lookup(ns)", "Mpps"
+    );
     for row in fig11(&[10, 100, 1_000, 10_000]) {
         println!(
             "{:>14} {:>8} {:>12.0} {:>12.2}",

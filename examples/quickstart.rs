@@ -34,7 +34,10 @@ fn main() {
         .iter()
         .find(|e| e.event == UeEvent::Registration)
         .expect("registration completed");
-    assert!(reg.duration().as_millis_f64() < 150.0, "L25GC registers fast");
+    assert!(
+        reg.duration().as_millis_f64() < 150.0,
+        "L25GC registers fast"
+    );
 
     // 10 kpps of downlink probes for 100 ms; the UE echoes them back.
     eng.schedule_in(SimDuration::ZERO, |w: &mut World, ctx| {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable locally and in CI:
+#   formatting, lints as errors, and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

@@ -81,7 +81,10 @@ fn checkpoints_defer_while_procedures_run() {
         res.checkpoints_deferred > 0,
         "some checkpoints must have hit an active procedure"
     );
-    assert!(res.replica.checkpoints > 0, "quiescent instants were found too");
+    assert!(
+        res.replica.checkpoints > 0,
+        "quiescent instants were found too"
+    );
 }
 
 #[test]
@@ -117,7 +120,11 @@ fn reattach_baseline_drops_and_recovers() {
     eng.run_with_mailbox();
     let w = eng.world();
     let flow = &w.apps.cbr[0];
-    assert!(w.outage_drops > 100, "the outage discards packets: {}", w.outage_drops);
+    assert!(
+        w.outage_drops > 100,
+        "the outage discards packets: {}",
+        w.outage_drops
+    );
     assert!(flow.lost() > 100);
     // Traffic resumed after the reattach.
     let after = flow

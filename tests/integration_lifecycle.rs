@@ -31,10 +31,11 @@ fn lifecycle(dep: Deployment) -> Engine<World> {
     // Handover to gNB 2 while traffic continues.
     eng.schedule_in(SimDuration::ZERO, |w: &mut World, ctx| {
         w.start_cbr(1, 2, 5_000, 200, SimDuration::from_millis(600), ctx);
-        w.mailbox.send_in(ctx, SimDuration::from_millis(100), |w, ctx| {
-            let out = w.ran.trigger_handover(1, 2);
-            w.send_after(ctx, out.delay, out.env);
-        });
+        w.mailbox
+            .send_in(ctx, SimDuration::from_millis(100), |w, ctx| {
+                let out = w.ran.trigger_handover(1, 2);
+                w.send_after(ctx, out.delay, out.env);
+            });
     });
     eng.run_with_mailbox();
 
@@ -73,10 +74,19 @@ fn full_lifecycle_on_every_deployment() {
         // After deregistration every trace of the UE's session is gone:
         // SMF context, UPF session, gNB tunnels, RAN registration.
         assert!(!w.ran.ues[&1].registered, "{dep:?}");
-        assert!(w.core.smf.sessions.is_empty(), "{dep:?}: SMF context released");
-        assert!(w.core.upf.sessions.is_empty(), "{dep:?}: UPF session deleted");
+        assert!(
+            w.core.smf.sessions.is_empty(),
+            "{dep:?}: SMF context released"
+        );
+        assert!(
+            w.core.upf.sessions.is_empty(),
+            "{dep:?}: UPF session deleted"
+        );
         assert!(!w.ran.gnbs[&2].ul_teid.contains_key(&1));
-        assert!(!w.ran.gnbs[&1].ul_teid.contains_key(&1), "source context released");
+        assert!(
+            !w.ran.gnbs[&1].ul_teid.contains_key(&1),
+            "source context released"
+        );
     }
 }
 
@@ -95,8 +105,12 @@ fn deployments_order_consistently() {
             .expect("completed")
             .duration()
     };
-    for ev in [UeEvent::Registration, UeEvent::SessionRequest, UeEvent::Paging, UeEvent::Handover]
-    {
+    for ev in [
+        UeEvent::Registration,
+        UeEvent::SessionRequest,
+        UeEvent::Paging,
+        UeEvent::Handover,
+    ] {
         let f = dur(&free, ev);
         let o = dur(&onvm, ev);
         let l = dur(&l25, ev);
@@ -127,7 +141,11 @@ fn two_ues_are_isolated() {
     let flow = &w.apps.cbr[0];
     assert_eq!(flow.lost(), 0);
     let stats = flow.rtt_stats();
-    assert!(stats.max < 1_000.0, "UE 2 sees base RTT only (µs): {}", stats.max);
+    assert!(
+        stats.max < 1_000.0,
+        "UE 2 sees base RTT only (µs): {}",
+        stats.max
+    );
     // UE 1 was never paged (no data for it).
     assert!(!w.core.events.iter().any(|e| e.event == UeEvent::Paging));
 }
@@ -144,6 +162,10 @@ fn determinism_same_seed_same_world() {
             .map(|e| (e.event, e.start, e.end))
             .collect::<Vec<_>>()
     };
-    assert_eq!(evs(&a), evs(&b), "identical seeds reproduce identical histories");
+    assert_eq!(
+        evs(&a),
+        evs(&b),
+        "identical seeds reproduce identical histories"
+    );
     assert_eq!(a.now(), b.now());
 }
