@@ -52,7 +52,7 @@ fn bench_ring(c: &mut Criterion) {
                 for i in 0..100_000u64 {
                     let mut v = i;
                     while let Err(back) = tx.push(v) {
-                        v = back;
+                        v = back.into_inner();
                         std::hint::spin_loop();
                     }
                 }

@@ -6,8 +6,18 @@
 //! ```
 //!
 //! Experiment ids: fig6 fig7 fig8 fig9 fig10 fig11 pdr-update scaling40g
-//! fig12 fig13 fig14 eq12 failover-cp fig15 fig16 fig17, plus the
-//! ablations ablate-dos, ablate-checkpoint, ablate-canary, ablate-lb.
+//! fig12 fig13 fig14 eq12 failover-cp fig15 fig16 fig17 capacity, plus
+//! the ablations ablate-dos, ablate-checkpoint, ablate-canary,
+//! ablate-lb. `help` (or `--help`) lists them all.
+//!
+//! `--seed <u64>` perturbs every harness RNG; the default 0 reproduces
+//! the published tables, and any fixed seed gives byte-identical output
+//! across runs.
+//!
+//! `capacity` sweeps offered load × deployment over the `l25gc-load`
+//! fleet engine and prints load-latency curves with the detected knee;
+//! `--ues <n>`, `--shards <n>` and `--duration-s <secs>` size the sweep
+//! (defaults: 1 M UEs, 4 shards, 10 s per point).
 //!
 //! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
 //! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
@@ -24,24 +34,91 @@ use l25gc_core::Deployment;
 use l25gc_nfv::CostModel;
 use l25gc_testbed::exp;
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
-        let dir = args.get(i + 1).expect("--csv needs a directory").clone();
-        args.drain(i..=i + 1);
-        dir
-    });
-    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
-        let path = args
+/// Extracts `<flag> <value>` from the arg list, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
             .get(i + 1)
-            .expect("--trace-out needs a file path")
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
             .clone();
         args.drain(i..=i + 1);
-        path
-    });
+        v
+    })
+}
+
+fn print_help() {
+    println!(
+        "\
+reproduce — regenerate the paper's figures and tables
+
+usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
+
+experiments:
+  fig6              PostSmContextsRequest serialization cost
+  fig7              single PFCP message latency, SMF<->UPF
+  fig8              UE event completion times across deployments
+  fig9              SBI exchange speedup over HTTP
+  fig10             data-plane throughput and latency vs packet size
+  fig11             PDR lookup latency/throughput per structure
+  pdr-update        PDR update latency per structure
+  scaling40g        UPF cores vs forwarding rate at MTU
+  fig12             page load time with intermittent handovers
+  fig13             paging: RTT series and Table 1
+  fig14             handover: RTT series and Table 2
+  eq12              smart-buffering drop/OWD estimate (Eq 1/2)
+  failover-cp       handover completion with mid-flight 5GC failure
+  fig15             failover during a bulk transfer
+  fig16             failover during handover + transfer
+  fig17             repeated handovers under 10 TCP flows
+  capacity          fleet-scale load-latency sweep (l25gc-load engine)
+  ablate-dos        tuple-space explosion DoS
+  ablate-checkpoint checkpoint interval sweep
+  ablate-canary     canary rollout split
+  ablate-lb         UE-aware load balancing across 5GC units
+
+flags:
+  --seed <u64>        perturb every harness RNG (default 0: paper tables;
+                      any fixed seed is byte-identical across runs)
+  --ues <n>           capacity: fleet size (default 1000000)
+  --shards <n>        capacity: worker shards (default 4)
+  --duration-s <secs> capacity: horizon per sweep point (default 10)
+  --csv <dir>         write fig13/fig14 RTT series as CSV
+  --trace-out <path>  write the traced scenario (Chrome JSON, or JSONL
+                      if the path ends in .jsonl)
+  --help              this listing"
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        print_help();
+        return;
+    }
+    let csv_dir = take_flag(&mut args, "--csv");
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .map(|v| v.parse().expect("--seed needs a u64"))
+        .unwrap_or(0);
+    let mut cap_params = exp::capacity::CapacityParams {
+        seed,
+        ..exp::capacity::CapacityParams::default()
+    };
+    if let Some(v) = take_flag(&mut args, "--ues") {
+        cap_params.ues = v.parse().expect("--ues needs a count");
+    }
+    if let Some(v) = take_flag(&mut args, "--shards") {
+        cap_params.shards = v.parse().expect("--shards needs a count");
+    }
+    if let Some(v) = take_flag(&mut args, "--duration-s") {
+        cap_params.duration_s = v.parse().expect("--duration-s needs seconds");
+    }
     let only_trace = trace_out.is_some() && args.is_empty();
     if let Some(path) = trace_out.as_deref() {
-        write_trace(path);
+        write_trace(path, seed);
     }
     if only_trace {
         return;
@@ -56,7 +133,7 @@ fn main() {
         fig7();
     }
     if want("fig8") {
-        fig8();
+        fig8(seed);
     }
     if want("fig9") {
         fig9();
@@ -74,34 +151,37 @@ fn main() {
         scaling40g();
     }
     if want("fig12") {
-        fig12();
+        fig12(seed);
     }
     if want("fig13") {
-        fig13(csv_dir.as_deref());
+        fig13(csv_dir.as_deref(), seed);
     }
     if want("fig14") {
-        fig14(csv_dir.as_deref());
+        fig14(csv_dir.as_deref(), seed);
     }
     if want("eq12") {
         eq12();
     }
     if want("failover-cp") {
-        failover_cp();
+        failover_cp(seed);
     }
     if want("fig15") {
-        fig15();
+        fig15(seed);
     }
     if want("fig16") {
-        fig16();
+        fig16(seed);
     }
     if want("fig17") {
-        fig17();
+        fig17(seed);
+    }
+    if want("capacity") {
+        capacity(&cap_params);
     }
     if want("ablate-dos") {
         ablate_dos();
     }
     if want("ablate-checkpoint") {
-        ablate_checkpoint();
+        ablate_checkpoint(seed);
     }
     if want("ablate-canary") {
         ablate_canary();
@@ -111,8 +191,75 @@ fn main() {
     }
 }
 
-fn write_trace(path: &str) {
-    let bundle = l25gc_testbed::trace::trace_scenario();
+fn capacity(params: &exp::capacity::CapacityParams) {
+    let curves = exp::capacity::sweep(params);
+    for c in &curves {
+        let name = match c.deployment {
+            Deployment::Free5gc => "free5GC",
+            Deployment::OnvmUpf => "ONVM-UPF",
+            Deployment::L25gc => "L25GC",
+        };
+        let table: Vec<Vec<String>> = c
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                vec![
+                    format!(
+                        "{}{}",
+                        f(p.offered_eps),
+                        if i == c.knee { " *" } else { "" }
+                    ),
+                    f(p.achieved_eps),
+                    f(p.p50_ms),
+                    f(p.p95_ms),
+                    f(p.p99_ms),
+                    format!("{:.2}%", p.loss_pct),
+                    p.active_ues.to_string(),
+                    format!("{:.0}%", p.utilisation * 100.0),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &format!(
+                    "Capacity: {name} load-latency sweep ({} UEs, {} shards, {:.0} s/point, * = knee)",
+                    params.ues, params.shards, params.duration_s
+                ),
+                &[
+                    "offered (ev/s)",
+                    "achieved (ev/s)",
+                    "p50 (ms)",
+                    "p95 (ms)",
+                    "p99 (ms)",
+                    "loss",
+                    "active UEs",
+                    "util"
+                ],
+                &table
+            )
+        );
+        println!(
+            "{name} sustainable: {} events/s at p99 {} ms (shard occupancy {} ms/event)",
+            f(c.sustainable_eps()),
+            f(c.knee_p99_ms()),
+            f(c.mean_occupancy_ms),
+        );
+    }
+    if let Some((budget_ms, free_eps, l25_eps)) = exp::capacity::equal_p99_comparison(&curves) {
+        println!(
+            "at equal p99 <= {} ms: free5GC {} ev/s vs L25GC {} ev/s ({:.1}x)\n",
+            f(budget_ms),
+            f(free_eps),
+            f(l25_eps),
+            l25_eps / free_eps.max(1e-9),
+        );
+    }
+}
+
+fn write_trace(path: &str, seed: u64) {
+    let bundle = l25gc_testbed::trace::trace_scenario(seed);
     let text = if path.ends_with(".jsonl") {
         l25gc_obs::to_jsonl(&bundle)
     } else {
@@ -152,8 +299,8 @@ fn ablate_dos() {
     );
 }
 
-fn ablate_checkpoint() {
-    let rows = exp::ablation::checkpoint_sweep(&[1, 5, 10, 50, 100]);
+fn ablate_checkpoint(seed: u64) {
+    let rows = exp::ablation::checkpoint_sweep(&[1, 5, 10, 50, 100], seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -273,8 +420,8 @@ fn fig7() {
     );
 }
 
-fn fig8() {
-    let rows = exp::control_plane::fig8();
+fn fig8(seed: u64) {
+    let rows = exp::control_plane::fig8(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -410,8 +557,8 @@ fn scaling40g() {
     );
 }
 
-fn fig12() {
-    let rows = exp::webpage::fig12();
+fn fig12(seed: u64) {
+    let rows = exp::webpage::fig12(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -452,8 +599,8 @@ fn write_series_csv(dir: &str, name: &str, series: &l25gc_sim::TimeSeries) {
     println!("wrote {path}");
 }
 
-fn fig13(csv: Option<&str>) {
-    let rows = exp::paging::table1();
+fn fig13(csv: Option<&str>, seed: u64) {
+    let rows = exp::paging::table1(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -487,8 +634,8 @@ fn fig13(csv: Option<&str>) {
     }
 }
 
-fn fig14(csv: Option<&str>) {
-    let rows = exp::handover::table2();
+fn fig14(csv: Option<&str>, seed: u64) {
+    let rows = exp::handover::table2(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(label, r)| {
@@ -555,9 +702,9 @@ fn eq12() {
     );
 }
 
-fn failover_cp() {
-    let l25 = exp::failover::failover_handover_l25gc();
-    let gpp = exp::failover::failover_handover_3gpp();
+fn failover_cp(seed: u64) {
+    let l25 = exp::failover::failover_handover_l25gc(seed);
+    let gpp = exp::failover::failover_handover_3gpp(seed);
     let table = vec![
         vec![
             l25.approach.to_string(),
@@ -609,22 +756,22 @@ fn failover_data(title: &str, rows: &[exp::failover::FailoverDataRow]) {
     );
 }
 
-fn fig15() {
+fn fig15(seed: u64) {
     failover_data(
         "Fig 15: failover during data transfer (paper: 3GPP drops ~121 pkts, L25GC none)",
-        &exp::failover::fig15(),
+        &exp::failover::fig15(seed),
     );
 }
 
-fn fig16() {
+fn fig16(seed: u64) {
     failover_data(
         "Fig 16: failover during handover + transfer (paper: seamless for L25GC)",
-        &exp::failover::fig16(),
+        &exp::failover::fig16(seed),
     );
 }
 
-fn fig17() {
-    let rows = exp::tcp_impact::fig17();
+fn fig17(seed: u64) {
+    let rows = exp::tcp_impact::fig17(seed);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

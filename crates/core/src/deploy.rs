@@ -53,6 +53,27 @@ impl Deployment {
         }
     }
 
+    /// Which transport a control envelope rides between these endpoints,
+    /// or `None` for the air interface (modelled as a flat RTT, not a
+    /// transport). The load engine's CPU-occupancy model uses this to
+    /// charge per-transport processing shares without re-deriving the
+    /// interface table.
+    pub fn control_transport(self, env: &Envelope) -> Option<Transport> {
+        match (env.from, env.to) {
+            (Endpoint::Gnb(_), Endpoint::Amf) | (Endpoint::Amf, Endpoint::Gnb(_)) => {
+                Some(Transport::Sctp)
+            }
+            (Endpoint::Ue(_), Endpoint::Gnb(_)) | (Endpoint::Gnb(_), Endpoint::Ue(_)) => None,
+            (Endpoint::Smf, Endpoint::UpfC) | (Endpoint::UpfC, Endpoint::Smf) => Some(self.n4().0),
+            (Endpoint::UpfC, Endpoint::UpfU) | (Endpoint::UpfU, Endpoint::UpfC) => match self {
+                Deployment::Free5gc => Some(Transport::UdpSocket),
+                _ => Some(Transport::SharedMemory),
+            },
+            (a, b) if a.is_control_nf() && b.is_control_nf() => Some(self.sbi().0),
+            (a, b) => panic!("no control channel between {a:?} and {b:?}"),
+        }
+    }
+
     /// One-way delivery delay for a control envelope on this deployment.
     ///
     /// Datapath (`Msg::Data`) delays are handled by the driver separately

@@ -21,6 +21,7 @@ pub mod deploy;
 pub mod msg;
 pub mod net;
 pub mod qer;
+pub mod shard;
 pub mod udr;
 pub mod upf;
 
@@ -31,5 +32,6 @@ pub use msg::{
 };
 pub use net::{CoreNetwork, HandoverScheme, Output, UPF_N3_ADDR};
 pub use qer::{Qer, QerTable};
+pub use shard::ShardedMap;
 pub use udr::{AuthVector, Subscriber, Udr};
 pub use upf::{ue_ip_for, PdrBackend, Upf, Verdict};

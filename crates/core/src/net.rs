@@ -27,6 +27,7 @@ use crate::context::{
 };
 use crate::deploy::Deployment;
 use crate::msg::{DataPacket, Endpoint, Envelope, Msg, SbiOp, SmContextUpdate, UeId};
+use crate::shard::ShardedMap;
 use crate::udr::{AuthVector, Udr};
 use crate::upf::{ue_ip_for, PdrBackend, Upf, Verdict};
 
@@ -55,16 +56,16 @@ pub struct Output {
 /// AMF state.
 #[derive(Debug, Default, Clone)]
 pub struct Amf {
-    /// Per-UE contexts.
-    pub ues: HashMap<UeId, AmfUeCtx>,
+    /// Per-UE contexts, partitioned across worker shards by UE id.
+    pub ues: ShardedMap<UeId, AmfUeCtx>,
 }
 
 /// SMF state.
 #[derive(Debug, Default, Clone)]
 pub struct Smf {
     /// Per-UE session contexts (one PDU session per UE in the
-    /// experiments, as in the paper).
-    pub sessions: HashMap<UeId, SmfSession>,
+    /// experiments, as in the paper), partitioned across worker shards.
+    pub sessions: ShardedMap<UeId, SmfSession>,
     next_seid: u64,
     next_teid: u32,
     /// UEs whose CreateSmContext is progressing (UDM/PCF legs pending).
@@ -136,20 +137,50 @@ pub struct CoreNetwork {
 
 impl CoreNetwork {
     /// Creates a core in the given deployment with the default
-    /// PartitionSort PDR backend.
+    /// PartitionSort PDR backend and default shard count.
     pub fn new(deployment: Deployment) -> CoreNetwork {
+        CoreNetwork::with_shards(deployment, ShardedMap::<UeId, ()>::DEFAULT_SHARDS)
+    }
+
+    /// [`CoreNetwork::new`] with an explicit shard count for the
+    /// UE-context and session tables (the load engine matches this to its
+    /// worker-shard count so a shard's contexts are co-located).
+    pub fn with_shards(deployment: Deployment, shards: usize) -> CoreNetwork {
         CoreNetwork {
             deployment,
             scheme: HandoverScheme::SmartBuffering,
             cost: CostModel::paper(),
-            amf: Amf::default(),
-            smf: Smf::default(),
+            amf: Amf {
+                ues: ShardedMap::new(shards),
+            },
+            smf: Smf {
+                sessions: ShardedMap::new(shards),
+                ..Smf::default()
+            },
             udm: Udm::default(),
             upf: Upf::new(PdrBackend::PartitionSort),
             events: Vec::new(),
             obs: Obs::new(),
             upf_now: SimTime::ZERO,
         }
+    }
+
+    /// Which shard owns `ue`'s contexts (stable across runs).
+    pub fn shard_of(&self, ue: UeId) -> usize {
+        self.amf.ues.shard_of(&ue)
+    }
+
+    /// Handles a batch of delivered envelopes in order, appending every
+    /// follow-up send to one output vector. The batched entry point the
+    /// sharded load engine dispatches through: one call per shard drain
+    /// instead of one per message, so the per-call overhead (span
+    /// bookkeeping setup, vec churn) amortises across the burst.
+    pub fn handle_batch(&mut self, envs: Vec<Envelope>, now: SimTime) -> Vec<Output> {
+        let mut all = Vec::new();
+        for env in envs {
+            all.append(&mut self.handle(env, now));
+        }
+        all
     }
 
     /// Drains everything this core recorded — its own [`Obs`] bundle plus

@@ -1,0 +1,190 @@
+//! Shard-partitioned context tables for the control-plane NFs.
+//!
+//! The fleet-scale load engine (`l25gc-load`) partitions UE contexts and
+//! session-table entries across N worker shards so procedure dispatch can
+//! proceed per-shard without a global lock. [`ShardedMap`] is the storage
+//! half of that design: a hash map split into `shards` sub-maps, keyed by
+//! a deterministic hash of the key (SUPI/UE id or TEID). The shard index
+//! is stable across runs — `std::collections::hash_map::DefaultHasher`
+//! with its default keys — which the capacity harness relies on for
+//! byte-identical output per seed.
+//!
+//! The API mirrors the `HashMap` subset the NF state machines already
+//! used, so `Amf::ues` and `Smf::sessions` swapped over without touching
+//! the procedure logic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Index;
+
+/// A hash map partitioned into a power-of-two number of shards.
+#[derive(Debug, Clone)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<HashMap<K, V>>,
+    mask: u64,
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap::new(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Shard count used by [`Default`] (and `CoreNetwork::new`).
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// An empty map over `shards` partitions (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> ShardedMap<K, V> {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..n).map(|_| HashMap::new()).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Which shard `key` lives in. Deterministic across runs: the std
+    /// `DefaultHasher` is SipHash with fixed default keys.
+    pub fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() & self.mask) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries in one shard (for per-shard occupancy gauges).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let s = self.shard_of(&key);
+        self.shards[s].insert(key, value)
+    }
+
+    /// Shared reference to the value under `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Mutable reference to the value under `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let s = self.shard_of(key);
+        self.shards[s].get_mut(key)
+    }
+
+    /// Removes and returns the value under `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let s = self.shard_of(key);
+        self.shards[s].remove(key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].contains_key(key)
+    }
+
+    /// All keys, shard by shard. Iteration order is not sorted — callers
+    /// that print must sort first (determinism rule).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.shards.iter().flat_map(HashMap::keys)
+    }
+
+    /// All values, shard by shard.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.shards.iter().flat_map(HashMap::values)
+    }
+
+    /// All values mutably, shard by shard.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.shards.iter_mut().flat_map(HashMap::values_mut)
+    }
+
+    /// All entries, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.shards.iter().flat_map(HashMap::iter)
+    }
+
+    /// Drops every entry, keeping the shard structure.
+    pub fn clear(&mut self) {
+        for s in &mut self.shards {
+            s.clear();
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> Index<&K> for ShardedMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("key present in ShardedMap")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_like_a_hashmap() {
+        let mut m: ShardedMap<u64, String> = ShardedMap::new(4);
+        assert!(m.is_empty());
+        for i in 0..100u64 {
+            assert_eq!(m.insert(i, format!("v{i}")), None);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&42).map(String::as_str), Some("v42"));
+        assert_eq!(m[&7], "v7");
+        m.get_mut(&42).unwrap().push('!');
+        assert_eq!(m[&42], "v42!");
+        assert_eq!(m.remove(&42).as_deref(), Some("v42!"));
+        assert!(!m.contains_key(&42));
+        assert_eq!(m.len(), 99);
+        let mut keys: Vec<u64> = m.keys().copied().collect();
+        keys.sort_unstable();
+        assert_eq!(keys.len(), 99);
+        assert!(!keys.contains(&42));
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        let a: ShardedMap<u64, ()> = ShardedMap::new(8);
+        let b: ShardedMap<u64, ()> = ShardedMap::new(8);
+        let mut seen = [0usize; 8];
+        for k in 0..10_000u64 {
+            let s = a.shard_of(&k);
+            assert_eq!(s, b.shard_of(&k), "shard hash must be deterministic");
+            assert!(s < 8);
+            seen[s] += 1;
+        }
+        // SipHash spreads sequential keys; every shard should see work.
+        for (i, n) in seen.iter().enumerate() {
+            assert!(*n > 500, "shard {i} starved: {n} of 10000");
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedMap<u64, ()> = ShardedMap::new(5);
+        assert_eq!(m.shard_count(), 8);
+        let m: ShardedMap<u64, ()> = ShardedMap::new(0);
+        assert_eq!(m.shard_count(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Seeded arrival processes: Poisson and MMPP-2.
+//!
+//! Open-loop load is a merged stream of procedure arrivals, one process
+//! per procedure kind. A homogeneous Poisson process (exponential gaps)
+//! models steady signalling load; a 2-phase Markov-modulated Poisson
+//! process (MMPP-2) models bursty load — the process alternates between
+//! a high-rate and a low-rate phase with exponentially distributed
+//! dwell times, which is the standard model for flash-crowd signalling
+//! storms in core-network capacity studies.
+//!
+//! Everything is driven by a forked [`SimRng`], so a given seed yields an
+//! identical event sequence (property-tested in `tests/arrival_prop.rs`).
+
+use l25gc_core::UeEvent;
+use l25gc_sim::{SimDuration, SimRng, SimTime};
+
+/// One arrival process: the distribution of gaps between events.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson: exponential inter-arrival gaps at `rate`
+    /// events/s.
+    Poisson {
+        /// Mean event rate, events per second.
+        rate: f64,
+    },
+    /// 2-phase Markov-modulated Poisson process.
+    Mmpp2 {
+        /// Event rate while in the high phase, events/s.
+        rate_hi: f64,
+        /// Event rate while in the low phase, events/s.
+        rate_lo: f64,
+        /// Mean dwell time in the high phase, seconds.
+        dwell_hi_s: f64,
+        /// Mean dwell time in the low phase, seconds.
+        dwell_lo_s: f64,
+        /// True while in the high phase.
+        in_hi: bool,
+        /// Absolute time of the next phase flip.
+        phase_end: SimTime,
+    },
+}
+
+impl ArrivalProcess {
+    /// A Poisson process at `rate` events/s.
+    pub fn poisson(rate: f64) -> ArrivalProcess {
+        assert!(rate > 0.0, "rate must be positive");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// An MMPP-2 whose *long-run mean* rate is `mean_rate`, with the high
+    /// phase `burst` times hotter than the low phase and equal mean dwell
+    /// times of `dwell_s` in each phase. `burst = 1` degenerates to
+    /// Poisson.
+    pub fn mmpp2(mean_rate: f64, burst: f64, dwell_s: f64) -> ArrivalProcess {
+        assert!(mean_rate > 0.0 && burst >= 1.0 && dwell_s > 0.0);
+        // Equal dwell ⇒ mean = (hi + lo) / 2 with hi = burst × lo.
+        let rate_lo = 2.0 * mean_rate / (1.0 + burst);
+        let rate_hi = burst * rate_lo;
+        ArrivalProcess::Mmpp2 {
+            rate_hi,
+            rate_lo,
+            dwell_hi_s: dwell_s,
+            dwell_lo_s: dwell_s,
+            in_hi: false,
+            phase_end: SimTime::ZERO,
+        }
+    }
+
+    /// The long-run mean rate in events/s (used by the property tests
+    /// and by capacity accounting).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Mmpp2 {
+                rate_hi,
+                rate_lo,
+                dwell_hi_s,
+                dwell_lo_s,
+                ..
+            } => (rate_hi * dwell_hi_s + rate_lo * dwell_lo_s) / (dwell_hi_s + dwell_lo_s),
+        }
+    }
+
+    /// Advances the process past `now`, returning the absolute time of
+    /// the next arrival.
+    pub fn next_after(&mut self, now: SimTime, rng: &mut SimRng) -> SimTime {
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                now + SimDuration::from_secs_f64(rng.exponential(1.0 / *rate))
+            }
+            ArrivalProcess::Mmpp2 {
+                rate_hi,
+                rate_lo,
+                dwell_hi_s,
+                dwell_lo_s,
+                in_hi,
+                phase_end,
+            } => {
+                let mut t = now;
+                loop {
+                    if *phase_end <= t {
+                        // Enter the next phase (first call initialises).
+                        *in_hi = !*in_hi;
+                        let dwell = if *in_hi { *dwell_hi_s } else { *dwell_lo_s };
+                        *phase_end = t + SimDuration::from_secs_f64(rng.exponential(dwell));
+                    }
+                    let rate = if *in_hi { *rate_hi } else { *rate_lo };
+                    let cand = t + SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
+                    if cand <= *phase_end {
+                        return cand;
+                    }
+                    // No arrival before the phase flips; resume the scan
+                    // from the flip instant (memorylessness makes the
+                    // restart exact).
+                    t = *phase_end;
+                }
+            }
+        }
+    }
+}
+
+/// The procedure mix: relative weights per event kind. Weights are
+/// normalised; a zero weight disables that kind.
+#[derive(Debug, Clone)]
+pub struct EventMix {
+    /// `(kind, weight)` pairs in a fixed order (determinism: the merged
+    /// stream breaks time ties by this order).
+    pub weights: Vec<(UeEvent, f64)>,
+}
+
+impl Default for EventMix {
+    /// A signalling-heavy default mix: mostly registrations and session
+    /// establishments (the Fig 8 procedures), a handover/paging tail, and
+    /// enough idle transitions to keep the paging pool populated.
+    fn default() -> EventMix {
+        EventMix {
+            weights: vec![
+                (UeEvent::Registration, 0.25),
+                (UeEvent::SessionRequest, 0.25),
+                (UeEvent::Handover, 0.15),
+                (UeEvent::IdleTransition, 0.10),
+                (UeEvent::Paging, 0.10),
+                (UeEvent::Deregistration, 0.15),
+            ],
+        }
+    }
+}
+
+impl EventMix {
+    /// Sum of the weights.
+    pub fn total(&self) -> f64 {
+        self.weights.iter().map(|(_, w)| w).sum()
+    }
+}
+
+/// The merged arrival stream: one process per event kind, popped in
+/// global time order.
+pub struct ArrivalStream {
+    procs: Vec<(UeEvent, ArrivalProcess, SimTime, SimRng)>,
+}
+
+impl ArrivalStream {
+    /// Builds one process per kind in `mix`, scaled so the *total* mean
+    /// rate is `offered_eps`. Bursty kinds use MMPP-2 when `burst > 1`.
+    /// Each process forks its own RNG from `rng` in mix order, so the
+    /// sequence is a pure function of the seed.
+    pub fn new(mix: &EventMix, offered_eps: f64, burst: f64, rng: &mut SimRng) -> ArrivalStream {
+        let total = mix.total();
+        assert!(total > 0.0, "event mix must have positive weight");
+        let mut procs = Vec::new();
+        for &(kind, w) in &mix.weights {
+            if w <= 0.0 {
+                continue;
+            }
+            let rate = offered_eps * w / total;
+            let p = if burst > 1.0 {
+                ArrivalProcess::mmpp2(rate, burst, 1.0)
+            } else {
+                ArrivalProcess::poisson(rate)
+            };
+            let mut prng = rng.fork();
+            let mut proc = p;
+            let first = proc.next_after(SimTime::ZERO, &mut prng);
+            procs.push((kind, proc, first, prng));
+        }
+        ArrivalStream { procs }
+    }
+
+    /// Pops the next arrival `(time, kind)`. Ties break by mix order —
+    /// deterministic. The stream is infinite; the driver stops at its
+    /// horizon.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike Iterator::next
+    pub fn next(&mut self) -> (SimTime, UeEvent) {
+        let (mut best, mut best_t) = (0, self.procs[0].2);
+        for (i, p) in self.procs.iter().enumerate().skip(1) {
+            if p.2 < best_t {
+                best = i;
+                best_t = p.2;
+            }
+        }
+        let (kind, proc, at, prng) = &mut self.procs[best];
+        let fired = *at;
+        *at = proc.next_after(fired, prng);
+        (fired, *kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_exact() {
+        assert_eq!(ArrivalProcess::poisson(100.0).mean_rate(), 100.0);
+    }
+
+    #[test]
+    fn mmpp2_long_run_rate_matches_construction() {
+        let p = ArrivalProcess::mmpp2(1000.0, 4.0, 0.5);
+        assert!((p.mean_rate() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered() {
+        let mut rng = SimRng::new(42);
+        let mut s = ArrivalStream::new(&EventMix::default(), 10_000.0, 1.0, &mut rng);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10_000 {
+            let (t, _) = s.next();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for MMPP with distinct phase rates.
+        let cv2 = |mut p: ArrivalProcess, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut t = SimTime::ZERO;
+            let mut gaps = Vec::with_capacity(50_000);
+            for _ in 0..50_000 {
+                let n = p.next_after(t, &mut rng);
+                gaps.push(n.duration_since(t).as_secs_f64());
+                t = n;
+            }
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(ArrivalProcess::poisson(1000.0), 9);
+        let mmpp = cv2(ArrivalProcess::mmpp2(1000.0, 8.0, 0.2), 9);
+        assert!((0.9..1.1).contains(&poisson), "poisson cv² {poisson}");
+        assert!(mmpp > 1.3, "mmpp cv² {mmpp} should exceed poisson");
+    }
+}

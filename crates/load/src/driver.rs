@@ -1,0 +1,392 @@
+//! Open-loop and closed-loop load drivers over the sharded execution
+//! layer.
+//!
+//! **Open loop**: arrivals come from the seeded [`ArrivalStream`]
+//! regardless of completions — the generator does not slow down when the
+//! system saturates, which is what exposes the latency knee (the
+//! coordinated-omission-free methodology capacity studies require).
+//!
+//! **Closed loop**: a fixed population of workers each issue one
+//! procedure, wait for completion plus a think time, then issue the
+//! next — throughput self-limits, modelling well-behaved devices.
+//!
+//! Both record per-procedure latency into `l25gc-obs` log2 histograms
+//! (`capacity_all` plus one per procedure kind), drop codes for shed /
+//! backpressured arrivals, and active-UE / shard-depth gauges.
+
+use l25gc_core::UeEvent;
+use l25gc_obs::{EventKind, Obs};
+use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::arrival::{ArrivalStream, EventMix};
+use crate::dispatch::{proc_kind, ProfileSet};
+use crate::fleet::{Fleet, UeState};
+use crate::shard::{Admission, ShardConfig, ShardSet};
+
+/// Histogram key for the all-kinds latency distribution.
+pub const HIST_ALL: &str = "capacity_all";
+
+/// One load run's configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Fleet size (UEs).
+    pub ues: usize,
+    /// Sharded-execution parameters.
+    pub shard_cfg: ShardConfig,
+    /// Procedure mix.
+    pub mix: EventMix,
+    /// Offered load, events/s (open loop).
+    pub offered_eps: f64,
+    /// Burstiness: 1.0 = Poisson arrivals, > 1 = MMPP-2 with this
+    /// high/low phase rate ratio.
+    pub burst: f64,
+    /// Run horizon.
+    pub duration: SimDuration,
+    /// Master seed; every RNG in the run forks from it.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            ues: 10_000,
+            shard_cfg: ShardConfig::default(),
+            mix: EventMix::default(),
+            offered_eps: 100.0,
+            burst: 1.0,
+            duration: SimDuration::from_secs(5),
+            seed: 0,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Arrivals the generator produced within the horizon.
+    pub offered: u64,
+    /// Arrivals dispatched into a shard.
+    pub dispatched: u64,
+    /// Arrivals shed by admission control.
+    pub shed: u64,
+    /// Arrivals rejected by ring backpressure.
+    pub backpressure: u64,
+    /// Arrivals that found no eligible UE (e.g. a paging arrival with an
+    /// empty idle pool).
+    pub infeasible: u64,
+    /// Dispatched procedures that completed within the horizon.
+    pub completed: u64,
+    /// `completed` per second of horizon — the sustained rate.
+    pub achieved_eps: f64,
+    /// Latency quantiles over every dispatched procedure.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// UEs attached in any form at the end of the run.
+    pub active_ues: usize,
+    /// Deepest any shard's in-flight queue got.
+    pub peak_depth: usize,
+    /// Mean shard CPU utilisation over the horizon.
+    pub busy_fraction: f64,
+    /// Full observability bundle (histograms, drop events, gauges).
+    pub obs: Obs,
+}
+
+/// Which fleet state an event kind draws its UE from, and where the UE
+/// lands on success.
+fn transition(kind: UeEvent) -> (UeState, UeState) {
+    match kind {
+        UeEvent::Registration => (UeState::Deregistered, UeState::Registered),
+        UeEvent::SessionRequest => (UeState::Registered, UeState::SessionActive),
+        UeEvent::Handover => (UeState::SessionActive, UeState::SessionActive),
+        UeEvent::IdleTransition => (UeState::SessionActive, UeState::Idle),
+        UeEvent::Paging => (UeState::Idle, UeState::SessionActive),
+        UeEvent::Deregistration => (UeState::Registered, UeState::Deregistered),
+    }
+}
+
+/// Offers one event to the fleet + shard set and records the outcome.
+/// Returns the completion time when dispatched.
+#[allow(clippy::too_many_arguments)]
+fn offer_event(
+    kind: UeEvent,
+    at: SimTime,
+    fleet: &mut Fleet,
+    shards: &mut ShardSet,
+    profiles: &ProfileSet,
+    rng: &mut SimRng,
+    obs: &mut Obs,
+    infeasible: &mut u64,
+) -> Option<SimTime> {
+    let (from, to) = transition(kind);
+    let Some(ue) = fleet.sample_in_state(rng, from) else {
+        *infeasible += 1;
+        return None;
+    };
+    let prof = profiles.get(kind);
+    let shard = fleet.shard_of(ue);
+    match shards.offer(shard, at, prof, u64::from(ue) + 1, obs) {
+        Admission::Dispatched { completes_at } => {
+            if kind == UeEvent::SessionRequest {
+                fleet.establish_session(ue);
+            } else {
+                fleet.set_state(ue, to);
+            }
+            let lat = completes_at.duration_since(at).as_nanos();
+            obs.hists.record(proc_kind(kind).name(), lat);
+            obs.hists.record(HIST_ALL, lat);
+            Some(completes_at)
+        }
+        Admission::Shed | Admission::Backpressure => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    cfg: &LoadConfig,
+    fleet: &Fleet,
+    shards: ShardSet,
+    mut obs: Obs,
+    offered: u64,
+    dispatched: u64,
+    infeasible: u64,
+    completed: u64,
+) -> LoadReport {
+    let end = SimTime::ZERO + cfg.duration;
+    obs.event(
+        end,
+        EventKind::Gauge {
+            name: "active_ues",
+            value: fleet.active() as u64,
+        },
+    );
+    shards.record_depth_gauges(&mut obs, end);
+    let q = |p: f64| {
+        obs.hists
+            .get(HIST_ALL)
+            .map(|h| SimDuration::from_nanos(h.quantile(p)))
+            .unwrap_or(SimDuration::ZERO)
+    };
+    LoadReport {
+        offered,
+        dispatched,
+        shed: shards.shed,
+        backpressure: shards.backpressure,
+        infeasible,
+        completed,
+        achieved_eps: completed as f64 / cfg.duration.as_secs_f64(),
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        active_ues: fleet.active(),
+        peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
+        busy_fraction: shards.busy_fraction(end),
+        obs,
+    }
+}
+
+/// Runs an open-loop load test: arrivals at `cfg.offered_eps` for
+/// `cfg.duration`, independent of completions.
+pub fn run_open_loop(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
+    let mut rng = SimRng::new(cfg.seed);
+    let mut fleet_rng = rng.fork();
+    let mut stream = ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, &mut rng);
+    let mut sample_rng = rng.fork();
+
+    let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
+    fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
+    let mut shards = ShardSet::new(cfg.shard_cfg);
+    let mut obs = Obs::new();
+
+    let horizon = SimTime::ZERO + cfg.duration;
+    let (mut offered, mut dispatched, mut infeasible, mut completed) = (0u64, 0u64, 0u64, 0u64);
+    loop {
+        let (at, kind) = stream.next();
+        if at >= horizon {
+            break;
+        }
+        offered += 1;
+        if let Some(done) = offer_event(
+            kind,
+            at,
+            &mut fleet,
+            &mut shards,
+            profiles,
+            &mut sample_rng,
+            &mut obs,
+            &mut infeasible,
+        ) {
+            dispatched += 1;
+            if done <= horizon {
+                completed += 1;
+            }
+        }
+    }
+    finish(
+        cfg, &fleet, shards, obs, offered, dispatched, infeasible, completed,
+    )
+}
+
+/// Runs a closed-loop load test: `workers` concurrent clients, each
+/// issuing its next procedure `think` after the previous one completes.
+pub fn run_closed_loop(
+    cfg: &LoadConfig,
+    profiles: &ProfileSet,
+    workers: usize,
+    think: SimDuration,
+) -> LoadReport {
+    let mut rng = SimRng::new(cfg.seed);
+    let mut fleet_rng = rng.fork();
+    let mut sample_rng = rng.fork();
+    let mut kind_rng = rng.fork();
+
+    let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
+    fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
+    let mut shards = ShardSet::new(cfg.shard_cfg);
+    let mut obs = Obs::new();
+
+    // Each queued item is a worker becoming ready to issue.
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(workers);
+    for w in 0..workers as u32 {
+        // Stagger starts across one mean think time.
+        let jitter =
+            SimDuration::from_secs_f64(kind_rng.exponential(think.as_secs_f64().max(1e-6)));
+        q.push(SimTime::ZERO + jitter, w);
+    }
+
+    let total_w = cfg.mix.total();
+    let horizon = SimTime::ZERO + cfg.duration;
+    let (mut offered, mut dispatched, mut infeasible, mut completed) = (0u64, 0u64, 0u64, 0u64);
+    while let Some((at, worker)) = q.pop_before(horizon) {
+        // Weighted kind draw, deterministic in mix order.
+        let mut pick = kind_rng.f64() * total_w;
+        let mut kind = cfg.mix.weights[0].0;
+        for &(k, w) in &cfg.mix.weights {
+            kind = k;
+            if pick < w {
+                break;
+            }
+            pick -= w;
+        }
+        offered += 1;
+        let next_ready = match offer_event(
+            kind,
+            at,
+            &mut fleet,
+            &mut shards,
+            profiles,
+            &mut sample_rng,
+            &mut obs,
+            &mut infeasible,
+        ) {
+            Some(done) => {
+                dispatched += 1;
+                if done <= horizon {
+                    completed += 1;
+                }
+                done + think
+            }
+            // Rejected or infeasible: back off one think time.
+            None => at + think,
+        };
+        q.push(next_ready, worker);
+    }
+    finish(
+        cfg, &fleet, shards, obs, offered, dispatched, infeasible, completed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::calibrate;
+    use l25gc_core::Deployment;
+
+    #[test]
+    fn open_loop_light_load_matches_unloaded_latency() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig {
+            ues: 2_000,
+            offered_eps: 20.0,
+            duration: SimDuration::from_secs(5),
+            seed: 11,
+            ..LoadConfig::default()
+        };
+        let r = run_open_loop(&cfg, &profiles);
+        assert!(r.offered > 50, "offered {}", r.offered);
+        assert!(r.shed == 0 && r.backpressure == 0, "light load sheds");
+        // p50 should sit at one of the unloaded procedure latencies.
+        let max_unloaded = profiles.iter().map(|(_, p)| p.latency).max().unwrap();
+        assert!(r.p50 <= max_unloaded, "p50 {:?}", r.p50);
+        assert!(r.active_ues > 0);
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_and_inflates_latency() {
+        let profiles = calibrate(Deployment::Free5gc);
+        let mix = EventMix::default();
+        let occ = profiles.mean_occupancy(&mix.weights).as_secs_f64();
+        let capacity = ShardConfig::default().shards as f64 / occ;
+        // Low high-water mark so admission control engages within the
+        // 5-second horizon even at moderate queue growth rates.
+        let shard_cfg = ShardConfig {
+            high_water: 16,
+            ring_capacity: 32,
+            ..ShardConfig::default()
+        };
+        let light = LoadConfig {
+            ues: 5_000,
+            shard_cfg,
+            offered_eps: capacity * 0.3,
+            duration: SimDuration::from_secs(5),
+            seed: 3,
+            ..LoadConfig::default()
+        };
+        let heavy = LoadConfig {
+            offered_eps: capacity * 3.0,
+            ..light.clone()
+        };
+        let lr = run_open_loop(&light, &profiles);
+        let hr = run_open_loop(&heavy, &profiles);
+        assert!(hr.shed > 0, "overload must shed");
+        assert!(hr.p99 >= lr.p99, "{:?} vs {:?}", hr.p99, lr.p99);
+        assert!(hr.achieved_eps <= heavy.offered_eps);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig {
+            ues: 3_000,
+            offered_eps: 200.0,
+            duration: SimDuration::from_secs(3),
+            seed: 42,
+            ..LoadConfig::default()
+        };
+        let a = run_open_loop(&cfg, &profiles);
+        let b = run_open_loop(&cfg, &profiles);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.dispatched, b.dispatched);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.active_ues, b.active_ues);
+    }
+
+    #[test]
+    fn closed_loop_self_limits() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig {
+            ues: 2_000,
+            duration: SimDuration::from_secs(3),
+            seed: 5,
+            ..LoadConfig::default()
+        };
+        let r = run_closed_loop(&cfg, &profiles, 32, SimDuration::from_millis(10));
+        assert!(r.dispatched > 0);
+        assert_eq!(r.backpressure, 0, "closed loop cannot overrun the ring");
+        // 32 workers can never have more than 32 in flight.
+        assert!(r.peak_depth <= 32, "peak {}", r.peak_depth);
+    }
+}

@@ -1,0 +1,39 @@
+//! # l25gc-load — fleet-scale workload engine
+//!
+//! The ROADMAP's north star is a core serving millions of users; the
+//! figure-reproduction harnesses in `l25gc-testbed` drive a handful of
+//! UEs each. This crate closes the gap with three layers:
+//!
+//! - a **fleet model** ([`Fleet`]): millions of UEs in 12-byte records
+//!   with O(1) per-state sampling, plus seeded Poisson/MMPP-2 arrival
+//!   processes ([`ArrivalStream`]) for registrations, session
+//!   establishments, handovers, paging, idle transitions, and detaches;
+//! - a **sharded execution layer** ([`ShardSet`]): UE contexts hash to N
+//!   worker shards (the same SipHash partitioning as
+//!   `l25gc_core::ShardedMap`), each shard a FIFO server with an
+//!   `l25gc_nfv::ring` in-flight queue, high-water-mark admission
+//!   control (shed vs queue), and typed `RingFull` backpressure — all
+//!   rejections surfaced as `l25gc-obs` drop codes;
+//! - **calibrated dispatch** ([`calibrate`]): per-deployment procedure
+//!   profiles (unloaded latency, shard-CPU occupancy, message count)
+//!   measured by driving the *real* `l25gc-core` + `l25gc-ran` state
+//!   machines once per procedure through the batched
+//!   `CoreNetwork::handle_batch` entry point.
+//!
+//! [`run_open_loop`] / [`run_closed_loop`] tie the layers together and
+//! emit a [`LoadReport`] (latency quantiles from log2 histograms,
+//! sustained events/s, drop and occupancy accounting). The `reproduce
+//! capacity` subcommand sweeps offered load × deployment over this
+//! engine to find each system's sustainable-throughput knee.
+
+pub mod arrival;
+pub mod dispatch;
+pub mod driver;
+pub mod fleet;
+pub mod shard;
+
+pub use arrival::{ArrivalProcess, ArrivalStream, EventMix};
+pub use dispatch::{calibrate, proc_kind, ProcedureProfile, ProfileSet};
+pub use driver::{run_closed_loop, run_open_loop, LoadConfig, LoadReport, HIST_ALL};
+pub use fleet::{shard_for_supi, Fleet, UeRecord, UeState, SUPI_BASE, UE_STATES};
+pub use shard::{Admission, OverloadPolicy, ShardConfig, ShardSet};

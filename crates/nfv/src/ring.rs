@@ -46,6 +46,26 @@ impl<T> Drop for RingBuf<T> {
     }
 }
 
+/// Typed "ring is full" error carrying the rejected descriptor back to
+/// the producer, so callers decide between dropping (as the NIC would)
+/// and backpressure — and so every drop site shares one error/drop-code
+/// path instead of ad-hoc booleans.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RingFull<T>(pub T);
+
+impl<T> RingFull<T> {
+    /// The descriptor the ring refused.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::fmt::Display for RingFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ring full")
+    }
+}
+
 /// The producing half of a ring.
 pub struct Producer<T> {
     ring: Arc<RingBuf<T>>,
@@ -53,6 +73,9 @@ pub struct Producer<T> {
     cached_head: usize,
     /// Label used by the traced operations and the depth gauge.
     label: &'static str,
+    /// Occupancy at or above which [`Producer::above_high_water`] reports
+    /// congestion (defaults to the full capacity, i.e. never early).
+    high_water: usize,
 }
 
 /// The consuming half of a ring.
@@ -88,6 +111,7 @@ pub fn ring_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Co
             ring: ring.clone(),
             cached_head: 0,
             label,
+            high_water: cap,
         },
         Consumer {
             ring,
@@ -98,16 +122,16 @@ pub fn ring_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Co
 }
 
 impl<T> Producer<T> {
-    /// Enqueues a descriptor; returns it back if the ring is full (the
-    /// caller decides whether that is a drop — as the NIC would — or
-    /// backpressure).
-    pub fn push(&mut self, value: T) -> Result<(), T> {
+    /// Enqueues a descriptor; returns it back inside [`RingFull`] if the
+    /// ring has no room (the caller decides whether that is a drop — as
+    /// the NIC would — or backpressure).
+    pub fn push(&mut self, value: T) -> Result<(), RingFull<T>> {
         let ring = &*self.ring;
         let tail = ring.tail.load(Ordering::Relaxed);
         if tail - self.cached_head > ring.mask {
             self.cached_head = ring.head.load(Ordering::Acquire);
             if tail - self.cached_head > ring.mask {
-                return Err(value);
+                return Err(RingFull(value));
             }
         }
         // SAFETY: slot at `tail` is unoccupied (tail - head <= mask).
@@ -123,7 +147,7 @@ impl<T> Producer<T> {
         value: T,
         fr: &mut FlightRecorder,
         now: SimTime,
-    ) -> Result<(), T> {
+    ) -> Result<(), RingFull<T>> {
         match self.push(value) {
             Ok(()) => Ok(()),
             Err(back) => {
@@ -137,6 +161,26 @@ impl<T> Producer<T> {
                 Err(back)
             }
         }
+    }
+
+    /// Sets the congestion threshold for [`Producer::above_high_water`],
+    /// clamped to the ring's capacity. Admission-control layers set this
+    /// below capacity so they can start shedding or queuing *before*
+    /// pushes hard-fail.
+    pub fn set_high_water(&mut self, high_water: usize) {
+        self.high_water = high_water.min(self.capacity());
+    }
+
+    /// The current congestion threshold.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// True when occupancy has reached the high-water mark — the
+    /// backpressure signal consumed by admission control (approximate
+    /// under concurrency, like [`Producer::len`]).
+    pub fn above_high_water(&self) -> bool {
+        self.len() >= self.high_water
     }
 
     /// Number of occupied slots (approximate under concurrency).
@@ -257,7 +301,7 @@ mod tests {
         for i in 0..8 {
             tx.push(i).unwrap();
         }
-        assert_eq!(tx.push(99), Err(99), "ring full");
+        assert_eq!(tx.push(99), Err(RingFull(99)), "ring full");
         for i in 0..8 {
             assert_eq!(rx.pop(), Some(i));
         }
@@ -305,7 +349,7 @@ mod tests {
                 loop {
                     match tx.push(v) {
                         Ok(()) => break,
-                        Err(back) => {
+                        Err(RingFull(back)) => {
                             v = back;
                             std::hint::spin_loop();
                         }
@@ -358,6 +402,23 @@ mod tests {
                 value: 2
             }
         );
+    }
+
+    #[test]
+    fn high_water_signal() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        assert_eq!(tx.high_water(), 8, "defaults to capacity");
+        tx.set_high_water(4);
+        for i in 0..3 {
+            tx.push(i).unwrap();
+        }
+        assert!(!tx.above_high_water());
+        tx.push(3).unwrap();
+        assert!(tx.above_high_water(), "at the mark counts as congested");
+        rx.pop().unwrap();
+        assert!(!tx.above_high_water());
+        tx.set_high_water(100);
+        assert_eq!(tx.high_water(), 8, "clamped to capacity");
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum DropCode {
     NetemLoss,
     /// Dropped during a primary outage before failover completed.
     Outage,
+    /// Shed by load-engine admission control before entering a shard
+    /// queue (shed policy at the high-water mark).
+    AdmissionShed,
+    /// Rejected because an NF ring was full / above its high-water mark
+    /// (typed `RingFull` backpressure path).
+    RingBackpressure,
 }
 
 impl DropCode {
@@ -45,6 +51,8 @@ impl DropCode {
             DropCode::LoggerOverflow => "logger_overflow",
             DropCode::NetemLoss => "netem_loss",
             DropCode::Outage => "outage",
+            DropCode::AdmissionShed => "admission_shed",
+            DropCode::RingBackpressure => "ring_backpressure",
         }
     }
 
@@ -60,6 +68,8 @@ impl DropCode {
             "logger_overflow" => DropCode::LoggerOverflow,
             "netem_loss" => DropCode::NetemLoss,
             "outage" => DropCode::Outage,
+            "admission_shed" => DropCode::AdmissionShed,
+            "ring_backpressure" => DropCode::RingBackpressure,
             _ => return None,
         })
     }
@@ -364,6 +374,8 @@ mod tests {
             DropCode::LoggerOverflow,
             DropCode::NetemLoss,
             DropCode::Outage,
+            DropCode::AdmissionShed,
+            DropCode::RingBackpressure,
         ] {
             assert_eq!(DropCode::from_name(code.name()), Some(code));
         }

@@ -29,11 +29,13 @@
 //! ```
 
 pub mod engine;
+pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Engine, EventFn, EventId, HasMailbox, Mailbox};
+pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counters, Stats, TimeSeries};

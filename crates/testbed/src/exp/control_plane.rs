@@ -120,9 +120,10 @@ impl EventRow {
 }
 
 /// Runs one full UE lifecycle on `deployment` and returns the completion
-/// time of each event (ms).
-pub fn run_events(deployment: Deployment) -> Vec<(UeEvent, f64)> {
-    let mut eng = Engine::new(1, World::new(deployment, 2, 2));
+/// time of each event (ms). `seed` offsets the engine RNG; 0 keeps the
+/// published configuration.
+pub fn run_events(deployment: Deployment, seed: u64) -> Vec<(UeEvent, f64)> {
+    let mut eng = Engine::new(1 ^ seed, World::new(deployment, 2, 2));
     World::bring_up_ue(&mut eng, 1);
 
     // Handover to gNB 2.
@@ -152,10 +153,10 @@ pub fn run_events(deployment: Deployment) -> Vec<(UeEvent, f64)> {
 }
 
 /// Computes the Fig 8 table for the four UE events.
-pub fn fig8() -> Vec<EventRow> {
-    let free = run_events(Deployment::Free5gc);
-    let onvm = run_events(Deployment::OnvmUpf);
-    let l25 = run_events(Deployment::L25gc);
+pub fn fig8(seed: u64) -> Vec<EventRow> {
+    let free = run_events(Deployment::Free5gc, seed);
+    let onvm = run_events(Deployment::OnvmUpf, seed);
+    let l25 = run_events(Deployment::L25gc, seed);
     let get = |set: &[(UeEvent, f64)], ev: UeEvent| {
         set.iter()
             .find(|(e, _)| *e == ev)
@@ -197,7 +198,7 @@ mod tests {
 
     #[test]
     fn fig8_l25gc_halves_event_times() {
-        let rows = fig8();
+        let rows = fig8(0);
         assert_eq!(rows.len(), 4);
         for row in &rows {
             assert!(
@@ -222,7 +223,7 @@ mod tests {
 
     #[test]
     fn fig8_handover_near_paper_values() {
-        let rows = fig8();
+        let rows = fig8(0);
         let ho = rows
             .iter()
             .find(|r| r.event == UeEvent::Handover)
@@ -244,7 +245,7 @@ mod tests {
 
     #[test]
     fn fig8_paging_near_paper_values() {
-        let rows = fig8();
+        let rows = fig8(0);
         let pg = rows
             .iter()
             .find(|r| r.event == UeEvent::Paging)

@@ -21,8 +21,8 @@ use crate::netem::NetEm;
 use crate::world::World;
 
 /// Builds the 3GPP reattach baseline from measured free5GC event times.
-pub fn measured_reattach_model() -> ReattachModel {
-    let events = run_events(Deployment::Free5gc);
+pub fn measured_reattach_model(seed: u64) -> ReattachModel {
+    let events = run_events(Deployment::Free5gc, seed);
     let get = |ev: UeEvent| {
         events
             .iter()
@@ -53,10 +53,10 @@ pub struct FailoverCpRow {
 /// the path-switch signalling is in flight); the replica + replay finish
 /// it. Durations are measured from the trigger instant at the testbed
 /// level, so replayed-message re-stamping cannot skew them.
-pub fn failover_handover_l25gc() -> FailoverCpRow {
+pub fn failover_handover_l25gc(seed: u64) -> FailoverCpRow {
     // Baseline HO (no failure).
     let baseline = {
-        let mut eng = Engine::new(55, World::new(Deployment::L25gc, 2, 1));
+        let mut eng = Engine::new(55 ^ seed, World::new(Deployment::L25gc, 2, 1));
         World::bring_up_ue(&mut eng, 1);
         let t0 = eng.now();
         let out = eng.world().ran.trigger_handover(1, 2);
@@ -77,7 +77,7 @@ pub fn failover_handover_l25gc() -> FailoverCpRow {
 
     // With a failure hitting the execution phase (85% in: right around
     // the HandoverNotify / path-switch signalling).
-    let mut eng = Engine::new(56, World::new(Deployment::L25gc, 2, 1));
+    let mut eng = Engine::new(56 ^ seed, World::new(Deployment::L25gc, 2, 1));
     World::bring_up_ue(&mut eng, 1);
     World::enable_resilience(&mut eng);
     // Let a checkpoint pass so the session state is replicated.
@@ -106,8 +106,8 @@ pub fn failover_handover_l25gc() -> FailoverCpRow {
 }
 
 /// The 3GPP reattach number for the same scenario.
-pub fn failover_handover_3gpp() -> FailoverCpRow {
-    let model = measured_reattach_model();
+pub fn failover_handover_3gpp(seed: u64) -> FailoverCpRow {
+    let model = measured_reattach_model(seed);
     let baseline = SimDuration::from_millis(130); // L25GC's no-failure HO
     let spent = baseline * 0.5;
     // The interrupted handover is abandoned; after the outage the UE is
@@ -144,8 +144,9 @@ pub fn run_failover_data(
     fail_at: SimDuration,
     ho_at: Option<SimDuration>,
     duration: SimDuration,
+    seed: u64,
 ) -> FailoverDataRow {
-    let mut eng = Engine::new(58, World::new(Deployment::L25gc, 2, 1));
+    let mut eng = Engine::new(58 ^ seed, World::new(Deployment::L25gc, 2, 1));
     World::bring_up_ue(&mut eng, 1);
     eng.world_mut().netem = NetEm::failover_30mbps();
     if resilient {
@@ -166,7 +167,7 @@ pub fn run_failover_data(
         // restored core is the backup with the re-established session
         // (state-wise identical here; the *time* and the dropped packets
         // are the penalty).
-        let outage = measured_reattach_model().outage();
+        let outage = measured_reattach_model(seed).outage();
         eng.schedule_in(fail_at + outage, |w: &mut World, _ctx| {
             w.reattach_recover();
         });
@@ -189,23 +190,23 @@ pub fn run_failover_data(
 }
 
 /// Fig 15: failure during a plain transfer at 4.5 s, 10 s run.
-pub fn fig15() -> Vec<FailoverDataRow> {
+pub fn fig15(seed: u64) -> Vec<FailoverDataRow> {
     let fail = SimDuration::from_millis(4_500);
     let dur = SimDuration::from_secs(10);
     vec![
-        run_failover_data(true, fail, None, dur),
-        run_failover_data(false, fail, None, dur),
+        run_failover_data(true, fail, None, dur, seed),
+        run_failover_data(false, fail, None, dur, seed),
     ]
 }
 
 /// Fig 16: handover at 4.4 s, failure at 4.5 s (mid-handover), 10 s run.
-pub fn fig16() -> Vec<FailoverDataRow> {
+pub fn fig16(seed: u64) -> Vec<FailoverDataRow> {
     let ho = SimDuration::from_millis(4_400);
     let fail = SimDuration::from_millis(4_500);
     let dur = SimDuration::from_secs(10);
     vec![
-        run_failover_data(true, fail, Some(ho), dur),
-        run_failover_data(false, fail, Some(ho), dur),
+        run_failover_data(true, fail, Some(ho), dur, seed),
+        run_failover_data(false, fail, Some(ho), dur, seed),
     ]
 }
 
@@ -215,7 +216,7 @@ mod tests {
 
     #[test]
     fn failover_cp_matches_551() {
-        let l25 = failover_handover_l25gc();
+        let l25 = failover_handover_l25gc(0);
         // Paper: 130 ms without failure → 134 ms with; a few ms overhead.
         assert!(
             (110.0..175.0).contains(&l25.ho_baseline_ms),
@@ -228,7 +229,7 @@ mod tests {
             "failover adds a few ms, got {overhead:.1} (paper: ~4 ms)"
         );
 
-        let gpp = failover_handover_3gpp();
+        let gpp = failover_handover_3gpp(0);
         // Paper: 401 ms. Composition from measured free5GC events lands
         // in the hundreds of ms and far above L25GC.
         assert!(
@@ -246,7 +247,7 @@ mod tests {
 
     #[test]
     fn fig15_l25gc_keeps_goodput() {
-        let rows = fig15();
+        let rows = fig15(0);
         let l25 = &rows[0];
         let gpp = &rows[1];
         assert_eq!(l25.packets_dropped, 0, "the logger loses nothing");
@@ -266,7 +267,7 @@ mod tests {
 
     #[test]
     fn fig16_failure_during_handover() {
-        let rows = fig16();
+        let rows = fig16(0);
         let l25 = &rows[0];
         let gpp = &rows[1];
         assert_eq!(l25.packets_dropped, 0);

@@ -33,8 +33,8 @@ pub struct HandoverRow {
 }
 
 /// Runs the handover experiment. `concurrent_ues > 1` is experiment (ii).
-pub fn run_handover(deployment: Deployment, concurrent_ues: u64) -> HandoverRow {
-    let mut eng = Engine::new(5, World::new(deployment, 2, concurrent_ues.max(1)));
+pub fn run_handover(deployment: Deployment, concurrent_ues: u64, seed: u64) -> HandoverRow {
+    let mut eng = Engine::new(5 ^ seed, World::new(deployment, 2, concurrent_ues.max(1)));
     for ue in 1..=concurrent_ues {
         World::bring_up_ue(&mut eng, ue);
     }
@@ -96,11 +96,11 @@ pub fn run_handover(deployment: Deployment, concurrent_ues: u64) -> HandoverRow 
 }
 
 /// Table 2: both systems × experiments (i) and (ii).
-pub fn table2() -> Vec<(String, HandoverRow)> {
+pub fn table2(seed: u64) -> Vec<(String, HandoverRow)> {
     let mut out = Vec::new();
     for (label, ues) in [("expt i", 1u64), ("expt ii", 3)] {
         for dep in [Deployment::Free5gc, Deployment::L25gc] {
-            let row = run_handover(dep, ues);
+            let row = run_handover(dep, ues, seed);
             out.push((format!("{} ({label})", row.system), row));
         }
     }
@@ -113,8 +113,8 @@ mod tests {
 
     #[test]
     fn expt_i_shape_matches_table2() {
-        let free = run_handover(Deployment::Free5gc, 1);
-        let l25 = run_handover(Deployment::L25gc, 1);
+        let free = run_handover(Deployment::Free5gc, 1, 0);
+        let l25 = run_handover(Deployment::L25gc, 1, 0);
 
         // Base RTT 118 µs vs 24 µs.
         assert!(
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn expt_ii_keeps_l25gc_lossless() {
-        let l25 = run_handover(Deployment::L25gc, 3);
+        let l25 = run_handover(Deployment::L25gc, 3, 0);
         assert_eq!(l25.pkts_dropped, 0, "paper: 0 drops for L25GC in expt ii");
         // Concurrent sessions leave the handover time roughly unchanged
         // (132 vs 130 ms in the paper).
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn fig14_series_spikes_at_handover() {
-        let row = run_handover(Deployment::L25gc, 1);
+        let row = run_handover(Deployment::L25gc, 1, 0);
         // Before the handover: flat base RTT; around it: the spike.
         let before = row.base_rtt_us;
         let spike = row.series.max().unwrap();

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod analytic;
+pub mod capacity;
 pub mod control_plane;
 pub mod dataplane;
 pub mod failover;

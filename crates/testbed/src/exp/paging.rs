@@ -30,8 +30,8 @@ pub struct PagingRow {
 }
 
 /// Runs the paging experiment on one deployment.
-pub fn run_paging(deployment: Deployment) -> PagingRow {
-    let mut eng = Engine::new(3, World::new(deployment, 2, 2));
+pub fn run_paging(deployment: Deployment, seed: u64) -> PagingRow {
+    let mut eng = Engine::new(3 ^ seed, World::new(deployment, 2, 2));
     World::bring_up_ue(&mut eng, 1);
 
     // Warm-up traffic to measure the base RTT while connected.
@@ -81,10 +81,10 @@ pub fn run_paging(deployment: Deployment) -> PagingRow {
 }
 
 /// Table 1: free5GC vs L²5GC.
-pub fn table1() -> Vec<PagingRow> {
+pub fn table1(seed: u64) -> Vec<PagingRow> {
     vec![
-        run_paging(Deployment::Free5gc),
-        run_paging(Deployment::L25gc),
+        run_paging(Deployment::Free5gc, seed),
+        run_paging(Deployment::L25gc, seed),
     ]
 }
 
@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn table1_shape_matches_paper() {
-        let rows = table1();
+        let rows = table1(0);
         let free = &rows[0];
         let l25 = &rows[1];
 
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn fig13_series_has_spike_then_decay() {
-        let row = run_paging(Deployment::L25gc);
+        let row = run_paging(Deployment::L25gc, 0);
         let sorted = row.series.sorted();
         let peak = row.series.max().unwrap();
         // The spike is the paging stall; afterwards RTT returns to base.

@@ -31,8 +31,8 @@ pub struct PltRow {
 }
 
 /// Runs the page-load experiment with handovers every `ho_interval`.
-pub fn run_plt(deployment: Deployment, ho_interval: SimDuration) -> PltRow {
-    let mut eng = Engine::new(9, World::new(deployment, 2, 1));
+pub fn run_plt(deployment: Deployment, ho_interval: SimDuration, seed: u64) -> PltRow {
+    let mut eng = Engine::new(9 ^ seed, World::new(deployment, 2, 1));
     World::bring_up_ue(&mut eng, 1);
     eng.world_mut().netem = NetEm::web_30mbps_20ms();
 
@@ -96,11 +96,11 @@ impl World {
 }
 
 /// Fig 12: free5GC vs L²5GC with intermittent handovers (every 5 s).
-pub fn fig12() -> Vec<PltRow> {
+pub fn fig12(seed: u64) -> Vec<PltRow> {
     let interval = SimDuration::from_secs(5);
     vec![
-        run_plt(Deployment::Free5gc, interval),
-        run_plt(Deployment::L25gc, interval),
+        run_plt(Deployment::Free5gc, interval, seed),
+        run_plt(Deployment::L25gc, interval, seed),
     ]
 }
 
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn fig12_l25gc_improves_plt() {
-        let rows = fig12();
+        let rows = fig12(0);
         let free = &rows[0];
         let l25 = &rows[1];
         // Paper: 32 s vs 28 s, a 12.5% QoE improvement. Our TCP model

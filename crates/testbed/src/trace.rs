@@ -19,8 +19,8 @@ use crate::World;
 
 /// Runs the traced scenario and returns the merged trace, sorted by
 /// timestamp.
-pub fn trace_scenario() -> TraceBundle {
-    let mut eng = Engine::new(7, World::new(Deployment::L25gc, 2, 1));
+pub fn trace_scenario(seed: u64) -> TraceBundle {
+    let mut eng = Engine::new(7 ^ seed, World::new(Deployment::L25gc, 2, 1));
     World::bring_up_ue(&mut eng, 1);
     World::enable_resilience(&mut eng);
 
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn scenario_covers_nfs_gauges_and_exports() {
-        let b = trace_scenario();
+        let b = trace_scenario(0);
 
         // Segments from at least three distinct NFs (acceptance bar).
         let mut nfs: Vec<&str> = Vec::new();
