@@ -5,8 +5,10 @@
 //! the harness itself can push.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use l25gc_core::Deployment;
 use l25gc_load::{
-    ArrivalStream, EventMix, OverloadPolicy, ProcedureProfile, ShardConfig, ShardSet,
+    calibrate, ArrivalStream, Driver, EventMix, ExecBackend, LoadConfig, OverloadPolicy,
+    ProcedureProfile, ShardConfig, ShardSet,
 };
 use l25gc_obs::Obs;
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -110,10 +112,40 @@ fn bench_arrivals(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_driver_backends(c: &mut Criterion) {
+    // End-to-end: one second of simulated load through the unified
+    // Driver, analytic loop vs threaded shard pool — the harness-side
+    // cost the capacity sweep pays per point.
+    let profiles = calibrate(Deployment::L25gc);
+    let cfg_for = |backend: ExecBackend| {
+        LoadConfig::builder()
+            .ues(10_000)
+            .shards(4)
+            .offered_eps(2_000.0)
+            .duration(SimDuration::from_secs(1))
+            .seed(7)
+            .backend(backend)
+            .build()
+            .expect("bench config is valid")
+    };
+    let mut g = c.benchmark_group("driver_backend");
+    g.sample_size(10);
+    g.bench_function("analytic_open_1s", |b| {
+        let driver = Driver::new(cfg_for(ExecBackend::Analytic)).unwrap();
+        b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
+    });
+    g.bench_function("threaded_open_1s", |b| {
+        let driver = Driver::new(cfg_for(ExecBackend::Threaded)).unwrap();
+        b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_shard_dispatch,
     bench_event_queue,
-    bench_arrivals
+    bench_arrivals,
+    bench_driver_backends
 );
 criterion_main!(benches);

@@ -17,7 +17,13 @@
 //! `capacity` sweeps offered load × deployment over the `l25gc-load`
 //! fleet engine and prints load-latency curves with the detected knee;
 //! `--ues <n>`, `--shards <n>` and `--duration-s <secs>` size the sweep
-//! (defaults: 1 M UEs, 4 shards, 10 s per point).
+//! (defaults: 1 M UEs, 4 shards, 10 s per point). `--backend threaded`
+//! runs each point on one OS thread per shard over real SPSC rings and
+//! adds a wall-clock sustained-events/s column; `--burst <ratio>` makes
+//! arrivals MMPP-2 bursty; `--workers <n>` (with `--think-ms`) appends a
+//! closed-loop worker sweep; `capacity-burst` prints the burstiness ×
+//! admission-policy table; `--scale-shards lo..hi` runs the shard-count
+//! scaling study on both backends.
 //!
 //! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
 //! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
@@ -31,19 +37,167 @@
 
 use l25gc_bench::{f, render_table};
 use l25gc_core::Deployment;
+use l25gc_load::ExecBackend;
 use l25gc_nfv::CostModel;
 use l25gc_testbed::exp;
 
-/// Extracts `<flag> <value>` from the arg list, if present.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).map(|i| {
-        let v = args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("{flag} needs a value"))
-            .clone();
-        args.drain(i..=i + 1);
-        v
-    })
+/// Every experiment id the CLI accepts (besides `all` / `help`).
+const EXPERIMENTS: [&str; 22] = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "pdr-update",
+    "scaling40g",
+    "fig12",
+    "fig13",
+    "fig14",
+    "eq12",
+    "failover-cp",
+    "fig15",
+    "fig16",
+    "fig17",
+    "capacity",
+    "capacity-burst",
+    "ablate-dos",
+    "ablate-checkpoint",
+    "ablate-canary",
+    "ablate-lb",
+];
+
+/// The parsed command line: every flag typed, every id validated.
+#[derive(Debug, Clone, Default)]
+struct Args {
+    help: bool,
+    seed: u64,
+    csv: Option<String>,
+    trace_out: Option<String>,
+    cap: exp::capacity::CapacityParams,
+    /// `--scale-shards lo..hi`: run the shard-scaling study.
+    scale_shards: Option<(u16, u16)>,
+    /// Validated experiment ids, in given order (empty = everything).
+    experiments: Vec<String>,
+}
+
+impl Args {
+    /// Parses the raw argument list (after the binary name). Errors are
+    /// one-line human-readable strings; `main` prints them to stderr and
+    /// exits 2.
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        fn num<T: std::str::FromStr>(flag: &str, v: &str, what: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("{flag} needs {what}, got `{v}`"))
+        }
+
+        let mut args = Args::default();
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut workers: Option<usize> = None;
+        let mut i = 0;
+        while i < raw.len() {
+            let a = raw[i].as_str();
+            if a == "--help" || a == "-h" || a == "help" {
+                args.help = true;
+                i += 1;
+                continue;
+            }
+            if a.starts_with("--") {
+                const FLAGS: [&str; 11] = [
+                    "--seed",
+                    "--ues",
+                    "--shards",
+                    "--duration-s",
+                    "--csv",
+                    "--trace-out",
+                    "--backend",
+                    "--burst",
+                    "--workers",
+                    "--think-ms",
+                    "--scale-shards",
+                ];
+                let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
+                    return Err(format!("unknown flag `{a}` (see --help)"));
+                };
+                if seen.contains(&flag) {
+                    return Err(format!("{flag} given more than once"));
+                }
+                seen.push(flag);
+                let v = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?
+                    .as_str();
+                match flag {
+                    "--seed" => args.seed = num(flag, v, "a u64")?,
+                    "--ues" => {
+                        args.cap.ues = num(flag, v, "a positive count")?;
+                        if args.cap.ues == 0 {
+                            return Err("--ues must be positive".into());
+                        }
+                    }
+                    "--shards" => {
+                        args.cap.shards = num(flag, v, "a positive count")?;
+                        if args.cap.shards == 0 {
+                            return Err("--shards must be positive".into());
+                        }
+                    }
+                    "--duration-s" => {
+                        args.cap.duration_s = num(flag, v, "seconds")?;
+                        if !args.cap.duration_s.is_finite() || args.cap.duration_s <= 0.0 {
+                            return Err("--duration-s must be positive".into());
+                        }
+                    }
+                    "--csv" => args.csv = Some(v.to_string()),
+                    "--trace-out" => args.trace_out = Some(v.to_string()),
+                    "--backend" => args.cap.backend = ExecBackend::parse(v)?,
+                    "--burst" => {
+                        args.cap.burst = num(flag, v, "a ratio >= 1")?;
+                        if !args.cap.burst.is_finite() || args.cap.burst < 1.0 {
+                            return Err("--burst must be finite and >= 1".into());
+                        }
+                    }
+                    "--workers" => {
+                        let w: usize = num(flag, v, "a positive count")?;
+                        if w == 0 {
+                            return Err("--workers must be positive".into());
+                        }
+                        workers = Some(w);
+                    }
+                    "--think-ms" => {
+                        args.cap.think_ms = num(flag, v, "milliseconds")?;
+                        if !args.cap.think_ms.is_finite() || args.cap.think_ms <= 0.0 {
+                            return Err("--think-ms must be positive".into());
+                        }
+                    }
+                    "--scale-shards" => {
+                        let (lo, hi) = v
+                            .split_once("..")
+                            .ok_or_else(|| format!("--scale-shards needs `lo..hi`, got `{v}`"))?;
+                        let lo: u16 = num(flag, lo, "a shard count")?;
+                        let hi: u16 = num(flag, hi, "a shard count")?;
+                        if lo == 0 || hi < lo || hi > 64 {
+                            return Err(format!(
+                                "--scale-shards needs 1 <= lo <= hi <= 64, got {lo}..{hi}"
+                            ));
+                        }
+                        args.scale_shards = Some((lo, hi));
+                    }
+                    _ => unreachable!("flag list is exhaustive"),
+                }
+                i += 2;
+                continue;
+            }
+            if a == "all" || EXPERIMENTS.contains(&a) {
+                args.experiments.push(a.to_string());
+            } else {
+                return Err(format!("unknown experiment id `{a}` (see --help)"));
+            }
+            i += 1;
+        }
+        args.cap.seed = args.seed;
+        args.cap.workers = workers;
+        Ok(args)
+    }
 }
 
 fn print_help() {
@@ -71,6 +225,7 @@ experiments:
   fig16             failover during handover + transfer
   fig17             repeated handovers under 10 TCP flows
   capacity          fleet-scale load-latency sweep (l25gc-load engine)
+  capacity-burst    MMPP burstiness x admission policy (not part of `all`)
   ablate-dos        tuple-space explosion DoS
   ablate-checkpoint checkpoint interval sweep
   ablate-canary     canary rollout split
@@ -82,6 +237,14 @@ flags:
   --ues <n>           capacity: fleet size (default 1000000)
   --shards <n>        capacity: worker shards (default 4)
   --duration-s <secs> capacity: horizon per sweep point (default 10)
+  --backend <b>       capacity: `analytic` (default, deterministic) or
+                      `threaded` (one OS thread per shard over SPSC
+                      rings; adds wall-clock sustained ev/s)
+  --burst <ratio>     capacity: MMPP-2 burstiness, 1 = Poisson (default)
+  --workers <n>       capacity: also sweep a closed loop up to n workers
+  --think-ms <ms>     closed-loop mean think time (default 10)
+  --scale-shards l..h shard-scaling study over doubling shard counts,
+                      both backends (with no ids: only this study runs)
   --csv <dir>         write fig13/fig14 RTT series as CSV
   --trace-out <path>  write the traced scenario (Chrome JSON, or JSONL
                       if the path ends in .jsonl)
@@ -90,41 +253,37 @@ flags:
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args
-        .iter()
-        .any(|a| a == "--help" || a == "-h" || a == "help")
-    {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("reproduce: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.help {
         print_help();
         return;
     }
-    let csv_dir = take_flag(&mut args, "--csv");
-    let trace_out = take_flag(&mut args, "--trace-out");
-    let seed: u64 = take_flag(&mut args, "--seed")
-        .map(|v| v.parse().expect("--seed needs a u64"))
-        .unwrap_or(0);
-    let mut cap_params = exp::capacity::CapacityParams {
-        seed,
-        ..exp::capacity::CapacityParams::default()
-    };
-    if let Some(v) = take_flag(&mut args, "--ues") {
-        cap_params.ues = v.parse().expect("--ues needs a count");
-    }
-    if let Some(v) = take_flag(&mut args, "--shards") {
-        cap_params.shards = v.parse().expect("--shards needs a count");
-    }
-    if let Some(v) = take_flag(&mut args, "--duration-s") {
-        cap_params.duration_s = v.parse().expect("--duration-s needs seconds");
-    }
-    let only_trace = trace_out.is_some() && args.is_empty();
-    if let Some(path) = trace_out.as_deref() {
+    let seed = args.seed;
+    let csv_dir = args.csv.clone();
+    let cap_params = args.cap;
+
+    // Standalone studies: with no experiment ids alongside, run only them.
+    let only_side_studies =
+        (args.trace_out.is_some() || args.scale_shards.is_some()) && args.experiments.is_empty();
+    if let Some(path) = args.trace_out.as_deref() {
         write_trace(path, seed);
     }
-    if only_trace {
+    if let Some((lo, hi)) = args.scale_shards {
+        shard_scaling(&cap_params, lo, hi);
+    }
+    if only_side_studies {
         return;
     }
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let ids = &args.experiments;
+    let all = ids.is_empty() || ids.iter().any(|a| a == "all");
+    let want = |name: &str| all || ids.iter().any(|a| a == name);
 
     if want("fig6") {
         fig6();
@@ -177,6 +336,10 @@ fn main() {
     if want("capacity") {
         capacity(&cap_params);
     }
+    // Heavy side study: only on explicit request, never under `all`.
+    if ids.iter().any(|a| a == "capacity-burst") {
+        capacity_burst(&cap_params);
+    }
     if want("ablate-dos") {
         ablate_dos();
     }
@@ -191,20 +354,25 @@ fn main() {
     }
 }
 
+fn deployment_name(d: Deployment) -> &'static str {
+    match d {
+        Deployment::Free5gc => "free5GC",
+        Deployment::OnvmUpf => "ONVM-UPF",
+        Deployment::L25gc => "L25GC",
+    }
+}
+
 fn capacity(params: &exp::capacity::CapacityParams) {
+    let threaded = params.backend == ExecBackend::Threaded;
     let curves = exp::capacity::sweep(params);
     for c in &curves {
-        let name = match c.deployment {
-            Deployment::Free5gc => "free5GC",
-            Deployment::OnvmUpf => "ONVM-UPF",
-            Deployment::L25gc => "L25GC",
-        };
+        let name = deployment_name(c.deployment);
         let table: Vec<Vec<String>> = c
             .points
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                vec![
+                let mut row = vec![
                     format!(
                         "{}{}",
                         f(p.offered_eps),
@@ -217,9 +385,26 @@ fn capacity(params: &exp::capacity::CapacityParams) {
                     format!("{:.2}%", p.loss_pct),
                     p.active_ues.to_string(),
                     format!("{:.0}%", p.utilisation * 100.0),
-                ]
+                ];
+                if let Some(w) = p.wall_eps {
+                    row.push(f(w));
+                }
+                row
             })
             .collect();
+        let mut headers = vec![
+            "offered (ev/s)",
+            "achieved (ev/s)",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "loss",
+            "active UEs",
+            "util",
+        ];
+        if threaded {
+            headers.push("wall (ev/s)");
+        }
         print!(
             "{}",
             render_table(
@@ -227,16 +412,7 @@ fn capacity(params: &exp::capacity::CapacityParams) {
                     "Capacity: {name} load-latency sweep ({} UEs, {} shards, {:.0} s/point, * = knee)",
                     params.ues, params.shards, params.duration_s
                 ),
-                &[
-                    "offered (ev/s)",
-                    "achieved (ev/s)",
-                    "p50 (ms)",
-                    "p95 (ms)",
-                    "p99 (ms)",
-                    "loss",
-                    "active UEs",
-                    "util"
-                ],
+                &headers,
                 &table
             )
         );
@@ -246,6 +422,13 @@ fn capacity(params: &exp::capacity::CapacityParams) {
             f(c.knee_p99_ms()),
             f(c.mean_occupancy_ms),
         );
+        if let Some(wall) = c.points[c.knee].wall_eps {
+            println!(
+                "{name} threaded knee point moved {} events/s of wall-clock throughput \
+                 through the shard rings",
+                f(wall)
+            );
+        }
     }
     if let Some((budget_ms, free_eps, l25_eps)) = exp::capacity::equal_p99_comparison(&curves) {
         println!(
@@ -256,6 +439,117 @@ fn capacity(params: &exp::capacity::CapacityParams) {
             l25_eps / free_eps.max(1e-9),
         );
     }
+    if let Some(max_workers) = params.workers {
+        closed_loop(params, max_workers);
+    }
+}
+
+fn closed_loop(params: &exp::capacity::CapacityParams, max_workers: usize) {
+    let rows = exp::capacity::closed_loop_table(params, max_workers);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.workers.to_string(),
+                f(r.achieved_eps),
+                f(r.p50_ms),
+                f(r.p99_ms),
+                format!("{:.0}%", r.utilisation * 100.0),
+            ];
+            if let Some(w) = r.wall_eps {
+                row.push(f(w));
+            }
+            row
+        })
+        .collect();
+    let mut headers = vec!["workers", "achieved (ev/s)", "p50 (ms)", "p99 (ms)", "util"];
+    if params.backend == ExecBackend::Threaded {
+        headers.push("wall (ev/s)");
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Capacity: L25GC closed loop, think {} ms ({} backend)",
+                f(params.think_ms),
+                params.backend
+            ),
+            &headers,
+            &table
+        )
+    );
+}
+
+fn capacity_burst(params: &exp::capacity::CapacityParams) {
+    let rows = exp::capacity::burst_policy_table(params);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}x", r.burst),
+                format!("{:?}", r.policy),
+                f(r.achieved_eps),
+                f(r.p99_ms),
+                format!("{:.2}%", r.loss_pct),
+                r.peak_depth.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Capacity: L25GC burstiness x admission policy at 0.9x capacity \
+                 ({} shards, {:.0} s/point, {} backend)",
+                params.shards, params.duration_s, params.backend
+            ),
+            &[
+                "burst",
+                "policy",
+                "achieved (ev/s)",
+                "p99 (ms)",
+                "loss",
+                "peak depth"
+            ],
+            &table
+        )
+    );
+}
+
+fn shard_scaling(params: &exp::capacity::CapacityParams, lo: u16, hi: u16) {
+    let rows = exp::capacity::shard_scaling(params, lo, hi);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                f(r.offered_eps),
+                f(r.analytic_eps),
+                f(r.analytic_p99_ms),
+                f(r.threaded_eps),
+                f(r.threaded_wall_eps),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Capacity: L25GC shard scaling at 0.9x capacity per count \
+                 ({} UEs, {:.0} s/point)",
+                params.ues, params.duration_s
+            ),
+            &[
+                "shards",
+                "offered (ev/s)",
+                "analytic (ev/s)",
+                "analytic p99 (ms)",
+                "threaded (ev/s)",
+                "threaded wall (ev/s)"
+            ],
+            &table
+        )
+    );
 }
 
 fn write_trace(path: &str, seed: u64) {
@@ -800,4 +1094,114 @@ fn fig17(seed: u64) {
             &table
         )
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        let raw: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn defaults_match_published_tables() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.seed, 0);
+        assert_eq!(args.cap.backend, ExecBackend::Analytic);
+        assert_eq!(args.cap.burst, 1.0);
+        assert_eq!(args.cap.workers, None);
+        assert!(args.experiments.is_empty(), "empty ids mean `all`");
+        assert!(!args.help);
+    }
+
+    #[test]
+    fn flags_and_ids_parse_into_typed_fields() {
+        let args = parse(&[
+            "capacity",
+            "--seed",
+            "7",
+            "--ues",
+            "5000",
+            "--shards",
+            "8",
+            "--duration-s",
+            "2.5",
+            "--backend",
+            "threaded",
+            "--burst",
+            "4",
+            "--workers",
+            "32",
+            "--think-ms",
+            "5",
+            "--scale-shards",
+            "1..16",
+        ])
+        .unwrap();
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.cap.seed, 7, "capacity inherits the master seed");
+        assert_eq!(args.cap.ues, 5000);
+        assert_eq!(args.cap.shards, 8);
+        assert_eq!(args.cap.duration_s, 2.5);
+        assert_eq!(args.cap.backend, ExecBackend::Threaded);
+        assert_eq!(args.cap.burst, 4.0);
+        assert_eq!(args.cap.workers, Some(32));
+        assert_eq!(args.cap.think_ms, 5.0);
+        assert_eq!(args.scale_shards, Some((1, 16)));
+        assert_eq!(args.experiments, vec!["capacity".to_string()]);
+    }
+
+    #[test]
+    fn unknown_flags_and_ids_are_rejected() {
+        assert!(parse(&["--frobnicate", "1"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["fig99"])
+            .unwrap_err()
+            .contains("unknown experiment"));
+    }
+
+    #[test]
+    fn duplicate_and_valueless_flags_are_rejected() {
+        assert!(parse(&["--seed", "1", "--seed", "2"])
+            .unwrap_err()
+            .contains("more than once"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        assert!(parse(&["--ues", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--shards", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--burst", "0.5"]).unwrap_err().contains(">= 1"));
+        assert!(parse(&["--workers", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--seed", "banana"]).unwrap_err().contains("u64"));
+        assert!(parse(&["--backend", "gpu"])
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(parse(&["--scale-shards", "4"])
+            .unwrap_err()
+            .contains("lo..hi"));
+        assert!(parse(&["--scale-shards", "8..2"])
+            .unwrap_err()
+            .contains("lo <= hi"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn every_listed_experiment_id_is_accepted() {
+        for id in EXPERIMENTS {
+            let args = parse(&[id]).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(args.experiments, vec![id.to_string()]);
+        }
+        assert!(parse(&["all"]).unwrap().experiments == vec!["all".to_string()]);
+    }
 }

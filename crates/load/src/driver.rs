@@ -1,18 +1,34 @@
-//! Open-loop and closed-loop load drivers over the sharded execution
-//! layer.
+//! The unified load driver: one [`Driver`] entry point over every
+//! (mode × backend) combination.
 //!
-//! **Open loop**: arrivals come from the seeded [`ArrivalStream`]
-//! regardless of completions — the generator does not slow down when the
-//! system saturates, which is what exposes the latency knee (the
-//! coordinated-omission-free methodology capacity studies require).
+//! **Modes** ([`LoadMode`]):
 //!
-//! **Closed loop**: a fixed population of workers each issue one
-//! procedure, wait for completion plus a think time, then issue the
-//! next — throughput self-limits, modelling well-behaved devices.
+//! - **Open loop**: arrivals come from the seeded [`ArrivalStream`]
+//!   regardless of completions — the generator does not slow down when
+//!   the system saturates, which is what exposes the latency knee (the
+//!   coordinated-omission-free methodology capacity studies require).
+//! - **Closed loop**: a fixed population of workers each issue one
+//!   procedure, wait for completion plus a think time, then issue the
+//!   next — throughput self-limits, modelling well-behaved devices.
+//!
+//! **Backends** ([`ExecBackend`]):
+//!
+//! - **Analytic**: the single-threaded virtual-time loop — seed
+//!   deterministic, byte-identical output per seed, used for the
+//!   published capacity tables.
+//! - **Threaded** ([`crate::worker`]): one OS thread per shard fed
+//!   through real `l25gc_nfv::ring` SPSC submit/completion rings — the
+//!   same virtual-time latency model, but wall-clock measured, so the
+//!   sweep doubles as a benchmark of the shared-memory substrate itself.
 //!
 //! Both record per-procedure latency into `l25gc-obs` log2 histograms
 //! (`capacity_all` plus one per procedure kind), drop codes for shed /
 //! backpressured arrivals, and active-UE / shard-depth gauges.
+//!
+//! Construction goes through [`LoadConfig::builder`], which returns a
+//! typed [`LoadError`] instead of panicking on bad inputs. The free
+//! functions [`run_open_loop`] / [`run_closed_loop`] remain as thin
+//! deprecated wrappers for one release.
 
 use l25gc_core::UeEvent;
 use l25gc_obs::{EventKind, Obs};
@@ -25,6 +41,108 @@ use crate::shard::{Admission, ShardConfig, ShardSet};
 
 /// Histogram key for the all-kinds latency distribution.
 pub const HIST_ALL: &str = "capacity_all";
+
+/// Which execution engine runs the load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Single-threaded virtual-time loop: seed-deterministic, used for
+    /// the published (byte-identical) capacity tables.
+    #[default]
+    Analytic,
+    /// One OS thread per shard over real SPSC submit/completion rings:
+    /// wall-clock measured, benchmarks the substrate itself.
+    Threaded,
+}
+
+impl ExecBackend {
+    /// Parses `"analytic"` / `"threaded"` (the CLI spelling).
+    pub fn parse(s: &str) -> Result<ExecBackend, String> {
+        match s {
+            "analytic" => Ok(ExecBackend::Analytic),
+            "threaded" => Ok(ExecBackend::Threaded),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `analytic` or `threaded`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecBackend::Analytic => "analytic",
+            ExecBackend::Threaded => "threaded",
+        })
+    }
+}
+
+/// How arrivals are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Open loop at [`LoadConfig::offered_eps`], independent of
+    /// completions.
+    #[default]
+    Open,
+    /// Closed loop: a fixed worker population with think times.
+    Closed {
+        /// Concurrent client count.
+        workers: usize,
+        /// Mean think time between a completion and the next issue.
+        think: SimDuration,
+    },
+}
+
+/// Why a [`LoadConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadError {
+    /// The fleet must have at least one UE.
+    ZeroUes,
+    /// The fleet indexes UEs with `u32`; this many don't fit.
+    FleetTooLarge(usize),
+    /// At least one worker shard is required.
+    ZeroShards,
+    /// A zero high-water mark would shed every arrival.
+    ZeroHighWater,
+    /// A zero-capacity in-flight ring cannot hold any procedure.
+    ZeroRingCapacity,
+    /// Open-loop offered rate must be finite and positive.
+    NonPositiveRate(f64),
+    /// Burstiness must be finite and ≥ 1 (1 = Poisson).
+    BadBurst(f64),
+    /// The run horizon must be non-zero.
+    ZeroDuration,
+    /// The event mix must have positive total weight.
+    EmptyMix,
+    /// Closed-loop mode needs at least one worker.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::ZeroUes => write!(f, "fleet must have at least one UE"),
+            LoadError::FleetTooLarge(n) => {
+                write!(f, "fleet of {n} UEs exceeds the u32 index space")
+            }
+            LoadError::ZeroShards => write!(f, "at least one worker shard is required"),
+            LoadError::ZeroHighWater => {
+                write!(f, "high-water mark of 0 would shed every arrival")
+            }
+            LoadError::ZeroRingCapacity => write!(f, "in-flight ring capacity must be > 0"),
+            LoadError::NonPositiveRate(r) => {
+                write!(f, "offered rate must be finite and positive, got {r}")
+            }
+            LoadError::BadBurst(b) => {
+                write!(f, "burstiness must be finite and >= 1, got {b}")
+            }
+            LoadError::ZeroDuration => write!(f, "run horizon must be non-zero"),
+            LoadError::EmptyMix => write!(f, "event mix must have positive total weight"),
+            LoadError::ZeroWorkers => write!(f, "closed loop needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
 
 /// One load run's configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +162,10 @@ pub struct LoadConfig {
     pub duration: SimDuration,
     /// Master seed; every RNG in the run forks from it.
     pub seed: u64,
+    /// Execution engine.
+    pub backend: ExecBackend,
+    /// Arrival generation discipline.
+    pub mode: LoadMode,
 }
 
 impl Default for LoadConfig {
@@ -56,8 +178,168 @@ impl Default for LoadConfig {
             burst: 1.0,
             duration: SimDuration::from_secs(5),
             seed: 0,
+            backend: ExecBackend::Analytic,
+            mode: LoadMode::Open,
         }
     }
+}
+
+impl LoadConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> LoadConfigBuilder {
+        LoadConfigBuilder {
+            cfg: LoadConfig::default(),
+        }
+    }
+
+    /// Checks every invariant the drivers rely on; [`Driver::new`] and
+    /// [`LoadConfigBuilder::build`] both call this.
+    pub fn validate(&self) -> Result<(), LoadError> {
+        if self.ues == 0 {
+            return Err(LoadError::ZeroUes);
+        }
+        if self.ues > u32::MAX as usize {
+            return Err(LoadError::FleetTooLarge(self.ues));
+        }
+        if self.shard_cfg.shards == 0 {
+            return Err(LoadError::ZeroShards);
+        }
+        if self.shard_cfg.high_water == 0 {
+            return Err(LoadError::ZeroHighWater);
+        }
+        if self.shard_cfg.ring_capacity == 0 {
+            return Err(LoadError::ZeroRingCapacity);
+        }
+        if self.duration.is_zero() {
+            return Err(LoadError::ZeroDuration);
+        }
+        let total_weight = self.mix.total();
+        if !total_weight.is_finite() || total_weight <= 0.0 {
+            return Err(LoadError::EmptyMix);
+        }
+        if self.mode == LoadMode::Open {
+            if !self.offered_eps.is_finite() || self.offered_eps <= 0.0 {
+                return Err(LoadError::NonPositiveRate(self.offered_eps));
+            }
+            if !self.burst.is_finite() || self.burst < 1.0 {
+                return Err(LoadError::BadBurst(self.burst));
+            }
+        }
+        if let LoadMode::Closed { workers, .. } = self.mode {
+            if workers == 0 {
+                return Err(LoadError::ZeroWorkers);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent constructor for [`LoadConfig`]; [`LoadConfigBuilder::build`]
+/// validates and returns a typed [`LoadError`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct LoadConfigBuilder {
+    cfg: LoadConfig,
+}
+
+impl LoadConfigBuilder {
+    /// Fleet size (UEs).
+    pub fn ues(mut self, ues: usize) -> Self {
+        self.cfg.ues = ues;
+        self
+    }
+
+    /// Worker shard count.
+    pub fn shards(mut self, shards: u16) -> Self {
+        self.cfg.shard_cfg.shards = shards;
+        self
+    }
+
+    /// The full sharded-execution parameter block.
+    pub fn shard_cfg(mut self, shard_cfg: ShardConfig) -> Self {
+        self.cfg.shard_cfg = shard_cfg;
+        self
+    }
+
+    /// In-flight depth at which admission control engages.
+    pub fn high_water(mut self, high_water: usize) -> Self {
+        self.cfg.shard_cfg.high_water = high_water;
+        self
+    }
+
+    /// What to do past the high-water mark.
+    pub fn policy(mut self, policy: crate::shard::OverloadPolicy) -> Self {
+        self.cfg.shard_cfg.policy = policy;
+        self
+    }
+
+    /// Capacity of each shard's in-flight ring.
+    pub fn ring_capacity(mut self, ring_capacity: usize) -> Self {
+        self.cfg.shard_cfg.ring_capacity = ring_capacity;
+        self
+    }
+
+    /// Procedure mix.
+    pub fn mix(mut self, mix: EventMix) -> Self {
+        self.cfg.mix = mix;
+        self
+    }
+
+    /// Offered load, events/s (open loop).
+    pub fn offered_eps(mut self, offered_eps: f64) -> Self {
+        self.cfg.offered_eps = offered_eps;
+        self
+    }
+
+    /// Burstiness (1.0 = Poisson, > 1 = MMPP-2 rate ratio).
+    pub fn burst(mut self, burst: f64) -> Self {
+        self.cfg.burst = burst;
+        self
+    }
+
+    /// Run horizon.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Execution engine.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Open-loop arrivals (the default).
+    pub fn open_loop(mut self) -> Self {
+        self.cfg.mode = LoadMode::Open;
+        self
+    }
+
+    /// Closed-loop arrivals: `workers` clients with `think` pauses.
+    pub fn closed_loop(mut self, workers: usize, think: SimDuration) -> Self {
+        self.cfg.mode = LoadMode::Closed { workers, think };
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<LoadConfig, LoadError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Wall-clock measurements a threaded run adds to its [`LoadReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    /// Real elapsed time of the run (spawn to last join).
+    pub elapsed: std::time::Duration,
+    /// Events actually moved through the rings per wall-clock second.
+    pub sustained_eps: f64,
 }
 
 /// What one load run measured.
@@ -76,6 +358,9 @@ pub struct LoadReport {
     pub infeasible: u64,
     /// Dispatched procedures that completed within the horizon.
     pub completed: u64,
+    /// Every completion the run observed, inside the horizon or not.
+    /// Loss-freedom invariant: `completed_total == dispatched`.
+    pub completed_total: u64,
     /// `completed` per second of horizon — the sustained rate.
     pub achieved_eps: f64,
     /// Latency quantiles over every dispatched procedure.
@@ -90,13 +375,46 @@ pub struct LoadReport {
     pub peak_depth: usize,
     /// Mean shard CPU utilisation over the horizon.
     pub busy_fraction: f64,
+    /// Wall-clock stats (threaded backend only).
+    pub wall: Option<WallClock>,
     /// Full observability bundle (histograms, drop events, gauges).
     pub obs: Obs,
 }
 
+/// The unified entry point: a validated [`LoadConfig`] plus `run`.
+/// Callers no longer branch on driver kind — mode and backend live in
+/// the config.
+pub struct Driver {
+    cfg: LoadConfig,
+}
+
+impl Driver {
+    /// Validates `cfg` and wraps it.
+    pub fn new(cfg: LoadConfig) -> Result<Driver, LoadError> {
+        cfg.validate()?;
+        Ok(Driver { cfg })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &LoadConfig {
+        &self.cfg
+    }
+
+    /// Runs the configured (mode × backend) combination.
+    pub fn run(&self, profiles: &ProfileSet) -> LoadReport {
+        match (self.cfg.backend, self.cfg.mode) {
+            (ExecBackend::Analytic, LoadMode::Open) => analytic_open(&self.cfg, profiles),
+            (ExecBackend::Analytic, LoadMode::Closed { workers, think }) => {
+                analytic_closed(&self.cfg, profiles, workers, think)
+            }
+            (ExecBackend::Threaded, _) => crate::worker::run_threaded(&self.cfg, profiles),
+        }
+    }
+}
+
 /// Which fleet state an event kind draws its UE from, and where the UE
 /// lands on success.
-fn transition(kind: UeEvent) -> (UeState, UeState) {
+pub(crate) fn transition(kind: UeEvent) -> (UeState, UeState) {
     match kind {
         UeEvent::Registration => (UeState::Deregistered, UeState::Registered),
         UeEvent::SessionRequest => (UeState::Registered, UeState::SessionActive),
@@ -105,6 +423,30 @@ fn transition(kind: UeEvent) -> (UeState, UeState) {
         UeEvent::Paging => (UeState::Idle, UeState::SessionActive),
         UeEvent::Deregistration => (UeState::Registered, UeState::Deregistered),
     }
+}
+
+/// Applies the success transition for `kind` to `ue`.
+pub(crate) fn apply_transition(fleet: &mut Fleet, ue: u32, kind: UeEvent, to: UeState) {
+    if kind == UeEvent::SessionRequest {
+        fleet.establish_session(ue);
+    } else {
+        fleet.set_state(ue, to);
+    }
+}
+
+/// Picks the next closed-loop procedure kind: a weighted draw that is
+/// deterministic in mix order (shared by both backends).
+pub(crate) fn draw_kind(mix: &EventMix, total_w: f64, rng: &mut SimRng) -> UeEvent {
+    let mut pick = rng.f64() * total_w;
+    let mut kind = mix.weights[0].0;
+    for &(k, w) in &mix.weights {
+        kind = k;
+        if pick < w {
+            break;
+        }
+        pick -= w;
+    }
+    kind
 }
 
 /// Offers one event to the fleet + shard set and records the outcome.
@@ -129,11 +471,7 @@ fn offer_event(
     let shard = fleet.shard_of(ue);
     match shards.offer(shard, at, prof, u64::from(ue) + 1, obs) {
         Admission::Dispatched { completes_at } => {
-            if kind == UeEvent::SessionRequest {
-                fleet.establish_session(ue);
-            } else {
-                fleet.set_state(ue, to);
-            }
+            apply_transition(fleet, ue, kind, to);
             let lat = completes_at.duration_since(at).as_nanos();
             obs.hists.record(proc_kind(kind).name(), lat);
             obs.hists.record(HIST_ALL, lat);
@@ -176,6 +514,9 @@ fn finish(
         backpressure: shards.backpressure,
         infeasible,
         completed,
+        // Analytic dispatch assigns every admitted procedure a completion
+        // instant up front — nothing can be lost in flight.
+        completed_total: dispatched,
         achieved_eps: completed as f64 / cfg.duration.as_secs_f64(),
         p50: q(0.50),
         p95: q(0.95),
@@ -183,13 +524,13 @@ fn finish(
         active_ues: fleet.active(),
         peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
         busy_fraction: shards.busy_fraction(end),
+        wall: None,
         obs,
     }
 }
 
-/// Runs an open-loop load test: arrivals at `cfg.offered_eps` for
-/// `cfg.duration`, independent of completions.
-pub fn run_open_loop(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
+/// The analytic open-loop engine (virtual time, single-threaded).
+fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     let mut rng = SimRng::new(cfg.seed);
     let mut fleet_rng = rng.fork();
     let mut stream = ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, &mut rng);
@@ -229,9 +570,8 @@ pub fn run_open_loop(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     )
 }
 
-/// Runs a closed-loop load test: `workers` concurrent clients, each
-/// issuing its next procedure `think` after the previous one completes.
-pub fn run_closed_loop(
+/// The analytic closed-loop engine (virtual time, single-threaded).
+fn analytic_closed(
     cfg: &LoadConfig,
     profiles: &ProfileSet,
     workers: usize,
@@ -260,16 +600,7 @@ pub fn run_closed_loop(
     let horizon = SimTime::ZERO + cfg.duration;
     let (mut offered, mut dispatched, mut infeasible, mut completed) = (0u64, 0u64, 0u64, 0u64);
     while let Some((at, worker)) = q.pop_before(horizon) {
-        // Weighted kind draw, deterministic in mix order.
-        let mut pick = kind_rng.f64() * total_w;
-        let mut kind = cfg.mix.weights[0].0;
-        for &(k, w) in &cfg.mix.weights {
-            kind = k;
-            if pick < w {
-                break;
-            }
-            pick -= w;
-        }
+        let kind = draw_kind(&cfg.mix, total_w, &mut kind_rng);
         offered += 1;
         let next_ready = match offer_event(
             kind,
@@ -298,11 +629,46 @@ pub fn run_closed_loop(
     )
 }
 
+/// Runs an open-loop load test: arrivals at `cfg.offered_eps` for
+/// `cfg.duration`, independent of completions.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a Driver via LoadConfig::builder().….build() and call Driver::run"
+)]
+pub fn run_open_loop(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
+    let mut cfg = cfg.clone();
+    cfg.mode = LoadMode::Open;
+    cfg.backend = ExecBackend::Analytic;
+    Driver::new(cfg).expect("invalid LoadConfig").run(profiles)
+}
+
+/// Runs a closed-loop load test: `workers` concurrent clients, each
+/// issuing its next procedure `think` after the previous one completes.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a Driver via LoadConfig::builder().closed_loop(..).build() and call Driver::run"
+)]
+pub fn run_closed_loop(
+    cfg: &LoadConfig,
+    profiles: &ProfileSet,
+    workers: usize,
+    think: SimDuration,
+) -> LoadReport {
+    let mut cfg = cfg.clone();
+    cfg.mode = LoadMode::Closed { workers, think };
+    cfg.backend = ExecBackend::Analytic;
+    Driver::new(cfg).expect("invalid LoadConfig").run(profiles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dispatch::calibrate;
     use l25gc_core::Deployment;
+
+    fn open_driver(cfg: LoadConfig) -> Driver {
+        Driver::new(cfg).expect("valid test config")
+    }
 
     #[test]
     fn open_loop_light_load_matches_unloaded_latency() {
@@ -314,13 +680,15 @@ mod tests {
             seed: 11,
             ..LoadConfig::default()
         };
-        let r = run_open_loop(&cfg, &profiles);
+        let r = open_driver(cfg).run(&profiles);
         assert!(r.offered > 50, "offered {}", r.offered);
         assert!(r.shed == 0 && r.backpressure == 0, "light load sheds");
         // p50 should sit at one of the unloaded procedure latencies.
         let max_unloaded = profiles.iter().map(|(_, p)| p.latency).max().unwrap();
         assert!(r.p50 <= max_unloaded, "p50 {:?}", r.p50);
         assert!(r.active_ues > 0);
+        assert!(r.wall.is_none(), "analytic runs carry no wall stats");
+        assert_eq!(r.completed_total, r.dispatched);
     }
 
     #[test]
@@ -348,11 +716,12 @@ mod tests {
             offered_eps: capacity * 3.0,
             ..light.clone()
         };
-        let lr = run_open_loop(&light, &profiles);
-        let hr = run_open_loop(&heavy, &profiles);
+        let heavy_eps = heavy.offered_eps;
+        let lr = open_driver(light).run(&profiles);
+        let hr = open_driver(heavy).run(&profiles);
         assert!(hr.shed > 0, "overload must shed");
         assert!(hr.p99 >= lr.p99, "{:?} vs {:?}", hr.p99, lr.p99);
-        assert!(hr.achieved_eps <= heavy.offered_eps);
+        assert!(hr.achieved_eps <= heavy_eps);
     }
 
     #[test]
@@ -365,8 +734,8 @@ mod tests {
             seed: 42,
             ..LoadConfig::default()
         };
-        let a = run_open_loop(&cfg, &profiles);
-        let b = run_open_loop(&cfg, &profiles);
+        let a = open_driver(cfg.clone()).run(&profiles);
+        let b = open_driver(cfg).run(&profiles);
         assert_eq!(a.offered, b.offered);
         assert_eq!(a.dispatched, b.dispatched);
         assert_eq!(a.shed, b.shed);
@@ -377,16 +746,76 @@ mod tests {
     #[test]
     fn closed_loop_self_limits() {
         let profiles = calibrate(Deployment::L25gc);
-        let cfg = LoadConfig {
-            ues: 2_000,
-            duration: SimDuration::from_secs(3),
-            seed: 5,
-            ..LoadConfig::default()
-        };
-        let r = run_closed_loop(&cfg, &profiles, 32, SimDuration::from_millis(10));
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .duration(SimDuration::from_secs(3))
+            .seed(5)
+            .closed_loop(32, SimDuration::from_millis(10))
+            .build()
+            .expect("valid closed-loop config");
+        let r = Driver::new(cfg).unwrap().run(&profiles);
         assert!(r.dispatched > 0);
         assert_eq!(r.backpressure, 0, "closed loop cannot overrun the ring");
         // 32 workers can never have more than 32 in flight.
         assert!(r.peak_depth <= 32, "peak {}", r.peak_depth);
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs_with_typed_errors() {
+        assert_eq!(
+            LoadConfig::builder().ues(0).build().unwrap_err(),
+            LoadError::ZeroUes
+        );
+        assert_eq!(
+            LoadConfig::builder().shards(0).build().unwrap_err(),
+            LoadError::ZeroShards
+        );
+        assert_eq!(
+            LoadConfig::builder().offered_eps(-1.0).build().unwrap_err(),
+            LoadError::NonPositiveRate(-1.0)
+        );
+        assert_eq!(
+            LoadConfig::builder().burst(0.5).build().unwrap_err(),
+            LoadError::BadBurst(0.5)
+        );
+        assert_eq!(
+            LoadConfig::builder()
+                .duration(SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            LoadError::ZeroDuration
+        );
+        assert_eq!(
+            LoadConfig::builder()
+                .closed_loop(0, SimDuration::from_millis(1))
+                .build()
+                .unwrap_err(),
+            LoadError::ZeroWorkers
+        );
+        // Closed loop ignores the open-loop rate, so a bad rate passes.
+        assert!(LoadConfig::builder()
+            .offered_eps(-1.0)
+            .closed_loop(4, SimDuration::from_millis(1))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig {
+            ues: 1_000,
+            offered_eps: 50.0,
+            duration: SimDuration::from_secs(2),
+            seed: 9,
+            ..LoadConfig::default()
+        };
+        let a = run_open_loop(&cfg, &profiles);
+        let b = Driver::new(cfg.clone()).unwrap().run(&profiles);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.p99, b.p99);
+        let c = run_closed_loop(&cfg, &profiles, 8, SimDuration::from_millis(5));
+        assert!(c.dispatched > 0);
     }
 }

@@ -20,20 +20,33 @@
 //!   machines once per procedure through the batched
 //!   `CoreNetwork::handle_batch` entry point.
 //!
-//! [`run_open_loop`] / [`run_closed_loop`] tie the layers together and
-//! emit a [`LoadReport`] (latency quantiles from log2 histograms,
-//! sustained events/s, drop and occupancy accounting). The `reproduce
-//! capacity` subcommand sweeps offered load × deployment over this
-//! engine to find each system's sustainable-throughput knee.
+//! A single [`Driver`] ties the layers together: a validated
+//! [`LoadConfig`] (built via [`LoadConfig::builder`]) selects open- or
+//! closed-loop generation ([`LoadMode`]) and an execution backend
+//! ([`ExecBackend`]) — `Analytic` runs the seed-deterministic
+//! virtual-time model, `Threaded` runs one OS thread per shard fed
+//! through real `l25gc_nfv::ring` SPSC submit/completion pairs and adds
+//! wall-clock sustained-throughput stats ([`WallClock`]). Both emit a
+//! [`LoadReport`] (latency quantiles from log2 histograms, sustained
+//! events/s, drop and occupancy accounting). The `reproduce capacity`
+//! subcommand sweeps offered load × deployment over this engine to find
+//! each system's sustainable-throughput knee.
 
 pub mod arrival;
 pub mod dispatch;
 pub mod driver;
 pub mod fleet;
 pub mod shard;
+pub mod worker;
 
 pub use arrival::{ArrivalProcess, ArrivalStream, EventMix};
 pub use dispatch::{calibrate, proc_kind, ProcedureProfile, ProfileSet};
-pub use driver::{run_closed_loop, run_open_loop, LoadConfig, LoadReport, HIST_ALL};
+#[allow(deprecated)]
+pub use driver::{run_closed_loop, run_open_loop};
+pub use driver::{
+    Driver, ExecBackend, LoadConfig, LoadConfigBuilder, LoadError, LoadMode, LoadReport, WallClock,
+    HIST_ALL,
+};
 pub use fleet::{shard_for_supi, Fleet, UeRecord, UeState, SUPI_BASE, UE_STATES};
 pub use shard::{Admission, OverloadPolicy, ShardConfig, ShardSet};
+pub use worker::{Completion, Submit, HIST_QUEUE_DELAY};

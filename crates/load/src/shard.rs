@@ -125,7 +125,7 @@ pub struct ShardSet {
 }
 
 /// Labels for up to 64 shards (ring labels are `&'static str`).
-static SHARD_LABELS: [&str; 64] = {
+pub(crate) static SHARD_LABELS: [&str; 64] = {
     // "shard:NN" without allocation: generated at compile time.
     [
         "shard:00", "shard:01", "shard:02", "shard:03", "shard:04", "shard:05", "shard:06",

@@ -1,0 +1,712 @@
+//! The threaded execution backend: one OS thread per shard, fed through
+//! real `l25gc_nfv::ring` SPSC pairs.
+//!
+//! The analytic backend *models* the sharded FIFO servers; this backend
+//! *runs* them. Each shard is a [`ShardWorker`] on its own thread,
+//! attached to the dispatcher by an [`l25gc_nfv::duplex`] channel — a
+//! submit ring carrying [`Submit`] descriptors out and a completion ring
+//! carrying [`Completion`] descriptors back, the same lock-free SPSC
+//! structure the NFs use for packet descriptors. The dispatcher does
+//! SUPI-hash routing, high-water admission control (the `Shed`/`Queue`
+//! policies keep their semantics, now against *real* ring occupancy),
+//! and drains completions into the shared `l25gc-obs` histograms.
+//!
+//! Latency is still computed in virtual time by the same FIFO recurrence
+//! the analytic backend uses (`max(busy_until, arrival) + occupancy`,
+//! plus off-shard wire time), so the latency tables stay comparable;
+//! what the threaded run adds is **wall-clock truth**: how many events/s
+//! the dispatcher + rings + workers actually move ([`WallClock`]), and
+//! loss accounting over a real concurrent substrate (every submission is
+//! either completed or recorded as a typed drop — nothing vanishes).
+//!
+//! Workers record into private `Obs` bundles (a per-shard queue-delay
+//! histogram; no locks on the hot path) which the dispatcher absorbs
+//! after join — the cross-thread recorder pattern `l25gc-obs` supports
+//! via [`Obs::absorb`].
+
+use std::thread;
+use std::time::Instant;
+
+use l25gc_core::UeEvent;
+use l25gc_nfv::ring::{duplex, DuplexHost, RingFull};
+use l25gc_obs::{DropCode, EventKind, Obs};
+use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::arrival::ArrivalStream;
+use crate::dispatch::{proc_kind, ProfileSet};
+use crate::driver::{
+    apply_transition, draw_kind, transition, LoadConfig, LoadMode, LoadReport, WallClock, HIST_ALL,
+};
+use crate::fleet::Fleet;
+use crate::shard::{OverloadPolicy, SHARD_LABELS};
+
+/// Submissions a worker drains per ring poll (the DPDK burst idiom).
+const BURST: usize = 64;
+
+/// `seq` value of the stop sentinel; FIFO rings guarantee every real
+/// submission is processed before the worker sees it.
+const STOP_SEQ: u64 = u64::MAX;
+
+/// One procedure crossing the submit ring, 24 bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Submit {
+    /// Monotone per-run sequence number (closed loop matches on it).
+    pub seq: u64,
+    /// Procedure kind.
+    pub kind: UeEvent,
+    /// Virtual arrival instant.
+    pub at: SimTime,
+}
+
+/// One completed procedure crossing the completion ring back.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Sequence number of the originating [`Submit`].
+    pub seq: u64,
+    /// Procedure kind (histogram routing).
+    pub kind: UeEvent,
+    /// Virtual arrival instant (latency = `completes_at - at`).
+    pub at: SimTime,
+    /// Virtual end-to-end completion instant.
+    pub completes_at: SimTime,
+}
+
+/// Histogram key for per-shard queueing delay recorded by the workers.
+pub const HIST_QUEUE_DELAY: &str = "shard_queue_delay";
+
+/// What one worker thread hands back at join.
+struct WorkerStats {
+    /// Final virtual busy-until (utilisation accounting).
+    busy_until: SimTime,
+    /// Procedures this shard served.
+    served: u64,
+    /// Deepest submit-ring occupancy the worker observed at poll time.
+    peak_depth: usize,
+    /// The worker's private recorder bundle.
+    obs: Obs,
+}
+
+/// One shard's server loop: pop submissions in bursts, advance the
+/// virtual FIFO clock, push completions. Runs until the stop sentinel.
+struct ShardWorker {
+    port: l25gc_nfv::ring::DuplexWorker<Submit, Completion>,
+    profiles: ProfileSet,
+    busy_until: SimTime,
+    served: u64,
+    peak_depth: usize,
+    obs: Obs,
+}
+
+impl ShardWorker {
+    fn run(mut self) -> WorkerStats {
+        let mut buf: Vec<Submit> = Vec::with_capacity(BURST);
+        'serve: loop {
+            let n = self.port.submissions.pop_burst(&mut buf, BURST);
+            if n == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            self.peak_depth = self.peak_depth.max(self.port.submissions.len() + n);
+            for s in buf.drain(..) {
+                if s.seq == STOP_SEQ {
+                    break 'serve;
+                }
+                self.serve(s);
+            }
+        }
+        WorkerStats {
+            busy_until: self.busy_until,
+            served: self.served,
+            peak_depth: self.peak_depth,
+            obs: self.obs,
+        }
+    }
+
+    /// The FIFO recurrence — identical arithmetic to the analytic
+    /// backend, so the two latency distributions match event-for-event
+    /// when nothing is shed.
+    fn serve(&mut self, s: Submit) {
+        let prof = self.profiles.get(s.kind);
+        let start = self.busy_until.max(s.at);
+        let done_cpu = start + prof.occupancy;
+        let completes_at = done_cpu + prof.latency.saturating_sub(prof.occupancy);
+        self.busy_until = done_cpu;
+        self.served += 1;
+        self.obs
+            .hists
+            .record(HIST_QUEUE_DELAY, start.duration_since(s.at).as_nanos());
+        let mut c = Completion {
+            seq: s.seq,
+            kind: s.kind,
+            at: s.at,
+            completes_at,
+        };
+        // The completion ring can lag when the dispatcher is busy
+        // generating; it always drains completions while spinning on a
+        // full submit ring, so this wait is deadlock-free.
+        loop {
+            match self.port.complete.push(c) {
+                Ok(()) => break,
+                Err(RingFull(back)) => {
+                    c = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// The dispatcher's side of the pool: per-shard duplex hosts plus the
+/// join handles, and the drop/completion accounting.
+struct Pool {
+    hosts: Vec<DuplexHost<Submit, Completion>>,
+    handles: Vec<thread::JoinHandle<WorkerStats>>,
+    policy: OverloadPolicy,
+    shed: u64,
+    backpressure: u64,
+    dispatched: u64,
+    completed: u64,
+    completed_total: u64,
+    peak_depth: usize,
+    next_seq: u64,
+    comp_buf: Vec<Completion>,
+}
+
+impl Pool {
+    fn spawn(cfg: &LoadConfig, profiles: &ProfileSet) -> Pool {
+        let shards = cfg.shard_cfg.shards as usize;
+        let mut hosts = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let label = SHARD_LABELS[i % SHARD_LABELS.len()];
+            let (mut host, port) = duplex::<Submit, Completion>(cfg.shard_cfg.ring_capacity, label);
+            host.submit.set_high_water(cfg.shard_cfg.high_water);
+            let worker = ShardWorker {
+                port,
+                profiles: profiles.clone(),
+                busy_until: SimTime::ZERO,
+                served: 0,
+                peak_depth: 0,
+                obs: Obs::new(),
+            };
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("l25gc-{label}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+            hosts.push(host);
+        }
+        Pool {
+            hosts,
+            handles,
+            policy: cfg.shard_cfg.policy,
+            shed: 0,
+            backpressure: 0,
+            dispatched: 0,
+            completed: 0,
+            completed_total: 0,
+            peak_depth: 0,
+            next_seq: 0,
+            comp_buf: Vec::with_capacity(BURST),
+        }
+    }
+
+    /// Records one drained completion into the shared histograms.
+    fn record_completion(c: Completion, horizon: SimTime, obs: &mut Obs) -> bool {
+        let lat = c.completes_at.duration_since(c.at).as_nanos();
+        obs.hists.record(proc_kind(c.kind).name(), lat);
+        obs.hists.record(HIST_ALL, lat);
+        c.completes_at <= horizon
+    }
+
+    /// Drains every shard's completion ring into `obs`.
+    fn drain_completions(&mut self, horizon: SimTime, obs: &mut Obs) {
+        for host in &mut self.hosts {
+            loop {
+                let n = host.completions.pop_burst(&mut self.comp_buf, BURST);
+                if n == 0 {
+                    break;
+                }
+                for c in self.comp_buf.drain(..) {
+                    self.completed_total += 1;
+                    if Self::record_completion(c, horizon, obs) {
+                        self.completed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offers one procedure to `shard`: admission control against the
+    /// real submit ring, then a push. Returns the assigned `seq` on
+    /// dispatch, `None` when the arrival was shed or backpressured.
+    fn offer(
+        &mut self,
+        shard: u16,
+        kind: UeEvent,
+        at: SimTime,
+        seid: u64,
+        horizon: SimTime,
+        obs: &mut Obs,
+    ) -> Option<u64> {
+        let host = &mut self.hosts[shard as usize];
+        // Admission control at the high-water mark, against real ring
+        // occupancy — the substrate's own congestion signal.
+        if host.submit.above_high_water() && self.policy == OverloadPolicy::Shed {
+            self.shed += 1;
+            obs.event(
+                at,
+                EventKind::PacketDrop {
+                    reason: DropCode::AdmissionShed,
+                    seid,
+                },
+            );
+            return None;
+        }
+        let seq = self.next_seq;
+        let mut sub = Submit { seq, kind, at };
+        loop {
+            match self.hosts[shard as usize].submit.push(sub) {
+                Ok(()) => break,
+                Err(RingFull(back)) => match self.policy {
+                    OverloadPolicy::Shed => {
+                        self.backpressure += 1;
+                        obs.event(
+                            at,
+                            EventKind::PacketDrop {
+                                reason: DropCode::RingBackpressure,
+                                seid,
+                            },
+                        );
+                        return None;
+                    }
+                    OverloadPolicy::Queue => {
+                        // Keep queueing: wait for the worker to make
+                        // room, draining completions so its completion
+                        // ring never wedges the pair.
+                        sub = back;
+                        self.drain_completions(horizon, obs);
+                        std::hint::spin_loop();
+                    }
+                },
+            }
+        }
+        self.next_seq += 1;
+        self.dispatched += 1;
+        let depth = self.hosts[shard as usize].submit.len();
+        self.peak_depth = self.peak_depth.max(depth);
+        Some(seq)
+    }
+
+    /// Sends the stop sentinel to every worker, joins them, drains the
+    /// final completions, and merges the per-worker recorder bundles.
+    /// Returns each worker's stats.
+    fn shutdown(mut self, horizon: SimTime, obs: &mut Obs) -> PoolStats {
+        for i in 0..self.hosts.len() {
+            let mut stop = Submit {
+                seq: STOP_SEQ,
+                kind: UeEvent::Registration,
+                at: SimTime::ZERO,
+            };
+            loop {
+                match self.hosts[i].submit.push(stop) {
+                    Ok(()) => break,
+                    Err(RingFull(back)) => {
+                        stop = back;
+                        self.drain_completions(horizon, obs);
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        let mut busy = Vec::with_capacity(self.handles.len());
+        let mut peak = self.peak_depth;
+        let mut served = 0u64;
+        for h in std::mem::take(&mut self.handles) {
+            let stats = h.join().expect("shard worker panicked");
+            busy.push(stats.busy_until);
+            peak = peak.max(stats.peak_depth);
+            served += stats.served;
+            obs.absorb(&stats.obs);
+        }
+        debug_assert_eq!(
+            served, self.dispatched,
+            "every dispatched submission is served exactly once"
+        );
+        // Everything the workers pushed before exiting is still in the
+        // completion rings; drain it so the loss accounting closes.
+        self.drain_completions(horizon, obs);
+        PoolStats {
+            shed: self.shed,
+            backpressure: self.backpressure,
+            dispatched: self.dispatched,
+            completed: self.completed,
+            completed_total: self.completed_total,
+            peak_depth: peak,
+            busy_until: busy,
+        }
+    }
+}
+
+struct PoolStats {
+    shed: u64,
+    backpressure: u64,
+    dispatched: u64,
+    completed: u64,
+    completed_total: u64,
+    peak_depth: usize,
+    busy_until: Vec<SimTime>,
+}
+
+/// Mean shard CPU utilisation from the workers' final virtual clocks.
+fn busy_fraction(busy_until: &[SimTime], horizon: SimTime) -> f64 {
+    if horizon.as_nanos() == 0 || busy_until.is_empty() {
+        return 0.0;
+    }
+    let cap = (horizon.as_nanos() as f64) * busy_until.len() as f64;
+    let busy: f64 = busy_until
+        .iter()
+        .map(|b| b.as_nanos().min(horizon.as_nanos()) as f64)
+        .sum();
+    busy / cap
+}
+
+/// Entry point from [`crate::driver::Driver`]: runs `cfg` on the worker
+/// pool, open or closed loop.
+pub(crate) fn run_threaded(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
+    match cfg.mode {
+        LoadMode::Open => threaded_open(cfg, profiles),
+        LoadMode::Closed { workers, think } => threaded_closed(cfg, profiles, workers, think),
+    }
+}
+
+fn threaded_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
+    // Same RNG fork order as the analytic backend, so the arrival
+    // sequence and UE sampling are identical — under no overload the two
+    // backends produce the same latency multiset (tested).
+    let mut rng = SimRng::new(cfg.seed);
+    let mut fleet_rng = rng.fork();
+    let mut stream = ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, &mut rng);
+    let mut sample_rng = rng.fork();
+
+    let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
+    fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
+    let mut obs = Obs::new();
+
+    let wall_start = Instant::now();
+    let mut pool = Pool::spawn(cfg, profiles);
+
+    let horizon = SimTime::ZERO + cfg.duration;
+    let (mut offered, mut infeasible) = (0u64, 0u64);
+    loop {
+        let (at, kind) = stream.next();
+        if at >= horizon {
+            break;
+        }
+        offered += 1;
+        let (from, to) = transition(kind);
+        let Some(ue) = fleet.sample_in_state(&mut sample_rng, from) else {
+            infeasible += 1;
+            continue;
+        };
+        let shard = fleet.shard_of(ue);
+        if pool
+            .offer(shard, kind, at, u64::from(ue) + 1, horizon, &mut obs)
+            .is_some()
+        {
+            apply_transition(&mut fleet, ue, kind, to);
+        }
+        // Opportunistic drain keeps completion rings shallow and spreads
+        // histogram recording across the run.
+        pool.drain_completions(horizon, &mut obs);
+    }
+    finish_threaded(
+        cfg, &fleet, pool, obs, offered, infeasible, horizon, wall_start,
+    )
+}
+
+fn threaded_closed(
+    cfg: &LoadConfig,
+    profiles: &ProfileSet,
+    workers: usize,
+    think: SimDuration,
+) -> LoadReport {
+    // Same fork order as the analytic closed loop.
+    let mut rng = SimRng::new(cfg.seed);
+    let mut fleet_rng = rng.fork();
+    let mut sample_rng = rng.fork();
+    let mut kind_rng = rng.fork();
+
+    let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
+    fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
+    let mut obs = Obs::new();
+
+    let wall_start = Instant::now();
+    let mut pool = Pool::spawn(cfg, profiles);
+
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(workers);
+    for w in 0..workers as u32 {
+        let jitter =
+            SimDuration::from_secs_f64(kind_rng.exponential(think.as_secs_f64().max(1e-6)));
+        q.push(SimTime::ZERO + jitter, w);
+    }
+
+    let total_w = cfg.mix.total();
+    let horizon = SimTime::ZERO + cfg.duration;
+    let (mut offered, mut infeasible) = (0u64, 0u64);
+    while let Some((at, worker)) = q.pop_before(horizon) {
+        let kind = draw_kind(&cfg.mix, total_w, &mut kind_rng);
+        offered += 1;
+        let (from, to) = transition(kind);
+        let Some(ue) = fleet.sample_in_state(&mut sample_rng, from) else {
+            infeasible += 1;
+            q.push(at + think, worker);
+            continue;
+        };
+        let shard = fleet.shard_of(ue);
+        let next_ready = match pool.offer(shard, kind, at, u64::from(ue) + 1, horizon, &mut obs) {
+            Some(seq) => {
+                apply_transition(&mut fleet, ue, kind, to);
+                // Closed loop needs this procedure's completion time to
+                // schedule the worker's next issue: ping-pong through the
+                // duplex pair (a round-trip latency test of the rings).
+                let done = pool.await_completion(shard, seq, horizon, &mut obs);
+                done + think
+            }
+            None => at + think,
+        };
+        q.push(next_ready, worker);
+    }
+    finish_threaded(
+        cfg, &fleet, pool, obs, offered, infeasible, horizon, wall_start,
+    )
+}
+
+impl Pool {
+    /// Spins until the completion for `seq` comes back from `shard`,
+    /// recording it (and anything drained along the way). Returns its
+    /// virtual completion instant.
+    fn await_completion(
+        &mut self,
+        shard: u16,
+        seq: u64,
+        horizon: SimTime,
+        obs: &mut Obs,
+    ) -> SimTime {
+        loop {
+            if let Some(c) = self.hosts[shard as usize].completions.pop() {
+                self.completed_total += 1;
+                if Self::record_completion(c, horizon, obs) {
+                    self.completed += 1;
+                }
+                if c.seq == seq {
+                    return c.completes_at;
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_threaded(
+    cfg: &LoadConfig,
+    fleet: &Fleet,
+    pool: Pool,
+    mut obs: Obs,
+    offered: u64,
+    infeasible: u64,
+    horizon: SimTime,
+    wall_start: Instant,
+) -> LoadReport {
+    let stats = pool.shutdown(horizon, &mut obs);
+    let elapsed = wall_start.elapsed();
+    obs.event(
+        horizon,
+        EventKind::Gauge {
+            name: "active_ues",
+            value: fleet.active() as u64,
+        },
+    );
+    let q = |p: f64| {
+        obs.hists
+            .get(HIST_ALL)
+            .map(|h| SimDuration::from_nanos(h.quantile(p)))
+            .unwrap_or(SimDuration::ZERO)
+    };
+    let sustained_eps = stats.completed_total as f64 / elapsed.as_secs_f64().max(1e-9);
+    LoadReport {
+        offered,
+        dispatched: stats.dispatched,
+        shed: stats.shed,
+        backpressure: stats.backpressure,
+        infeasible,
+        completed: stats.completed,
+        completed_total: stats.completed_total,
+        achieved_eps: stats.completed as f64 / cfg.duration.as_secs_f64(),
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        active_ues: fleet.active(),
+        peak_depth: stats.peak_depth,
+        busy_fraction: busy_fraction(&stats.busy_until, horizon),
+        wall: Some(WallClock {
+            elapsed,
+            sustained_eps,
+        }),
+        obs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::calibrate;
+    use crate::driver::{Driver, ExecBackend};
+    use crate::shard::ShardConfig;
+    use l25gc_core::Deployment;
+
+    #[test]
+    fn descriptors_stay_compact() {
+        assert!(std::mem::size_of::<Submit>() <= 24);
+        assert!(std::mem::size_of::<Completion>() <= 32);
+    }
+
+    #[test]
+    fn threaded_open_loop_reports_wall_clock_and_loses_nothing() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(5_000)
+            .shards(4)
+            .offered_eps(400.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(17)
+            .backend(ExecBackend::Threaded)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let wall = r.wall.expect("threaded runs carry wall stats");
+        assert!(wall.elapsed.as_nanos() > 0);
+        assert!(wall.sustained_eps > 0.0);
+        assert_eq!(
+            r.completed_total, r.dispatched,
+            "every submission completes"
+        );
+        assert_eq!(
+            r.offered,
+            r.dispatched + r.shed + r.backpressure + r.infeasible,
+            "every arrival is accounted"
+        );
+        assert!(
+            r.obs.hists.get(HIST_QUEUE_DELAY).is_some(),
+            "worker histograms merged at drain"
+        );
+    }
+
+    #[test]
+    fn threaded_single_worker_matches_analytic_when_unshed() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Generous ring so neither backend sheds: the two engines then
+        // run the identical virtual-time recurrence over the identical
+        // arrival sequence.
+        let base = LoadConfig::builder()
+            .ues(3_000)
+            .shards(1)
+            .high_water(4_096)
+            .ring_capacity(8_192)
+            .offered_eps(150.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(23);
+        let a = Driver::new(base.clone().backend(ExecBackend::Analytic).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        let t = Driver::new(base.backend(ExecBackend::Threaded).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        assert_eq!(a.shed + a.backpressure, 0, "test needs an unshed config");
+        assert_eq!(t.shed + t.backpressure, 0);
+        assert_eq!(a.offered, t.offered);
+        assert_eq!(a.dispatched, t.dispatched);
+        assert_eq!(a.infeasible, t.infeasible);
+        assert_eq!(a.completed, t.completed);
+        assert_eq!(a.p50, t.p50, "same latency multiset → same quantiles");
+        assert_eq!(a.p99, t.p99);
+        assert_eq!(a.active_ues, t.active_ues);
+    }
+
+    #[test]
+    fn threaded_overload_sheds_with_typed_drops_and_stays_lossless() {
+        let profiles = calibrate(Deployment::Free5gc);
+        // Tiny rings + a hot offered rate: admission control and ring
+        // backpressure must both engage, and the accounting must close.
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .shards(2)
+            .high_water(4)
+            .ring_capacity(8)
+            .offered_eps(50_000.0)
+            .duration(SimDuration::from_millis(500))
+            .seed(31)
+            .backend(ExecBackend::Threaded)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert_eq!(r.completed_total, r.dispatched, "no silent loss");
+        assert_eq!(
+            r.offered,
+            r.dispatched + r.shed + r.backpressure + r.infeasible
+        );
+        let drops = r
+            .obs
+            .flight
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PacketDrop { .. }))
+            .count() as u64
+            + r.obs.flight.dropped();
+        assert_eq!(drops, r.shed + r.backpressure, "every drop is typed");
+    }
+
+    #[test]
+    fn threaded_closed_loop_round_trips() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(1_000)
+            .shards(2)
+            .duration(SimDuration::from_secs(1))
+            .seed(41)
+            .backend(ExecBackend::Threaded)
+            .closed_loop(8, SimDuration::from_millis(5))
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert!(r.dispatched > 0);
+        assert_eq!(r.completed_total, r.dispatched);
+        assert!(r.wall.is_some());
+    }
+
+    #[test]
+    fn queue_policy_never_drops_in_threaded_mode() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .shards(2)
+            .shard_cfg(ShardConfig {
+                shards: 2,
+                high_water: 4,
+                policy: OverloadPolicy::Queue,
+                ring_capacity: 8,
+            })
+            .offered_eps(20_000.0)
+            .duration(SimDuration::from_millis(200))
+            .seed(47)
+            .backend(ExecBackend::Threaded)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert_eq!(r.shed, 0, "queue policy never sheds");
+        assert_eq!(r.backpressure, 0, "queue policy blocks instead of dropping");
+        assert_eq!(r.completed_total, r.dispatched);
+    }
+}

@@ -27,5 +27,5 @@ pub mod session_table;
 pub use cost::{CostModel, DataPath, SerFormat, Transport};
 pub use manager::{InstanceId, Manager, NfInstance, NfState, ServiceId};
 pub use mempool::{Mempool, PktAction, PktHandle, PktMeta};
-pub use ring::{ring, Consumer, Producer, RingFull};
+pub use ring::{duplex, ring, Consumer, DuplexHost, DuplexWorker, Producer, RingFull};
 pub use session_table::DualKeyTable;

@@ -140,6 +140,36 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// Enqueues descriptors from the front of `src` in order until the
+    /// ring fills or `src` empties (burst transmit, the DPDK idiom that
+    /// pairs with [`Consumer::pop_burst`]). Pushed descriptors are
+    /// drained from `src`; the stragglers stay, still in order. Returns
+    /// how many were enqueued.
+    pub fn push_burst(&mut self, src: &mut Vec<T>) -> usize {
+        let mut n = 0;
+        let mut full = false;
+        let rest: Vec<T> = src
+            .drain(..)
+            .filter_map(|item| {
+                if full {
+                    return Some(item);
+                }
+                match self.push(item) {
+                    Ok(()) => {
+                        n += 1;
+                        None
+                    }
+                    Err(RingFull(back)) => {
+                        full = true;
+                        Some(back)
+                    }
+                }
+            })
+            .collect();
+        *src = rest;
+        n
+    }
+
     /// [`Producer::push`], recording a `RingEnqueueStall` event when the
     /// ring is full. The happy path costs nothing beyond `push`.
     pub fn push_traced(
@@ -291,6 +321,47 @@ impl<T> Consumer<T> {
     }
 }
 
+/// The dispatcher-side endpoint of a duplex worker channel: submissions
+/// go out on `submit`, completions come back on `completions`. Both
+/// directions are the same lock-free SPSC ring the NFs use — attaching
+/// one of these per worker is exactly the ONVM manager↔NF wiring.
+pub struct DuplexHost<S, C> {
+    /// Producer half of the submit ring.
+    pub submit: Producer<S>,
+    /// Consumer half of the completion ring.
+    pub completions: Consumer<C>,
+}
+
+/// The worker-side endpoint of a duplex channel created by [`duplex`]:
+/// the worker pops submissions and pushes completions.
+pub struct DuplexWorker<S, C> {
+    /// Consumer half of the submit ring.
+    pub submissions: Consumer<S>,
+    /// Producer half of the completion ring.
+    pub complete: Producer<C>,
+}
+
+/// Creates a submit ring + completion ring pair and hands back the two
+/// endpoints. Both rings share `capacity` (rounded up per [`ring`]) and
+/// are labelled `label` in flight-recorder events and depth gauges.
+pub fn duplex<S, C>(
+    capacity: usize,
+    label: &'static str,
+) -> (DuplexHost<S, C>, DuplexWorker<S, C>) {
+    let (submit_tx, submit_rx) = ring_labeled::<S>(capacity, label);
+    let (complete_tx, complete_rx) = ring_labeled::<C>(capacity, label);
+    (
+        DuplexHost {
+            submit: submit_tx,
+            completions: complete_rx,
+        },
+        DuplexWorker {
+            submissions: submit_rx,
+            complete: complete_tx,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +490,57 @@ mod tests {
         assert!(!tx.above_high_water());
         tx.set_high_water(100);
         assert_eq!(tx.high_water(), 8, "clamped to capacity");
+    }
+
+    #[test]
+    fn push_burst_fills_then_returns_stragglers_in_order() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        let mut src: Vec<u32> = (0..7).collect();
+        assert_eq!(tx.push_burst(&mut src), 4);
+        assert_eq!(src, vec![4, 5, 6], "stragglers keep their order");
+        let mut out = Vec::new();
+        rx.pop_burst(&mut out, 8);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(tx.push_burst(&mut src), 3);
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn duplex_round_trip_across_threads() {
+        let (mut host, mut worker) = duplex::<u64, u64>(64, "duplex:test");
+        let t = std::thread::spawn(move || {
+            let mut done = 0u64;
+            while done < 1_000 {
+                if let Some(v) = worker.submissions.pop() {
+                    // Echo the doubled value back; spin if the host lags.
+                    let mut c = v * 2;
+                    loop {
+                        match worker.complete.push(c) {
+                            Ok(()) => break,
+                            Err(RingFull(back)) => {
+                                c = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    done += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut next = 0u64;
+        let mut seen = 0u64;
+        while seen < 1_000 {
+            if next < 1_000 && host.submit.push(next).is_ok() {
+                next += 1;
+            }
+            if let Some(c) = host.completions.pop() {
+                assert_eq!(c, seen * 2, "completions arrive in FIFO order");
+                seen += 1;
+            }
+        }
+        t.join().unwrap();
     }
 
     #[test]

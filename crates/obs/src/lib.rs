@@ -113,6 +113,23 @@ impl Obs {
         self.flight.record(at, kind);
     }
 
+    /// Merges another bundle into this one: histograms merge bucket-wise
+    /// (same names combine, new names append), flight-recorder events
+    /// replay into this ring in their recorded order, and spans/segments
+    /// append. This is the cross-thread drain path: worker threads record
+    /// into private `Obs` bundles (no locks on the hot path) and the
+    /// dispatcher absorbs them after join.
+    pub fn absorb(&mut self, other: &Obs) {
+        self.hists.absorb(&other.hists);
+        for ev in other.flight.iter() {
+            self.flight.record(ev.at, ev.kind);
+        }
+        for span in other.spans.spans() {
+            self.spans
+                .record_completed(span.kind, span.ue, span.start, span.end);
+        }
+    }
+
     /// Drains this bundle's events and copies spans/segments into a
     /// [`TraceBundle`] for export.
     pub fn drain_into(&mut self, out: &mut TraceBundle) {
@@ -159,6 +176,30 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.get("shared").unwrap().count(), 2);
         assert_eq!(a.get("only_b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn obs_absorb_merges_worker_bundles() {
+        let mut main = Obs::new();
+        main.hists.record("lat", 100);
+        let mut worker = Obs::new();
+        worker.hists.record("lat", 200);
+        worker.hists.record("worker_only", 5);
+        worker.event(
+            SimTime::from_nanos(3),
+            EventKind::Gauge {
+                name: "depth",
+                value: 7,
+            },
+        );
+        worker
+            .spans
+            .record_completed(ProcKind::Handover, 4, SimTime::ZERO, SimTime::from_nanos(9));
+        main.absorb(&worker);
+        assert_eq!(main.hists.get("lat").unwrap().count(), 2);
+        assert_eq!(main.hists.get("worker_only").unwrap().count(), 1);
+        assert_eq!(main.flight.iter().count(), 1);
+        assert_eq!(main.spans.spans().len(), 1);
     }
 
     #[test]

@@ -8,20 +8,38 @@
 //! achieved events/s, latency quantiles (p50/p95/p99 from the log2
 //! histograms), shed/backpressure counts, and shard utilisation.
 //!
+//! The sweep runs on either [`ExecBackend`]: `Analytic` (the default) is
+//! seed-deterministic and produces the published byte-identical tables;
+//! `Threaded` executes each point on one OS thread per shard over real
+//! SPSC rings and additionally reports wall-clock sustained events/s
+//! ([`CapacityPoint::wall_eps`]).
+//!
 //! **Knee detection**: the sustainable rate is the last sweep point that
 //! (a) sheds < 1% of arrivals, (b) achieves ≥ 90% of its offered rate,
 //! and (c) keeps p99 under 3× the lightest point's p99. Past the knee
 //! the open-loop curve does what queueing theory says: latency departs
 //! for the asymptote and admission control sheds the excess.
+//!
+//! Satellite studies share the calibration machinery:
+//! [`burst_policy_table`] crosses MMPP-2 burstiness against the
+//! admission policy at a fixed near-knee operating point;
+//! [`shard_scaling`] walks shard counts and compares analytic
+//! achieved-rate scaling against the threaded backend's wall-clock
+//! sustained rate; [`closed_loop_table`] sweeps the closed-loop worker
+//! population.
 
 use l25gc_core::Deployment;
 use l25gc_load::{
-    calibrate, run_open_loop, EventMix, LoadConfig, OverloadPolicy, ProfileSet, ShardConfig,
+    calibrate, Driver, EventMix, ExecBackend, LoadConfig, LoadConfigBuilder, LoadReport,
+    OverloadPolicy, ProfileSet, ShardConfig,
 };
 use l25gc_sim::SimDuration;
 
 /// Offered-load fractions of theoretical capacity the sweep visits.
 pub const SWEEP_FRACTIONS: [f64; 6] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.2];
+
+/// Burstiness ratios the MMPP study crosses with the admission policy.
+pub const BURST_LEVELS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -44,6 +62,26 @@ pub struct CapacityPoint {
     pub utilisation: f64,
     /// Deepest shard queue observed.
     pub peak_depth: usize,
+    /// Wall-clock sustained events/s (threaded backend only).
+    pub wall_eps: Option<f64>,
+}
+
+impl CapacityPoint {
+    fn from_report(offered_eps: f64, r: &LoadReport) -> CapacityPoint {
+        let denom = r.offered.max(1) as f64;
+        CapacityPoint {
+            offered_eps,
+            achieved_eps: r.achieved_eps,
+            p50_ms: r.p50.as_millis_f64(),
+            p95_ms: r.p95.as_millis_f64(),
+            p99_ms: r.p99.as_millis_f64(),
+            loss_pct: 100.0 * (r.shed + r.backpressure) as f64 / denom,
+            active_ues: r.active_ues,
+            utilisation: r.busy_fraction,
+            peak_depth: r.peak_depth,
+            wall_eps: r.wall.map(|w| w.sustained_eps),
+        }
+    }
 }
 
 /// One deployment's full load-latency curve.
@@ -84,6 +122,14 @@ pub struct CapacityParams {
     pub duration_s: f64,
     /// Master seed.
     pub seed: u64,
+    /// Execution engine for each sweep point.
+    pub backend: ExecBackend,
+    /// MMPP-2 burstiness ratio (1.0 = Poisson).
+    pub burst: f64,
+    /// When set, [`closed_loop_table`] sweeps up to this many workers.
+    pub workers: Option<usize>,
+    /// Closed-loop mean think time, ms.
+    pub think_ms: f64,
 }
 
 impl Default for CapacityParams {
@@ -93,6 +139,10 @@ impl Default for CapacityParams {
             shards: 4,
             duration_s: 10.0,
             seed: 0,
+            backend: ExecBackend::Analytic,
+            burst: 1.0,
+            workers: None,
+            think_ms: 10.0,
         }
     }
 }
@@ -106,6 +156,33 @@ fn shard_cfg(shards: u16) -> ShardConfig {
     }
 }
 
+/// Distinct deterministic seed per point (and per deployment, via the
+/// calibration-independent tag), preserved exactly from the original
+/// sweep so analytic output stays byte-identical across releases.
+fn point_seed(params: &CapacityParams, deployment: Deployment, i: usize) -> u64 {
+    params
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(deployment_tag(deployment))
+        .wrapping_add(i as u64)
+}
+
+fn base_builder(params: &CapacityParams, mix: &EventMix) -> LoadConfigBuilder {
+    LoadConfig::builder()
+        .ues(params.ues)
+        .shard_cfg(shard_cfg(params.shards))
+        .mix(mix.clone())
+        .burst(params.burst)
+        .duration(SimDuration::from_secs_f64(params.duration_s))
+        .backend(params.backend)
+}
+
+fn run(cfg: LoadConfig, profiles: &ProfileSet) -> LoadReport {
+    Driver::new(cfg)
+        .expect("capacity sweep builds valid configs")
+        .run(profiles)
+}
+
 /// Sweeps one deployment.
 pub fn sweep_deployment(deployment: Deployment, params: &CapacityParams) -> CapacityCurve {
     let profiles: ProfileSet = calibrate(deployment);
@@ -115,34 +192,14 @@ pub fn sweep_deployment(deployment: Deployment, params: &CapacityParams) -> Capa
 
     let mut points = Vec::with_capacity(SWEEP_FRACTIONS.len());
     for (i, frac) in SWEEP_FRACTIONS.iter().enumerate() {
-        let cfg = LoadConfig {
-            ues: params.ues,
-            shard_cfg: shard_cfg(params.shards),
-            mix: mix.clone(),
-            offered_eps: capacity_eps * frac,
-            burst: 1.0,
-            duration: SimDuration::from_secs_f64(params.duration_s),
-            // Distinct deterministic seed per point (and per deployment,
-            // via the calibration-independent mixing below).
-            seed: params
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(deployment_tag(deployment))
-                .wrapping_add(i as u64),
-        };
-        let r = run_open_loop(&cfg, &profiles);
-        let denom = r.offered.max(1) as f64;
-        points.push(CapacityPoint {
-            offered_eps: cfg.offered_eps,
-            achieved_eps: r.achieved_eps,
-            p50_ms: r.p50.as_millis_f64(),
-            p95_ms: r.p95.as_millis_f64(),
-            p99_ms: r.p99.as_millis_f64(),
-            loss_pct: 100.0 * (r.shed + r.backpressure) as f64 / denom,
-            active_ues: r.active_ues,
-            utilisation: r.busy_fraction,
-            peak_depth: r.peak_depth,
-        });
+        let offered = capacity_eps * frac;
+        let cfg = base_builder(params, &mix)
+            .offered_eps(offered)
+            .seed(point_seed(params, deployment, i))
+            .build()
+            .expect("sweep point config is valid");
+        let r = run(cfg, &profiles);
+        points.push(CapacityPoint::from_report(offered, &r));
     }
     let knee = detect_knee(&points);
     CapacityCurve {
@@ -205,6 +262,170 @@ pub fn equal_p99_comparison(curves: &[CapacityCurve]) -> Option<(f64, f64, f64)>
     Some((budget_ms, best_under(free), best_under(l25)))
 }
 
+/// One row of the burstiness × admission-policy study.
+#[derive(Debug, Clone)]
+pub struct BurstPolicyRow {
+    /// MMPP-2 high/low rate ratio (1.0 = Poisson).
+    pub burst: f64,
+    /// Admission policy past the high-water mark.
+    pub policy: OverloadPolicy,
+    /// Achieved events/s.
+    pub achieved_eps: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Percent of arrivals shed or backpressured.
+    pub loss_pct: f64,
+    /// Deepest shard queue observed.
+    pub peak_depth: usize,
+}
+
+/// Crosses [`BURST_LEVELS`] against Shed/Queue on L²5GC at a fixed
+/// near-knee operating point (0.9× capacity, tight high-water mark so
+/// bursts actually hit the admission controller). Shows the trade the
+/// paper's admission design makes: shedding caps tail latency at the
+/// cost of loss; queueing keeps everything at the cost of the tail.
+pub fn burst_policy_table(params: &CapacityParams) -> Vec<BurstPolicyRow> {
+    let deployment = Deployment::L25gc;
+    let profiles = calibrate(deployment);
+    let mix = EventMix::default();
+    let occ = profiles.mean_occupancy(&mix.weights);
+    let capacity_eps = f64::from(params.shards) / occ.as_secs_f64();
+    let offered = capacity_eps * 0.9;
+
+    let mut rows = Vec::with_capacity(BURST_LEVELS.len() * 2);
+    for (i, &burst) in BURST_LEVELS.iter().enumerate() {
+        for policy in [OverloadPolicy::Shed, OverloadPolicy::Queue] {
+            let cfg = base_builder(params, &mix)
+                .shard_cfg(ShardConfig {
+                    shards: params.shards,
+                    high_water: 64,
+                    policy,
+                    ring_capacity: 128,
+                })
+                .burst(burst)
+                .offered_eps(offered)
+                .seed(point_seed(params, deployment, 600 + i))
+                .build()
+                .expect("burst study config is valid");
+            let r = run(cfg, &profiles);
+            let denom = r.offered.max(1) as f64;
+            rows.push(BurstPolicyRow {
+                burst,
+                policy,
+                achieved_eps: r.achieved_eps,
+                p99_ms: r.p99.as_millis_f64(),
+                loss_pct: 100.0 * (r.shed + r.backpressure) as f64 / denom,
+                peak_depth: r.peak_depth,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the shard-count scaling study.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Shard / worker-thread count.
+    pub shards: u16,
+    /// Offered load (0.9× that shard count's capacity), events/s.
+    pub offered_eps: f64,
+    /// Analytic backend's achieved events/s.
+    pub analytic_eps: f64,
+    /// Analytic p99, ms.
+    pub analytic_p99_ms: f64,
+    /// Threaded backend's wall-clock sustained events/s.
+    pub threaded_wall_eps: f64,
+    /// Threaded backend's achieved (virtual-time) events/s.
+    pub threaded_eps: f64,
+}
+
+/// Walks doubling shard counts in `[lo, hi]`, running each point on both
+/// backends at 0.9× that shard count's capacity: the analytic column is
+/// the model's scaling limit, the threaded column is what one OS thread
+/// per shard over real SPSC rings actually moves per wall-clock second.
+pub fn shard_scaling(params: &CapacityParams, lo: u16, hi: u16) -> Vec<ShardScalingRow> {
+    let deployment = Deployment::L25gc;
+    let profiles = calibrate(deployment);
+    let mix = EventMix::default();
+    let occ = profiles.mean_occupancy(&mix.weights).as_secs_f64();
+
+    let mut rows = Vec::new();
+    let mut shards = lo.max(1);
+    while shards <= hi.max(1) {
+        let offered = f64::from(shards) / occ * 0.9;
+        let scaled = CapacityParams { shards, ..*params };
+        let seed = point_seed(&scaled, deployment, 700 + shards as usize);
+        let mk = |backend: ExecBackend| {
+            base_builder(&scaled, &mix)
+                .backend(backend)
+                .offered_eps(offered)
+                .seed(seed)
+                .build()
+                .expect("scaling config is valid")
+        };
+        let a = run(mk(ExecBackend::Analytic), &profiles);
+        let t = run(mk(ExecBackend::Threaded), &profiles);
+        rows.push(ShardScalingRow {
+            shards,
+            offered_eps: offered,
+            analytic_eps: a.achieved_eps,
+            analytic_p99_ms: a.p99.as_millis_f64(),
+            threaded_wall_eps: t.wall.map(|w| w.sustained_eps).unwrap_or(0.0),
+            threaded_eps: t.achieved_eps,
+        });
+        shards = shards.saturating_mul(2);
+    }
+    rows
+}
+
+/// One row of the closed-loop worker-population sweep.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopRow {
+    /// Concurrent worker count.
+    pub workers: usize,
+    /// Achieved events/s.
+    pub achieved_eps: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Mean shard CPU utilisation.
+    pub utilisation: f64,
+    /// Wall-clock sustained events/s (threaded backend only).
+    pub wall_eps: Option<f64>,
+}
+
+/// Sweeps the closed-loop worker population over [`SWEEP_FRACTIONS`] of
+/// `max_workers`: throughput self-limits, so instead of a knee the curve
+/// shows saturation — added workers stop buying events/s once the shards
+/// are busy.
+pub fn closed_loop_table(params: &CapacityParams, max_workers: usize) -> Vec<ClosedLoopRow> {
+    let deployment = Deployment::L25gc;
+    let profiles = calibrate(deployment);
+    let mix = EventMix::default();
+    let think = SimDuration::from_secs_f64(params.think_ms.max(0.001) / 1e3);
+
+    let mut rows = Vec::with_capacity(SWEEP_FRACTIONS.len());
+    for (i, frac) in SWEEP_FRACTIONS.iter().enumerate() {
+        let workers = ((max_workers as f64 * frac).round() as usize).max(1);
+        let cfg = base_builder(params, &mix)
+            .closed_loop(workers, think)
+            .seed(point_seed(params, deployment, 800 + i))
+            .build()
+            .expect("closed-loop config is valid");
+        let r = run(cfg, &profiles);
+        rows.push(ClosedLoopRow {
+            workers,
+            achieved_eps: r.achieved_eps,
+            p50_ms: r.p50.as_millis_f64(),
+            p99_ms: r.p99.as_millis_f64(),
+            utilisation: r.busy_fraction,
+            wall_eps: r.wall.map(|w| w.sustained_eps),
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +436,7 @@ mod tests {
             shards: 4,
             duration_s: 5.0,
             seed: 0,
+            ..CapacityParams::default()
         }
     }
 
@@ -234,6 +456,8 @@ mod tests {
             let first = c.points.first().unwrap().p99_ms;
             let last = c.points.last().unwrap().p99_ms;
             assert!(last >= first * 0.99, "{:?}: {first} → {last}", c.deployment);
+            // Analytic points carry no wall-clock column.
+            assert!(c.points.iter().all(|p| p.wall_eps.is_none()));
         }
     }
 
@@ -261,5 +485,83 @@ mod tests {
             }
             assert_eq!(ca.knee, cb.knee);
         }
+    }
+
+    #[test]
+    fn threaded_sweep_reports_wall_clock() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 1.0,
+            backend: ExecBackend::Threaded,
+            ..small_params()
+        };
+        let curve = sweep_deployment(Deployment::L25gc, &params);
+        for p in &curve.points {
+            let wall = p.wall_eps.expect("threaded points carry wall stats");
+            assert!(wall > 0.0);
+        }
+    }
+
+    #[test]
+    fn burstier_arrivals_cost_shed_loss_or_queue_tail() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 2.0,
+            ..small_params()
+        };
+        let rows = burst_policy_table(&params);
+        assert_eq!(rows.len(), BURST_LEVELS.len() * 2);
+        for r in &rows {
+            if r.policy == OverloadPolicy::Queue {
+                assert_eq!(r.loss_pct, 0.0, "queue policy never sheds at high water");
+            }
+        }
+        // At the burstiest level, queueing pays in tail latency relative
+        // to shedding.
+        let at = |burst: f64, policy: OverloadPolicy| {
+            rows.iter()
+                .find(|r| r.burst == burst && r.policy == policy)
+                .unwrap()
+        };
+        let shed8 = at(8.0, OverloadPolicy::Shed);
+        let queue8 = at(8.0, OverloadPolicy::Queue);
+        assert!(
+            queue8.p99_ms >= shed8.p99_ms,
+            "queueing tail {} must be >= shedding tail {}",
+            queue8.p99_ms,
+            shed8.p99_ms
+        );
+    }
+
+    #[test]
+    fn shard_scaling_covers_both_backends() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 1.0,
+            ..small_params()
+        };
+        let rows = shard_scaling(&params, 1, 4);
+        assert_eq!(rows.len(), 3, "1, 2, 4 shards");
+        for r in &rows {
+            assert!(r.analytic_eps > 0.0);
+            assert!(r.threaded_wall_eps > 0.0);
+        }
+        // More shards must buy more analytic throughput (offered scales
+        // with capacity and the knee sits below it).
+        assert!(rows[2].analytic_eps > rows[0].analytic_eps);
+    }
+
+    #[test]
+    fn closed_loop_table_saturates() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 2.0,
+            ..small_params()
+        };
+        let rows = closed_loop_table(&params, 64);
+        assert_eq!(rows.len(), SWEEP_FRACTIONS.len());
+        assert!(rows.iter().all(|r| r.achieved_eps > 0.0));
+        // More workers never reduce throughput by much (self-limiting).
+        assert!(rows.last().unwrap().achieved_eps >= rows[0].achieved_eps * 0.9);
     }
 }
