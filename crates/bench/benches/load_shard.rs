@@ -115,9 +115,12 @@ fn bench_arrivals(c: &mut Criterion) {
 fn bench_driver_backends(c: &mut Criterion) {
     // End-to-end: one second of simulated load through the unified
     // Driver, analytic loop vs threaded shard pool — the harness-side
-    // cost the capacity sweep pays per point.
+    // cost the capacity sweep pays per point. The `_traced` variants
+    // keep every 64th UE's procedure spans; comparing them against the
+    // plain runs bounds the sampling overhead (the acceptance bar is
+    // <= 5%, the sampled-out path being a single modulus test).
     let profiles = calibrate(Deployment::L25gc);
-    let cfg_for = |backend: ExecBackend| {
+    let cfg_for = |backend: ExecBackend, trace_sample: u64| {
         LoadConfig::builder()
             .ues(10_000)
             .shards(4)
@@ -125,17 +128,26 @@ fn bench_driver_backends(c: &mut Criterion) {
             .duration(SimDuration::from_secs(1))
             .seed(7)
             .backend(backend)
+            .trace_sample(trace_sample)
             .build()
             .expect("bench config is valid")
     };
     let mut g = c.benchmark_group("driver_backend");
     g.sample_size(10);
     g.bench_function("analytic_open_1s", |b| {
-        let driver = Driver::new(cfg_for(ExecBackend::Analytic)).unwrap();
+        let driver = Driver::new(cfg_for(ExecBackend::Analytic, 0)).unwrap();
+        b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
+    });
+    g.bench_function("analytic_open_1s_traced", |b| {
+        let driver = Driver::new(cfg_for(ExecBackend::Analytic, 64)).unwrap();
         b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
     });
     g.bench_function("threaded_open_1s", |b| {
-        let driver = Driver::new(cfg_for(ExecBackend::Threaded)).unwrap();
+        let driver = Driver::new(cfg_for(ExecBackend::Threaded, 0)).unwrap();
+        b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
+    });
+    g.bench_function("threaded_open_1s_traced", |b| {
+        let driver = Driver::new(cfg_for(ExecBackend::Threaded, 64)).unwrap();
         b.iter(|| std::hint::black_box(driver.run(&profiles).completed))
     });
     g.finish();

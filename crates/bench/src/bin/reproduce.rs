@@ -33,9 +33,22 @@
 //! Chrome `trace_event` JSON by default (load in `chrome://tracing` or
 //! <https://ui.perfetto.dev>), JSON Lines when the path ends in
 //! `.jsonl`. A latency/busy-time summary prints to stdout. With no
-//! experiment ids alongside it, only the trace runs.
+//! experiment ids alongside it, only the trace runs. With
+//! `--trace-sample <n>` the capacity sweep instead keeps every nth UE's
+//! procedure spans and `--trace-out` receives the L25GC knee-point
+//! trace.
+//!
+//! Telemetry and regression gating around the `capacity` sweep:
+//! `--metrics-out <path>` writes every sweep point's windowed per-shard
+//! timeline (`.csv`, Prometheus text for `.prom`/`.txt`, JSON Lines
+//! otherwise; window width `--metrics-interval-ms`, default 100);
+//! `--manifest-out <path>` writes a machine-readable run manifest; and
+//! `reproduce compare <baseline> <current>` diffs two manifests,
+//! exiting 1 when any metric moved past `--threshold-pct` (default
+//! 10%, latency thresholds widened by the log2-histogram error bound)
+//! and 2 on unreadable/unrelated inputs.
 
-use l25gc_bench::{f, render_table};
+use l25gc_bench::{deployment_name, f, render_table, RunManifest};
 use l25gc_core::Deployment;
 use l25gc_load::ExecBackend;
 use l25gc_nfv::CostModel;
@@ -74,6 +87,14 @@ struct Args {
     seed: u64,
     csv: Option<String>,
     trace_out: Option<String>,
+    /// `--metrics-out`: capacity timeline file (.csv/.prom/.jsonl).
+    metrics_out: Option<String>,
+    /// `--manifest-out`: capacity run-manifest JSON.
+    manifest_out: Option<String>,
+    /// `--threshold-pct`: regression threshold for `compare`.
+    threshold_pct: f64,
+    /// `compare <baseline> <current>`: diff two run manifests.
+    compare: Option<(String, String)>,
     cap: exp::capacity::CapacityParams,
     /// `--scale-shards lo..hi`: run the shard-scaling study.
     scale_shards: Option<(u16, u16)>,
@@ -91,9 +112,13 @@ impl Args {
                 .map_err(|_| format!("{flag} needs {what}, got `{v}`"))
         }
 
-        let mut args = Args::default();
+        let mut args = Args {
+            threshold_pct: 10.0,
+            ..Args::default()
+        };
         let mut seen: Vec<&'static str> = Vec::new();
         let mut workers: Option<usize> = None;
+        let mut metrics_interval_ms: Option<f64> = None;
         let mut i = 0;
         while i < raw.len() {
             let a = raw[i].as_str();
@@ -102,8 +127,22 @@ impl Args {
                 i += 1;
                 continue;
             }
+            if a == "compare" {
+                if args.compare.is_some() {
+                    return Err("compare given more than once".into());
+                }
+                let path = |off: usize| {
+                    raw.get(i + off)
+                        .filter(|p| !p.starts_with("--"))
+                        .cloned()
+                        .ok_or("compare needs two paths: compare <baseline> <current>")
+                };
+                args.compare = Some((path(1)?, path(2)?));
+                i += 3;
+                continue;
+            }
             if a.starts_with("--") {
-                const FLAGS: [&str; 11] = [
+                const FLAGS: [&str; 16] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -115,6 +154,11 @@ impl Args {
                     "--workers",
                     "--think-ms",
                     "--scale-shards",
+                    "--metrics-out",
+                    "--metrics-interval-ms",
+                    "--trace-sample",
+                    "--manifest-out",
+                    "--threshold-pct",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -182,6 +226,29 @@ impl Args {
                         }
                         args.scale_shards = Some((lo, hi));
                     }
+                    "--metrics-out" => args.metrics_out = Some(v.to_string()),
+                    "--metrics-interval-ms" => {
+                        let ms: f64 = num(flag, v, "milliseconds")?;
+                        if !ms.is_finite() || ms <= 0.0 {
+                            return Err("--metrics-interval-ms must be positive".into());
+                        }
+                        metrics_interval_ms = Some(ms);
+                    }
+                    "--trace-sample" => {
+                        args.cap.trace_sample = num(flag, v, "a positive stride")?;
+                        if args.cap.trace_sample == 0 {
+                            return Err(
+                                "--trace-sample must be positive (omit it to disable)".into()
+                            );
+                        }
+                    }
+                    "--manifest-out" => args.manifest_out = Some(v.to_string()),
+                    "--threshold-pct" => {
+                        args.threshold_pct = num(flag, v, "a percentage")?;
+                        if !args.threshold_pct.is_finite() || args.threshold_pct <= 0.0 {
+                            return Err("--threshold-pct must be positive".into());
+                        }
+                    }
                     _ => unreachable!("flag list is exhaustive"),
                 }
                 i += 2;
@@ -196,6 +263,15 @@ impl Args {
         }
         args.cap.seed = args.seed;
         args.cap.workers = workers;
+        if args.compare.is_some() && !args.experiments.is_empty() {
+            return Err("compare is standalone; drop the experiment ids".into());
+        }
+        if metrics_interval_ms.is_some() && args.metrics_out.is_none() {
+            return Err("--metrics-interval-ms needs --metrics-out".into());
+        }
+        if args.metrics_out.is_some() {
+            args.cap.metrics_interval_ms = Some(metrics_interval_ms.unwrap_or(100.0));
+        }
         Ok(args)
     }
 }
@@ -206,6 +282,7 @@ fn print_help() {
 reproduce — regenerate the paper's figures and tables
 
 usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
+       reproduce compare <baseline.json> <current.json> [--threshold-pct <p>]
 
 experiments:
   fig6              PostSmContextsRequest serialization cost
@@ -247,8 +324,25 @@ flags:
                       both backends (with no ids: only this study runs)
   --csv <dir>         write fig13/fig14 RTT series as CSV
   --trace-out <path>  write the traced scenario (Chrome JSON, or JSONL
-                      if the path ends in .jsonl)
-  --help              this listing"
+                      if the path ends in .jsonl); with --trace-sample
+                      the capacity L25GC knee-point trace instead
+  --metrics-out <p>   capacity: write every sweep point's windowed
+                      per-shard timeline (.csv, .prom/.txt Prometheus
+                      text, JSONL otherwise)
+  --metrics-interval-ms <ms>
+                      timeline window width (default 100; needs
+                      --metrics-out)
+  --trace-sample <n>  capacity: keep every nth UE's procedure spans
+                      (strided, allocation-free when sampled out)
+  --manifest-out <p>  capacity: write the machine-readable run manifest
+                      (seed, config, per-point quantiles) as JSON
+  --threshold-pct <p> compare: regression threshold (default 10;
+                      latency thresholds additionally absorb the log2
+                      histogram error bound)
+  --help              this listing
+
+exit status: 0 ok; 1 compare found regressions; 2 bad usage or
+unreadable compare inputs"
     );
 }
 
@@ -265,15 +359,21 @@ fn main() {
         print_help();
         return;
     }
+    if let Some((base, cur)) = args.compare.as_ref() {
+        std::process::exit(run_compare(base, cur, args.threshold_pct));
+    }
     let seed = args.seed;
     let csv_dir = args.csv.clone();
     let cap_params = args.cap;
 
-    // Standalone studies: with no experiment ids alongside, run only them.
+    // Standalone studies: with no experiment ids alongside, run only
+    // them. With --trace-sample the trace comes out of the capacity
+    // sweep, so --trace-out no longer implies the scenario study.
+    let scenario_trace = args.trace_out.is_some() && cap_params.trace_sample == 0;
     let only_side_studies =
-        (args.trace_out.is_some() || args.scale_shards.is_some()) && args.experiments.is_empty();
-    if let Some(path) = args.trace_out.as_deref() {
-        write_trace(path, seed);
+        (scenario_trace || args.scale_shards.is_some()) && args.experiments.is_empty();
+    if scenario_trace {
+        write_trace(args.trace_out.as_deref().expect("checked above"), seed);
     }
     if let Some((lo, hi)) = args.scale_shards {
         shard_scaling(&cap_params, lo, hi);
@@ -334,7 +434,7 @@ fn main() {
         fig17(seed);
     }
     if want("capacity") {
-        capacity(&cap_params);
+        capacity(&args);
     }
     // Heavy side study: only on explicit request, never under `all`.
     if ids.iter().any(|a| a == "capacity-burst") {
@@ -354,15 +454,94 @@ fn main() {
     }
 }
 
-fn deployment_name(d: Deployment) -> &'static str {
-    match d {
-        Deployment::Free5gc => "free5GC",
-        Deployment::OnvmUpf => "ONVM-UPF",
-        Deployment::L25gc => "L25GC",
+/// Runs `compare <baseline> <current>` and returns the process exit
+/// code: 0 clean, 1 regressions found, 2 unreadable or unrelated
+/// inputs.
+fn run_compare(base_path: &str, cur_path: &str, threshold_pct: f64) -> i32 {
+    let load = |p: &str| -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        RunManifest::from_json(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("reproduce: compare: {e}");
+            return 2;
+        }
+    };
+    let regs = match l25gc_bench::compare(&base, &cur, threshold_pct) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reproduce: compare: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "compare: {} baseline series (seed {}, {} UEs, {} backend) vs {} current, \
+         threshold {threshold_pct}%",
+        base.metrics.len(),
+        base.seed,
+        base.ues,
+        base.backend,
+        cur.metrics.len(),
+    );
+    if regs.is_empty() {
+        println!("no regressions");
+        return 0;
     }
+    for r in &regs {
+        println!("REGRESSION {r}");
+    }
+    eprintln!("reproduce: compare: {} regression(s)", regs.len());
+    1
 }
 
-fn capacity(params: &exp::capacity::CapacityParams) {
+/// Writes every sweep point's timeline to one file, format chosen by
+/// extension, and self-validates the output by re-parsing it.
+fn write_metrics(path: &str, curves: &[exp::capacity::CapacityCurve]) {
+    let csv = path.ends_with(".csv");
+    let prom = path.ends_with(".prom") || path.ends_with(".txt");
+    let mut text = String::new();
+    if csv {
+        text.push_str(l25gc_obs::timeline_csv_header());
+    } else if prom {
+        text.push_str(&l25gc_obs::prometheus_header());
+    }
+    let mut series = 0usize;
+    for c in curves {
+        let name = deployment_name(c.deployment);
+        for (frac, tl) in exp::capacity::SWEEP_FRACTIONS.iter().zip(&c.timelines) {
+            let label = format!("{name}@{frac}x");
+            if csv {
+                text.push_str(&tl.to_csv_rows(&label));
+            } else if prom {
+                text.push_str(&tl.to_prometheus_samples(&label));
+            } else {
+                text.push_str(&tl.to_jsonl(&label));
+            }
+            series += 1;
+        }
+    }
+    if prom {
+        let samples = l25gc_obs::validate_prometheus(&text).expect("exposition self-check");
+        std::fs::write(path, &text).expect("write metrics file");
+        println!("wrote {path}: {series} timeline series, {samples} Prometheus samples");
+        return;
+    }
+    if !csv {
+        for line in text.lines() {
+            l25gc_obs::parse_timeline_jsonl_line(line).expect("timeline JSONL self-check");
+        }
+    }
+    std::fs::write(path, &text).expect("write metrics file");
+    println!(
+        "wrote {path}: {series} timeline series, {} lines",
+        text.lines().count()
+    );
+}
+
+fn capacity(args: &Args) {
+    let params = &args.cap;
     let threaded = params.backend == ExecBackend::Threaded;
     let curves = exp::capacity::sweep(params);
     for c in &curves {
@@ -438,6 +617,37 @@ fn capacity(params: &exp::capacity::CapacityParams) {
             f(l25_eps),
             l25_eps / free_eps.max(1e-9),
         );
+    }
+    if let Some(path) = args.metrics_out.as_deref() {
+        write_metrics(path, &curves);
+    }
+    if let Some(path) = args.manifest_out.as_deref() {
+        let manifest = RunManifest::from_capacity(params, &curves);
+        std::fs::write(path, manifest.to_json()).expect("write manifest file");
+        println!(
+            "wrote {path}: run manifest, {} metric series",
+            manifest.metrics.len()
+        );
+    }
+    if params.trace_sample > 0 {
+        if let Some(path) = args.trace_out.as_deref() {
+            let bundle = curves
+                .iter()
+                .find(|c| c.deployment == Deployment::L25gc)
+                .and_then(|c| c.knee_trace.as_ref())
+                .expect("trace_sample > 0 collects a knee trace");
+            let text = if path.ends_with(".jsonl") {
+                l25gc_obs::to_jsonl(bundle)
+            } else {
+                l25gc_obs::to_chrome_trace(bundle)
+            };
+            std::fs::write(path, text).expect("write trace file");
+            println!(
+                "wrote {path}: L25GC knee-point trace, {} spans (1 in {} UEs sampled)",
+                bundle.spans.len(),
+                params.trace_sample
+            );
+        }
     }
     if let Some(max_workers) = params.workers {
         closed_loop(params, max_workers);
@@ -1203,5 +1413,140 @@ mod tests {
             assert_eq!(args.experiments, vec![id.to_string()]);
         }
         assert!(parse(&["all"]).unwrap().experiments == vec!["all".to_string()]);
+    }
+
+    #[test]
+    fn telemetry_flags_parse_into_typed_fields() {
+        let args = parse(&[
+            "capacity",
+            "--metrics-out",
+            "tl.jsonl",
+            "--metrics-interval-ms",
+            "250",
+            "--trace-sample",
+            "64",
+            "--manifest-out",
+            "run.json",
+            "--threshold-pct",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(args.metrics_out.as_deref(), Some("tl.jsonl"));
+        assert_eq!(args.cap.metrics_interval_ms, Some(250.0));
+        assert_eq!(args.cap.trace_sample, 64);
+        assert_eq!(args.manifest_out.as_deref(), Some("run.json"));
+        assert_eq!(args.threshold_pct, 5.0);
+    }
+
+    #[test]
+    fn telemetry_defaults_are_off_except_compare_threshold() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.metrics_out, None);
+        assert_eq!(args.cap.metrics_interval_ms, None);
+        assert_eq!(args.cap.trace_sample, 0);
+        assert_eq!(args.manifest_out, None);
+        assert_eq!(args.threshold_pct, 10.0);
+        assert_eq!(args.compare, None);
+
+        let args = parse(&["--metrics-out", "tl.csv"]).unwrap();
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(100.0),
+            "--metrics-out alone uses the 100 ms default window"
+        );
+    }
+
+    #[test]
+    fn invalid_telemetry_values_are_rejected() {
+        assert!(parse(&["--trace-sample", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--trace-sample", "-4"])
+            .unwrap_err()
+            .contains("positive stride"));
+        assert!(parse(&["--metrics-interval-ms", "0", "--metrics-out", "x"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(
+            parse(&["--metrics-interval-ms", "nan", "--metrics-out", "x"])
+                .unwrap_err()
+                .contains("positive")
+        );
+        assert!(parse(&["--metrics-interval-ms", "100"])
+            .unwrap_err()
+            .contains("needs --metrics-out"));
+        assert!(parse(&["--threshold-pct", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--threshold-pct", "banana"])
+            .unwrap_err()
+            .contains("percentage"));
+    }
+
+    #[test]
+    fn compare_is_a_standalone_subcommand() {
+        let args = parse(&["compare", "base.json", "cur.json"]).unwrap();
+        assert_eq!(
+            args.compare,
+            Some(("base.json".to_string(), "cur.json".to_string()))
+        );
+        assert!(args.experiments.is_empty());
+
+        let args = parse(&["compare", "a", "b", "--threshold-pct", "2"]).unwrap();
+        assert_eq!(args.threshold_pct, 2.0);
+
+        assert!(parse(&["compare", "only-one"])
+            .unwrap_err()
+            .contains("two paths"));
+        assert!(parse(&["compare", "a", "--threshold-pct", "2"])
+            .unwrap_err()
+            .contains("two paths"));
+        assert!(parse(&["compare", "a", "b", "capacity"])
+            .unwrap_err()
+            .contains("standalone"));
+        assert!(parse(&["compare", "a", "b", "compare", "c", "d"])
+            .unwrap_err()
+            .contains("more than once"));
+    }
+
+    fn tiny_manifest(p99_ms: f64) -> RunManifest {
+        RunManifest {
+            kind: l25gc_bench::manifest::MANIFEST_KIND.to_string(),
+            version: "test".to_string(),
+            seed: 7,
+            ues: 1000,
+            shards: 4,
+            duration_s: 1.0,
+            backend: "analytic".to_string(),
+            burst: 1.0,
+            hist_bits: 5,
+            metrics: vec![l25gc_bench::MetricRow {
+                name: "L25GC@0.9x".to_string(),
+                offered_eps: 900.0,
+                achieved_eps: 890.0,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms,
+                loss_pct: 0.0,
+            }],
+        }
+    }
+
+    fn write_tmp(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(format!("reproduce-test-{name}"));
+        std::fs::write(&path, text).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn run_compare_exit_codes_cover_clean_regressed_and_broken_inputs() {
+        let base = write_tmp("base.json", &tiny_manifest(4.0).to_json());
+        let same = write_tmp("same.json", &tiny_manifest(4.0).to_json());
+        let slow = write_tmp("slow.json", &tiny_manifest(8.0).to_json());
+        let junk = write_tmp("junk.json", "{\"kind\":\"other\"}");
+        assert_eq!(run_compare(&base, &same, 10.0), 0, "identical runs pass");
+        assert_eq!(run_compare(&base, &slow, 10.0), 1, "2x p99 regresses");
+        assert_eq!(run_compare(&base, &junk, 10.0), 2, "unrelated JSON");
+        assert_eq!(run_compare(&base, "/no/such/file.json", 10.0), 2);
     }
 }

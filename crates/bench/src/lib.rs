@@ -12,7 +12,14 @@
 //!   tables; EXPERIMENTS.md records a run next to the paper's values.
 //!
 //! This module hosts small table-formatting helpers shared by the
-//! binaries.
+//! binaries, plus the [`manifest`] layer: machine-readable
+//! [`manifest::RunManifest`] records of a capacity run and the
+//! histogram-error-aware [`manifest::compare`] that turns two of them
+//! into a pass/fail regression gate.
+
+pub mod manifest;
+
+pub use manifest::{compare, deployment_name, MetricRow, Regression, RunManifest};
 
 /// Formats a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,451 @@
+//! Run manifests and run-to-run regression detection.
+//!
+//! A [`RunManifest`] is the machine-readable record of one `reproduce
+//! capacity` invocation: the exact configuration (seed, fleet size,
+//! backend, burstiness) plus every sweep point's headline metrics. The
+//! `reproduce` binary writes it with `--manifest-out BENCH_capacity.json`
+//! and [`compare`] diffs two of them — a committed baseline against a
+//! fresh run — flagging throughput or latency regressions beyond a
+//! threshold.
+//!
+//! The comparison is **histogram-error aware**: latency quantiles come
+//! out of `l25gc_obs::Log2Histogram`, which over-estimates by at most
+//! `2^-bits` relative (3.125% at the default 5 sub-bucket bits). Two
+//! runs of the *same* binary on the *same* seed can therefore legally
+//! differ by the sum of both histograms' error bounds, so [`compare`]
+//! widens the user threshold by exactly that much before calling a
+//! latency delta a regression. Throughput (`achieved_eps`) is exact
+//! event counting and uses the raw threshold.
+
+use l25gc_codec::json;
+use l25gc_codec::{ObjectBuilder, Value};
+use l25gc_core::Deployment;
+use l25gc_obs::DEFAULT_BITS;
+use l25gc_testbed::exp::capacity::{CapacityCurve, CapacityParams, SWEEP_FRACTIONS};
+
+/// The `kind` discriminator stored in every manifest.
+pub const MANIFEST_KIND: &str = "l25gc-capacity-manifest";
+
+/// Human-readable deployment label used in tables and metric names.
+pub fn deployment_name(d: Deployment) -> &'static str {
+    match d {
+        Deployment::Free5gc => "free5GC",
+        Deployment::OnvmUpf => "ONVM-UPF",
+        Deployment::L25gc => "L25GC",
+    }
+}
+
+/// One sweep point's headline metrics, named `<deployment>@<frac>x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Series name, e.g. `L25GC@0.9x`.
+    pub name: String,
+    /// Offered load, events/s.
+    pub offered_eps: f64,
+    /// Completed events/s within the horizon (exact count, no histogram
+    /// error).
+    pub achieved_eps: f64,
+    /// Median latency, ms (log2-histogram estimate).
+    pub p50_ms: f64,
+    /// 95th percentile, ms (log2-histogram estimate).
+    pub p95_ms: f64,
+    /// 99th percentile, ms (log2-histogram estimate).
+    pub p99_ms: f64,
+    /// Percent of arrivals shed or backpressured (exact count).
+    pub loss_pct: f64,
+}
+
+/// The machine-readable record of one capacity run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Always [`MANIFEST_KIND`]; rejects unrelated JSON on load.
+    pub kind: String,
+    /// Crate version that produced the run.
+    pub version: String,
+    /// Master seed (`--seed`).
+    pub seed: u64,
+    /// Fleet size (`--ues`).
+    pub ues: u64,
+    /// Worker shard count (`--shards`).
+    pub shards: u16,
+    /// Horizon per sweep point, seconds (`--duration-s`).
+    pub duration_s: f64,
+    /// Execution backend (`analytic` / `threaded`).
+    pub backend: String,
+    /// MMPP-2 burstiness ratio (1 = Poisson).
+    pub burst: f64,
+    /// Log2-histogram sub-bucket bits the latency quantiles carry;
+    /// bounds their relative error at `2^-bits`.
+    pub hist_bits: u32,
+    /// One row per deployment × sweep fraction, in sweep order.
+    pub metrics: Vec<MetricRow>,
+}
+
+impl RunManifest {
+    /// Builds a manifest from a finished capacity sweep.
+    pub fn from_capacity(params: &CapacityParams, curves: &[CapacityCurve]) -> RunManifest {
+        let mut metrics = Vec::new();
+        for c in curves {
+            let name = deployment_name(c.deployment);
+            for (frac, p) in SWEEP_FRACTIONS.iter().zip(&c.points) {
+                metrics.push(MetricRow {
+                    name: format!("{name}@{frac}x"),
+                    offered_eps: p.offered_eps,
+                    achieved_eps: p.achieved_eps,
+                    p50_ms: p.p50_ms,
+                    p95_ms: p.p95_ms,
+                    p99_ms: p.p99_ms,
+                    loss_pct: p.loss_pct,
+                });
+            }
+        }
+        RunManifest {
+            kind: MANIFEST_KIND.to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: params.seed,
+            ues: params.ues as u64,
+            shards: params.shards,
+            duration_s: params.duration_s,
+            backend: params.backend.to_string(),
+            burst: params.burst,
+            hist_bits: DEFAULT_BITS,
+            metrics,
+        }
+    }
+
+    /// Serializes to deterministic JSON (field order fixed, `f64`
+    /// round-trips exactly through the codec).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<Value> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                ObjectBuilder::new()
+                    .field("name", Value::Str(m.name.clone()))
+                    .field("offered_eps", Value::F64(m.offered_eps))
+                    .field("achieved_eps", Value::F64(m.achieved_eps))
+                    .field("p50_ms", Value::F64(m.p50_ms))
+                    .field("p95_ms", Value::F64(m.p95_ms))
+                    .field("p99_ms", Value::F64(m.p99_ms))
+                    .field("loss_pct", Value::F64(m.loss_pct))
+                    .build()
+            })
+            .collect();
+        let v = ObjectBuilder::new()
+            .field("kind", Value::Str(self.kind.clone()))
+            .field("version", Value::Str(self.version.clone()))
+            .field("seed", Value::U64(self.seed))
+            .field("ues", Value::U64(self.ues))
+            .field("shards", Value::U64(u64::from(self.shards)))
+            .field("duration_s", Value::F64(self.duration_s))
+            .field("backend", Value::Str(self.backend.clone()))
+            .field("burst", Value::F64(self.burst))
+            .field("hist_bits", Value::U64(u64::from(self.hist_bits)))
+            .field("metrics", Value::Array(rows))
+            .build();
+        json::to_string(&v)
+    }
+
+    /// Parses a manifest back from [`RunManifest::to_json`] output.
+    pub fn from_json(text: &str) -> Result<RunManifest, String> {
+        let v = json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+        let kind = str_field(&v, "kind")?;
+        if kind != MANIFEST_KIND {
+            return Err(format!("not a capacity manifest (kind `{kind}`)"));
+        }
+        let rows = v
+            .get("metrics")
+            .and_then(Value::as_array)
+            .ok_or("missing `metrics` array")?;
+        let mut metrics = Vec::with_capacity(rows.len());
+        for row in rows {
+            metrics.push(MetricRow {
+                name: str_field(row, "name")?,
+                offered_eps: f64_field(row, "offered_eps")?,
+                achieved_eps: f64_field(row, "achieved_eps")?,
+                p50_ms: f64_field(row, "p50_ms")?,
+                p95_ms: f64_field(row, "p95_ms")?,
+                p99_ms: f64_field(row, "p99_ms")?,
+                loss_pct: f64_field(row, "loss_pct")?,
+            });
+        }
+        Ok(RunManifest {
+            kind,
+            version: str_field(&v, "version")?,
+            seed: u64_field(&v, "seed")?,
+            ues: u64_field(&v, "ues")?,
+            shards: u64_field(&v, "shards")?
+                .try_into()
+                .map_err(|_| "`shards` out of u16 range".to_string())?,
+            duration_s: f64_field(&v, "duration_s")?,
+            backend: str_field(&v, "backend")?,
+            burst: f64_field(&v, "burst")?,
+            hist_bits: u64_field(&v, "hist_bits")?
+                .try_into()
+                .map_err(|_| "`hist_bits` out of u32 range".to_string())?,
+            metrics,
+        })
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+/// One metric that moved past its threshold between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Series name (`L25GC@0.9x`).
+    pub metric: String,
+    /// Which field regressed (`achieved_eps`, `p50_ms`, ...).
+    pub field: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed percent change from baseline (positive = worse for
+    /// latency/loss, negative = worse for throughput).
+    pub delta_pct: f64,
+    /// The effective threshold the delta was judged against, percent
+    /// (user threshold plus the histogram error guard for latency
+    /// fields).
+    pub threshold_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {:.4} -> {:.4} ({:+.2}%, threshold {:.2}%)",
+            self.metric,
+            self.field,
+            self.baseline,
+            self.current,
+            self.delta_pct,
+            self.threshold_pct
+        )
+    }
+}
+
+/// Percent change of `cur` relative to `base`, guarded against a zero
+/// baseline.
+fn pct_delta(base: f64, cur: f64) -> f64 {
+    100.0 * (cur - base) / base.max(1e-9)
+}
+
+/// Diffs `cur` against `base`, returning every metric whose movement
+/// exceeds `threshold_pct`.
+///
+/// - `achieved_eps` regresses when it *drops* more than `threshold_pct`
+///   (exact event counts — no measurement-error allowance).
+/// - `p50/p95/p99` regress when they *rise* more than `threshold_pct`
+///   **plus** both runs' histogram error bounds
+///   (`100 · (2^-bits_base + 2^-bits_cur)`), so quantisation noise alone
+///   can never fail a run.
+/// - `loss_pct` regresses when it rises more than `threshold_pct`
+///   *percentage points* (absolute — relative deltas of a near-zero
+///   loss rate are meaningless).
+/// - A series present in the baseline but missing from the current run
+///   is itself a regression (field `missing`).
+///
+/// Errors when the manifests are not comparable (different sweep
+/// configuration).
+pub fn compare(
+    base: &RunManifest,
+    cur: &RunManifest,
+    threshold_pct: f64,
+) -> Result<Vec<Regression>, String> {
+    let cfg = |m: &RunManifest| (m.ues, m.shards, m.backend.clone(), m.burst);
+    if cfg(base) != cfg(cur) {
+        return Err(format!(
+            "manifests are not comparable: baseline {} UEs/{} shards/{}/burst {} vs current {} \
+             UEs/{} shards/{}/burst {}",
+            base.ues,
+            base.shards,
+            base.backend,
+            base.burst,
+            cur.ues,
+            cur.shards,
+            cur.backend,
+            cur.burst
+        ));
+    }
+    let err_guard = 100.0 * ((-(base.hist_bits as f64)).exp2() + (-(cur.hist_bits as f64)).exp2());
+    let lat_threshold = threshold_pct + err_guard;
+    let mut out = Vec::new();
+    for b in &base.metrics {
+        let Some(c) = cur.metrics.iter().find(|c| c.name == b.name) else {
+            out.push(Regression {
+                metric: b.name.clone(),
+                field: "missing",
+                baseline: b.achieved_eps,
+                current: 0.0,
+                delta_pct: -100.0,
+                threshold_pct,
+            });
+            continue;
+        };
+        let d = pct_delta(b.achieved_eps, c.achieved_eps);
+        if d < -threshold_pct {
+            out.push(Regression {
+                metric: b.name.clone(),
+                field: "achieved_eps",
+                baseline: b.achieved_eps,
+                current: c.achieved_eps,
+                delta_pct: d,
+                threshold_pct,
+            });
+        }
+        for (field, bv, cv) in [
+            ("p50_ms", b.p50_ms, c.p50_ms),
+            ("p95_ms", b.p95_ms, c.p95_ms),
+            ("p99_ms", b.p99_ms, c.p99_ms),
+        ] {
+            let d = pct_delta(bv, cv);
+            if d > lat_threshold {
+                out.push(Regression {
+                    metric: b.name.clone(),
+                    field,
+                    baseline: bv,
+                    current: cv,
+                    delta_pct: d,
+                    threshold_pct: lat_threshold,
+                });
+            }
+        }
+        if c.loss_pct > b.loss_pct + threshold_pct {
+            out.push(Regression {
+                metric: b.name.clone(),
+                field: "loss_pct",
+                baseline: b.loss_pct,
+                current: c.loss_pct,
+                delta_pct: c.loss_pct - b.loss_pct,
+                threshold_pct,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l25gc_testbed::exp::capacity::sweep_deployment;
+
+    fn small_params() -> CapacityParams {
+        CapacityParams {
+            ues: 2_000,
+            duration_s: 0.5,
+            seed: 7,
+            ..CapacityParams::default()
+        }
+    }
+
+    fn small_manifest() -> RunManifest {
+        let params = small_params();
+        let curves = vec![sweep_deployment(Deployment::L25gc, &params)];
+        RunManifest::from_capacity(&params, &curves)
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = small_manifest();
+        assert_eq!(m.kind, MANIFEST_KIND);
+        assert_eq!(m.metrics.len(), SWEEP_FRACTIONS.len());
+        assert!(m.metrics.iter().any(|r| r.name == "L25GC@0.9x"));
+        assert!(m.metrics.iter().any(|r| r.name == "L25GC@1x"));
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unrelated_json_is_rejected() {
+        assert!(RunManifest::from_json("{\"kind\":\"other\"}")
+            .unwrap_err()
+            .contains("not a capacity manifest"));
+        assert!(RunManifest::from_json("[1, 2]").is_err());
+        assert!(RunManifest::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn same_seed_runs_compare_clean() {
+        let a = small_manifest();
+        let b = small_manifest();
+        assert_eq!(a, b, "analytic backend is seed-deterministic");
+        assert_eq!(compare(&a, &b, 10.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn injected_slowdown_is_flagged() {
+        let base = small_manifest();
+        let mut cur = base.clone();
+        for r in &mut cur.metrics {
+            r.p99_ms *= 2.0;
+        }
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), SWEEP_FRACTIONS.len());
+        assert!(regs.iter().all(|r| r.field == "p99_ms"));
+        assert!(regs.iter().all(|r| (r.delta_pct - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn throughput_drop_is_flagged_without_error_guard() {
+        let base = small_manifest();
+        let mut cur = base.clone();
+        cur.metrics[3].achieved_eps *= 0.8;
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "achieved_eps");
+        assert_eq!(regs[0].metric, base.metrics[3].name);
+        assert!(
+            (regs[0].threshold_pct - 10.0).abs() < 1e-9,
+            "no guard on counts"
+        );
+    }
+
+    #[test]
+    fn latency_threshold_absorbs_histogram_error() {
+        // Both runs at DEFAULT_BITS = 5: each quantile may over-read by
+        // 2^-5 = 3.125%, so the 10% user threshold widens to 16.25%.
+        let base = small_manifest();
+        let mut cur = base.clone();
+        cur.metrics[0].p95_ms *= 1.15; // inside 10% + 6.25% guard
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+        cur.metrics[0].p95_ms = base.metrics[0].p95_ms * 1.20; // outside
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "p95_ms");
+        assert!((regs[0].threshold_pct - 16.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_series_and_config_mismatch_are_surfaced() {
+        let base = small_manifest();
+        let mut cur = base.clone();
+        cur.metrics.pop();
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "missing");
+
+        let mut other = base.clone();
+        other.ues += 1;
+        assert!(compare(&base, &other, 10.0)
+            .unwrap_err()
+            .contains("not comparable"));
+    }
+}

@@ -23,15 +23,22 @@
 //!
 //! Both record per-procedure latency into `l25gc-obs` log2 histograms
 //! (`capacity_all` plus one per procedure kind), drop codes for shed /
-//! backpressured arrivals, and active-UE / shard-depth gauges.
+//! backpressured arrivals, and active-UE / shard-depth gauges. Two
+//! opt-in telemetry surfaces ride the same hot path:
+//!
+//! - a windowed [`MetricsTimeline`] ([`LoadConfigBuilder::metrics_interval`])
+//!   snapshotting per-shard counters and latency deltas per interval,
+//!   carried on the [`LoadReport`];
+//! - sampled procedure spans ([`LoadConfigBuilder::trace_sample`]): every
+//!   Nth UE's dispatches become completed spans in `obs.spans`, bounded
+//!   by the span log's capacity and allocation-free when sampled out, so
+//!   any run exports straight to the Chrome-trace / Perfetto pipeline.
 //!
 //! Construction goes through [`LoadConfig::builder`], which returns a
-//! typed [`LoadError`] instead of panicking on bad inputs. The free
-//! functions [`run_open_loop`] / [`run_closed_loop`] remain as thin
-//! deprecated wrappers for one release.
+//! typed [`LoadError`] instead of panicking on bad inputs.
 
 use l25gc_core::UeEvent;
-use l25gc_obs::{EventKind, Obs};
+use l25gc_obs::{EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::arrival::{ArrivalStream, EventMix};
@@ -115,6 +122,8 @@ pub enum LoadError {
     EmptyMix,
     /// Closed-loop mode needs at least one worker.
     ZeroWorkers,
+    /// A requested metrics timeline needs a non-zero interval.
+    ZeroMetricsInterval,
 }
 
 impl std::fmt::Display for LoadError {
@@ -138,6 +147,9 @@ impl std::fmt::Display for LoadError {
             LoadError::ZeroDuration => write!(f, "run horizon must be non-zero"),
             LoadError::EmptyMix => write!(f, "event mix must have positive total weight"),
             LoadError::ZeroWorkers => write!(f, "closed loop needs at least one worker"),
+            LoadError::ZeroMetricsInterval => {
+                write!(f, "metrics timeline interval must be non-zero")
+            }
         }
     }
 }
@@ -166,6 +178,12 @@ pub struct LoadConfig {
     pub backend: ExecBackend,
     /// Arrival generation discipline.
     pub mode: LoadMode,
+    /// When set, the run carries a per-shard [`MetricsTimeline`]
+    /// snapshotting at this interval (virtual time). `None` = off.
+    pub metrics_interval: Option<SimDuration>,
+    /// Span sampling stride: keep every Nth UE's procedure spans
+    /// (`ue % N == 0`). `0` = tracing off.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadConfig {
@@ -180,6 +198,8 @@ impl Default for LoadConfig {
             seed: 0,
             backend: ExecBackend::Analytic,
             mode: LoadMode::Open,
+            metrics_interval: None,
+            trace_sample: 0,
         }
     }
 }
@@ -229,6 +249,9 @@ impl LoadConfig {
             if workers == 0 {
                 return Err(LoadError::ZeroWorkers);
             }
+        }
+        if self.metrics_interval.is_some_and(|iv| iv.is_zero()) {
+            return Err(LoadError::ZeroMetricsInterval);
         }
         Ok(())
     }
@@ -326,6 +349,18 @@ impl LoadConfigBuilder {
         self
     }
 
+    /// Carries a per-shard metrics timeline snapshotting at `interval`.
+    pub fn metrics_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Keeps every Nth UE's procedure spans (0 = tracing off).
+    pub fn trace_sample(mut self, stride: u64) -> Self {
+        self.cfg.trace_sample = stride;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<LoadConfig, LoadError> {
         self.cfg.validate()?;
@@ -377,7 +412,12 @@ pub struct LoadReport {
     pub busy_fraction: f64,
     /// Wall-clock stats (threaded backend only).
     pub wall: Option<WallClock>,
-    /// Full observability bundle (histograms, drop events, gauges).
+    /// Per-shard windowed telemetry, when
+    /// [`LoadConfig::metrics_interval`] was set (per-worker timelines
+    /// already merged for threaded runs).
+    pub timeline: Option<MetricsTimeline>,
+    /// Full observability bundle (histograms, drop events, gauges, and —
+    /// with [`LoadConfig::trace_sample`] — sampled procedure spans).
     pub obs: Obs,
 }
 
@@ -449,6 +489,36 @@ pub(crate) fn draw_kind(mix: &EventMix, total_w: f64, rng: &mut SimRng) -> UeEve
     kind
 }
 
+/// The hot-path recorder bundle: the `Obs` recorders plus the opt-in
+/// timeline and span-sampling stride, threaded through both backends as
+/// one value.
+pub(crate) struct Telemetry {
+    /// Histograms, flight recorder, span log.
+    pub obs: Obs,
+    /// Windowed per-shard snapshots, when configured.
+    pub timeline: Option<MetricsTimeline>,
+    /// Span sampling stride (0 = off).
+    pub trace_sample: u64,
+}
+
+impl Telemetry {
+    pub(crate) fn new(cfg: &LoadConfig) -> Telemetry {
+        Telemetry {
+            obs: Obs::new(),
+            timeline: cfg
+                .metrics_interval
+                .map(|iv| MetricsTimeline::new(iv, cfg.shard_cfg.shards)),
+            trace_sample: cfg.trace_sample,
+        }
+    }
+
+    /// Whether this UE's spans are kept. A pure modulus on the stride —
+    /// no RNG, no allocation — so the sampled-out path costs one branch.
+    pub(crate) fn sampled(&self, ue: u32) -> bool {
+        self.trace_sample > 0 && u64::from(ue) % self.trace_sample == 0
+    }
+}
+
 /// Offers one event to the fleet + shard set and records the outcome.
 /// Returns the completion time when dispatched.
 #[allow(clippy::too_many_arguments)]
@@ -459,7 +529,7 @@ fn offer_event(
     shards: &mut ShardSet,
     profiles: &ProfileSet,
     rng: &mut SimRng,
-    obs: &mut Obs,
+    tel: &mut Telemetry,
     infeasible: &mut u64,
 ) -> Option<SimTime> {
     let (from, to) = transition(kind);
@@ -469,15 +539,36 @@ fn offer_event(
     };
     let prof = profiles.get(kind);
     let shard = fleet.shard_of(ue);
-    match shards.offer(shard, at, prof, u64::from(ue) + 1, obs) {
+    match shards.offer(shard, at, prof, u64::from(ue) + 1, &mut tel.obs) {
         Admission::Dispatched { completes_at } => {
             apply_transition(fleet, ue, kind, to);
             let lat = completes_at.duration_since(at).as_nanos();
-            obs.hists.record(proc_kind(kind).name(), lat);
-            obs.hists.record(HIST_ALL, lat);
+            tel.obs.hists.record(proc_kind(kind).name(), lat);
+            tel.obs.hists.record(HIST_ALL, lat);
+            if let Some(tl) = tel.timeline.as_mut() {
+                tl.record_dispatched(shard, at);
+                tl.record_completion(shard, completes_at, lat);
+                tl.record_depth(shard, at, shards.depth(shard) as u64);
+            }
+            if tel.sampled(ue) {
+                tel.obs
+                    .spans
+                    .record_completed(proc_kind(kind), u64::from(ue), at, completes_at);
+            }
             Some(completes_at)
         }
-        Admission::Shed | Admission::Backpressure => None,
+        Admission::Shed => {
+            if let Some(tl) = tel.timeline.as_mut() {
+                tl.record_shed(shard, at);
+            }
+            None
+        }
+        Admission::Backpressure => {
+            if let Some(tl) = tel.timeline.as_mut() {
+                tl.record_backpressure(shard, at);
+            }
+            None
+        }
     }
 }
 
@@ -486,12 +577,15 @@ fn finish(
     cfg: &LoadConfig,
     fleet: &Fleet,
     shards: ShardSet,
-    mut obs: Obs,
+    tel: Telemetry,
     offered: u64,
     dispatched: u64,
     infeasible: u64,
     completed: u64,
 ) -> LoadReport {
+    let Telemetry {
+        mut obs, timeline, ..
+    } = tel;
     let end = SimTime::ZERO + cfg.duration;
     obs.event(
         end,
@@ -525,6 +619,7 @@ fn finish(
         peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
         busy_fraction: shards.busy_fraction(end),
         wall: None,
+        timeline,
         obs,
     }
 }
@@ -539,7 +634,7 @@ fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
     fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
     let mut shards = ShardSet::new(cfg.shard_cfg);
-    let mut obs = Obs::new();
+    let mut tel = Telemetry::new(cfg);
 
     let horizon = SimTime::ZERO + cfg.duration;
     let (mut offered, mut dispatched, mut infeasible, mut completed) = (0u64, 0u64, 0u64, 0u64);
@@ -556,7 +651,7 @@ fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
             &mut shards,
             profiles,
             &mut sample_rng,
-            &mut obs,
+            &mut tel,
             &mut infeasible,
         ) {
             dispatched += 1;
@@ -566,7 +661,7 @@ fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
         }
     }
     finish(
-        cfg, &fleet, shards, obs, offered, dispatched, infeasible, completed,
+        cfg, &fleet, shards, tel, offered, dispatched, infeasible, completed,
     )
 }
 
@@ -585,7 +680,7 @@ fn analytic_closed(
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
     fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
     let mut shards = ShardSet::new(cfg.shard_cfg);
-    let mut obs = Obs::new();
+    let mut tel = Telemetry::new(cfg);
 
     // Each queued item is a worker becoming ready to issue.
     let mut q: EventQueue<u32> = EventQueue::with_capacity(workers);
@@ -609,7 +704,7 @@ fn analytic_closed(
             &mut shards,
             profiles,
             &mut sample_rng,
-            &mut obs,
+            &mut tel,
             &mut infeasible,
         ) {
             Some(done) => {
@@ -625,39 +720,8 @@ fn analytic_closed(
         q.push(next_ready, worker);
     }
     finish(
-        cfg, &fleet, shards, obs, offered, dispatched, infeasible, completed,
+        cfg, &fleet, shards, tel, offered, dispatched, infeasible, completed,
     )
-}
-
-/// Runs an open-loop load test: arrivals at `cfg.offered_eps` for
-/// `cfg.duration`, independent of completions.
-#[deprecated(
-    since = "0.3.0",
-    note = "build a Driver via LoadConfig::builder().….build() and call Driver::run"
-)]
-pub fn run_open_loop(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
-    let mut cfg = cfg.clone();
-    cfg.mode = LoadMode::Open;
-    cfg.backend = ExecBackend::Analytic;
-    Driver::new(cfg).expect("invalid LoadConfig").run(profiles)
-}
-
-/// Runs a closed-loop load test: `workers` concurrent clients, each
-/// issuing its next procedure `think` after the previous one completes.
-#[deprecated(
-    since = "0.3.0",
-    note = "build a Driver via LoadConfig::builder().closed_loop(..).build() and call Driver::run"
-)]
-pub fn run_closed_loop(
-    cfg: &LoadConfig,
-    profiles: &ProfileSet,
-    workers: usize,
-    think: SimDuration,
-) -> LoadReport {
-    let mut cfg = cfg.clone();
-    cfg.mode = LoadMode::Closed { workers, think };
-    cfg.backend = ExecBackend::Analytic;
-    Driver::new(cfg).expect("invalid LoadConfig").run(profiles)
 }
 
 #[cfg(test)]
@@ -801,21 +865,58 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_run() {
+    fn timeline_sums_match_report_totals_analytic() {
         let profiles = calibrate(Deployment::L25gc);
-        let cfg = LoadConfig {
-            ues: 1_000,
-            offered_eps: 50.0,
-            duration: SimDuration::from_secs(2),
-            seed: 9,
-            ..LoadConfig::default()
-        };
-        let a = run_open_loop(&cfg, &profiles);
-        let b = Driver::new(cfg.clone()).unwrap().run(&profiles);
-        assert_eq!(a.offered, b.offered);
-        assert_eq!(a.p99, b.p99);
-        let c = run_closed_loop(&cfg, &profiles, 8, SimDuration::from_millis(5));
-        assert!(c.dispatched > 0);
+        // Tight rings so shed/backpressure lanes get exercised too.
+        let cfg = LoadConfig::builder()
+            .ues(5_000)
+            .shards(4)
+            .high_water(8)
+            .ring_capacity(16)
+            .offered_eps(20_000.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(13)
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let tl = r.timeline.as_ref().expect("timeline was requested");
+        assert_eq!(tl.shards(), 4);
+        assert_eq!(
+            tl.dispatched_total(),
+            r.dispatched,
+            "summed per-window dispatches equal the report total"
+        );
+        assert_eq!(tl.completed_total(), r.dispatched, "analytic: all complete");
+        assert_eq!(tl.shed_total(), r.shed);
+        assert!(r.shed > 0, "config must exercise the shed lane");
+        assert!(tl.window_count() >= 20, "2 s / 100 ms windows");
+    }
+
+    #[test]
+    fn trace_sampling_keeps_every_nth_ue_only() {
+        let profiles = calibrate(Deployment::L25gc);
+        let base = LoadConfig::builder()
+            .ues(4_000)
+            .offered_eps(500.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(29);
+        let off = Driver::new(base.clone().build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        assert!(
+            off.obs.spans.spans().is_empty(),
+            "no sampling, no driver spans"
+        );
+        let on = Driver::new(base.trace_sample(64).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        let spans = on.obs.spans.spans();
+        assert!(!spans.is_empty(), "sampled UEs leave spans");
+        assert!(spans.iter().all(|s| s.ue % 64 == 0), "only every 64th UE");
+        assert!(spans.iter().all(|s| s.end > s.start));
+        // Sampling must not perturb the run itself.
+        assert_eq!(off.dispatched, on.dispatched);
+        assert_eq!(off.p99, on.p99);
     }
 }

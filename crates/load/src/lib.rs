@@ -31,6 +31,14 @@
 //! events/s, drop and occupancy accounting). The `reproduce capacity`
 //! subcommand sweeps offered load × deployment over this engine to find
 //! each system's sustainable-throughput knee.
+//!
+//! Telemetry rides the same hot path, opt-in per run: a windowed
+//! per-shard [`l25gc_obs::MetricsTimeline`]
+//! ([`LoadConfigBuilder::metrics_interval`]) carried on the report, and
+//! strided procedure-span sampling ([`LoadConfigBuilder::trace_sample`])
+//! feeding the Chrome-trace/Perfetto exporter.
+
+#![warn(missing_docs)]
 
 pub mod arrival;
 pub mod dispatch;
@@ -41,8 +49,6 @@ pub mod worker;
 
 pub use arrival::{ArrivalProcess, ArrivalStream, EventMix};
 pub use dispatch::{calibrate, proc_kind, ProcedureProfile, ProfileSet};
-#[allow(deprecated)]
-pub use driver::{run_closed_loop, run_open_loop};
 pub use driver::{
     Driver, ExecBackend, LoadConfig, LoadConfigBuilder, LoadError, LoadMode, LoadReport, WallClock,
     HIST_ALL,

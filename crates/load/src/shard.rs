@@ -227,6 +227,12 @@ impl ShardSet {
         }
     }
 
+    /// Current in-flight depth of `shard` (ring occupancy plus the
+    /// one-slot retirement lookahead) — the timeline's depth gauge.
+    pub fn depth(&self, shard: u16) -> usize {
+        self.shards[shard as usize].depth()
+    }
+
     /// Procedures dispatched per shard (occupancy accounting).
     pub fn dispatched_per_shard(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.dispatched).collect()

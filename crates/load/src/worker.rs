@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use l25gc_core::UeEvent;
 use l25gc_nfv::ring::{duplex, DuplexHost, RingFull};
-use l25gc_obs::{DropCode, EventKind, Obs};
+use l25gc_obs::{DropCode, EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::arrival::ArrivalStream;
@@ -54,6 +54,8 @@ pub struct Submit {
     pub seq: u64,
     /// Procedure kind.
     pub kind: UeEvent,
+    /// The UE issuing the procedure (span sampling).
+    pub ue: u32,
     /// Virtual arrival instant.
     pub at: SimTime,
 }
@@ -65,6 +67,8 @@ pub struct Completion {
     pub seq: u64,
     /// Procedure kind (histogram routing).
     pub kind: UeEvent,
+    /// The UE it belongs to (span sampling).
+    pub ue: u32,
     /// Virtual arrival instant (latency = `completes_at - at`).
     pub at: SimTime,
     /// Virtual end-to-end completion instant.
@@ -84,6 +88,9 @@ struct WorkerStats {
     peak_depth: usize,
     /// The worker's private recorder bundle.
     obs: Obs,
+    /// The worker's private timeline lane (completion counts + latency
+    /// deltas for its shard), merged by the dispatcher at join.
+    timeline: Option<MetricsTimeline>,
 }
 
 /// One shard's server loop: pop submissions in bursts, advance the
@@ -91,10 +98,12 @@ struct WorkerStats {
 struct ShardWorker {
     port: l25gc_nfv::ring::DuplexWorker<Submit, Completion>,
     profiles: ProfileSet,
+    shard: u16,
     busy_until: SimTime,
     served: u64,
     peak_depth: usize,
     obs: Obs,
+    timeline: Option<MetricsTimeline>,
 }
 
 impl ShardWorker {
@@ -119,6 +128,7 @@ impl ShardWorker {
             served: self.served,
             peak_depth: self.peak_depth,
             obs: self.obs,
+            timeline: self.timeline,
         }
     }
 
@@ -135,9 +145,17 @@ impl ShardWorker {
         self.obs
             .hists
             .record(HIST_QUEUE_DELAY, start.duration_since(s.at).as_nanos());
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record_completion(
+                self.shard,
+                completes_at,
+                completes_at.duration_since(s.at).as_nanos(),
+            );
+        }
         let mut c = Completion {
             seq: s.seq,
             kind: s.kind,
+            ue: s.ue,
             at: s.at,
             completes_at,
         };
@@ -170,11 +188,24 @@ struct Pool {
     peak_depth: usize,
     next_seq: u64,
     comp_buf: Vec<Completion>,
+    /// Span sampling stride (0 = off); applied at completion drain.
+    trace_sample: u64,
+    /// The dispatcher's timeline lanes: dispatch/shed/backpressure
+    /// counts and submit-ring depth. Workers record completions into
+    /// their own lanes; everything merges at shutdown.
+    timeline: Option<MetricsTimeline>,
 }
 
 impl Pool {
     fn spawn(cfg: &LoadConfig, profiles: &ProfileSet) -> Pool {
         let shards = cfg.shard_cfg.shards as usize;
+        // Each worker gets a full-width timeline and records only its
+        // own lane; `MetricsTimeline::absorb` then merges them into the
+        // dispatcher's — the same private-recorder discipline as `Obs`.
+        let timeline_for = |cfg: &LoadConfig| {
+            cfg.metrics_interval
+                .map(|iv| MetricsTimeline::new(iv, cfg.shard_cfg.shards))
+        };
         let mut hosts = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
@@ -184,10 +215,12 @@ impl Pool {
             let worker = ShardWorker {
                 port,
                 profiles: profiles.clone(),
+                shard: i as u16,
                 busy_until: SimTime::ZERO,
                 served: 0,
                 peak_depth: 0,
                 obs: Obs::new(),
+                timeline: timeline_for(cfg),
             };
             handles.push(
                 thread::Builder::new()
@@ -209,19 +242,32 @@ impl Pool {
             peak_depth: 0,
             next_seq: 0,
             comp_buf: Vec::with_capacity(BURST),
+            trace_sample: cfg.trace_sample,
+            timeline: timeline_for(cfg),
         }
     }
 
-    /// Records one drained completion into the shared histograms.
-    fn record_completion(c: Completion, horizon: SimTime, obs: &mut Obs) -> bool {
+    /// Records one drained completion into the shared histograms, plus a
+    /// span when the UE is on the sampling stride.
+    fn record_completion(
+        trace_sample: u64,
+        c: Completion,
+        horizon: SimTime,
+        obs: &mut Obs,
+    ) -> bool {
         let lat = c.completes_at.duration_since(c.at).as_nanos();
         obs.hists.record(proc_kind(c.kind).name(), lat);
         obs.hists.record(HIST_ALL, lat);
+        if trace_sample > 0 && u64::from(c.ue) % trace_sample == 0 {
+            obs.spans
+                .record_completed(proc_kind(c.kind), u64::from(c.ue), c.at, c.completes_at);
+        }
         c.completes_at <= horizon
     }
 
     /// Drains every shard's completion ring into `obs`.
     fn drain_completions(&mut self, horizon: SimTime, obs: &mut Obs) {
+        let trace_sample = self.trace_sample;
         for host in &mut self.hosts {
             loop {
                 let n = host.completions.pop_burst(&mut self.comp_buf, BURST);
@@ -230,7 +276,7 @@ impl Pool {
                 }
                 for c in self.comp_buf.drain(..) {
                     self.completed_total += 1;
-                    if Self::record_completion(c, horizon, obs) {
+                    if Self::record_completion(trace_sample, c, horizon, obs) {
                         self.completed += 1;
                     }
                 }
@@ -241,10 +287,12 @@ impl Pool {
     /// Offers one procedure to `shard`: admission control against the
     /// real submit ring, then a push. Returns the assigned `seq` on
     /// dispatch, `None` when the arrival was shed or backpressured.
+    #[allow(clippy::too_many_arguments)]
     fn offer(
         &mut self,
         shard: u16,
         kind: UeEvent,
+        ue: u32,
         at: SimTime,
         seid: u64,
         horizon: SimTime,
@@ -262,10 +310,13 @@ impl Pool {
                     seid,
                 },
             );
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.record_shed(shard, at);
+            }
             return None;
         }
         let seq = self.next_seq;
-        let mut sub = Submit { seq, kind, at };
+        let mut sub = Submit { seq, kind, ue, at };
         loop {
             match self.hosts[shard as usize].submit.push(sub) {
                 Ok(()) => break,
@@ -279,6 +330,9 @@ impl Pool {
                                 seid,
                             },
                         );
+                        if let Some(tl) = self.timeline.as_mut() {
+                            tl.record_backpressure(shard, at);
+                        }
                         return None;
                     }
                     OverloadPolicy::Queue => {
@@ -296,6 +350,10 @@ impl Pool {
         self.dispatched += 1;
         let depth = self.hosts[shard as usize].submit.len();
         self.peak_depth = self.peak_depth.max(depth);
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record_dispatched(shard, at);
+            tl.record_depth(shard, at, depth as u64);
+        }
         Some(seq)
     }
 
@@ -307,6 +365,7 @@ impl Pool {
             let mut stop = Submit {
                 seq: STOP_SEQ,
                 kind: UeEvent::Registration,
+                ue: 0,
                 at: SimTime::ZERO,
             };
             loop {
@@ -329,6 +388,9 @@ impl Pool {
             peak = peak.max(stats.peak_depth);
             served += stats.served;
             obs.absorb(&stats.obs);
+            if let (Some(tl), Some(wtl)) = (self.timeline.as_mut(), stats.timeline.as_ref()) {
+                tl.absorb(wtl);
+            }
         }
         debug_assert_eq!(
             served, self.dispatched,
@@ -345,6 +407,7 @@ impl Pool {
             completed_total: self.completed_total,
             peak_depth: peak,
             busy_until: busy,
+            timeline: self.timeline,
         }
     }
 }
@@ -357,6 +420,7 @@ struct PoolStats {
     completed_total: u64,
     peak_depth: usize,
     busy_until: Vec<SimTime>,
+    timeline: Option<MetricsTimeline>,
 }
 
 /// Mean shard CPU utilisation from the workers' final virtual clocks.
@@ -412,7 +476,7 @@ fn threaded_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
         };
         let shard = fleet.shard_of(ue);
         if pool
-            .offer(shard, kind, at, u64::from(ue) + 1, horizon, &mut obs)
+            .offer(shard, kind, ue, at, u64::from(ue) + 1, horizon, &mut obs)
             .is_some()
         {
             apply_transition(&mut fleet, ue, kind, to);
@@ -465,7 +529,8 @@ fn threaded_closed(
             continue;
         };
         let shard = fleet.shard_of(ue);
-        let next_ready = match pool.offer(shard, kind, at, u64::from(ue) + 1, horizon, &mut obs) {
+        let next_ready = match pool.offer(shard, kind, ue, at, u64::from(ue) + 1, horizon, &mut obs)
+        {
             Some(seq) => {
                 apply_transition(&mut fleet, ue, kind, to);
                 // Closed loop needs this procedure's completion time to
@@ -497,7 +562,7 @@ impl Pool {
         loop {
             if let Some(c) = self.hosts[shard as usize].completions.pop() {
                 self.completed_total += 1;
-                if Self::record_completion(c, horizon, obs) {
+                if Self::record_completion(self.trace_sample, c, horizon, obs) {
                     self.completed += 1;
                 }
                 if c.seq == seq {
@@ -556,6 +621,7 @@ fn finish_threaded(
             elapsed,
             sustained_eps,
         }),
+        timeline: stats.timeline,
         obs,
     }
 }
@@ -684,6 +750,63 @@ mod tests {
         assert!(r.dispatched > 0);
         assert_eq!(r.completed_total, r.dispatched);
         assert!(r.wall.is_some());
+    }
+
+    #[test]
+    fn threaded_timeline_sums_match_dispatched_and_merge_worker_lanes() {
+        let profiles = calibrate(Deployment::Free5gc);
+        // Hot enough that shed/backpressure lanes fill too.
+        let cfg = LoadConfig::builder()
+            .ues(3_000)
+            .shards(4)
+            .high_water(8)
+            .ring_capacity(16)
+            .offered_eps(20_000.0)
+            .duration(SimDuration::from_secs(1))
+            .seed(53)
+            .backend(ExecBackend::Threaded)
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let tl = r.timeline.as_ref().expect("timeline was requested");
+        assert_eq!(tl.shards(), 4);
+        assert_eq!(
+            tl.dispatched_total(),
+            r.dispatched,
+            "summed per-window dispatches equal the run's dispatched total"
+        );
+        assert_eq!(
+            tl.completed_total(),
+            r.dispatched,
+            "worker completion lanes merged at join cover every dispatch"
+        );
+        assert_eq!(tl.shed_total(), r.shed);
+        assert!(r.shed > 0, "config must exercise the shed lane");
+        // More than one shard lane actually carries data.
+        let active_lanes = (0..tl.shards())
+            .filter(|&s| tl.lane(s).iter().any(|w| w.dispatched > 0))
+            .count();
+        assert!(active_lanes > 1, "dispatches spread over shards");
+    }
+
+    #[test]
+    fn threaded_trace_sampling_records_strided_spans() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .shards(2)
+            .offered_eps(2_000.0)
+            .duration(SimDuration::from_secs(1))
+            .seed(59)
+            .backend(ExecBackend::Threaded)
+            .trace_sample(64)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let spans = r.obs.spans.spans();
+        assert!(!spans.is_empty(), "sampled UEs leave spans");
+        assert!(spans.iter().all(|s| s.ue % 64 == 0));
     }
 
     #[test]

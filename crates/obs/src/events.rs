@@ -269,6 +269,18 @@ impl FlightRecorder {
         head.iter().chain(wrapped.iter())
     }
 
+    /// Merges another recorder into this one: the other ring's held
+    /// events replay here oldest-first (overwriting this ring's oldest
+    /// when full, counted as usual), and the other ring's overwrite
+    /// count carries over — absorbing loses no accounting, so summed
+    /// `len() + dropped()` is conserved across a merge.
+    pub fn absorb(&mut self, other: &FlightRecorder) {
+        for ev in other.iter() {
+            self.record(ev.at, ev.kind);
+        }
+        self.dropped += other.dropped;
+    }
+
     /// Drains every held event into `out`, oldest first, resetting the
     /// ring (the drop count is preserved).
     pub fn drain_into(&mut self, out: &mut Vec<Event>) {
@@ -360,6 +372,27 @@ mod tests {
         assert_eq!(fr.dropped(), 2);
         fr.record(at(9), gauge(9));
         assert_eq!(fr.iter().count(), 1);
+    }
+
+    #[test]
+    fn absorb_replays_events_and_carries_the_drop_count() {
+        let mut a = FlightRecorder::new(4);
+        a.record(at(0), gauge(0));
+        let mut b = FlightRecorder::new(2);
+        for i in 10..15u64 {
+            b.record(at(i), gauge(i));
+        }
+        assert_eq!(b.dropped(), 3);
+        let total_before = a.len() as u64 + a.dropped() + b.len() as u64 + b.dropped();
+        a.absorb(&b);
+        assert_eq!(
+            a.len() as u64 + a.dropped(),
+            total_before,
+            "held + overwritten is conserved"
+        );
+        let order: Vec<u64> = a.iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(order, vec![0, 13, 14], "other ring replays oldest-first");
+        assert_eq!(a.dropped(), 3, "other's overwrites carry over");
     }
 
     #[test]

@@ -25,14 +25,19 @@ pub mod events;
 pub mod export;
 pub mod hist;
 pub mod span;
+pub mod timeline;
 
 pub use events::{DropCode, Event, EventKind, FlightRecorder};
 pub use export::{
     parse_jsonl_line, to_chrome_trace, to_jsonl, to_summary, JsonlError, ParsedField, ParsedLine,
     TraceBundle,
 };
-pub use hist::Log2Histogram;
+pub use hist::{Log2Histogram, DEFAULT_BITS};
 pub use span::{ProcKind, SpanLog};
+pub use timeline::{
+    parse_timeline_jsonl_line, prometheus_header, timeline_csv_header, validate_prometheus,
+    MetricsTimeline, TimelineLine, TimelineWindow,
+};
 
 use l25gc_sim::SimTime;
 
@@ -115,19 +120,17 @@ impl Obs {
 
     /// Merges another bundle into this one: histograms merge bucket-wise
     /// (same names combine, new names append), flight-recorder events
-    /// replay into this ring in their recorded order, and spans/segments
-    /// append. This is the cross-thread drain path: worker threads record
-    /// into private `Obs` bundles (no locks on the hot path) and the
-    /// dispatcher absorbs them after join.
+    /// replay into this ring in their recorded order (overwrite counts
+    /// carry over), and spans/segments append with their dropped counts.
+    /// Nothing is lost in accounting terms: summed event, span, and
+    /// segment totals — held plus dropped — are conserved. This is the
+    /// cross-thread drain path: worker threads record into private `Obs`
+    /// bundles (no locks on the hot path) and the dispatcher absorbs
+    /// them after join.
     pub fn absorb(&mut self, other: &Obs) {
         self.hists.absorb(&other.hists);
-        for ev in other.flight.iter() {
-            self.flight.record(ev.at, ev.kind);
-        }
-        for span in other.spans.spans() {
-            self.spans
-                .record_completed(span.kind, span.ue, span.start, span.end);
-        }
+        self.flight.absorb(&other.flight);
+        self.spans.absorb(&other.spans);
     }
 
     /// Drains this bundle's events and copies spans/segments into a

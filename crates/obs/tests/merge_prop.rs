@@ -1,0 +1,193 @@
+//! Property tests for the merge algebra: `HistogramSet::absorb`,
+//! `FlightRecorder::absorb`, `MetricsTimeline::absorb`, and
+//! `Obs::absorb` must commute (up to ordering artifacts), associate, and
+//! lose no counts — including the flight recorder's overwritten-event
+//! accounting and the span log's dropped counts. This is what makes the
+//! threaded backend's merge-at-join step equivalent to having recorded
+//! everything in one place.
+
+use l25gc_obs::timeline::MetricsTimeline;
+use l25gc_obs::{EventKind, FlightRecorder, HistogramSet, Obs, ProcKind};
+use l25gc_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["registration", "handover", "paging", "capacity_all"];
+const PROCS: [ProcKind; 3] = [ProcKind::Registration, ProcKind::Handover, ProcKind::Paging];
+
+/// One recording action replayed into a bundle — a compressed stand-in
+/// for what a driver worker does on its hot path.
+#[derive(Debug, Clone)]
+enum Action {
+    Hist {
+        name: usize,
+        v: u64,
+    },
+    Event {
+        at: u64,
+        value: u64,
+    },
+    Span {
+        kind: usize,
+        ue: u64,
+        start: u64,
+        dur: u64,
+    },
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..NAMES.len(), any::<u64>()).prop_map(|(name, v)| Action::Hist { name, v }),
+        (0u64..1_000, any::<u64>()).prop_map(|(at, value)| Action::Event { at, value }),
+        (0..PROCS.len(), 0u64..100, 0u64..1_000, 0u64..1_000).prop_map(|(kind, ue, start, dur)| {
+            Action::Span {
+                kind,
+                ue,
+                start,
+                dur,
+            }
+        }),
+    ]
+}
+
+/// A small bundle (tight flight/span bounds so overwrite and drop
+/// accounting is actually exercised) with `actions` replayed into it.
+fn bundle(actions: &[Action]) -> Obs {
+    let mut obs = Obs {
+        flight: FlightRecorder::new(8),
+        spans: l25gc_obs::SpanLog::with_capacity(4, 4),
+        hists: HistogramSet::new(),
+    };
+    for a in actions {
+        match *a {
+            Action::Hist { name, v } => obs.hists.record(NAMES[name], v),
+            Action::Event { at, value } => obs.event(
+                SimTime::from_nanos(at),
+                EventKind::Gauge {
+                    name: "depth",
+                    value,
+                },
+            ),
+            Action::Span {
+                kind,
+                ue,
+                start,
+                dur,
+            } => obs.spans.record_completed(
+                PROCS[kind],
+                ue,
+                SimTime::from_nanos(start),
+                SimTime::from_nanos(start + dur),
+            ),
+        }
+    }
+    obs
+}
+
+/// Everything an `Obs` has accounted for: histogram counts, events held
+/// plus overwritten, spans/segments held plus dropped.
+fn totals(o: &Obs) -> (u64, u64, u64) {
+    let hist: u64 = o.hists.iter().map(|(_, h)| h.count()).sum();
+    let events = o.flight.len() as u64 + o.flight.dropped();
+    let spans = o.spans.spans().len() as u64
+        + o.spans.dropped_spans()
+        + o.spans.segments().len() as u64
+        + o.spans.dropped_segments();
+    (hist, events, spans)
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(action(), 0..40)
+}
+
+proptest! {
+    /// Absorbing loses no accounting: every count in `b` — recorded or
+    /// explicitly dropped — shows up in `a` afterwards.
+    #[test]
+    fn obs_absorb_conserves_all_counts(xs in actions(), ys in actions()) {
+        let mut a = bundle(&xs);
+        let b = bundle(&ys);
+        let (ah, ae, asp) = totals(&a);
+        let (bh, be, bsp) = totals(&b);
+        a.absorb(&b);
+        let (h, e, s) = totals(&a);
+        prop_assert_eq!(h, ah + bh, "histogram counts conserved");
+        prop_assert_eq!(e, ae + be, "event held+overwritten conserved");
+        prop_assert_eq!(s, asp + bsp, "span/segment held+dropped conserved");
+    }
+
+    /// `HistogramSet::absorb` commutes up to creation order: for every
+    /// name the merged histograms are identical whichever side absorbs.
+    #[test]
+    fn histogram_set_absorb_commutes(xs in actions(), ys in actions()) {
+        let mut ab = bundle(&xs).hists;
+        ab.absorb(&bundle(&ys).hists);
+        let mut ba = bundle(&ys).hists;
+        ba.absorb(&bundle(&xs).hists);
+        for (name, h) in ab.iter() {
+            prop_assert_eq!(Some(h), ba.get(name), "name {}", name);
+        }
+        prop_assert_eq!(ab.iter().count(), ba.iter().count());
+    }
+
+    /// `HistogramSet::absorb` associates: (a+b)+c == a+(b+c), including
+    /// creation order (left-to-right first-seen in both groupings).
+    #[test]
+    fn histogram_set_absorb_associates(
+        xs in actions(), ys in actions(), zs in actions(),
+    ) {
+        let (a, b, c) = (bundle(&xs).hists, bundle(&ys).hists, bundle(&zs).hists);
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b;
+        bc.absorb(&c);
+        let mut right = a;
+        right.absorb(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Full-bundle absorb associates on the exact-state level for
+    /// histograms, and on the accounting level for the bounded
+    /// flight/span structures (where (a+b)+c and a+(b+c) may keep
+    /// different *individual* events but must account for the same
+    /// totals).
+    #[test]
+    fn obs_absorb_associates(xs in actions(), ys in actions(), zs in actions()) {
+        let mut left = bundle(&xs);
+        left.absorb(&bundle(&ys));
+        left.absorb(&bundle(&zs));
+        let mut bc = bundle(&ys);
+        bc.absorb(&bundle(&zs));
+        let mut right = bundle(&xs);
+        right.absorb(&bc);
+        prop_assert_eq!(left.hists, right.hists);
+        prop_assert_eq!(totals(&left), totals(&right));
+    }
+
+    /// Timeline absorb is window-wise addition: dispatch/completion
+    /// totals add, and splitting a stream across two timelines then
+    /// merging equals recording it all in one.
+    #[test]
+    fn timeline_absorb_equals_single_recorder(
+        events in proptest::collection::vec(
+            (0u64..2_000_000_000, 0u16..4, 0u64..50_000_000), 0..60),
+        split in 0usize..60,
+    ) {
+        let interval = SimDuration::from_millis(100);
+        let mut one = MetricsTimeline::new(interval, 4);
+        let mut a = MetricsTimeline::new(interval, 4);
+        let mut b = MetricsTimeline::new(interval, 4);
+        let split = split.min(events.len());
+        for (i, &(at_ns, shard, lat)) in events.iter().enumerate() {
+            let at = SimTime::from_nanos(at_ns);
+            let part = if i < split { &mut a } else { &mut b };
+            one.record_dispatched(shard, at);
+            part.record_dispatched(shard, at);
+            one.record_completion(shard, at, lat);
+            part.record_completion(shard, at, lat);
+        }
+        a.absorb(&b);
+        prop_assert_eq!(&a, &one, "merged halves equal the single recorder");
+        prop_assert_eq!(a.dispatched_total(), events.len() as u64);
+    }
+}

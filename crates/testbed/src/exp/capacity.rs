@@ -33,6 +33,7 @@ use l25gc_load::{
     calibrate, Driver, EventMix, ExecBackend, LoadConfig, LoadConfigBuilder, LoadReport,
     OverloadPolicy, ProfileSet, ShardConfig,
 };
+use l25gc_obs::{MetricsTimeline, TraceBundle};
 use l25gc_sim::SimDuration;
 
 /// Offered-load fractions of theoretical capacity the sweep visits.
@@ -97,6 +98,13 @@ pub struct CapacityCurve {
     pub points: Vec<CapacityPoint>,
     /// Index into `points` of the detected knee.
     pub knee: usize,
+    /// Per-point metrics timelines, in [`SWEEP_FRACTIONS`] order
+    /// (empty unless [`CapacityParams::metrics_interval_ms`] is set).
+    pub timelines: Vec<MetricsTimeline>,
+    /// Sampled spans/events of the knee point, ready for the
+    /// Chrome-trace exporter (`None` unless
+    /// [`CapacityParams::trace_sample`] is set).
+    pub knee_trace: Option<TraceBundle>,
 }
 
 impl CapacityCurve {
@@ -130,6 +138,11 @@ pub struct CapacityParams {
     pub workers: Option<usize>,
     /// Closed-loop mean think time, ms.
     pub think_ms: f64,
+    /// When set, every run carries a per-shard metrics timeline
+    /// snapshotting at this interval.
+    pub metrics_interval_ms: Option<f64>,
+    /// Span sampling stride: keep every Nth UE's spans (0 = off).
+    pub trace_sample: u64,
 }
 
 impl Default for CapacityParams {
@@ -143,6 +156,8 @@ impl Default for CapacityParams {
             burst: 1.0,
             workers: None,
             think_ms: 10.0,
+            metrics_interval_ms: None,
+            trace_sample: 0,
         }
     }
 }
@@ -168,13 +183,18 @@ fn point_seed(params: &CapacityParams, deployment: Deployment, i: usize) -> u64 
 }
 
 fn base_builder(params: &CapacityParams, mix: &EventMix) -> LoadConfigBuilder {
-    LoadConfig::builder()
+    let mut b = LoadConfig::builder()
         .ues(params.ues)
         .shard_cfg(shard_cfg(params.shards))
         .mix(mix.clone())
         .burst(params.burst)
         .duration(SimDuration::from_secs_f64(params.duration_s))
         .backend(params.backend)
+        .trace_sample(params.trace_sample);
+    if let Some(ms) = params.metrics_interval_ms {
+        b = b.metrics_interval(SimDuration::from_secs_f64(ms / 1e3));
+    }
+    b
 }
 
 fn run(cfg: LoadConfig, profiles: &ProfileSet) -> LoadReport {
@@ -191,6 +211,8 @@ pub fn sweep_deployment(deployment: Deployment, params: &CapacityParams) -> Capa
     let capacity_eps = f64::from(params.shards) / occ.as_secs_f64();
 
     let mut points = Vec::with_capacity(SWEEP_FRACTIONS.len());
+    let mut timelines = Vec::new();
+    let mut traces = Vec::new();
     for (i, frac) in SWEEP_FRACTIONS.iter().enumerate() {
         let offered = capacity_eps * frac;
         let cfg = base_builder(params, &mix)
@@ -198,16 +220,32 @@ pub fn sweep_deployment(deployment: Deployment, params: &CapacityParams) -> Capa
             .seed(point_seed(params, deployment, i))
             .build()
             .expect("sweep point config is valid");
-        let r = run(cfg, &profiles);
+        let mut r = run(cfg, &profiles);
         points.push(CapacityPoint::from_report(offered, &r));
+        if let Some(tl) = r.timeline.take() {
+            timelines.push(tl);
+        }
+        if params.trace_sample > 0 {
+            let mut bundle = TraceBundle::new();
+            r.obs.drain_into(&mut bundle);
+            bundle.sort();
+            traces.push(bundle);
+        }
     }
     let knee = detect_knee(&points);
+    let knee_trace = if traces.is_empty() {
+        None
+    } else {
+        Some(traces.swap_remove(knee))
+    };
     CapacityCurve {
         deployment,
         capacity_eps,
         mean_occupancy_ms: occ.as_millis_f64(),
         points,
         knee,
+        timelines,
+        knee_trace,
     }
 }
 
@@ -500,6 +538,34 @@ mod tests {
             let wall = p.wall_eps.expect("threaded points carry wall stats");
             assert!(wall > 0.0);
         }
+    }
+
+    #[test]
+    fn sweep_collects_timelines_and_knee_trace_when_requested() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 1.0,
+            metrics_interval_ms: Some(100.0),
+            trace_sample: 64,
+            ..small_params()
+        };
+        let curve = sweep_deployment(Deployment::L25gc, &params);
+        assert_eq!(curve.timelines.len(), SWEEP_FRACTIONS.len());
+        for (p, tl) in curve.points.iter().zip(&curve.timelines) {
+            assert_eq!(tl.shards(), params.shards);
+            // Per-window dispatch counts sum back to the point's rate.
+            let total = tl.dispatched_total();
+            assert!(total > 0, "point at {} eps recorded nothing", p.offered_eps);
+            assert!(tl.window_count() >= 9, "1 s / 100 ms windows");
+        }
+        let trace = curve.knee_trace.as_ref().expect("trace was requested");
+        assert!(!trace.spans.is_empty(), "knee point carries sampled spans");
+        assert!(trace.spans.iter().all(|s| s.ue % 64 == 0));
+
+        // Off by default: no timelines, no trace.
+        let plain = sweep_deployment(Deployment::L25gc, &small_params());
+        assert!(plain.timelines.is_empty());
+        assert!(plain.knee_trace.is_none());
     }
 
     #[test]
