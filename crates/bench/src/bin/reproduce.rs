@@ -46,9 +46,20 @@
 //! `reproduce compare <baseline> <current>` diffs two manifests,
 //! exiting 1 when any metric moved past `--threshold-pct` (default
 //! 10%, latency thresholds widened by the log2-histogram error bound)
-//! and 2 on unreadable/unrelated inputs.
+//! and 2 on unreadable/unrelated inputs. `reproduce baseline` reruns
+//! the exact CI gate configuration and rewrites the committed
+//! `results/BENCH_capacity_baseline.json`.
+//!
+//! Threaded-backend placement: `--pin` pins each shard worker (and the
+//! dispatcher when a core is spare) to its own physical core — a
+//! warning no-op where affinity is restricted; `--wait
+//! <spin|adaptive|park>` picks the poll-loop wait strategy;
+//! `--repeats <n>` reruns each shard-scaling point n times and reports
+//! mean ± CV of the wall-clock rate; `--saturate` binary-searches the
+//! closed-loop worker count where throughput plateaus and records it
+//! in the manifest.
 
-use l25gc_bench::{deployment_name, f, render_table, RunManifest};
+use l25gc_bench::{deployment_name, f, render_table, RunManifest, SaturationRow};
 use l25gc_core::Deployment;
 use l25gc_load::ExecBackend;
 use l25gc_nfv::CostModel;
@@ -95,6 +106,11 @@ struct Args {
     threshold_pct: f64,
     /// `compare <baseline> <current>`: diff two run manifests.
     compare: Option<(String, String)>,
+    /// `baseline`: rerun the CI gate config and rewrite the committed
+    /// baseline manifest.
+    baseline: bool,
+    /// `--saturate`: closed-loop saturation search on the capacity run.
+    saturate: bool,
     cap: exp::capacity::CapacityParams,
     /// `--scale-shards lo..hi`: run the shard-scaling study.
     scale_shards: Option<(u16, u16)>,
@@ -141,8 +157,31 @@ impl Args {
                 i += 3;
                 continue;
             }
+            if a == "baseline" {
+                if args.baseline {
+                    return Err("baseline given more than once".into());
+                }
+                args.baseline = true;
+                i += 1;
+                continue;
+            }
+            // Boolean flags take no value.
+            if a == "--pin" || a == "--saturate" {
+                let flag: &'static str = if a == "--pin" { "--pin" } else { "--saturate" };
+                if seen.contains(&flag) {
+                    return Err(format!("{flag} given more than once"));
+                }
+                seen.push(flag);
+                if flag == "--pin" {
+                    args.cap.pin = true;
+                } else {
+                    args.saturate = true;
+                }
+                i += 1;
+                continue;
+            }
             if a.starts_with("--") {
-                const FLAGS: [&str; 16] = [
+                const FLAGS: [&str; 18] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -159,6 +198,8 @@ impl Args {
                     "--trace-sample",
                     "--manifest-out",
                     "--threshold-pct",
+                    "--wait",
+                    "--repeats",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -243,6 +284,16 @@ impl Args {
                         }
                     }
                     "--manifest-out" => args.manifest_out = Some(v.to_string()),
+                    "--wait" => {
+                        args.cap.wait = l25gc_load::WaitStrategy::parse(v)
+                            .ok_or_else(|| format!("--wait needs spin|adaptive|park, got `{v}`"))?;
+                    }
+                    "--repeats" => {
+                        args.cap.repeats = num(flag, v, "a positive count")?;
+                        if args.cap.repeats == 0 {
+                            return Err("--repeats must be positive".into());
+                        }
+                    }
                     "--threshold-pct" => {
                         args.threshold_pct = num(flag, v, "a percentage")?;
                         if !args.threshold_pct.is_finite() || args.threshold_pct <= 0.0 {
@@ -266,6 +317,9 @@ impl Args {
         if args.compare.is_some() && !args.experiments.is_empty() {
             return Err("compare is standalone; drop the experiment ids".into());
         }
+        if args.baseline && (!args.experiments.is_empty() || args.compare.is_some()) {
+            return Err("baseline is standalone; drop the experiment ids".into());
+        }
         if metrics_interval_ms.is_some() && args.metrics_out.is_none() {
             return Err("--metrics-interval-ms needs --metrics-out".into());
         }
@@ -283,6 +337,8 @@ reproduce — regenerate the paper's figures and tables
 
 usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
        reproduce compare <baseline.json> <current.json> [--threshold-pct <p>]
+       reproduce baseline    (rerun the CI gate config, rewrite
+                              results/BENCH_capacity_baseline.json)
 
 experiments:
   fig6              PostSmContextsRequest serialization cost
@@ -320,6 +376,18 @@ flags:
   --burst <ratio>     capacity: MMPP-2 burstiness, 1 = Poisson (default)
   --workers <n>       capacity: also sweep a closed loop up to n workers
   --think-ms <ms>     closed-loop mean think time (default 10)
+  --pin               threaded: pin each shard worker (and the
+                      dispatcher when a core is spare) to its own
+                      physical core; warns and runs unpinned where
+                      affinity is restricted
+  --wait <w>          threaded: poll-loop wait strategy — `spin`
+                      (busy-poll, PMD-style), `adaptive` (default:
+                      spin -> yield -> park ladder) or `park`
+  --repeats <n>       shard scaling: rerun each point n times, report
+                      mean +/- CV of the wall-clock rate (default 1)
+  --saturate          capacity: binary-search the closed-loop worker
+                      count where throughput plateaus; recorded in the
+                      manifest
   --scale-shards l..h shard-scaling study over doubling shard counts,
                       both backends (with no ids: only this study runs)
   --csv <dir>         write fig13/fig14 RTT series as CSV
@@ -361,6 +429,9 @@ fn main() {
     }
     if let Some((base, cur)) = args.compare.as_ref() {
         std::process::exit(run_compare(base, cur, args.threshold_pct));
+    }
+    if args.baseline {
+        std::process::exit(run_baseline("results/BENCH_capacity_baseline.json"));
     }
     let seed = args.seed;
     let csv_dir = args.csv.clone();
@@ -496,6 +567,35 @@ fn run_compare(base_path: &str, cur_path: &str, threshold_pct: f64) -> i32 {
     1
 }
 
+/// Reruns the exact configuration the CI regression gate uses
+/// (`capacity --ues 10000 --duration-s 1 --seed 7`, analytic backend)
+/// and rewrites the committed baseline manifest. Returns the process
+/// exit code: 0 written, 2 unwritable path.
+fn run_baseline(path: &str) -> i32 {
+    let params = exp::capacity::CapacityParams {
+        ues: 10_000,
+        duration_s: 1.0,
+        seed: 7,
+        ..exp::capacity::CapacityParams::default()
+    };
+    let curves = exp::capacity::sweep(&params);
+    let manifest = RunManifest::from_capacity(&params, &curves);
+    if let Err(e) = std::fs::write(path, manifest.to_json()) {
+        eprintln!("reproduce: baseline: {path}: {e}");
+        return 2;
+    }
+    println!(
+        "wrote {path}: baseline manifest (seed {}, {} UEs, {} shards, {} backend), {} metric \
+         series",
+        params.seed,
+        params.ues,
+        params.shards,
+        params.backend,
+        manifest.metrics.len()
+    );
+    0
+}
+
 /// Writes every sweep point's timeline to one file, format chosen by
 /// extension, and self-validates the output by re-parsing it.
 fn write_metrics(path: &str, curves: &[exp::capacity::CapacityCurve]) {
@@ -608,6 +708,21 @@ fn capacity(args: &Args) {
                 f(wall)
             );
         }
+        if let Some(tk) = exp::capacity::timeline_knee(c) {
+            println!(
+                "{name} timeline knee: {} at {:.2} s into the {}x point (window {}, {})",
+                tk.reason,
+                tk.at_s,
+                exp::capacity::SWEEP_FRACTIONS[tk.point],
+                tk.window,
+                match tk.reason {
+                    exp::capacity::KneeReason::SheddingStarted =>
+                        format!("{:.0} events shed", tk.value),
+                    exp::capacity::KneeReason::P99OverBudget =>
+                        format!("windowed p99 {} ms", f(tk.value)),
+                }
+            );
+        }
     }
     if let Some((budget_ms, free_eps, l25_eps)) = exp::capacity::equal_p99_comparison(&curves) {
         println!(
@@ -621,12 +736,37 @@ fn capacity(args: &Args) {
     if let Some(path) = args.metrics_out.as_deref() {
         write_metrics(path, &curves);
     }
+    let saturation = args.saturate.then(|| {
+        let max_workers = params.workers.unwrap_or(256);
+        let sat = exp::capacity::saturation_search(params, max_workers);
+        println!(
+            "saturation: L25GC closed-loop throughput plateaus from {} workers \
+             ({} ev/s, p99 {} ms, {:.0}% util; {} probes, cap {max_workers})",
+            sat.workers,
+            f(sat.achieved_eps),
+            f(sat.p99_ms),
+            sat.utilisation * 100.0,
+            sat.probes,
+        );
+        sat
+    });
     if let Some(path) = args.manifest_out.as_deref() {
-        let manifest = RunManifest::from_capacity(params, &curves);
+        let mut manifest = RunManifest::from_capacity(params, &curves);
+        manifest.saturation = saturation.as_ref().map(|s| SaturationRow {
+            workers: s.workers as u64,
+            achieved_eps: s.achieved_eps,
+            p99_ms: s.p99_ms,
+            probes: s.probes as u64,
+        });
         std::fs::write(path, manifest.to_json()).expect("write manifest file");
         println!(
-            "wrote {path}: run manifest, {} metric series",
-            manifest.metrics.len()
+            "wrote {path}: run manifest, {} metric series{}",
+            manifest.metrics.len(),
+            if manifest.saturation.is_some() {
+                " + saturation point"
+            } else {
+                ""
+            }
         );
     }
     if params.trace_sample > 0 {
@@ -738,16 +878,18 @@ fn shard_scaling(params: &exp::capacity::CapacityParams, lo: u16, hi: u16) {
                 f(r.analytic_p99_ms),
                 f(r.threaded_eps),
                 f(r.threaded_wall_eps),
+                format!("{:.1}%", r.wall_cv_pct),
             ]
         })
         .collect();
+    let repeats = rows.first().map(|r| r.repeats).unwrap_or(1);
     print!(
         "{}",
         render_table(
             &format!(
                 "Capacity: L25GC shard scaling at 0.9x capacity per count \
-                 ({} UEs, {:.0} s/point)",
-                params.ues, params.duration_s
+                 ({} UEs, {:.0} s/point, {repeats} run(s)/point, pin={}, wait={})",
+                params.ues, params.duration_s, params.pin, params.wait
             ),
             &[
                 "shards",
@@ -755,7 +897,8 @@ fn shard_scaling(params: &exp::capacity::CapacityParams, lo: u16, hi: u16) {
                 "analytic (ev/s)",
                 "analytic p99 (ms)",
                 "threaded (ev/s)",
-                "threaded wall (ev/s)"
+                "wall mean (ev/s)",
+                "wall CV"
             ],
             &table
         )
@@ -1484,6 +1627,55 @@ mod tests {
     }
 
     #[test]
+    fn placement_and_saturation_flags_parse() {
+        let args = parse(&[
+            "capacity",
+            "--backend",
+            "threaded",
+            "--pin",
+            "--wait",
+            "spin",
+            "--repeats",
+            "5",
+            "--saturate",
+        ])
+        .unwrap();
+        assert!(args.cap.pin);
+        assert_eq!(args.cap.wait, l25gc_load::WaitStrategy::Spin);
+        assert_eq!(args.cap.repeats, 5);
+        assert!(args.saturate);
+
+        let args = parse(&[]).unwrap();
+        assert!(!args.cap.pin, "pinning is opt-in");
+        assert_eq!(args.cap.wait, l25gc_load::WaitStrategy::Adaptive);
+        assert_eq!(args.cap.repeats, 1);
+        assert!(!args.saturate);
+
+        assert!(parse(&["--pin", "--pin"])
+            .unwrap_err()
+            .contains("more than once"));
+        assert!(parse(&["--wait", "busy"])
+            .unwrap_err()
+            .contains("spin|adaptive|park"));
+        assert!(parse(&["--repeats", "0"]).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn baseline_is_a_standalone_subcommand() {
+        assert!(parse(&["baseline"]).unwrap().baseline);
+        assert!(!parse(&[]).unwrap().baseline);
+        assert!(parse(&["baseline", "capacity"])
+            .unwrap_err()
+            .contains("standalone"));
+        assert!(parse(&["baseline", "baseline"])
+            .unwrap_err()
+            .contains("more than once"));
+        assert!(parse(&["baseline", "compare", "a", "b"])
+            .unwrap_err()
+            .contains("standalone"));
+    }
+
+    #[test]
     fn compare_is_a_standalone_subcommand() {
         let args = parse(&["compare", "base.json", "cur.json"]).unwrap();
         assert_eq!(
@@ -1519,6 +1711,8 @@ mod tests {
             duration_s: 1.0,
             backend: "analytic".to_string(),
             burst: 1.0,
+            pin: false,
+            wait: "adaptive".to_string(),
             hist_bits: 5,
             metrics: vec![l25gc_bench::MetricRow {
                 name: "L25GC@0.9x".to_string(),
@@ -1529,6 +1723,7 @@ mod tests {
                 p99_ms,
                 loss_pct: 0.0,
             }],
+            saturation: None,
         }
     }
 

@@ -19,7 +19,7 @@
 
 pub mod manifest;
 
-pub use manifest::{compare, deployment_name, MetricRow, Regression, RunManifest};
+pub use manifest::{compare, deployment_name, MetricRow, Regression, RunManifest, SaturationRow};
 
 /// Formats a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

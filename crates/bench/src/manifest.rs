@@ -55,6 +55,21 @@ pub struct MetricRow {
     pub loss_pct: f64,
 }
 
+/// The saturation-search result carried on a manifest when the run was
+/// invoked with `--saturate`: the smallest closed-loop worker count that
+/// reaches the throughput plateau.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationRow {
+    /// Plateau-start worker count.
+    pub workers: u64,
+    /// Completed events/s at that count.
+    pub achieved_eps: f64,
+    /// 99th percentile latency, ms, at that count.
+    pub p99_ms: f64,
+    /// Closed-loop probes the search spent converging.
+    pub probes: u64,
+}
+
 /// The machine-readable record of one capacity run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -74,11 +89,20 @@ pub struct RunManifest {
     pub backend: String,
     /// MMPP-2 burstiness ratio (1 = Poisson).
     pub burst: f64,
+    /// Whether worker threads were pinned to physical cores (`--pin`).
+    /// Placement changes wall-clock numbers, so runs that differ here are
+    /// not comparable.
+    pub pin: bool,
+    /// Threaded-backend wait strategy (`spin` / `adaptive` / `park`).
+    pub wait: String,
     /// Log2-histogram sub-bucket bits the latency quantiles carry;
     /// bounds their relative error at `2^-bits`.
     pub hist_bits: u32,
     /// One row per deployment × sweep fraction, in sweep order.
     pub metrics: Vec<MetricRow>,
+    /// Saturation-search result when the run was invoked with
+    /// `--saturate`.
+    pub saturation: Option<SaturationRow>,
 }
 
 impl RunManifest {
@@ -108,8 +132,11 @@ impl RunManifest {
             duration_s: params.duration_s,
             backend: params.backend.to_string(),
             burst: params.burst,
+            pin: params.pin,
+            wait: params.wait.as_str().to_string(),
             hist_bits: DEFAULT_BITS,
             metrics,
+            saturation: None,
         }
     }
 
@@ -131,6 +158,14 @@ impl RunManifest {
                     .build()
             })
             .collect();
+        let saturation = self.saturation.as_ref().map(|s| {
+            ObjectBuilder::new()
+                .field("workers", Value::U64(s.workers))
+                .field("achieved_eps", Value::F64(s.achieved_eps))
+                .field("p99_ms", Value::F64(s.p99_ms))
+                .field("probes", Value::U64(s.probes))
+                .build()
+        });
         let v = ObjectBuilder::new()
             .field("kind", Value::Str(self.kind.clone()))
             .field("version", Value::Str(self.version.clone()))
@@ -140,8 +175,11 @@ impl RunManifest {
             .field("duration_s", Value::F64(self.duration_s))
             .field("backend", Value::Str(self.backend.clone()))
             .field("burst", Value::F64(self.burst))
+            .field("pin", Value::Bool(self.pin))
+            .field("wait", Value::Str(self.wait.clone()))
             .field("hist_bits", Value::U64(u64::from(self.hist_bits)))
             .field("metrics", Value::Array(rows))
+            .opt("saturation", saturation)
             .build();
         json::to_string(&v)
     }
@@ -169,6 +207,23 @@ impl RunManifest {
                 loss_pct: f64_field(row, "loss_pct")?,
             });
         }
+        // Pre-placement manifests carry neither field; those runs were
+        // unpinned with the default wait strategy.
+        let pin = v.get("pin").and_then(Value::as_bool).unwrap_or(false);
+        let wait = v
+            .get("wait")
+            .and_then(Value::as_str)
+            .unwrap_or("adaptive")
+            .to_string();
+        let saturation = match v.get("saturation") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(SaturationRow {
+                workers: u64_field(s, "workers")?,
+                achieved_eps: f64_field(s, "achieved_eps")?,
+                p99_ms: f64_field(s, "p99_ms")?,
+                probes: u64_field(s, "probes")?,
+            }),
+        };
         Ok(RunManifest {
             kind,
             version: str_field(&v, "version")?,
@@ -180,10 +235,13 @@ impl RunManifest {
             duration_s: f64_field(&v, "duration_s")?,
             backend: str_field(&v, "backend")?,
             burst: f64_field(&v, "burst")?,
+            pin,
+            wait,
             hist_bits: u64_field(&v, "hist_bits")?
                 .try_into()
                 .map_err(|_| "`hist_bits` out of u32 range".to_string())?,
             metrics,
+            saturation,
         })
     }
 }
@@ -270,19 +328,32 @@ pub fn compare(
     cur: &RunManifest,
     threshold_pct: f64,
 ) -> Result<Vec<Regression>, String> {
-    let cfg = |m: &RunManifest| (m.ues, m.shards, m.backend.clone(), m.burst);
+    let cfg = |m: &RunManifest| {
+        (
+            m.ues,
+            m.shards,
+            m.backend.clone(),
+            m.burst,
+            m.pin,
+            m.wait.clone(),
+        )
+    };
     if cfg(base) != cfg(cur) {
         return Err(format!(
-            "manifests are not comparable: baseline {} UEs/{} shards/{}/burst {} vs current {} \
-             UEs/{} shards/{}/burst {}",
+            "manifests are not comparable: baseline {} UEs/{} shards/{}/burst {}/pin={}/wait {} \
+             vs current {} UEs/{} shards/{}/burst {}/pin={}/wait {}",
             base.ues,
             base.shards,
             base.backend,
             base.burst,
+            base.pin,
+            base.wait,
             cur.ues,
             cur.shards,
             cur.backend,
-            cur.burst
+            cur.burst,
+            cur.pin,
+            cur.wait
         ));
     }
     let err_guard = 100.0 * ((-(base.hist_bits as f64)).exp2() + (-(cur.hist_bits as f64)).exp2());
@@ -371,6 +442,50 @@ mod tests {
         assert!(m.metrics.iter().any(|r| r.name == "L25GC@1x"));
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn saturation_row_round_trips_and_old_manifests_get_defaults() {
+        let mut m = small_manifest();
+        assert!(!m.pin);
+        assert_eq!(m.wait, "adaptive");
+        m.saturation = Some(SaturationRow {
+            workers: 24,
+            achieved_eps: 123_456.5,
+            p99_ms: 0.75,
+            probes: 9,
+        });
+        m.pin = true;
+        m.wait = "spin".to_string();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // A manifest written before the placement fields existed still
+        // parses, as an unpinned adaptive run without saturation data.
+        let legacy = small_manifest()
+            .to_json()
+            .replace("\"pin\":false,", "")
+            .replace("\"wait\":\"adaptive\",", "");
+        assert!(!legacy.contains("pin"), "fields really stripped");
+        let parsed = RunManifest::from_json(&legacy).unwrap();
+        assert!(!parsed.pin);
+        assert_eq!(parsed.wait, "adaptive");
+        assert_eq!(parsed.saturation, None);
+    }
+
+    #[test]
+    fn placement_mismatch_refuses_to_compare() {
+        let base = small_manifest();
+        let mut pinned = base.clone();
+        pinned.pin = true;
+        assert!(compare(&base, &pinned, 10.0)
+            .unwrap_err()
+            .contains("not comparable"));
+        let mut spun = base.clone();
+        spun.wait = "spin".to_string();
+        assert!(compare(&base, &spun, 10.0)
+            .unwrap_err()
+            .contains("not comparable"));
     }
 
     #[test]

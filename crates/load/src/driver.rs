@@ -184,6 +184,14 @@ pub struct LoadConfig {
     /// Span sampling stride: keep every Nth UE's procedure spans
     /// (`ue % N == 0`). `0` = tracing off.
     pub trace_sample: u64,
+    /// Pin each shard worker (and the dispatcher, when a core is spare)
+    /// to distinct physical cores — the paper's one-NF-per-core testbed
+    /// discipline. Best-effort: a restricted host warns and runs
+    /// unpinned. Threaded backend only; the analytic engine ignores it.
+    pub pin: bool,
+    /// How threaded-backend loops wait on a missed ring poll. Ignored by
+    /// the analytic engine; never affects virtual-time results.
+    pub wait: crate::wait::WaitStrategy,
 }
 
 impl Default for LoadConfig {
@@ -200,6 +208,8 @@ impl Default for LoadConfig {
             mode: LoadMode::Open,
             metrics_interval: None,
             trace_sample: 0,
+            pin: false,
+            wait: crate::wait::WaitStrategy::default(),
         }
     }
 }
@@ -358,6 +368,19 @@ impl LoadConfigBuilder {
     /// Keeps every Nth UE's procedure spans (0 = tracing off).
     pub fn trace_sample(mut self, stride: u64) -> Self {
         self.cfg.trace_sample = stride;
+        self
+    }
+
+    /// Pins workers (and the dispatcher, when a core is spare) to
+    /// distinct physical cores. Best-effort; see [`LoadConfig::pin`].
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.cfg.pin = pin;
+        self
+    }
+
+    /// Wait strategy for threaded-backend poll loops.
+    pub fn wait(mut self, wait: crate::wait::WaitStrategy) -> Self {
+        self.cfg.wait = wait;
         self
     }
 

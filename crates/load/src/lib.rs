@@ -37,6 +37,15 @@
 //! ([`LoadConfigBuilder::metrics_interval`]) carried on the report, and
 //! strided procedure-span sampling ([`LoadConfigBuilder::trace_sample`])
 //! feeding the Chrome-trace/Perfetto exporter.
+//!
+//! Threaded placement and waiting are configurable too:
+//! [`LoadConfigBuilder::pin`] reproduces the paper's one-NF-per-core
+//! testbed discipline (best-effort `sched_setaffinity` via
+//! [`l25gc_nfv::topology`], warning and running unpinned when affinity
+//! is restricted) and [`LoadConfigBuilder::wait`] selects the
+//! [`WaitStrategy`] every poll loop uses — `spin` for poll-mode-driver
+//! fidelity, the default `adaptive` spin→yield→park ladder for stable
+//! wall-clock numbers on shared machines.
 
 #![warn(missing_docs)]
 
@@ -45,6 +54,7 @@ pub mod dispatch;
 pub mod driver;
 pub mod fleet;
 pub mod shard;
+pub mod wait;
 pub mod worker;
 
 pub use arrival::{ArrivalProcess, ArrivalStream, EventMix};
@@ -55,4 +65,5 @@ pub use driver::{
 };
 pub use fleet::{shard_for_supi, Fleet, UeRecord, UeState, SUPI_BASE, UE_STATES};
 pub use shard::{Admission, OverloadPolicy, ShardConfig, ShardSet};
+pub use wait::{WaitStats, WaitStrategy, Waiter};
 pub use worker::{Completion, Submit, HIST_QUEUE_DELAY};

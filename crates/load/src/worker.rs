@@ -23,12 +23,23 @@
 //! histogram; no locks on the hot path) which the dispatcher absorbs
 //! after join — the cross-thread recorder pattern `l25gc-obs` supports
 //! via [`Obs::absorb`].
+//!
+//! Placement and waiting reproduce the paper's testbed discipline: with
+//! pinning enabled each worker lands on its own physical core (OpenNetVM's
+//! one-NF-per-core map, via [`l25gc_nfv::topology`]) and every wait site
+//! goes through a [`Waiter`] — spin for fidelity, or the adaptive
+//! spin→yield→park ladder that keeps wall-clock `sustained_eps` stable on
+//! shared machines. Pinning failures warn once and the run continues
+//! unpinned; they are never fatal.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 use l25gc_core::UeEvent;
 use l25gc_nfv::ring::{duplex, DuplexHost, RingFull};
+use l25gc_nfv::topology::{pin_current_thread, CpuTopology, PinError, PinPlan};
 use l25gc_obs::{DropCode, EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -39,6 +50,7 @@ use crate::driver::{
 };
 use crate::fleet::Fleet;
 use crate::shard::{OverloadPolicy, SHARD_LABELS};
+use crate::wait::{WaitStats, Waiter};
 
 /// Submissions a worker drains per ring poll (the DPDK burst idiom).
 const BURST: usize = 64;
@@ -78,14 +90,28 @@ pub struct Completion {
 /// Histogram key for per-shard queueing delay recorded by the workers.
 pub const HIST_QUEUE_DELAY: &str = "shard_queue_delay";
 
-/// What one worker thread hands back at join.
-struct WorkerStats {
+/// The hot counters a worker updates on every serve and the dispatcher
+/// reads at join, aligned to their own cache-line pair so the move into
+/// [`WorkerStats`] never shares a line with neighbouring worker state.
+#[repr(align(128))]
+#[derive(Debug, Clone, Copy)]
+struct HotStats {
     /// Final virtual busy-until (utilisation accounting).
     busy_until: SimTime,
     /// Procedures this shard served.
     served: u64,
     /// Deepest submit-ring occupancy the worker observed at poll time.
     peak_depth: usize,
+}
+
+/// What one worker thread hands back at join.
+struct WorkerStats {
+    /// The padded hot counters (busy-until, served, peak depth).
+    hot: HotStats,
+    /// Whether this worker is actually pinned to its planned CPU.
+    pinned: bool,
+    /// Wait-ladder counters from both of the worker's wait sites.
+    wait: WaitStats,
     /// The worker's private recorder bundle.
     obs: Obs,
     /// The worker's private timeline lane (completion counts + latency
@@ -94,39 +120,72 @@ struct WorkerStats {
 }
 
 /// One shard's server loop: pop submissions in bursts, advance the
-/// virtual FIFO clock, push completions. Runs until the stop sentinel.
+/// virtual FIFO clock, push completions back in bursts. Runs until the
+/// stop sentinel.
 struct ShardWorker {
     port: l25gc_nfv::ring::DuplexWorker<Submit, Completion>,
     profiles: ProfileSet,
     shard: u16,
-    busy_until: SimTime,
-    served: u64,
-    peak_depth: usize,
+    hot: HotStats,
     obs: Obs,
     timeline: Option<MetricsTimeline>,
+    /// Completions accumulated while serving a burst, pushed with
+    /// `push_burst` after the burst — symmetric to the `pop_burst` drain.
+    out_buf: Vec<Completion>,
+    /// CPU to pin to at thread start (`None` = leave placement to the OS).
+    pin_cpu: Option<u32>,
+    /// Shared warn-once latch for pinning failures across the pool.
+    pin_warn: Arc<AtomicBool>,
+    /// Wait site: submit ring empty.
+    idle_wait: Waiter,
+    /// Wait site: completion ring full.
+    complete_wait: Waiter,
+}
+
+/// Warn exactly once per pool when affinity cannot be set; pinning is
+/// best-effort and the run continues unpinned.
+fn warn_pin_failure(latch: &AtomicBool, what: &str, cpu: u32, err: &PinError) {
+    if !latch.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: pinning {what} to cpu {cpu} failed ({err}); continuing unpinned");
+    }
 }
 
 impl ShardWorker {
     fn run(mut self) -> WorkerStats {
+        let pinned = match self.pin_cpu {
+            Some(cpu) => match pin_current_thread(cpu) {
+                Ok(()) => true,
+                Err(e) => {
+                    warn_pin_failure(&self.pin_warn, "shard worker", cpu, &e);
+                    false
+                }
+            },
+            None => false,
+        };
         let mut buf: Vec<Submit> = Vec::with_capacity(BURST);
         'serve: loop {
             let n = self.port.submissions.pop_burst(&mut buf, BURST);
             if n == 0 {
-                std::hint::spin_loop();
+                self.idle_wait.wait();
                 continue;
             }
-            self.peak_depth = self.peak_depth.max(self.port.submissions.len() + n);
+            self.idle_wait.reset();
+            self.hot.peak_depth = self.hot.peak_depth.max(self.port.submissions.len() + n);
             for s in buf.drain(..) {
                 if s.seq == STOP_SEQ {
                     break 'serve;
                 }
                 self.serve(s);
             }
+            self.flush_completions();
         }
+        self.flush_completions();
+        let mut wait = self.idle_wait.stats();
+        wait.absorb(&self.complete_wait.stats());
         WorkerStats {
-            busy_until: self.busy_until,
-            served: self.served,
-            peak_depth: self.peak_depth,
+            hot: self.hot,
+            pinned,
+            wait,
             obs: self.obs,
             timeline: self.timeline,
         }
@@ -134,14 +193,15 @@ impl ShardWorker {
 
     /// The FIFO recurrence — identical arithmetic to the analytic
     /// backend, so the two latency distributions match event-for-event
-    /// when nothing is shed.
+    /// when nothing is shed. The completion is buffered, not pushed;
+    /// [`ShardWorker::flush_completions`] sends the whole burst.
     fn serve(&mut self, s: Submit) {
         let prof = self.profiles.get(s.kind);
-        let start = self.busy_until.max(s.at);
+        let start = self.hot.busy_until.max(s.at);
         let done_cpu = start + prof.occupancy;
         let completes_at = done_cpu + prof.latency.saturating_sub(prof.occupancy);
-        self.busy_until = done_cpu;
-        self.served += 1;
+        self.hot.busy_until = done_cpu;
+        self.hot.served += 1;
         self.obs
             .hists
             .record(HIST_QUEUE_DELAY, start.duration_since(s.at).as_nanos());
@@ -152,23 +212,24 @@ impl ShardWorker {
                 completes_at.duration_since(s.at).as_nanos(),
             );
         }
-        let mut c = Completion {
+        self.out_buf.push(Completion {
             seq: s.seq,
             kind: s.kind,
             ue: s.ue,
             at: s.at,
             completes_at,
-        };
-        // The completion ring can lag when the dispatcher is busy
-        // generating; it always drains completions while spinning on a
-        // full submit ring, so this wait is deadlock-free.
-        loop {
-            match self.port.complete.push(c) {
-                Ok(()) => break,
-                Err(RingFull(back)) => {
-                    c = back;
-                    std::hint::spin_loop();
-                }
+        });
+    }
+
+    /// Pushes the buffered completions as bursts, waiting out a full
+    /// completion ring. The dispatcher always drains completions while
+    /// waiting on a full submit ring, so this wait is deadlock-free.
+    fn flush_completions(&mut self) {
+        while !self.out_buf.is_empty() {
+            if self.port.complete.push_burst(&mut self.out_buf) == 0 {
+                self.complete_wait.wait();
+            } else {
+                self.complete_wait.reset();
             }
         }
     }
@@ -194,11 +255,48 @@ struct Pool {
     /// counts and submit-ring depth. Workers record completions into
     /// their own lanes; everything merges at shutdown.
     timeline: Option<MetricsTimeline>,
+    /// Whether the dispatcher itself landed on its planned CPU.
+    dispatcher_pinned: bool,
+    /// Wait site: full submit ring under the `Queue` policy.
+    offer_wait: Waiter,
+    /// Wait site: pushing stop sentinels at shutdown.
+    shutdown_wait: Waiter,
+    /// Wait site: closed-loop completion round trip.
+    await_wait: Waiter,
 }
 
 impl Pool {
     fn spawn(cfg: &LoadConfig, profiles: &ProfileSet) -> Pool {
         let shards = cfg.shard_cfg.shards as usize;
+        let pin_warn = Arc::new(AtomicBool::new(false));
+        // One worker per distinct physical core, dispatcher on a spare
+        // core when one exists — OpenNetVM's core map. Any failure here
+        // (no sysfs, cgroup cpuset, non-Linux) degrades to unpinned.
+        let plan: Option<PinPlan> = if cfg.pin {
+            match CpuTopology::detect() {
+                Ok(topo) => Some(topo.pin_plan(shards)),
+                Err(e) => {
+                    if !pin_warn.swap(true, Ordering::Relaxed) {
+                        eprintln!(
+                            "warning: pinning requested but CPU topology discovery failed ({e}); running unpinned"
+                        );
+                    }
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let dispatcher_pinned = match plan.as_ref().and_then(|p| p.dispatcher) {
+            Some(cpu) => match pin_current_thread(cpu) {
+                Ok(()) => true,
+                Err(e) => {
+                    warn_pin_failure(&pin_warn, "dispatcher", cpu, &e);
+                    false
+                }
+            },
+            None => false,
+        };
         // Each worker gets a full-width timeline and records only its
         // own lane; `MetricsTimeline::absorb` then merges them into the
         // dispatcher's — the same private-recorder discipline as `Obs`.
@@ -216,11 +314,18 @@ impl Pool {
                 port,
                 profiles: profiles.clone(),
                 shard: i as u16,
-                busy_until: SimTime::ZERO,
-                served: 0,
-                peak_depth: 0,
+                hot: HotStats {
+                    busy_until: SimTime::ZERO,
+                    served: 0,
+                    peak_depth: 0,
+                },
                 obs: Obs::new(),
                 timeline: timeline_for(cfg),
+                out_buf: Vec::with_capacity(BURST),
+                pin_cpu: plan.as_ref().map(|p| p.worker_cpus[i]),
+                pin_warn: pin_warn.clone(),
+                idle_wait: Waiter::new(cfg.wait),
+                complete_wait: Waiter::new(cfg.wait),
             };
             handles.push(
                 thread::Builder::new()
@@ -244,6 +349,10 @@ impl Pool {
             comp_buf: Vec::with_capacity(BURST),
             trace_sample: cfg.trace_sample,
             timeline: timeline_for(cfg),
+            dispatcher_pinned,
+            offer_wait: Waiter::new(cfg.wait),
+            shutdown_wait: Waiter::new(cfg.wait),
+            await_wait: Waiter::new(cfg.wait),
         }
     }
 
@@ -341,11 +450,12 @@ impl Pool {
                         // ring never wedges the pair.
                         sub = back;
                         self.drain_completions(horizon, obs);
-                        std::hint::spin_loop();
+                        self.offer_wait.wait();
                     }
                 },
             }
         }
+        self.offer_wait.reset();
         self.next_seq += 1;
         self.dispatched += 1;
         let depth = self.hosts[shard as usize].submit.len();
@@ -374,19 +484,26 @@ impl Pool {
                     Err(RingFull(back)) => {
                         stop = back;
                         self.drain_completions(horizon, obs);
-                        std::hint::spin_loop();
+                        self.shutdown_wait.wait();
                     }
                 }
             }
+            self.shutdown_wait.reset();
         }
         let mut busy = Vec::with_capacity(self.handles.len());
         let mut peak = self.peak_depth;
         let mut served = 0u64;
+        let mut pinned_workers = 0usize;
+        let mut wait = self.offer_wait.stats();
+        wait.absorb(&self.shutdown_wait.stats());
+        wait.absorb(&self.await_wait.stats());
         for h in std::mem::take(&mut self.handles) {
             let stats = h.join().expect("shard worker panicked");
-            busy.push(stats.busy_until);
-            peak = peak.max(stats.peak_depth);
-            served += stats.served;
+            busy.push(stats.hot.busy_until);
+            peak = peak.max(stats.hot.peak_depth);
+            served += stats.hot.served;
+            pinned_workers += usize::from(stats.pinned);
+            wait.absorb(&stats.wait);
             obs.absorb(&stats.obs);
             if let (Some(tl), Some(wtl)) = (self.timeline.as_mut(), stats.timeline.as_ref()) {
                 tl.absorb(wtl);
@@ -407,6 +524,9 @@ impl Pool {
             completed_total: self.completed_total,
             peak_depth: peak,
             busy_until: busy,
+            pinned_workers,
+            dispatcher_pinned: self.dispatcher_pinned,
+            wait,
             timeline: self.timeline,
         }
     }
@@ -420,6 +540,12 @@ struct PoolStats {
     completed_total: u64,
     peak_depth: usize,
     busy_until: Vec<SimTime>,
+    /// Workers that actually landed on their planned CPUs.
+    pinned_workers: usize,
+    /// Whether the dispatcher landed on its planned CPU.
+    dispatcher_pinned: bool,
+    /// Merged wait-ladder counters from every wait site in the pool.
+    wait: WaitStats,
     timeline: Option<MetricsTimeline>,
 }
 
@@ -561,6 +687,7 @@ impl Pool {
     ) -> SimTime {
         loop {
             if let Some(c) = self.hosts[shard as usize].completions.pop() {
+                self.await_wait.reset();
                 self.completed_total += 1;
                 if Self::record_completion(self.trace_sample, c, horizon, obs) {
                     self.completed += 1;
@@ -569,7 +696,7 @@ impl Pool {
                     return c.completes_at;
                 }
             } else {
-                std::hint::spin_loop();
+                self.await_wait.wait();
             }
         }
     }
@@ -595,6 +722,18 @@ fn finish_threaded(
             value: fleet.active() as u64,
         },
     );
+    // Wait-ladder burn and effective placement, merged across every wait
+    // site in the pool: idle burn is a gauge, not a silent 100% CPU.
+    let mut gauge = |name: &'static str, value: u64| {
+        obs.event(horizon, EventKind::Gauge { name, value });
+    };
+    gauge("wait_spins", stats.wait.spins);
+    gauge("wait_yields", stats.wait.yields);
+    gauge("wait_parks", stats.wait.parks);
+    gauge("wait_transitions", stats.wait.transitions);
+    gauge("wait_blocked_us", stats.wait.blocked_ns / 1_000);
+    gauge("pinned_workers", stats.pinned_workers as u64);
+    gauge("pinned_dispatcher", u64::from(stats.dispatcher_pinned));
     let q = |p: f64| {
         obs.hists
             .get(HIST_ALL)
@@ -807,6 +946,95 @@ mod tests {
         let spans = r.obs.spans.spans();
         assert!(!spans.is_empty(), "sampled UEs leave spans");
         assert!(spans.iter().all(|s| s.ue % 64 == 0));
+    }
+
+    #[test]
+    fn every_wait_strategy_is_loss_free_under_overload() {
+        let profiles = calibrate(Deployment::Free5gc);
+        for wait in crate::wait::WaitStrategy::ALL {
+            // Tiny rings + hot offered rate: shed, backpressure, and the
+            // full-completion-ring wait all engage under every strategy.
+            let cfg = LoadConfig::builder()
+                .ues(2_000)
+                .shards(2)
+                .high_water(4)
+                .ring_capacity(8)
+                .offered_eps(30_000.0)
+                .duration(SimDuration::from_millis(300))
+                .seed(61)
+                .backend(ExecBackend::Threaded)
+                .wait(wait)
+                .build()
+                .unwrap();
+            let r = Driver::new(cfg).unwrap().run(&profiles);
+            assert_eq!(
+                r.completed_total, r.dispatched,
+                "{wait}: every dispatched submission completes"
+            );
+            assert_eq!(
+                r.offered,
+                r.dispatched + r.shed + r.backpressure + r.infeasible,
+                "{wait}: every arrival is accounted"
+            );
+            let gauges: Vec<_> = r
+                .obs
+                .flight
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Gauge { name, value } => Some((name, value)),
+                    _ => None,
+                })
+                .collect();
+            let g = |n: &str| {
+                gauges
+                    .iter()
+                    .rev()
+                    .find(|(name, _)| *name == n)
+                    .map(|(_, v)| *v)
+            };
+            assert!(g("wait_spins").is_some(), "{wait}: wait gauges exported");
+            if wait == crate::wait::WaitStrategy::Spin {
+                assert_eq!(g("wait_parks"), Some(0), "spin never parks");
+                assert_eq!(g("wait_blocked_us"), Some(0));
+            }
+            if wait == crate::wait::WaitStrategy::Park {
+                assert_eq!(g("wait_spins"), Some(0), "park never spins");
+            }
+        }
+    }
+
+    #[test]
+    fn pinning_requested_on_restricted_host_warns_and_completes() {
+        // Whatever this machine allows, a pinned run must complete
+        // loss-free: either affinity works (workers pinned) or it is
+        // denied and the pool degrades to unpinned with a warning.
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(1_000)
+            .shards(2)
+            .offered_eps(500.0)
+            .duration(SimDuration::from_millis(300))
+            .seed(67)
+            .backend(ExecBackend::Threaded)
+            .pin(true)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert_eq!(r.completed_total, r.dispatched);
+        let pinned = r
+            .obs
+            .flight
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Gauge {
+                    name: "pinned_workers",
+                    value,
+                } => Some(value),
+                _ => None,
+            })
+            .last();
+        assert!(pinned.is_some(), "pinned_workers gauge always exported");
+        assert!(pinned.unwrap() <= 2);
     }
 
     #[test]

@@ -17,15 +17,20 @@
 //! - [`manager`] — the NF manager: service registry, canary-weighted
 //!   routing (§4), heartbeat failure detection (§3.5.2), and the
 //!   freeze/unfreeze replica lifecycle (§3.5.1).
+//! - [`topology`] — CPU topology discovery and `sched_setaffinity`
+//!   pinning, reproducing OpenNetVM's one-NF-per-core placement for the
+//!   threaded backend.
 
 pub mod cost;
 pub mod manager;
 pub mod mempool;
 pub mod ring;
 pub mod session_table;
+pub mod topology;
 
 pub use cost::{CostModel, DataPath, SerFormat, Transport};
 pub use manager::{InstanceId, Manager, NfInstance, NfState, ServiceId};
 pub use mempool::{Mempool, PktAction, PktHandle, PktMeta};
 pub use ring::{duplex, ring, Consumer, DuplexHost, DuplexWorker, Producer, RingFull};
 pub use session_table::DualKeyTable;
+pub use topology::{pin_current_thread, CpuTopology, PinError, PinPlan};

@@ -9,7 +9,11 @@
 //! Classic Lamport queue: `head` is owned by the consumer, `tail` by the
 //! producer; each reads the other's index with Acquire and publishes its
 //! own with Release. Capacity is rounded up to a power of two so index
-//! arithmetic is a mask.
+//! arithmetic is a mask. Indices are unbounded `usize` counters and all
+//! index arithmetic is wrapping, so the ring survives counter overflow
+//! (occupancy `tail.wrapping_sub(head)` stays correct across the
+//! `usize::MAX` boundary because the ring can never hold more than
+//! `capacity ≪ usize::MAX` items).
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -35,13 +39,14 @@ unsafe impl<T: Send> Sync for RingBuf<T> {}
 impl<T> Drop for RingBuf<T> {
     fn drop(&mut self) {
         // Drop any items still enqueued.
-        let head = self.head.load(Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
-        for i in head..tail {
-            let slot = &self.slots[i & self.mask];
+        while head != tail {
+            let slot = &self.slots[head & self.mask];
             // SAFETY: slots in [head, tail) hold initialized values and
             // nobody else can access them during drop.
             unsafe { (*slot.get()).assume_init_drop() };
+            head = head.wrapping_add(1);
         }
     }
 }
@@ -96,6 +101,21 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 /// [`ring`], with a label that names this ring in flight-recorder events
 /// and depth gauges (e.g. `"rx:amf"`).
 pub fn ring_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Consumer<T>) {
+    ring_labeled_at(capacity, label, 0)
+}
+
+/// [`ring_labeled`], starting both indices at `start` instead of 0.
+///
+/// Semantically identical to a fresh ring — only the (unobservable)
+/// internal counters differ. Exists so tests can start the unbounded
+/// `usize` indices just below `usize::MAX` and prove that push/pop/burst
+/// survive counter wraparound.
+#[doc(hidden)]
+pub fn ring_labeled_at<T>(
+    capacity: usize,
+    label: &'static str,
+    start: usize,
+) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -103,19 +123,19 @@ pub fn ring_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Co
     let ring = Arc::new(RingBuf {
         slots,
         mask: cap - 1,
-        head: CachePadded::new(AtomicUsize::new(0)),
-        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(start)),
+        tail: CachePadded::new(AtomicUsize::new(start)),
     });
     (
         Producer {
             ring: ring.clone(),
-            cached_head: 0,
+            cached_head: start,
             label,
             high_water: cap,
         },
         Consumer {
             ring,
-            cached_tail: 0,
+            cached_tail: start,
             label,
         },
     )
@@ -128,15 +148,15 @@ impl<T> Producer<T> {
     pub fn push(&mut self, value: T) -> Result<(), RingFull<T>> {
         let ring = &*self.ring;
         let tail = ring.tail.load(Ordering::Relaxed);
-        if tail - self.cached_head > ring.mask {
+        if tail.wrapping_sub(self.cached_head) > ring.mask {
             self.cached_head = ring.head.load(Ordering::Acquire);
-            if tail - self.cached_head > ring.mask {
+            if tail.wrapping_sub(self.cached_head) > ring.mask {
                 return Err(RingFull(value));
             }
         }
         // SAFETY: slot at `tail` is unoccupied (tail - head <= mask).
         unsafe { (*ring.slots[tail & ring.mask].get()).write(value) };
-        ring.tail.store(tail + 1, Ordering::Release);
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -145,28 +165,21 @@ impl<T> Producer<T> {
     /// pairs with [`Consumer::pop_burst`]). Pushed descriptors are
     /// drained from `src`; the stragglers stay, still in order. Returns
     /// how many were enqueued.
+    ///
+    /// Allocation-free: the free room is computed up front (one Acquire
+    /// refresh of the consumer index) and exactly that many descriptors
+    /// are drained, so the hot dispatch path never builds a temporary.
     pub fn push_burst(&mut self, src: &mut Vec<T>) -> usize {
-        let mut n = 0;
-        let mut full = false;
-        let rest: Vec<T> = src
-            .drain(..)
-            .filter_map(|item| {
-                if full {
-                    return Some(item);
-                }
-                match self.push(item) {
-                    Ok(()) => {
-                        n += 1;
-                        None
-                    }
-                    Err(RingFull(back)) => {
-                        full = true;
-                        Some(back)
-                    }
-                }
-            })
-            .collect();
-        *src = rest;
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        self.cached_head = ring.head.load(Ordering::Acquire);
+        let room = (ring.mask + 1) - tail.wrapping_sub(self.cached_head);
+        let n = room.min(src.len());
+        for item in src.drain(..n) {
+            // Guaranteed to fit: we reserved `n` slots above and this is
+            // the only producer.
+            let _ = self.push(item);
+        }
         n
     }
 
@@ -216,7 +229,9 @@ impl<T> Producer<T> {
     /// Number of occupied slots (approximate under concurrency).
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
-        ring.tail.load(Ordering::Relaxed) - ring.head.load(Ordering::Relaxed)
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
     }
 
     /// True when no descriptors are queued (approximate under concurrency).
@@ -261,7 +276,7 @@ impl<T> Consumer<T> {
         // SAFETY: slot at `head` was initialized by the producer and
         // published via the tail store.
         let value = unsafe { (*ring.slots[head & ring.mask].get()).assume_init_read() };
-        ring.head.store(head + 1, Ordering::Release);
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
@@ -295,7 +310,9 @@ impl<T> Consumer<T> {
     /// Number of occupied slots (approximate under concurrency).
     pub fn len(&self) -> usize {
         let ring = &*self.ring;
-        ring.tail.load(Ordering::Relaxed) - ring.head.load(Ordering::Relaxed)
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
     }
 
     /// True when no descriptors are queued (approximate under concurrency).
@@ -541,6 +558,74 @@ mod tests {
             }
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn indices_survive_usize_overflow() {
+        // Start both unbounded counters 5 below usize::MAX and push enough
+        // traffic to cross the boundary many times over; the wrapping
+        // `tail - head` occupancy arithmetic must stay exact throughout.
+        let start = usize::MAX - 5;
+        let (mut tx, mut rx) = ring_labeled_at::<u64>(4, "wrap", start);
+        for round in 0..64u64 {
+            tx.push(round).unwrap();
+            assert_eq!(tx.len(), 1);
+            assert_eq!(rx.pop(), Some(round));
+            assert!(rx.is_empty());
+        }
+    }
+
+    #[test]
+    fn burst_ops_survive_usize_overflow() {
+        // The counter overflow lands mid-burst here.
+        let start = usize::MAX - 2;
+        let (mut tx, mut rx) = ring_labeled_at::<u32>(8, "wrap-burst", start);
+        let mut seq = 0u32;
+        let mut expect = 0u32;
+        for _ in 0..8 {
+            let mut src: Vec<u32> = (seq..seq + 6).collect();
+            seq += 6;
+            while !src.is_empty() {
+                tx.push_burst(&mut src);
+                let mut out = Vec::new();
+                rx.pop_burst(&mut out, 16);
+                for v in out {
+                    assert_eq!(v, expect, "burst reordered or lost at overflow");
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(expect, 48);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_across_overflow_boundary() {
+        // Fill the ring so occupied slots straddle the usize::MAX boundary:
+        // the full check, the rejection, and FIFO order must all hold.
+        let start = usize::MAX - 1;
+        let (mut tx, mut rx) = ring_labeled_at::<u8>(4, "wrap-full", start);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(9), Err(RingFull(9)));
+        assert_eq!(tx.len(), 4);
+        assert!(tx.above_high_water());
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_items_straddling_overflow() {
+        // Drop's cleanup walk must also use wrapping iteration.
+        let (mut tx, rx) = ring_labeled_at::<String>(4, "wrap-drop", usize::MAX - 1);
+        for s in ["a", "b", "c"] {
+            tx.push(s.to_owned()).unwrap();
+        }
+        drop(rx);
+        drop(tx);
     }
 
     #[test]

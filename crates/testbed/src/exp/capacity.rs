@@ -31,9 +31,9 @@
 use l25gc_core::Deployment;
 use l25gc_load::{
     calibrate, Driver, EventMix, ExecBackend, LoadConfig, LoadConfigBuilder, LoadReport,
-    OverloadPolicy, ProfileSet, ShardConfig,
+    OverloadPolicy, ProfileSet, ShardConfig, WaitStrategy,
 };
-use l25gc_obs::{MetricsTimeline, TraceBundle};
+use l25gc_obs::{Log2Histogram, MetricsTimeline, TraceBundle};
 use l25gc_sim::SimDuration;
 
 /// Offered-load fractions of theoretical capacity the sweep visits.
@@ -143,6 +143,15 @@ pub struct CapacityParams {
     pub metrics_interval_ms: Option<f64>,
     /// Span sampling stride: keep every Nth UE's spans (0 = off).
     pub trace_sample: u64,
+    /// Pin threaded workers (and the dispatcher, when a core is spare)
+    /// to distinct physical cores. Best-effort; ignored by the analytic
+    /// backend.
+    pub pin: bool,
+    /// Wait strategy for threaded-backend poll loops.
+    pub wait: WaitStrategy,
+    /// How many times [`shard_scaling`] reruns each threaded point to
+    /// estimate the mean ± CV of wall-clock `sustained_eps` (min 1).
+    pub repeats: usize,
 }
 
 impl Default for CapacityParams {
@@ -158,6 +167,9 @@ impl Default for CapacityParams {
             think_ms: 10.0,
             metrics_interval_ms: None,
             trace_sample: 0,
+            pin: false,
+            wait: WaitStrategy::default(),
+            repeats: 1,
         }
     }
 }
@@ -190,7 +202,9 @@ fn base_builder(params: &CapacityParams, mix: &EventMix) -> LoadConfigBuilder {
         .burst(params.burst)
         .duration(SimDuration::from_secs_f64(params.duration_s))
         .backend(params.backend)
-        .trace_sample(params.trace_sample);
+        .trace_sample(params.trace_sample)
+        .pin(params.pin)
+        .wait(params.wait);
     if let Some(ms) = params.metrics_interval_ms {
         b = b.metrics_interval(SimDuration::from_secs_f64(ms / 1e3));
     }
@@ -271,6 +285,88 @@ pub fn detect_knee(points: &[CapacityPoint]) -> usize {
         }
     }
     knee
+}
+
+/// What first pushed a run past its budget inside a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KneeReason {
+    /// Admission control started shedding in this window.
+    SheddingStarted,
+    /// The window's p99 crossed the latency budget (3× the lightest
+    /// sweep point's whole-run p99, the same budget [`detect_knee`] uses).
+    P99OverBudget,
+}
+
+impl std::fmt::Display for KneeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KneeReason::SheddingStarted => "shedding started",
+            KneeReason::P99OverBudget => "p99 over budget",
+        })
+    }
+}
+
+/// Where overload first shows *inside* a run, from the per-window
+/// timelines — finer-grained than the whole-run-aggregate knee, which
+/// can hide a late-run collapse behind healthy whole-run averages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineKnee {
+    /// Index into [`CapacityCurve::points`] of the first distressed run.
+    pub point: usize,
+    /// Window index within that run where distress first appears.
+    pub window: usize,
+    /// Virtual-time start of that window, seconds into the run.
+    pub at_s: f64,
+    /// What was detected.
+    pub reason: KneeReason,
+    /// The window's p99 (ms) when [`KneeReason::P99OverBudget`], or the
+    /// window's shed count when [`KneeReason::SheddingStarted`].
+    pub value: f64,
+}
+
+/// Scans each sweep point's [`MetricsTimeline`] in offered-load order
+/// for the first window where shedding starts or the windowed p99
+/// (merged across shards) crosses the budget. Returns `None` when the
+/// sweep carried no timelines or every window stayed healthy.
+pub fn timeline_knee(curve: &CapacityCurve) -> Option<TimelineKnee> {
+    let budget_ms = 3.0
+        * curve
+            .points
+            .first()
+            .map(|p| p.p99_ms)
+            .unwrap_or(0.0)
+            .max(1e-6);
+    for (pi, tl) in curve.timelines.iter().enumerate() {
+        let interval_s = tl.interval().as_secs_f64();
+        for w in 0..tl.window_count() {
+            let mut shed = 0u64;
+            let mut lat = Log2Histogram::new();
+            for s in 0..tl.shards() {
+                if let Some(win) = tl.lane(s).get(w) {
+                    shed += win.shed;
+                    lat.merge(&win.latency);
+                }
+            }
+            let reason = if shed > 0 {
+                Some((KneeReason::SheddingStarted, shed as f64))
+            } else if lat.count() > 0 {
+                let p99_ms = lat.quantile(0.99) as f64 / 1e6;
+                (p99_ms > budget_ms).then_some((KneeReason::P99OverBudget, p99_ms))
+            } else {
+                None
+            };
+            if let Some((reason, value)) = reason {
+                return Some(TimelineKnee {
+                    point: pi,
+                    window: w,
+                    at_s: w as f64 * interval_s,
+                    reason,
+                    value,
+                });
+            }
+        }
+    }
+    None
 }
 
 /// The full experiment: Free5GC (kernel/HTTP) vs L²5GC (shm).
@@ -371,21 +467,46 @@ pub struct ShardScalingRow {
     pub analytic_eps: f64,
     /// Analytic p99, ms.
     pub analytic_p99_ms: f64,
-    /// Threaded backend's wall-clock sustained events/s.
+    /// Mean wall-clock sustained events/s over
+    /// [`CapacityParams::repeats`] threaded reruns of this point.
     pub threaded_wall_eps: f64,
-    /// Threaded backend's achieved (virtual-time) events/s.
+    /// Coefficient of variation of `sustained_eps` across the reruns,
+    /// percent (0 when `repeats == 1`). The stability metric pinning and
+    /// the adaptive wait ladder exist to drive down.
+    pub wall_cv_pct: f64,
+    /// Threaded reruns behind the mean ± CV.
+    pub repeats: usize,
+    /// Threaded backend's achieved (virtual-time) events/s — identical
+    /// across reruns, which share the seed.
     pub threaded_eps: f64,
+}
+
+/// Mean and coefficient of variation (percent) of a sample.
+fn mean_cv_pct(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if samples.len() < 2 || mean <= 0.0 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    (mean, 100.0 * var.sqrt() / mean)
 }
 
 /// Walks doubling shard counts in `[lo, hi]`, running each point on both
 /// backends at 0.9× that shard count's capacity: the analytic column is
 /// the model's scaling limit, the threaded column is what one OS thread
 /// per shard over real SPSC rings actually moves per wall-clock second.
+/// Each threaded point reruns [`CapacityParams::repeats`] times (same
+/// seed — the virtual workload is identical, only the wall clock
+/// varies) and reports mean ± CV of `sustained_eps`.
 pub fn shard_scaling(params: &CapacityParams, lo: u16, hi: u16) -> Vec<ShardScalingRow> {
     let deployment = Deployment::L25gc;
     let profiles = calibrate(deployment);
     let mix = EventMix::default();
     let occ = profiles.mean_occupancy(&mix.weights).as_secs_f64();
+    let repeats = params.repeats.max(1);
 
     let mut rows = Vec::new();
     let mut shards = lo.max(1);
@@ -402,14 +523,23 @@ pub fn shard_scaling(params: &CapacityParams, lo: u16, hi: u16) -> Vec<ShardScal
                 .expect("scaling config is valid")
         };
         let a = run(mk(ExecBackend::Analytic), &profiles);
-        let t = run(mk(ExecBackend::Threaded), &profiles);
+        let mut walls = Vec::with_capacity(repeats);
+        let mut threaded_eps = 0.0;
+        for _ in 0..repeats {
+            let t = run(mk(ExecBackend::Threaded), &profiles);
+            walls.push(t.wall.map(|w| w.sustained_eps).unwrap_or(0.0));
+            threaded_eps = t.achieved_eps;
+        }
+        let (wall_mean, wall_cv_pct) = mean_cv_pct(&walls);
         rows.push(ShardScalingRow {
             shards,
             offered_eps: offered,
             analytic_eps: a.achieved_eps,
             analytic_p99_ms: a.p99.as_millis_f64(),
-            threaded_wall_eps: t.wall.map(|w| w.sustained_eps).unwrap_or(0.0),
-            threaded_eps: t.achieved_eps,
+            threaded_wall_eps: wall_mean,
+            wall_cv_pct,
+            repeats,
+            threaded_eps,
         });
         shards = shards.saturating_mul(2);
     }
@@ -462,6 +592,99 @@ pub fn closed_loop_table(params: &CapacityParams, max_workers: usize) -> Vec<Clo
         });
     }
     rows
+}
+
+/// The saturation point a [`saturation_search`] converged on.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationPoint {
+    /// Smallest closed-loop worker count on the throughput plateau.
+    pub workers: usize,
+    /// Achieved events/s at that count.
+    pub achieved_eps: f64,
+    /// p99 latency at that count, ms.
+    pub p99_ms: f64,
+    /// Mean shard CPU utilisation at that count.
+    pub utilisation: f64,
+    /// Closed-loop runs the search spent converging.
+    pub probes: usize,
+}
+
+/// Closed-loop saturation search on L25GC: instead of sweeping fixed
+/// fractions of a guessed maximum, find the worker count where achieved
+/// events/s plateaus. Doubling probes climb until a doubling buys < 2%
+/// more throughput (or `max_workers` is hit); a binary search then pins
+/// the smallest count achieving ≥ 98% of the plateau rate. Deterministic:
+/// each worker count probes with a seed derived from the count, so
+/// re-probing a count replays the identical run.
+pub fn saturation_search(params: &CapacityParams, max_workers: usize) -> SaturationPoint {
+    let deployment = Deployment::L25gc;
+    let profiles = calibrate(deployment);
+    let mix = EventMix::default();
+    let think = SimDuration::from_secs_f64(params.think_ms.max(0.001) / 1e3);
+    let max_workers = max_workers.max(1);
+
+    let mut cache: Vec<(usize, SaturationPoint)> = Vec::new();
+    let mut probes = 0usize;
+    let mut probe = |workers: usize, probes: &mut usize| -> SaturationPoint {
+        if let Some((_, p)) = cache.iter().find(|(w, _)| *w == workers) {
+            return *p;
+        }
+        *probes += 1;
+        let cfg = base_builder(params, &mix)
+            .closed_loop(workers, think)
+            .seed(point_seed(params, deployment, 2_000 + workers))
+            .build()
+            .expect("saturation probe config is valid");
+        let r = run(cfg, &profiles);
+        let p = SaturationPoint {
+            workers,
+            achieved_eps: r.achieved_eps,
+            p99_ms: r.p99.as_millis_f64(),
+            utilisation: r.busy_fraction,
+            probes: 0,
+        };
+        cache.push((workers, p));
+        p
+    };
+
+    // Exponential climb: stop when a doubling buys < 2%.
+    const PLATEAU_GAIN: f64 = 1.02;
+    let mut below = probe(1, &mut probes);
+    let mut lo = 1usize;
+    let mut hi = lo;
+    while hi < max_workers {
+        let next = (hi * 2).min(max_workers);
+        let p = probe(next, &mut probes);
+        if p.achieved_eps < below.achieved_eps * PLATEAU_GAIN {
+            hi = next;
+            break;
+        }
+        lo = next;
+        below = p;
+        hi = next;
+    }
+    // The plateau rate is the best seen; binary search for the smallest
+    // count in (lo, hi] achieving 98% of it. If the climb never
+    // plateaued, lo == hi == max_workers and the loop is skipped.
+    let plateau_eps = below.achieved_eps.max(probe(hi, &mut probes).achieved_eps);
+    let target = 0.98 * plateau_eps;
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid, &mut probes).achieved_eps >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let found = if probe(lo, &mut probes).achieved_eps >= target {
+        lo
+    } else {
+        hi
+    };
+    let mut result = probe(found, &mut probes);
+    result.probes = probes;
+    result
 }
 
 #[cfg(test)]
@@ -615,6 +838,114 @@ mod tests {
         // More shards must buy more analytic throughput (offered scales
         // with capacity and the knee sits below it).
         assert!(rows[2].analytic_eps > rows[0].analytic_eps);
+    }
+
+    #[test]
+    fn shard_scaling_repeats_report_mean_and_cv() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 0.5,
+            repeats: 3,
+            ..small_params()
+        };
+        let rows = shard_scaling(&params, 1, 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.repeats, 3);
+            assert!(r.threaded_wall_eps > 0.0, "mean over reruns");
+            assert!(r.wall_cv_pct >= 0.0);
+            assert!(
+                r.threaded_eps > 0.0,
+                "virtual-time rate identical across reruns"
+            );
+        }
+        // repeats = 1 degenerates to a zero CV.
+        let single = shard_scaling(
+            &CapacityParams {
+                repeats: 1,
+                ..params
+            },
+            1,
+            1,
+        );
+        assert_eq!(single[0].wall_cv_pct, 0.0);
+    }
+
+    #[test]
+    fn mean_cv_handles_degenerate_samples() {
+        assert_eq!(mean_cv_pct(&[]), (0.0, 0.0));
+        assert_eq!(mean_cv_pct(&[5.0]), (5.0, 0.0));
+        let (m, cv) = mean_cv_pct(&[10.0, 10.0, 10.0]);
+        assert_eq!((m, cv), (10.0, 0.0));
+        let (m, cv) = mean_cv_pct(&[9.0, 11.0]);
+        assert_eq!(m, 10.0);
+        assert!((cv - 10.0).abs() < 1e-9, "stddev 1 on mean 10 = 10%");
+    }
+
+    #[test]
+    fn timeline_knee_finds_first_distressed_window() {
+        let params = CapacityParams {
+            ues: 20_000,
+            duration_s: 2.0,
+            metrics_interval_ms: Some(100.0),
+            ..small_params()
+        };
+        let curve = sweep_deployment(Deployment::L25gc, &params);
+        let knee = timeline_knee(&curve).expect("1.2× capacity point must distress some window");
+        assert!(knee.point < curve.points.len());
+        assert!(knee.window < curve.timelines[knee.point].window_count());
+        // Windows can run past the nominal horizon while in-flight work
+        // drains, so only the window-index arithmetic is exact.
+        assert!((knee.at_s - knee.window as f64 * 0.1).abs() < 1e-9);
+        assert!(knee.value > 0.0);
+        // The aggregate knee says "last healthy point"; the timeline knee
+        // points at the first *unhealthy* one, so it can't sit before it.
+        assert!(
+            knee.point >= curve.knee,
+            "timeline knee {} vs aggregate {}",
+            knee.point,
+            curve.knee
+        );
+        // Without timelines there is nothing to scan.
+        let plain = sweep_deployment(Deployment::L25gc, &small_params());
+        assert!(timeline_knee(&plain).is_none());
+    }
+
+    #[test]
+    fn saturation_search_finds_plateau_start() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 2.0,
+            ..small_params()
+        };
+        let sat = saturation_search(&params, 256);
+        assert!(sat.workers >= 1 && sat.workers <= 256);
+        assert!(sat.achieved_eps > 0.0);
+        assert!(sat.probes >= 2, "search must actually probe");
+        // The found count really is on the plateau: doubling it (within
+        // bounds) buys < 5% more throughput.
+        let think = SimDuration::from_secs_f64(params.think_ms / 1e3);
+        let mix = EventMix::default();
+        let profiles = calibrate(Deployment::L25gc);
+        let double = (sat.workers * 2).min(256);
+        let cfg = base_builder(&params, &mix)
+            .closed_loop(double, think)
+            .seed(point_seed(&params, Deployment::L25gc, 2_000 + double))
+            .build()
+            .unwrap();
+        let r = run(cfg, &profiles);
+        assert!(
+            r.achieved_eps <= sat.achieved_eps * 1.05,
+            "doubling {} → {} buys {} vs {}",
+            sat.workers,
+            double,
+            r.achieved_eps,
+            sat.achieved_eps
+        );
+        // Deterministic: same params, same answer.
+        let again = saturation_search(&params, 256);
+        assert_eq!(again.workers, sat.workers);
+        assert_eq!(again.achieved_eps, sat.achieved_eps);
     }
 
     #[test]
