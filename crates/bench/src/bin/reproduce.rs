@@ -111,6 +111,12 @@ struct Args {
     baseline: bool,
     /// `--saturate`: closed-loop saturation search on the capacity run.
     saturate: bool,
+    /// `--slo p99=<N>ms,shed=<P>%[,clean=<K>]`: evaluate every capacity
+    /// sweep point's timeline against this SLO and print violation
+    /// spans, burn rate, and recovery time. Implies a metrics timeline.
+    slo: Option<l25gc_obs::SloSpec>,
+    /// `--slo-out`: write the per-point SLO reports as JSON.
+    slo_out: Option<String>,
     cap: exp::capacity::CapacityParams,
     /// `--scale-shards lo..hi`: run the shard-scaling study.
     scale_shards: Option<(u16, u16)>,
@@ -181,7 +187,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                const FLAGS: [&str; 18] = [
+                const FLAGS: [&str; 20] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -200,6 +206,8 @@ impl Args {
                     "--threshold-pct",
                     "--wait",
                     "--repeats",
+                    "--slo",
+                    "--slo-out",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -294,6 +302,8 @@ impl Args {
                             return Err("--repeats must be positive".into());
                         }
                     }
+                    "--slo" => args.slo = Some(l25gc_obs::SloSpec::parse(v)?),
+                    "--slo-out" => args.slo_out = Some(v.to_string()),
                     "--threshold-pct" => {
                         args.threshold_pct = num(flag, v, "a percentage")?;
                         if !args.threshold_pct.is_finite() || args.threshold_pct <= 0.0 {
@@ -320,10 +330,13 @@ impl Args {
         if args.baseline && (!args.experiments.is_empty() || args.compare.is_some()) {
             return Err("baseline is standalone; drop the experiment ids".into());
         }
-        if metrics_interval_ms.is_some() && args.metrics_out.is_none() {
-            return Err("--metrics-interval-ms needs --metrics-out".into());
+        if metrics_interval_ms.is_some() && args.metrics_out.is_none() && args.slo.is_none() {
+            return Err("--metrics-interval-ms needs --metrics-out or --slo".into());
         }
-        if args.metrics_out.is_some() {
+        if args.slo_out.is_some() && args.slo.is_none() {
+            return Err("--slo-out needs --slo".into());
+        }
+        if args.metrics_out.is_some() || args.slo.is_some() {
             args.cap.metrics_interval_ms = Some(metrics_interval_ms.unwrap_or(100.0));
         }
         Ok(args)
@@ -399,7 +412,13 @@ flags:
                       text, JSONL otherwise)
   --metrics-interval-ms <ms>
                       timeline window width (default 100; needs
-                      --metrics-out)
+                      --metrics-out or --slo)
+  --slo <spec>        capacity: evaluate every sweep point's timeline
+                      against `p99=<N>ms,shed=<P>%[,clean=<K>]` and
+                      print violation spans, burn rate, and recovery
+                      time (never changes the exit status)
+  --slo-out <path>    write the per-point SLO reports as JSON (needs
+                      --slo)
   --trace-sample <n>  capacity: keep every nth UE's procedure spans
                       (strided, allocation-free when sampled out)
   --manifest-out <p>  capacity: write the machine-readable run manifest
@@ -576,6 +595,9 @@ fn run_baseline(path: &str) -> i32 {
         ues: 10_000,
         duration_s: 1.0,
         seed: 7,
+        // Keep a timeline so the baseline carries recovery_ms and the
+        // compare gate can watch it.
+        metrics_interval_ms: Some(100.0),
         ..exp::capacity::CapacityParams::default()
     };
     let curves = exp::capacity::sweep(&params);
@@ -644,6 +666,7 @@ fn capacity(args: &Args) {
     let params = &args.cap;
     let threaded = params.backend == ExecBackend::Threaded;
     let curves = exp::capacity::sweep(params);
+    let mut slo_values: Vec<l25gc_codec::Value> = Vec::new();
     for c in &curves {
         let name = deployment_name(c.deployment);
         let table: Vec<Vec<String>> = c
@@ -661,6 +684,9 @@ fn capacity(args: &Args) {
                     f(p.p50_ms),
                     f(p.p95_ms),
                     f(p.p99_ms),
+                    f(p.queue_wait_p99_ms),
+                    f(p.service_p99_ms),
+                    f(p.transit_p99_ms),
                     format!("{:.2}%", p.loss_pct),
                     p.active_ues.to_string(),
                     format!("{:.0}%", p.utilisation * 100.0),
@@ -677,6 +703,9 @@ fn capacity(args: &Args) {
             "p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
+            "qw p99 (ms)",
+            "svc p99 (ms)",
+            "tr p99 (ms)",
             "loss",
             "active UEs",
             "util",
@@ -701,6 +730,13 @@ fn capacity(args: &Args) {
             f(c.knee_p99_ms()),
             f(c.mean_occupancy_ms),
         );
+        let past = &c.points[(c.knee + 1).min(c.points.len().saturating_sub(1))];
+        println!(
+            "{name} knee anatomy: {} (past the knee, queue-wait p99 {} ms vs service p99 {} ms)",
+            exp::capacity::knee_anatomy(c),
+            f(past.queue_wait_p99_ms),
+            f(past.service_p99_ms),
+        );
         if let Some(wall) = c.points[c.knee].wall_eps {
             println!(
                 "{name} threaded knee point moved {} events/s of wall-clock throughput \
@@ -723,6 +759,24 @@ fn capacity(args: &Args) {
                 }
             );
         }
+        if let Some(spec) = args.slo.as_ref() {
+            for (i, report) in exp::capacity::slo_reports(c, spec).iter().enumerate() {
+                let label = format!("{name}/{}x", exp::capacity::SWEEP_FRACTIONS[i]);
+                let recovery = match report.recovery_ns {
+                    Some(0) => "clean (no violation)".to_string(),
+                    Some(ns) => format!("recovered in {} ms", f(ns as f64 / 1e6)),
+                    None => format!(
+                        "never recovered (clamped to {} ms horizon)",
+                        f(report.recovery_ns_or_horizon() as f64 / 1e6)
+                    ),
+                };
+                println!(
+                    "{label} SLO: {}/{} windows violating, burn rate {:.2}, {}",
+                    report.violating_windows, report.window_count, report.burn_rate, recovery,
+                );
+                slo_values.push(report.to_value(&label));
+            }
+        }
     }
     if let Some((budget_ms, free_eps, l25_eps)) = exp::capacity::equal_p99_comparison(&curves) {
         println!(
@@ -735,6 +789,12 @@ fn capacity(args: &Args) {
     }
     if let Some(path) = args.metrics_out.as_deref() {
         write_metrics(path, &curves);
+    }
+    if let Some(path) = args.slo_out.as_deref() {
+        let n = slo_values.len();
+        let text = l25gc_codec::json::to_string(&l25gc_codec::Value::Array(slo_values));
+        std::fs::write(path, text).expect("write SLO report file");
+        println!("wrote {path}: {n} per-point SLO reports");
     }
     let saturation = args.saturate.then(|| {
         let max_workers = params.workers.unwrap_or(256);
@@ -1661,6 +1721,43 @@ mod tests {
     }
 
     #[test]
+    fn slo_flags_parse_and_imply_a_timeline() {
+        let args = parse(&["capacity", "--slo", "p99=5ms,shed=1%"]).unwrap();
+        let spec = args.slo.expect("--slo parses into a spec");
+        assert_eq!(spec.p99_budget_ns, 5_000_000);
+        assert_eq!(spec.shed_budget_pct, 1.0);
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(100.0),
+            "--slo alone turns the timeline on at the default window"
+        );
+
+        let args = parse(&[
+            "capacity",
+            "--slo",
+            "p99=10ms,shed=0.5%,clean=5",
+            "--slo-out",
+            "slo.json",
+            "--metrics-interval-ms",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(args.slo.unwrap().clean_windows, 5);
+        assert_eq!(args.slo_out.as_deref(), Some("slo.json"));
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(50.0),
+            "--metrics-interval-ms is honoured with --slo and no --metrics-out"
+        );
+
+        assert_eq!(parse(&[]).unwrap().slo, None, "SLO evaluation is opt-in");
+        assert!(parse(&["--slo-out", "slo.json"])
+            .unwrap_err()
+            .contains("needs --slo"));
+        assert!(parse(&["--slo", "p99=banana"]).unwrap_err().contains("p99"));
+    }
+
+    #[test]
     fn baseline_is_a_standalone_subcommand() {
         assert!(parse(&["baseline"]).unwrap().baseline);
         assert!(!parse(&[]).unwrap().baseline);
@@ -1702,6 +1799,10 @@ mod tests {
     }
 
     fn tiny_manifest(p99_ms: f64) -> RunManifest {
+        tiny_manifest_with_recovery(p99_ms, None)
+    }
+
+    fn tiny_manifest_with_recovery(p99_ms: f64, recovery_ms: Option<f64>) -> RunManifest {
         RunManifest {
             kind: l25gc_bench::manifest::MANIFEST_KIND.to_string(),
             version: "test".to_string(),
@@ -1721,7 +1822,11 @@ mod tests {
                 p50_ms: 1.0,
                 p95_ms: 2.0,
                 p99_ms,
+                queue_wait_p99_ms: None,
+                service_p99_ms: None,
+                transit_p99_ms: None,
                 loss_pct: 0.0,
+                recovery_ms,
             }],
             saturation: None,
         }
@@ -1742,6 +1847,25 @@ mod tests {
         assert_eq!(run_compare(&base, &same, 10.0), 0, "identical runs pass");
         assert_eq!(run_compare(&base, &slow, 10.0), 1, "2x p99 regresses");
         assert_eq!(run_compare(&base, &junk, 10.0), 2, "unrelated JSON");
+
+        let quick = write_tmp(
+            "quick.json",
+            &tiny_manifest_with_recovery(4.0, Some(100.0)).to_json(),
+        );
+        let stuck = write_tmp(
+            "stuck.json",
+            &tiny_manifest_with_recovery(4.0, Some(900.0)).to_json(),
+        );
+        assert_eq!(
+            run_compare(&quick, &stuck, 10.0),
+            1,
+            "9x SLO recovery time regresses"
+        );
+        assert_eq!(
+            run_compare(&stuck, &quick, 10.0),
+            0,
+            "faster recovery is not a regression"
+        );
         assert_eq!(run_compare(&base, "/no/such/file.json", 10.0), 2);
     }
 }

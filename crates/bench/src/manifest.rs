@@ -53,6 +53,18 @@ pub struct MetricRow {
     pub p99_ms: f64,
     /// Percent of arrivals shed or backpressured (exact count).
     pub loss_pct: f64,
+    /// Queue-wait stage p99, ms (`None` on pre-anatomy manifests).
+    pub queue_wait_p99_ms: Option<f64>,
+    /// Service stage p99, ms (`None` on pre-anatomy manifests).
+    pub service_p99_ms: Option<f64>,
+    /// Completion-transit stage p99, ms (`None` on pre-anatomy
+    /// manifests).
+    pub transit_p99_ms: Option<f64>,
+    /// SLO recovery time against the default gate
+    /// ([`l25gc_obs::SloSpec::default_gate`]), ms; unrecovered runs are
+    /// clamped to the timeline horizon so the gate still bites. `None`
+    /// when the run carried no metrics timeline (or predates the field).
+    pub recovery_ms: Option<f64>,
 }
 
 /// The saturation-search result carried on a manifest when the run was
@@ -111,7 +123,20 @@ impl RunManifest {
         let mut metrics = Vec::new();
         for c in curves {
             let name = deployment_name(c.deployment);
-            for (frac, p) in SWEEP_FRACTIONS.iter().zip(&c.points) {
+            // Per-point SLO recovery against the fixed default gate —
+            // fixed so a committed baseline and a fresh run always gate
+            // against the same budget. Only sweeps that carried
+            // timelines (one per point) can report it.
+            let gate = l25gc_obs::SloSpec::default_gate();
+            let recoveries: Vec<Option<f64>> = if c.timelines.len() == c.points.len() {
+                l25gc_testbed::exp::capacity::slo_reports(c, &gate)
+                    .iter()
+                    .map(|r| Some(r.recovery_ns_or_horizon() as f64 / 1e6))
+                    .collect()
+            } else {
+                vec![None; c.points.len()]
+            };
+            for ((frac, p), recovery_ms) in SWEEP_FRACTIONS.iter().zip(&c.points).zip(recoveries) {
                 metrics.push(MetricRow {
                     name: format!("{name}@{frac}x"),
                     offered_eps: p.offered_eps,
@@ -120,6 +145,10 @@ impl RunManifest {
                     p95_ms: p.p95_ms,
                     p99_ms: p.p99_ms,
                     loss_pct: p.loss_pct,
+                    queue_wait_p99_ms: Some(p.queue_wait_p99_ms),
+                    service_p99_ms: Some(p.service_p99_ms),
+                    transit_p99_ms: Some(p.transit_p99_ms),
+                    recovery_ms,
                 });
             }
         }
@@ -155,6 +184,10 @@ impl RunManifest {
                     .field("p95_ms", Value::F64(m.p95_ms))
                     .field("p99_ms", Value::F64(m.p99_ms))
                     .field("loss_pct", Value::F64(m.loss_pct))
+                    .opt("queue_wait_p99_ms", m.queue_wait_p99_ms.map(Value::F64))
+                    .opt("service_p99_ms", m.service_p99_ms.map(Value::F64))
+                    .opt("transit_p99_ms", m.transit_p99_ms.map(Value::F64))
+                    .opt("recovery_ms", m.recovery_ms.map(Value::F64))
                     .build()
             })
             .collect();
@@ -205,6 +238,11 @@ impl RunManifest {
                 p95_ms: f64_field(row, "p95_ms")?,
                 p99_ms: f64_field(row, "p99_ms")?,
                 loss_pct: f64_field(row, "loss_pct")?,
+                // Pre-anatomy manifests carry none of these.
+                queue_wait_p99_ms: row.get("queue_wait_p99_ms").and_then(Value::as_f64),
+                service_p99_ms: row.get("service_p99_ms").and_then(Value::as_f64),
+                transit_p99_ms: row.get("transit_p99_ms").and_then(Value::as_f64),
+                recovery_ms: row.get("recovery_ms").and_then(Value::as_f64),
             });
         }
         // Pre-placement manifests carry neither field; those runs were
@@ -318,6 +356,12 @@ fn pct_delta(base: f64, cur: f64) -> f64 {
 /// - `loss_pct` regresses when it rises more than `threshold_pct`
 ///   *percentage points* (absolute — relative deltas of a near-zero
 ///   loss rate are meaningless).
+/// - The per-stage p99s (`queue_wait_p99_ms`, `service_p99_ms`,
+///   `transit_p99_ms`) gate exactly like the end-to-end quantiles, but
+///   only when both manifests carry them.
+/// - `recovery_ms` regresses when it rises more than `threshold_pct`
+///   relative to the baseline floored at 1 ms, again only when both
+///   runs carry it.
 /// - A series present in the baseline but missing from the current run
 ///   is itself a regression (field `missing`).
 ///
@@ -382,11 +426,27 @@ pub fn compare(
                 threshold_pct,
             });
         }
-        for (field, bv, cv) in [
-            ("p50_ms", b.p50_ms, c.p50_ms),
-            ("p95_ms", b.p95_ms, c.p95_ms),
-            ("p99_ms", b.p99_ms, c.p99_ms),
-        ] {
+        // The per-stage p99s gate exactly like the end-to-end quantiles
+        // (they come from the same log2 histograms), but only when both
+        // manifests carry them — a pre-anatomy baseline never fails a
+        // current run on a column it couldn't have recorded.
+        let stage = |b: Option<f64>, c: Option<f64>| b.zip(c);
+        let latency_fields = [
+            ("p50_ms", Some(b.p50_ms), Some(c.p50_ms)),
+            ("p95_ms", Some(b.p95_ms), Some(c.p95_ms)),
+            ("p99_ms", Some(b.p99_ms), Some(c.p99_ms)),
+            (
+                "queue_wait_p99_ms",
+                b.queue_wait_p99_ms,
+                c.queue_wait_p99_ms,
+            ),
+            ("service_p99_ms", b.service_p99_ms, c.service_p99_ms),
+            ("transit_p99_ms", b.transit_p99_ms, c.transit_p99_ms),
+        ];
+        for (field, bv, cv) in latency_fields {
+            let Some((bv, cv)) = stage(bv, cv) else {
+                continue;
+            };
             let d = pct_delta(bv, cv);
             if d > lat_threshold {
                 out.push(Regression {
@@ -396,6 +456,22 @@ pub fn compare(
                     current: cv,
                     delta_pct: d,
                     threshold_pct: lat_threshold,
+                });
+            }
+        }
+        // Recovery time gates relatively against a 1 ms floor: a
+        // baseline that recovered instantly (0 ms) would otherwise turn
+        // any nonzero recovery into an infinite relative delta.
+        if let Some((bv, cv)) = b.recovery_ms.zip(c.recovery_ms) {
+            let floor = bv.max(1.0);
+            if cv - bv > threshold_pct * floor / 100.0 {
+                out.push(Regression {
+                    metric: b.name.clone(),
+                    field: "recovery_ms",
+                    baseline: bv,
+                    current: cv,
+                    delta_pct: pct_delta(floor, cv),
+                    threshold_pct,
                 });
             }
         }
@@ -546,6 +622,72 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].field, "p95_ms");
         assert!((regs[0].threshold_pct - 16.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_p99s_gate_like_latency_but_only_when_both_sides_carry_them() {
+        let base = small_manifest();
+        assert!(
+            base.metrics.iter().all(|m| m.queue_wait_p99_ms.is_some()),
+            "fresh sweeps always carry the anatomy columns"
+        );
+        let mut cur = base.clone();
+        cur.metrics[4].queue_wait_p99_ms = cur.metrics[4].queue_wait_p99_ms.map(|v| v * 2.0);
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "queue_wait_p99_ms");
+        assert!((regs[0].threshold_pct - 16.25).abs() < 1e-9, "error guard");
+
+        // A pre-anatomy baseline (no stage columns) never flags them.
+        let mut legacy = base.clone();
+        for m in &mut legacy.metrics {
+            m.queue_wait_p99_ms = None;
+            m.service_p99_ms = None;
+            m.transit_p99_ms = None;
+        }
+        assert_eq!(compare(&legacy, &cur, 10.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn recovery_regression_is_flagged_with_a_floor() {
+        let mut base = small_manifest();
+        let mut cur = base.clone();
+        // Baseline recovered instantly (0 ms): the 1 ms floor makes the
+        // allowance 10% × 1 ms = 0.1 ms, so a 0.05 ms wobble passes and
+        // a 5 ms recovery fails.
+        base.metrics[0].recovery_ms = Some(0.0);
+        cur.metrics[0].recovery_ms = Some(0.05);
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+        cur.metrics[0].recovery_ms = Some(5.0);
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "recovery_ms");
+        // Improvement or a missing side never flags.
+        cur.metrics[0].recovery_ms = None;
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+        base.metrics[0].recovery_ms = Some(500.0);
+        cur.metrics[0].recovery_ms = Some(100.0);
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn manifests_with_timelines_carry_recovery() {
+        let params = CapacityParams {
+            metrics_interval_ms: Some(100.0),
+            ..small_params()
+        };
+        let curves = vec![sweep_deployment(Deployment::L25gc, &params)];
+        let m = RunManifest::from_capacity(&params, &curves);
+        assert!(
+            m.metrics.iter().all(|r| r.recovery_ms.is_some()),
+            "every point with a timeline reports recovery (or its horizon)"
+        );
+        assert!(m.metrics.iter().all(|r| r.recovery_ms.unwrap() >= 0.0));
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        // Without timelines the column is absent, not zero.
+        let plain = small_manifest();
+        assert!(plain.metrics.iter().all(|r| r.recovery_ms.is_none()));
     }
 
     #[test]

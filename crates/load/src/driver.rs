@@ -49,6 +49,16 @@ use crate::shard::{Admission, ShardConfig, ShardSet};
 /// Histogram key for the all-kinds latency distribution.
 pub const HIST_ALL: &str = "capacity_all";
 
+/// Histogram key for the queue-wait stage (arrival → start of service).
+pub const HIST_QUEUE_WAIT: &str = "stage_queue_wait";
+
+/// Histogram key for the service stage (shard CPU occupancy).
+pub const HIST_SERVICE: &str = "stage_service";
+
+/// Histogram key for the completion-transit stage (CPU done → observed
+/// completion).
+pub const HIST_TRANSIT: &str = "stage_transit";
+
 /// Which execution engine runs the load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecBackend {
@@ -427,6 +437,12 @@ pub struct LoadReport {
     pub p95: SimDuration,
     /// 99th percentile.
     pub p99: SimDuration,
+    /// 99th percentile of the queue-wait stage (arrival → service).
+    pub queue_wait_p99: SimDuration,
+    /// 99th percentile of the service stage (shard CPU occupancy).
+    pub service_p99: SimDuration,
+    /// 99th percentile of the completion-transit stage.
+    pub transit_p99: SimDuration,
     /// UEs attached in any form at the end of the run.
     pub active_ues: usize,
     /// Deepest any shard's in-flight queue got.
@@ -563,14 +579,28 @@ fn offer_event(
     let prof = profiles.get(kind);
     let shard = fleet.shard_of(ue);
     match shards.offer(shard, at, prof, u64::from(ue) + 1, &mut tel.obs) {
-        Admission::Dispatched { completes_at } => {
+        Admission::Dispatched {
+            completes_at,
+            queue_wait,
+            service,
+        } => {
             apply_transition(fleet, ue, kind, to);
             let lat = completes_at.duration_since(at).as_nanos();
+            // Latency anatomy: the three stages tile the end-to-end
+            // sample (transit is whatever the first two leave over).
+            let qw = queue_wait.as_nanos();
+            let svc = service.as_nanos();
+            debug_assert!(qw + svc <= lat, "stage sum exceeds end-to-end");
+            let transit = lat - qw - svc;
             tel.obs.hists.record(proc_kind(kind).name(), lat);
             tel.obs.hists.record(HIST_ALL, lat);
+            tel.obs.hists.record(HIST_QUEUE_WAIT, qw);
+            tel.obs.hists.record(HIST_SERVICE, svc);
+            tel.obs.hists.record(HIST_TRANSIT, transit);
             if let Some(tl) = tel.timeline.as_mut() {
                 tl.record_dispatched(shard, at);
                 tl.record_completion(shard, completes_at, lat);
+                tl.record_stages(shard, completes_at, qw, svc, transit);
                 tl.record_depth(shard, at, shards.depth(shard) as u64);
             }
             if tel.sampled(ue) {
@@ -624,6 +654,12 @@ fn finish(
             .map(|h| SimDuration::from_nanos(h.quantile(p)))
             .unwrap_or(SimDuration::ZERO)
     };
+    let stage_p99 = |name: &str| {
+        obs.hists
+            .get(name)
+            .map(|h| SimDuration::from_nanos(h.quantile(0.99)))
+            .unwrap_or(SimDuration::ZERO)
+    };
     LoadReport {
         offered,
         dispatched,
@@ -638,6 +674,9 @@ fn finish(
         p50: q(0.50),
         p95: q(0.95),
         p99: q(0.99),
+        queue_wait_p99: stage_p99(HIST_QUEUE_WAIT),
+        service_p99: stage_p99(HIST_SERVICE),
+        transit_p99: stage_p99(HIST_TRANSIT),
         active_ues: fleet.active(),
         peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
         busy_fraction: shards.busy_fraction(end),
@@ -914,6 +953,51 @@ mod tests {
         assert_eq!(tl.shed_total(), r.shed);
         assert!(r.shed > 0, "config must exercise the shed lane");
         assert!(tl.window_count() >= 20, "2 s / 100 ms windows");
+    }
+
+    #[test]
+    fn stage_decomposition_bounds_end_to_end() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Push hard enough that queueing actually happens, so the
+        // queue-wait stage is exercised, not just zero-filled.
+        let cfg = LoadConfig::builder()
+            .ues(5_000)
+            .shards(2)
+            .high_water(64)
+            .ring_capacity(128)
+            .offered_eps(30_000.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(19)
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let all = r.obs.hists.get(HIST_ALL).expect("end-to-end histogram");
+        let qw = r.obs.hists.get(HIST_QUEUE_WAIT).expect("queue-wait stage");
+        let svc = r.obs.hists.get(HIST_SERVICE).expect("service stage");
+        let tr = r.obs.hists.get(HIST_TRANSIT).expect("transit stage");
+        // Every dispatched procedure contributes one sample per stage.
+        assert_eq!(qw.count(), r.dispatched);
+        assert_eq!(svc.count(), r.dispatched);
+        assert_eq!(tr.count(), r.dispatched);
+        // Exact per-sample consequence of qw + svc <= e2e, in u128: the
+        // summed stage times can never exceed the summed end-to-end time.
+        assert!(
+            qw.sum() + svc.sum() <= all.sum(),
+            "stage sums {} + {} exceed end-to-end {}",
+            qw.sum(),
+            svc.sum(),
+            all.sum()
+        );
+        assert_eq!(qw.sum() + svc.sum() + tr.sum(), all.sum(), "stages tile");
+        assert!(r.queue_wait_p99 > SimDuration::ZERO, "overload must queue");
+        assert!(r.service_p99 > SimDuration::ZERO);
+        assert!(r.queue_wait_p99 <= r.p99 && r.service_p99 <= r.p99);
+        // The timeline's merged stage histograms see the same samples.
+        let tl = r.timeline.as_ref().expect("timeline was requested");
+        for stage in l25gc_obs::Stage::ALL {
+            assert_eq!(tl.stage_latency(stage).count(), r.dispatched);
+        }
     }
 
     #[test]

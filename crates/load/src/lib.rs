@@ -61,7 +61,7 @@ pub use arrival::{ArrivalProcess, ArrivalStream, EventMix};
 pub use dispatch::{calibrate, proc_kind, ProcedureProfile, ProfileSet};
 pub use driver::{
     Driver, ExecBackend, LoadConfig, LoadConfigBuilder, LoadError, LoadMode, LoadReport, WallClock,
-    HIST_ALL,
+    HIST_ALL, HIST_QUEUE_WAIT, HIST_SERVICE, HIST_TRANSIT,
 };
 pub use fleet::{shard_for_supi, Fleet, UeRecord, UeState, SUPI_BASE, UE_STATES};
 pub use shard::{Admission, OverloadPolicy, ShardConfig, ShardSet};

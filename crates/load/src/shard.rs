@@ -23,7 +23,7 @@
 
 use l25gc_nfv::ring::{ring_labeled, Consumer, Producer};
 use l25gc_obs::{DropCode, EventKind, Obs};
-use l25gc_sim::SimTime;
+use l25gc_sim::{SimDuration, SimTime};
 
 use crate::dispatch::ProcedureProfile;
 
@@ -67,6 +67,10 @@ pub enum Admission {
     Dispatched {
         /// When the procedure completes end-to-end.
         completes_at: SimTime,
+        /// Arrival → start of service: time queued behind the shard.
+        queue_wait: SimDuration,
+        /// Start of service → CPU done: the shard occupancy.
+        service: SimDuration,
     },
     /// Rejected by the shed policy at the high-water mark.
     Shed,
@@ -211,7 +215,11 @@ impl ShardSet {
                 s.busy_until = done_cpu;
                 s.dispatched += 1;
                 s.peak_depth = s.peak_depth.max(s.depth());
-                Admission::Dispatched { completes_at }
+                Admission::Dispatched {
+                    completes_at,
+                    queue_wait: start.duration_since(now),
+                    service: prof.occupancy,
+                }
             }
             Err(_full) => {
                 self.backpressure += 1;
@@ -287,8 +295,14 @@ mod tests {
         let t0 = SimTime::from_nanos(1_000);
         let p = prof(100, 900);
         match set.offer(0, t0, &p, 1, &mut obs) {
-            Admission::Dispatched { completes_at } => {
+            Admission::Dispatched {
+                completes_at,
+                queue_wait,
+                service,
+            } => {
                 assert_eq!(completes_at, t0 + p.latency);
+                assert_eq!(queue_wait, SimDuration::ZERO, "idle shard: no wait");
+                assert_eq!(service, p.occupancy);
             }
             other => panic!("{other:?}"),
         }
@@ -303,8 +317,15 @@ mod tests {
         // Three simultaneous arrivals: completions stack at 100, 200, 300µs.
         for i in 1..=3u64 {
             match set.offer(0, t0, &p, i, &mut obs) {
-                Admission::Dispatched { completes_at } => {
+                Admission::Dispatched {
+                    completes_at,
+                    queue_wait,
+                    service,
+                } => {
                     assert_eq!(completes_at, SimTime::from_nanos(i * 100_000));
+                    // The i-th arrival waits behind i-1 predecessors.
+                    assert_eq!(queue_wait, SimDuration::from_micros((i - 1) * 100));
+                    assert_eq!(service, p.occupancy);
                 }
                 other => panic!("{other:?}"),
             }
@@ -408,7 +429,7 @@ mod tests {
         // Same instant on two shards: no cross-shard queueing.
         for shard in [0u16, 1] {
             match set.offer(shard, t0, &p, 1, &mut obs) {
-                Admission::Dispatched { completes_at } => {
+                Admission::Dispatched { completes_at, .. } => {
                     assert_eq!(completes_at, SimTime::from_nanos(100_000));
                 }
                 other => panic!("{other:?}"),

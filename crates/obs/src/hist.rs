@@ -151,6 +151,30 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative bucket counts for Prometheus-style exposition: one
+    /// `(upper_bound, cumulative_count)` pair per *non-empty* bucket, in
+    /// increasing bound order. The caller appends the `+Inf` terminal
+    /// (whose cumulative count is [`Log2Histogram::count`]); skipping
+    /// empty buckets keeps the series compact without changing what a
+    /// cumulative-histogram consumer reconstructs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                let (_, high) = self.bucket_bounds(i);
+                out.push((high, cum));
+            }
+        }
+        out
+    }
+
     /// Merges another histogram of the same precision into this one.
     /// Equivalent to having recorded both sample streams into one.
     pub fn merge(&mut self, other: &Log2Histogram) {
@@ -277,6 +301,32 @@ mod tests {
         let mut a = Log2Histogram::with_bits(5);
         let b = Log2Histogram::with_bits(6);
         a.merge(&b);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_conserve_counts() {
+        let mut h = Log2Histogram::new();
+        assert!(h.cumulative_buckets().is_empty(), "empty hist, no buckets");
+        for v in [0u64, 0, 5, 31, 32, 1000, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        let mut prev_bound = None;
+        let mut prev_cum = 0u64;
+        for &(bound, cum) in &buckets {
+            if let Some(p) = prev_bound {
+                assert!(bound > p, "bounds strictly increase");
+            }
+            assert!(cum >= prev_cum, "cumulative counts never decrease");
+            prev_bound = Some(bound);
+            prev_cum = cum;
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count(), "terminal = count");
+        assert_eq!(
+            h.sum(),
+            u128::from(5u64 + 31 + 32 + 1000 + (1 << 30)) + u128::from(u64::MAX)
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! - [`span::SpanLog`] — completed procedure spans plus per-NF
 //!   message-handling segments;
 //! - [`export`] — JSON Lines (with its own parser), Chrome `trace_event`
-//!   JSON for Perfetto, and a human-readable summary table.
+//!   JSON for Perfetto, and a human-readable summary table;
+//! - [`slo`] — windowed SLO evaluation over the metrics timelines:
+//!   violation spans, burn rate, and recovery time.
 //!
 //! Everything is simulation-clock driven (`SimTime`), `std`-only, and
 //! allocation-free on the record path; the recorders are plain values a
@@ -24,6 +26,7 @@
 pub mod events;
 pub mod export;
 pub mod hist;
+pub mod slo;
 pub mod span;
 pub mod timeline;
 
@@ -33,10 +36,11 @@ pub use export::{
     TraceBundle,
 };
 pub use hist::{Log2Histogram, DEFAULT_BITS};
+pub use slo::{SloReport, SloSpec, ViolationSpan, WindowVerdict};
 pub use span::{ProcKind, SpanLog};
 pub use timeline::{
     parse_timeline_jsonl_line, prometheus_header, timeline_csv_header, validate_prometheus,
-    MetricsTimeline, TimelineLine, TimelineWindow,
+    MetricsTimeline, Stage, TimelineLine, TimelineWindow,
 };
 
 use l25gc_sim::SimTime;

@@ -10,6 +10,9 @@
 //! - **a latency delta** — a [`Log2Histogram`] of only that window's
 //!   completions, so per-window p50/p95/p99 fall out with the same
 //!   bounded relative error as the run-wide histograms;
+//! - **a latency anatomy** — one histogram per pipeline [`Stage`]
+//!   (`queue_wait`, `service`, `completion_transit`), so a p99 excursion
+//!   is attributable to queueing delay, service time, or ring transit;
 //! - **a depth gauge** — the deepest in-flight queue observed.
 //!
 //! Recording is allocation-free once a window exists (windows allocate
@@ -35,10 +38,47 @@ use l25gc_sim::{SimDuration, SimTime};
 use crate::export::JsonlError;
 use crate::hist::Log2Histogram;
 
-/// Hard cap on windows per shard lane (~1.1 GiB of histograms at the
+/// Hard cap on windows per shard lane (several GiB of histograms at the
 /// default precision if every window of every lane fills — in practice
 /// a run's horizon divided by its interval, a few hundred).
 pub const MAX_WINDOWS: usize = 1 << 16;
+
+/// One stage of the dispatch→completion pipeline, as decomposed by the
+/// latency anatomy. The three stages tile the end-to-end latency of a
+/// dispatched event:
+///
+/// - [`Stage::QueueWait`] — dispatch (analytic: arrival at the shard
+///   model; threaded: submit-ring push) to the instant the shard server
+///   starts work (worker pop on the threaded backend);
+/// - [`Stage::Service`] — shard CPU occupancy, start of work to
+///   completion-push;
+/// - [`Stage::CompletionTransit`] — completion-push to the completion
+///   instant the dispatcher observes when it drains the event
+///   (propagation/transit tail beyond the CPU occupancy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Dispatch → start of service: time spent queued behind the shard.
+    QueueWait,
+    /// Start of service → completion-push: shard CPU occupancy.
+    Service,
+    /// Completion-push → dispatcher-observed completion: ring transit
+    /// and any latency beyond occupancy.
+    CompletionTransit,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::QueueWait, Stage::Service, Stage::CompletionTransit];
+
+    /// The stable label used in exports (`stage="..."`, CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Service => "service",
+            Stage::CompletionTransit => "completion_transit",
+        }
+    }
+}
 
 /// One `(shard, window)` cell: counters plus that window's latency delta.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +95,13 @@ pub struct TimelineWindow {
     pub peak_depth: u64,
     /// Latency distribution of this window's completions only.
     pub latency: Log2Histogram,
+    /// [`Stage::QueueWait`] distribution of this window's completions.
+    pub queue_wait: Log2Histogram,
+    /// [`Stage::Service`] distribution of this window's completions.
+    pub service: Log2Histogram,
+    /// [`Stage::CompletionTransit`] distribution of this window's
+    /// completions.
+    pub completion_transit: Log2Histogram,
 }
 
 impl TimelineWindow {
@@ -66,6 +113,18 @@ impl TimelineWindow {
             backpressure: 0,
             peak_depth: 0,
             latency: Log2Histogram::new(),
+            queue_wait: Log2Histogram::new(),
+            service: Log2Histogram::new(),
+            completion_transit: Log2Histogram::new(),
+        }
+    }
+
+    /// The per-stage histogram for `stage`.
+    pub fn stage(&self, stage: Stage) -> &Log2Histogram {
+        match stage {
+            Stage::QueueWait => &self.queue_wait,
+            Stage::Service => &self.service,
+            Stage::CompletionTransit => &self.completion_transit,
         }
     }
 
@@ -76,6 +135,9 @@ impl TimelineWindow {
         self.backpressure += other.backpressure;
         self.peak_depth = self.peak_depth.max(other.peak_depth);
         self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.service.merge(&other.service);
+        self.completion_transit.merge(&other.completion_transit);
     }
 }
 
@@ -152,6 +214,27 @@ impl MetricsTimeline {
         w.latency.record(latency_ns);
     }
 
+    /// Records one completion's per-stage latency anatomy into the
+    /// window containing `at` — call alongside
+    /// [`MetricsTimeline::record_completion`] with the same completion
+    /// instant so stage deltas land in the same window as the end-to-end
+    /// delta. The three values tile the event's end-to-end latency (up
+    /// to any end-to-end slack beyond the three stages):
+    /// `queue_wait + service ≤ end-to-end`.
+    pub fn record_stages(
+        &mut self,
+        shard: u16,
+        at: SimTime,
+        queue_wait_ns: u64,
+        service_ns: u64,
+        transit_ns: u64,
+    ) {
+        let w = self.window_mut(shard, at);
+        w.queue_wait.record(queue_wait_ns);
+        w.service.record(service_ns);
+        w.completion_transit.record(transit_ns);
+    }
+
     /// Counts an admission-control shed.
     pub fn record_shed(&mut self, shard: u16, at: SimTime) {
         self.window_mut(shard, at).shed += 1;
@@ -192,6 +275,25 @@ impl MetricsTimeline {
         h
     }
 
+    /// One shard's whole-run distribution for a pipeline `stage`.
+    pub fn shard_stage_latency(&self, shard: u16, stage: Stage) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for w in self.lane(shard) {
+            h.merge(w.stage(stage));
+        }
+        h
+    }
+
+    /// The whole-run distribution for a pipeline `stage`, merged across
+    /// every shard.
+    pub fn stage_latency(&self, stage: Stage) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for shard in 0..self.shards() {
+            h.merge(&self.shard_stage_latency(shard, stage));
+        }
+        h
+    }
+
     /// Merges another timeline window-wise into this one. Panics when
     /// the interval or shard count differ — merged lanes must describe
     /// the same time base, the same discipline as histogram precision.
@@ -220,7 +322,7 @@ impl MetricsTimeline {
 
 /// The CSV header matching [`MetricsTimeline::to_csv_rows`].
 pub fn timeline_csv_header() -> &'static str {
-    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns\n"
+    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns,queue_wait_p99_ns,service_p99_ns,transit_p99_ns\n"
 }
 
 impl MetricsTimeline {
@@ -233,7 +335,7 @@ impl MetricsTimeline {
                 let start = i as u64 * self.interval.as_nanos();
                 let _ = writeln!(
                     out,
-                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{}",
+                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{},{},{},{}",
                     w.dispatched,
                     w.completed,
                     w.shed,
@@ -243,6 +345,9 @@ impl MetricsTimeline {
                     w.latency.quantile(0.50),
                     w.latency.quantile(0.95),
                     w.latency.quantile(0.99),
+                    w.queue_wait.quantile(0.99),
+                    w.service.quantile(0.99),
+                    w.completion_transit.quantile(0.99),
                 );
             }
         }
@@ -294,6 +399,13 @@ pub enum TimelineLine {
         p95_ns: u64,
         /// 99th percentile, ns.
         p99_ns: u64,
+        /// [`Stage::QueueWait`] p99 of the window's completions, ns.
+        queue_wait_p99_ns: u64,
+        /// [`Stage::Service`] p99 of the window's completions, ns.
+        service_p99_ns: u64,
+        /// [`Stage::CompletionTransit`] p99 of the window's completions,
+        /// ns.
+        transit_p99_ns: u64,
     },
     /// The per-series trailing metadata line.
     Meta {
@@ -329,6 +441,9 @@ impl TimelineLine {
                 p50_ns,
                 p95_ns,
                 p99_ns,
+                queue_wait_p99_ns,
+                service_p99_ns,
+                transit_p99_ns,
             } => obj()
                 .field("t", Value::Str("tl".into()))
                 .field("series", Value::Str(series.clone()))
@@ -344,6 +459,9 @@ impl TimelineLine {
                 .field("p50_ns", Value::U64(*p50_ns))
                 .field("p95_ns", Value::U64(*p95_ns))
                 .field("p99_ns", Value::U64(*p99_ns))
+                .field("queue_wait_p99_ns", Value::U64(*queue_wait_p99_ns))
+                .field("service_p99_ns", Value::U64(*service_p99_ns))
+                .field("transit_p99_ns", Value::U64(*transit_p99_ns))
                 .build(),
             TimelineLine::Meta {
                 series,
@@ -396,6 +514,9 @@ pub fn parse_timeline_jsonl_line(line: &str) -> Result<TimelineLine, JsonlError>
             p50_ns: u("p50_ns")?,
             p95_ns: u("p95_ns")?,
             p99_ns: u("p99_ns")?,
+            queue_wait_p99_ns: u("queue_wait_p99_ns")?,
+            service_p99_ns: u("service_p99_ns")?,
+            transit_p99_ns: u("transit_p99_ns")?,
         }),
         "tl_meta" => Ok(TimelineLine::Meta {
             series: s("series")?,
@@ -430,6 +551,9 @@ impl MetricsTimeline {
                     p50_ns: w.latency.quantile(0.50),
                     p95_ns: w.latency.quantile(0.95),
                     p99_ns: w.latency.quantile(0.99),
+                    queue_wait_p99_ns: w.queue_wait.quantile(0.99),
+                    service_p99_ns: w.service.quantile(0.99),
+                    transit_p99_ns: w.completion_transit.quantile(0.99),
                 };
                 out.push_str(&json::to_string(&line.to_value()));
                 out.push('\n');
@@ -453,7 +577,7 @@ impl MetricsTimeline {
 // ---------------------------------------------------------------------------
 
 /// Every metric the Prometheus writer emits: `(name, type, help)`.
-const PROM_METRICS: [(&str, &str, &str); 8] = [
+const PROM_METRICS: [(&str, &str, &str); 9] = [
     (
         "l25gc_dispatched_total",
         "counter",
@@ -483,6 +607,11 @@ const PROM_METRICS: [(&str, &str, &str); 8] = [
         "l25gc_latency_ns",
         "gauge",
         "Whole-run latency quantile per shard, nanoseconds.",
+    ),
+    (
+        "l25gc_stage_latency_ns",
+        "histogram",
+        "Whole-run per-stage latency distribution per shard, nanoseconds.",
     ),
     (
         "l25gc_timeline_windows",
@@ -560,6 +689,30 @@ impl MetricsTimeline {
                     h.quantile(q)
                 );
             }
+            // Per-stage latency anatomy as a conformant cumulative
+            // histogram: non-empty buckets in increasing-bound order,
+            // an explicit `+Inf` terminal, then `_sum` and `_count`.
+            for stage in Stage::ALL {
+                let h = self.shard_stage_latency(shard, stage);
+                let slabels = format!("{labels},stage=\"{}\"", stage.name());
+                for (bound, cum) in h.cumulative_buckets() {
+                    let _ = writeln!(
+                        out,
+                        "l25gc_stage_latency_ns_bucket{{{slabels},le=\"{bound}\"}} {cum}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "l25gc_stage_latency_ns_bucket{{{slabels},le=\"+Inf\"}} {}",
+                    h.count()
+                );
+                let _ = writeln!(out, "l25gc_stage_latency_ns_sum{{{slabels}}} {}", h.sum());
+                let _ = writeln!(
+                    out,
+                    "l25gc_stage_latency_ns_count{{{slabels}}} {}",
+                    h.count()
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -587,8 +740,12 @@ impl MetricsTimeline {
 
 /// Checks a Prometheus text exposition: every line is a well-formed
 /// `# HELP`/`# TYPE` comment or a `name{labels} value` sample whose
-/// metric name was declared by a preceding `# TYPE` line. Returns the
-/// sample count.
+/// metric name was declared by a preceding `# TYPE` line. Histogram
+/// families additionally enforce the cumulative-bucket contract: only
+/// `_bucket`/`_sum`/`_count`-suffixed samples, every `_bucket` carries
+/// an `le` label, cumulative counts never decrease within one labelled
+/// bucket run, and every run terminates with an `le="+Inf"` bucket.
+/// Returns the sample count.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     fn metric_name(s: &str) -> Option<&str> {
         let end = s
@@ -603,14 +760,52 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
         }
     }
 
+    /// Splits the `le="..."` pair out of a label-set body, returning
+    /// `(le_value, remaining_labels)` — the remainder keys the bucket
+    /// run the sample belongs to.
+    fn split_le(labels: &str) -> Option<(String, String)> {
+        let start = labels.find("le=\"")?;
+        let after = &labels[start + 4..];
+        let end = after.find('"')?;
+        let le = after[..end].to_owned();
+        let mut rest = String::with_capacity(labels.len());
+        rest.push_str(&labels[..start]);
+        rest.push_str(&after[end + 1..]);
+        let rest = rest.replace(",,", ",");
+        Some((le, rest.trim_matches(',').to_owned()))
+    }
+
+    /// An open cumulative-bucket run: key (family + labels minus `le`),
+    /// last cumulative count, and whether `+Inf` has been seen.
+    struct BucketRun {
+        key: String,
+        last: f64,
+        terminated: bool,
+    }
+
+    fn close_run(run: &mut Option<BucketRun>, lineno: usize) -> Result<(), String> {
+        if let Some(r) = run.take() {
+            if !r.terminated {
+                return Err(format!(
+                    "line {lineno}: bucket run `{}` ended without an le=\"+Inf\" terminal",
+                    r.key
+                ));
+            }
+        }
+        Ok(())
+    }
+
     let mut declared: Vec<&str> = Vec::new();
+    let mut histograms: Vec<&str> = Vec::new();
     let mut samples = 0usize;
+    let mut run: Option<BucketRun> = None;
     for (n, line) in text.lines().enumerate() {
         let lineno = n + 1;
         if line.is_empty() {
             continue;
         }
         if let Some(rest) = line.strip_prefix("# ") {
+            close_run(&mut run, lineno)?;
             let ok = ["HELP ", "TYPE "].iter().any(|kw| rest.starts_with(kw));
             if !ok {
                 return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
@@ -621,8 +816,10 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                     .next()
                     .ok_or(format!("line {lineno}: TYPE without name"))?;
                 match parts.next() {
-                    Some("counter") | Some("gauge") | Some("histogram") | Some("summary")
-                    | Some("untyped") => declared.push(name),
+                    Some("histogram") => histograms.push(name),
+                    Some("counter") | Some("gauge") | Some("summary") | Some("untyped") => {
+                        declared.push(name)
+                    }
                     other => {
                         return Err(format!("line {lineno}: bad TYPE kind {other:?}"));
                     }
@@ -631,13 +828,19 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
             continue;
         }
         let name = metric_name(line).ok_or(format!("line {lineno}: sample has no metric name"))?;
-        if !declared.contains(&name) {
+        // A histogram family exposes only suffixed series.
+        let hist_suffix = ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+            name.strip_suffix(suf)
+                .filter(|fam| histograms.contains(fam))
+                .map(|_| *suf)
+        });
+        if !declared.contains(&name) && hist_suffix.is_none() {
             return Err(format!(
                 "line {lineno}: sample `{name}` has no TYPE declaration"
             ));
         }
         let rest = &line[name.len()..];
-        let rest = if let Some(r) = rest.strip_prefix('{') {
+        let (labels, rest) = if let Some(r) = rest.strip_prefix('{') {
             // Walk the label set: key="value" pairs, comma-separated,
             // with backslash escapes inside values.
             let mut chars = r.char_indices();
@@ -660,16 +863,51 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                 }
             }
             let close = close.ok_or(format!("line {lineno}: unterminated label set"))?;
-            &r[close + 1..]
+            (Some(&r[..close]), &r[close + 1..])
         } else {
-            rest
+            (None, rest)
         };
         let value = rest.trim();
         if value.is_empty() || value.parse::<f64>().is_err() {
             return Err(format!("line {lineno}: bad sample value `{value}`"));
         }
+        if hist_suffix == Some("_bucket") {
+            let (le, key_labels) = labels
+                .and_then(split_le)
+                .ok_or(format!("line {lineno}: histogram bucket without le label"))?;
+            let cum: f64 = value.parse().unwrap_or(f64::NAN);
+            let key = format!("{name}{{{key_labels}}}");
+            match &mut run {
+                Some(r) if r.key == key => {
+                    if r.terminated {
+                        return Err(format!(
+                            "line {lineno}: bucket after the le=\"+Inf\" terminal in `{key}`"
+                        ));
+                    }
+                    if cum < r.last {
+                        return Err(format!(
+                            "line {lineno}: non-monotone cumulative bucket in `{key}` ({} -> {cum})",
+                            r.last
+                        ));
+                    }
+                    r.last = cum;
+                    r.terminated = le == "+Inf";
+                }
+                _ => {
+                    close_run(&mut run, lineno)?;
+                    run = Some(BucketRun {
+                        key,
+                        last: cum,
+                        terminated: le == "+Inf",
+                    });
+                }
+            }
+        } else {
+            close_run(&mut run, lineno)?;
+        }
         samples += 1;
     }
+    close_run(&mut run, text.lines().count())?;
     Ok(samples)
 }
 
@@ -685,8 +923,10 @@ mod tests {
         let mut tl = MetricsTimeline::new(SimDuration::from_millis(100), 2);
         tl.record_dispatched(0, ms(10));
         tl.record_completion(0, ms(12), 2_000_000);
+        tl.record_stages(0, ms(12), 500_000, 1_200_000, 300_000);
         tl.record_dispatched(0, ms(150));
         tl.record_completion(0, ms(160), 10_000_000);
+        tl.record_stages(0, ms(160), 4_000_000, 5_000_000, 1_000_000);
         tl.record_dispatched(1, ms(40));
         tl.record_shed(1, ms(45));
         tl.record_backpressure(1, ms(250));
@@ -724,6 +964,26 @@ mod tests {
     }
 
     #[test]
+    fn stage_histograms_decompose_the_window_latency() {
+        let tl = sample_timeline();
+        let w = &tl.lane(0)[0];
+        assert_eq!(w.queue_wait.count(), 1);
+        assert_eq!(w.service.count(), 1);
+        assert_eq!(w.completion_transit.count(), 1);
+        // queue_wait + service never exceeds the end-to-end sample.
+        assert!(w.queue_wait.max() + w.service.max() <= w.latency.max());
+        for stage in Stage::ALL {
+            assert_eq!(w.stage(stage).count(), 1);
+            let merged = tl.shard_stage_latency(0, stage);
+            assert_eq!(merged.count(), 2, "both windows merge for {stage:?}");
+            assert_eq!(tl.stage_latency(stage).count(), 2, "lane 1 is empty");
+        }
+        assert_eq!(Stage::QueueWait.name(), "queue_wait");
+        assert_eq!(Stage::Service.name(), "service");
+        assert_eq!(Stage::CompletionTransit.name(), "completion_transit");
+    }
+
+    #[test]
     fn absorb_merges_window_wise_and_conserves_counts() {
         let mut a = sample_timeline();
         let b = sample_timeline();
@@ -733,6 +993,9 @@ mod tests {
         assert_eq!(a.lane(0)[0].dispatched, 2, "same window adds");
         assert_eq!(a.lane(1)[0].peak_depth, 7, "gauges take the max");
         assert_eq!(a.lane(0)[0].latency.count(), 2, "histogram deltas merge");
+        assert_eq!(a.lane(0)[0].queue_wait.count(), 2, "stage deltas merge");
+        assert_eq!(a.lane(0)[0].service.count(), 2);
+        assert_eq!(a.lane(0)[0].completion_transit.count(), 2);
     }
 
     #[test]
@@ -807,11 +1070,32 @@ mod tests {
         let tl = sample_timeline();
         let text = tl.to_prometheus("free5GC@1x");
         let samples = validate_prometheus(&text).expect("exposition is well-formed");
-        // 9 samples per shard (4 counters + peak + 3 quantiles + ... ) —
-        // count them structurally instead of hard-coding.
+        // 8+ samples per shard (4 counters + peak + 3 quantiles) plus the
+        // per-stage histogram series — count structurally, not exactly.
         assert!(samples >= 2 * 8 + 2, "got {samples}");
         assert!(text.contains("l25gc_dispatched_total{series=\"free5GC@1x\",shard=\"0\"} 2"));
         assert!(text.contains("l25gc_shed_total{series=\"free5GC@1x\",shard=\"1\"} 1"));
+        // Per-stage histograms expose conformant series: a +Inf terminal
+        // bucket and matching _sum/_count per (shard, stage).
+        for stage in ["queue_wait", "service", "completion_transit"] {
+            let labels = format!("series=\"free5GC@1x\",shard=\"0\",stage=\"{stage}\"");
+            assert!(
+                text.contains(&format!(
+                    "l25gc_stage_latency_ns_bucket{{{labels},le=\"+Inf\"}} 2"
+                )),
+                "{stage} terminal bucket"
+            );
+            assert!(text.contains(&format!("l25gc_stage_latency_ns_count{{{labels}}} 2")));
+        }
+        let qw_sum = format!(
+            "l25gc_stage_latency_ns_sum{{series=\"free5GC@1x\",shard=\"0\",stage=\"queue_wait\"}} {}",
+            500_000 + 4_000_000
+        );
+        assert!(text.contains(&qw_sum), "exact stage sum");
+        // Empty lanes still emit a terminated (all-zero) histogram.
+        assert!(text.contains(
+            "l25gc_stage_latency_ns_bucket{series=\"free5GC@1x\",shard=\"1\",stage=\"service\",le=\"+Inf\"} 0"
+        ));
     }
 
     #[test]
@@ -822,5 +1106,48 @@ mod tests {
         assert!(validate_prometheus("# bogus comment").is_err());
         let ok = "# HELP x help text\n# TYPE x gauge\nx{a=\"quoted \\\"v\\\"\"} 1.5\nx 2\n";
         assert_eq!(validate_prometheus(ok), Ok(2));
+    }
+
+    #[test]
+    fn prometheus_validator_enforces_histogram_conformance() {
+        let head = "# TYPE h histogram\n";
+        // A well-formed run: monotone cumulative buckets, +Inf terminal,
+        // then _sum and _count.
+        let ok = format!(
+            "{head}h_bucket{{le=\"1\"}} 1\nh_bucket{{le=\"4\"}} 3\n\
+             h_bucket{{le=\"+Inf\"}} 3\nh_sum 6\nh_count 3\n"
+        );
+        assert_eq!(validate_prometheus(&ok), Ok(5));
+        // Two runs with distinct label sets both validate.
+        let ok2 = format!(
+            "{head}h_bucket{{s=\"a\",le=\"1\"}} 1\nh_bucket{{s=\"a\",le=\"+Inf\"}} 1\n\
+             h_bucket{{s=\"b\",le=\"+Inf\"}} 0\n"
+        );
+        assert_eq!(validate_prometheus(&ok2), Ok(3));
+        // Non-monotone cumulative counts are rejected.
+        let bad = format!(
+            "{head}h_bucket{{le=\"1\"}} 5\nh_bucket{{le=\"4\"}} 3\nh_bucket{{le=\"+Inf\"}} 5\n"
+        );
+        let err = validate_prometheus(&bad).unwrap_err();
+        assert!(err.contains("non-monotone"), "{err}");
+        // A run must terminate with +Inf — whether closed by another
+        // series, by a label-set change, or by end of input.
+        let bad = format!("{head}h_bucket{{le=\"1\"}} 1\nh_count 1\n");
+        assert!(validate_prometheus(&bad).unwrap_err().contains("+Inf"));
+        let bad =
+            format!("{head}h_bucket{{s=\"a\",le=\"1\"}} 1\nh_bucket{{s=\"b\",le=\"+Inf\"}} 0\n");
+        assert!(validate_prometheus(&bad).unwrap_err().contains("+Inf"));
+        let bad = format!("{head}h_bucket{{le=\"1\"}} 1\n");
+        assert!(validate_prometheus(&bad).unwrap_err().contains("+Inf"));
+        // Buckets need an le label; bare family names are undeclared.
+        let bad = format!("{head}h_bucket{{a=\"b\"}} 1\n");
+        assert!(validate_prometheus(&bad).unwrap_err().contains("le label"));
+        let bad = format!("{head}h 1\n");
+        assert!(validate_prometheus(&bad)
+            .unwrap_err()
+            .contains("no TYPE declaration"));
+        // Nothing may follow the terminal inside the same run.
+        let bad = format!("{head}h_bucket{{le=\"+Inf\"}} 2\nh_bucket{{le=\"9\"}} 2\n");
+        assert!(validate_prometheus(&bad).unwrap_err().contains("terminal"));
     }
 }

@@ -165,8 +165,8 @@ proptest! {
     }
 
     /// Timeline absorb is window-wise addition: dispatch/completion
-    /// totals add, and splitting a stream across two timelines then
-    /// merging equals recording it all in one.
+    /// totals add, per-stage histograms merge, and splitting a stream
+    /// across two timelines then merging equals recording it all in one.
     #[test]
     fn timeline_absorb_equals_single_recorder(
         events in proptest::collection::vec(
@@ -180,14 +180,53 @@ proptest! {
         let split = split.min(events.len());
         for (i, &(at_ns, shard, lat)) in events.iter().enumerate() {
             let at = SimTime::from_nanos(at_ns);
+            // Decompose the end-to-end latency into stages that tile it.
+            let (qw, svc) = (lat / 3, lat / 2);
+            let transit = lat - qw - svc;
             let part = if i < split { &mut a } else { &mut b };
             one.record_dispatched(shard, at);
             part.record_dispatched(shard, at);
             one.record_completion(shard, at, lat);
             part.record_completion(shard, at, lat);
+            one.record_stages(shard, at, qw, svc, transit);
+            part.record_stages(shard, at, qw, svc, transit);
         }
         a.absorb(&b);
         prop_assert_eq!(&a, &one, "merged halves equal the single recorder");
         prop_assert_eq!(a.dispatched_total(), events.len() as u64);
+        for stage in l25gc_obs::Stage::ALL {
+            prop_assert_eq!(
+                a.stage_latency(stage).count(),
+                events.len() as u64,
+                "stage {:?} conserves counts",
+                stage
+            );
+        }
+    }
+
+    /// Per-stage histogram merge commutes: absorbing a into b and b into
+    /// a leaves identical per-window stage histograms.
+    #[test]
+    fn timeline_stage_absorb_commutes(
+        xs in proptest::collection::vec(
+            (0u64..1_000_000_000, 0u16..2, 0u64..10_000_000), 0..30),
+        ys in proptest::collection::vec(
+            (0u64..1_000_000_000, 0u16..2, 0u64..10_000_000), 0..30),
+    ) {
+        let interval = SimDuration::from_millis(100);
+        let fill = |events: &[(u64, u16, u64)]| {
+            let mut tl = MetricsTimeline::new(interval, 2);
+            for &(at_ns, shard, lat) in events {
+                let at = SimTime::from_nanos(at_ns);
+                tl.record_completion(shard, at, lat);
+                tl.record_stages(shard, at, lat / 4, lat / 2, lat / 4);
+            }
+            tl
+        };
+        let mut ab = fill(&xs);
+        ab.absorb(&fill(&ys));
+        let mut ba = fill(&ys);
+        ba.absorb(&fill(&xs));
+        prop_assert_eq!(ab, ba);
     }
 }

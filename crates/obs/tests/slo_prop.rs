@@ -1,0 +1,105 @@
+//! Property tests for the SLO engine: widening the budget — higher p99
+//! budget, higher shed budget, or both — can only shrink the violated
+//! window set, so recovery time is monotone non-increasing (treating
+//! "never recovered" as infinite), and burn rates never increase.
+
+use l25gc_obs::slo::{evaluate, SloSpec};
+use l25gc_obs::MetricsTimeline;
+use l25gc_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A synthetic per-window workload: (completion latency ns, shed count).
+fn workload() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    proptest::collection::vec((0u64..40_000_000, 0u8..4), 1..40)
+}
+
+/// Replays one latency sample and `shed` sheds into each window.
+fn timeline(windows: &[(u64, u8)]) -> MetricsTimeline {
+    let interval = SimDuration::from_millis(100);
+    let mut tl = MetricsTimeline::new(interval, 2);
+    for (w, &(lat, shed)) in windows.iter().enumerate() {
+        let at = SimTime::from_nanos(w as u64 * interval.as_nanos() + 1);
+        let shard = (w % 2) as u16;
+        tl.record_dispatched(shard, at);
+        tl.record_completion(shard, at, lat);
+        for _ in 0..shed {
+            tl.record_shed(shard, at);
+        }
+    }
+    tl
+}
+
+/// `None` (never recovered) orders above every finite recovery.
+fn as_ord(recovery: Option<u64>) -> u64 {
+    recovery.unwrap_or(u64::MAX)
+}
+
+proptest! {
+    /// Widening both budgets never worsens recovery, never grows the
+    /// violated set, and never raises any window's burn rate.
+    #[test]
+    fn recovery_is_monotone_under_budget_widening(
+        windows in workload(),
+        p99_budget in 1_000_000u64..20_000_000,
+        widen_p99 in 0u64..30_000_000,
+        shed_budget in 0.0f64..50.0,
+        widen_shed in 0.0f64..50.0,
+    ) {
+        let tl = timeline(&windows);
+        let tight = SloSpec { p99_budget_ns: p99_budget, shed_budget_pct: shed_budget, clean_windows: 2 };
+        let wide = SloSpec {
+            p99_budget_ns: p99_budget + widen_p99,
+            shed_budget_pct: shed_budget + widen_shed,
+            clean_windows: 2,
+        };
+        let rt = evaluate(&tl, &tight);
+        let rw = evaluate(&tl, &wide);
+        prop_assert!(
+            as_ord(rw.recovery_windows) <= as_ord(rt.recovery_windows),
+            "widening {:?} -> {:?} grew recovery {:?} -> {:?}",
+            tight, wide, rt.recovery_windows, rw.recovery_windows
+        );
+        prop_assert!(rw.violating_windows <= rt.violating_windows);
+        for (t, w) in rt.windows.iter().zip(&rw.windows) {
+            // A window violating the wide spec violates the tight one.
+            prop_assert!(!w.violated || t.violated);
+            prop_assert!(w.burn_rate <= t.burn_rate || t.burn_rate.is_infinite());
+        }
+    }
+
+    /// The violation spans partition the violated windows: disjoint,
+    /// ordered, contiguous runs whose members are exactly the violated
+    /// verdicts; and a clean tail of at least `clean_windows` is what
+    /// separates recovered from unrecovered.
+    #[test]
+    fn spans_tile_the_violated_set(windows in workload(), clean in 1u32..5) {
+        let tl = timeline(&windows);
+        let spec = SloSpec { p99_budget_ns: 5_000_000, shed_budget_pct: 1.0, clean_windows: clean };
+        let report = evaluate(&tl, &spec);
+        let mut from_spans = vec![false; report.window_count];
+        let mut prev_last: Option<usize> = None;
+        for s in &report.spans {
+            prop_assert!(s.first <= s.last && s.last < report.window_count);
+            if let Some(p) = prev_last {
+                prop_assert!(s.first > p + 1, "spans are maximal and disjoint");
+            }
+            for slot in &mut from_spans[s.first..=s.last] {
+                *slot = true;
+            }
+            prev_last = Some(s.last);
+        }
+        for v in &report.windows {
+            prop_assert_eq!(v.violated, from_spans[v.window]);
+        }
+        match report.spans.last() {
+            None => prop_assert_eq!(report.recovery_windows, Some(0)),
+            Some(last) => {
+                let clean_tail = report.window_count - 1 - last.last;
+                let expected = (clean_tail >= clean as usize).then(|| {
+                    (last.last - report.spans[0].first + 1) as u64
+                });
+                prop_assert_eq!(report.recovery_windows, expected);
+            }
+        }
+    }
+}

@@ -55,6 +55,12 @@ pub struct CapacityPoint {
     pub p95_ms: f64,
     /// 99th percentile, ms.
     pub p99_ms: f64,
+    /// 99th percentile of the queue-wait stage (arrival → service), ms.
+    pub queue_wait_p99_ms: f64,
+    /// 99th percentile of the service stage (shard occupancy), ms.
+    pub service_p99_ms: f64,
+    /// 99th percentile of the completion-transit stage, ms.
+    pub transit_p99_ms: f64,
     /// Percent of arrivals shed or backpressured.
     pub loss_pct: f64,
     /// Attached UEs at the end of the run.
@@ -76,6 +82,9 @@ impl CapacityPoint {
             p50_ms: r.p50.as_millis_f64(),
             p95_ms: r.p95.as_millis_f64(),
             p99_ms: r.p99.as_millis_f64(),
+            queue_wait_p99_ms: r.queue_wait_p99.as_millis_f64(),
+            service_p99_ms: r.service_p99.as_millis_f64(),
+            transit_p99_ms: r.transit_p99.as_millis_f64(),
             loss_pct: 100.0 * (r.shed + r.backpressure) as f64 / denom,
             active_ues: r.active_ues,
             utilisation: r.busy_fraction,
@@ -367,6 +376,57 @@ pub fn timeline_knee(curve: &CapacityCurve) -> Option<TimelineKnee> {
         }
     }
     None
+}
+
+/// Which latency stage dominates the tail past the knee — the anatomy of
+/// the knee itself.
+///
+/// Open-loop overload can blow the tail up two different ways: arrivals
+/// stack up behind a busy shard (queue-wait dominates — the classic
+/// M/G/1 departure for the asymptote), or the procedure mix itself got
+/// slower per event (service dominates — a calibration or profile
+/// regression, not congestion). Distinguishing the two from the
+/// per-stage p99s turns "p99 went up" into an actionable diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KneeAnatomy {
+    /// Queue-wait p99 exceeds service p99 past the knee: the tail is
+    /// congestion, and shedding/backpressure tuning is the lever.
+    WaitDominated,
+    /// Service p99 is still the bigger stage past the knee: the tail is
+    /// the work itself, and only faster procedures move it.
+    ServiceDominated,
+}
+
+impl std::fmt::Display for KneeAnatomy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KneeAnatomy::WaitDominated => "wait-dominated",
+            KneeAnatomy::ServiceDominated => "service-dominated",
+        })
+    }
+}
+
+/// Classifies the first sweep point past the knee (or the knee point
+/// itself when nothing lies past it) by its dominant latency stage.
+pub fn knee_anatomy(curve: &CapacityCurve) -> KneeAnatomy {
+    let idx = (curve.knee + 1).min(curve.points.len().saturating_sub(1));
+    let p = &curve.points[idx];
+    if p.queue_wait_p99_ms > p.service_p99_ms {
+        KneeAnatomy::WaitDominated
+    } else {
+        KneeAnatomy::ServiceDominated
+    }
+}
+
+/// Evaluates `spec` against every per-point timeline the sweep carried,
+/// in [`SWEEP_FRACTIONS`] order. Empty when the sweep ran without
+/// [`CapacityParams::metrics_interval_ms`].
+pub fn slo_reports(curve: &CapacityCurve, spec: &l25gc_obs::SloSpec) -> Vec<l25gc_obs::SloReport> {
+    curve
+        .timelines
+        .iter()
+        .map(|tl| l25gc_obs::slo::evaluate(tl, spec))
+        .collect()
 }
 
 /// The full experiment: Free5GC (kernel/HTTP) vs L²5GC (shm).
@@ -719,7 +779,64 @@ mod tests {
             assert!(last >= first * 0.99, "{:?}: {first} → {last}", c.deployment);
             // Analytic points carry no wall-clock column.
             assert!(c.points.iter().all(|p| p.wall_eps.is_none()));
+            // Every point reports its stage anatomy, and the stages can
+            // never exceed the end-to-end tail they decompose.
+            for p in &c.points {
+                assert!(p.service_p99_ms > 0.0, "service stage always runs");
+                assert!(p.queue_wait_p99_ms <= p.p99_ms + 1e-9);
+                assert!(p.service_p99_ms <= p.p99_ms + 1e-9);
+            }
+            // Past the knee the tail must be congestion, not slower
+            // procedures: the sweep holds the profiles fixed.
+            assert_eq!(knee_anatomy(c), KneeAnatomy::WaitDominated);
         }
+    }
+
+    #[test]
+    fn slo_reports_cover_every_sweep_point_and_find_the_overload() {
+        let params = CapacityParams {
+            ues: 20_000,
+            duration_s: 2.0,
+            metrics_interval_ms: Some(100.0),
+            ..small_params()
+        };
+        let curve = sweep_deployment(Deployment::L25gc, &params);
+        // A budget at the lightest point's whole-run p99: light points
+        // hold it, the 1.2× point cannot.
+        let budget_ns = (curve.points[0].p99_ms * 3.0 * 1e6) as u64;
+        let spec = l25gc_obs::SloSpec::new(budget_ns.max(1), 0.5);
+        let reports = slo_reports(&curve, &spec);
+        assert_eq!(reports.len(), SWEEP_FRACTIONS.len());
+        let first = &reports[0];
+        assert_eq!(first.violating_windows, 0, "lightest point holds the SLO");
+        assert_eq!(first.recovery_windows, Some(0));
+        let last = reports.last().unwrap();
+        assert!(
+            last.violating_windows > 0,
+            "1.2× capacity must violate the knee budget"
+        );
+        assert!(last.burn_rate > first.burn_rate);
+        // Recovery (or its horizon clamp) is always reportable.
+        assert!(last.recovery_ns_or_horizon() > 0);
+        // No timelines, no reports.
+        let plain = sweep_deployment(Deployment::L25gc, &small_params());
+        assert!(slo_reports(&plain, &spec).is_empty());
+    }
+
+    #[test]
+    fn threaded_points_also_report_stage_anatomy() {
+        let params = CapacityParams {
+            ues: 10_000,
+            duration_s: 1.0,
+            backend: ExecBackend::Threaded,
+            ..small_params()
+        };
+        let curve = sweep_deployment(Deployment::L25gc, &params);
+        for p in &curve.points {
+            assert!(p.service_p99_ms > 0.0, "threaded stage hists merged");
+            assert!(p.service_p99_ms <= p.p99_ms + 1e-9);
+        }
+        assert_eq!(knee_anatomy(&curve), KneeAnatomy::WaitDominated);
     }
 
     #[test]
