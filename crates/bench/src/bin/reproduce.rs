@@ -25,6 +25,15 @@
 //! admission-policy table; `--scale-shards lo..hi` runs the shard-count
 //! scaling study on both backends.
 //!
+//! `scenarios` runs the incident library (flash-crowd,
+//! post-outage-reattach, diurnal, stadium-egress) as scripted-arrival
+//! profiles against the calibrated capacity, under both Shed and Queue
+//! admission, scoring each run with the windowed SLO engine — per cell:
+//! recovery time, time to first violation, peak per-window shed, and
+//! violation-span count. `--scenario <names>` picks a subset;
+//! `--manifest-out` writes a scenario manifest the `compare` gate
+//! accepts. Not part of `all`.
+//!
 //! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
 //! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
 //!
@@ -59,14 +68,14 @@
 //! closed-loop worker count where throughput plateaus and records it
 //! in the manifest.
 
-use l25gc_bench::{deployment_name, f, render_table, RunManifest, SaturationRow};
+use l25gc_bench::{deployment_name, f, policy_name, render_table, RunManifest, SaturationRow};
 use l25gc_core::Deployment;
-use l25gc_load::ExecBackend;
+use l25gc_load::{ExecBackend, ScenarioSpec, SCENARIO_NAMES};
 use l25gc_nfv::CostModel;
 use l25gc_testbed::exp;
 
 /// Every experiment id the CLI accepts (besides `all` / `help`).
-const EXPERIMENTS: [&str; 22] = [
+const EXPERIMENTS: [&str; 23] = [
     "fig6",
     "fig7",
     "fig8",
@@ -85,6 +94,7 @@ const EXPERIMENTS: [&str; 22] = [
     "fig17",
     "capacity",
     "capacity-burst",
+    "scenarios",
     "ablate-dos",
     "ablate-checkpoint",
     "ablate-canary",
@@ -120,6 +130,13 @@ struct Args {
     cap: exp::capacity::CapacityParams,
     /// `--scale-shards lo..hi`: run the shard-scaling study.
     scale_shards: Option<(u16, u16)>,
+    /// `--scenario <names>`: comma-separated subset of the scenario
+    /// library for the `scenarios` matrix (empty = whole library).
+    scenario: Vec<String>,
+    /// Explicit `--ues` for the `scenarios` matrix; `None` keeps each
+    /// scenario's own default fleet size (the capacity sweep's 1 M
+    /// default must not leak into scenario runs).
+    scenario_ues: Option<usize>,
     /// Validated experiment ids, in given order (empty = everything).
     experiments: Vec<String>,
 }
@@ -187,7 +204,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                const FLAGS: [&str; 20] = [
+                const FLAGS: [&str; 21] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -208,6 +225,7 @@ impl Args {
                     "--repeats",
                     "--slo",
                     "--slo-out",
+                    "--scenario",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -304,6 +322,17 @@ impl Args {
                     }
                     "--slo" => args.slo = Some(l25gc_obs::SloSpec::parse(v)?),
                     "--slo-out" => args.slo_out = Some(v.to_string()),
+                    "--scenario" => {
+                        for name in v.split(',').map(str::trim) {
+                            if !SCENARIO_NAMES.contains(&name) {
+                                return Err(format!(
+                                    "unknown scenario `{name}` (library: {})",
+                                    SCENARIO_NAMES.join(", ")
+                                ));
+                            }
+                            args.scenario.push(name.to_string());
+                        }
+                    }
                     "--threshold-pct" => {
                         args.threshold_pct = num(flag, v, "a percentage")?;
                         if !args.threshold_pct.is_finite() || args.threshold_pct <= 0.0 {
@@ -324,19 +353,45 @@ impl Args {
         }
         args.cap.seed = args.seed;
         args.cap.workers = workers;
+        // The capacity default (1 M UEs) must not leak into scenario
+        // runs: only an explicit --ues overrides the per-scenario fleet.
+        if seen.contains(&"--ues") {
+            args.scenario_ues = Some(args.cap.ues);
+        }
+        let scenarios_selected = args.experiments.iter().any(|a| a == "scenarios");
+        let capacity_selected = args
+            .experiments
+            .iter()
+            .any(|a| a == "capacity" || a == "all");
         if args.compare.is_some() && !args.experiments.is_empty() {
             return Err("compare is standalone; drop the experiment ids".into());
         }
         if args.baseline && (!args.experiments.is_empty() || args.compare.is_some()) {
             return Err("baseline is standalone; drop the experiment ids".into());
         }
-        if metrics_interval_ms.is_some() && args.metrics_out.is_none() && args.slo.is_none() {
-            return Err("--metrics-interval-ms needs --metrics-out or --slo".into());
+        if !args.scenario.is_empty() && !scenarios_selected {
+            return Err("--scenario needs the `scenarios` experiment".into());
+        }
+        if args.manifest_out.is_some() && scenarios_selected && capacity_selected {
+            return Err(
+                "--manifest-out is ambiguous with both `capacity` and `scenarios` selected; \
+                 run them separately"
+                    .into(),
+            );
+        }
+        // `scenarios` always carries a timeline, so the interval flag
+        // stands on its own there.
+        if metrics_interval_ms.is_some()
+            && args.metrics_out.is_none()
+            && args.slo.is_none()
+            && !scenarios_selected
+        {
+            return Err("--metrics-interval-ms needs --metrics-out, --slo, or scenarios".into());
         }
         if args.slo_out.is_some() && args.slo.is_none() {
             return Err("--slo-out needs --slo".into());
         }
-        if args.metrics_out.is_some() || args.slo.is_some() {
+        if args.metrics_out.is_some() || args.slo.is_some() || scenarios_selected {
             args.cap.metrics_interval_ms = Some(metrics_interval_ms.unwrap_or(100.0));
         }
         Ok(args)
@@ -350,8 +405,9 @@ reproduce — regenerate the paper's figures and tables
 
 usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
        reproduce compare <baseline.json> <current.json> [--threshold-pct <p>]
-       reproduce baseline    (rerun the CI gate config, rewrite
-                              results/BENCH_capacity_baseline.json)
+       reproduce baseline    (rerun the CI gate configs, rewrite
+                              results/BENCH_capacity_baseline.json and
+                              results/BENCH_scenarios_baseline.json)
 
 experiments:
   fig6              PostSmContextsRequest serialization cost
@@ -372,6 +428,11 @@ experiments:
   fig17             repeated handovers under 10 TCP flows
   capacity          fleet-scale load-latency sweep (l25gc-load engine)
   capacity-burst    MMPP burstiness x admission policy (not part of `all`)
+  scenarios         incident scenario x admission-policy recovery matrix
+                    over the scripted-arrival library (flash-crowd,
+                    post-outage-reattach, diurnal, stadium-egress);
+                    reports recovery time, time to first violation, and
+                    peak shed per cell (not part of `all`)
   ablate-dos        tuple-space explosion DoS
   ablate-checkpoint checkpoint interval sweep
   ablate-canary     canary rollout split
@@ -419,6 +480,10 @@ flags:
                       time (never changes the exit status)
   --slo-out <path>    write the per-point SLO reports as JSON (needs
                       --slo)
+  --scenario <names>  scenarios: comma-separated subset of the library
+                      (default: all four); --ues, --shards, --backend,
+                      --slo, --metrics-interval-ms, and --manifest-out
+                      apply to the matrix too
   --trace-sample <n>  capacity: keep every nth UE's procedure spans
                       (strided, allocation-free when sampled out)
   --manifest-out <p>  capacity: write the machine-readable run manifest
@@ -450,7 +515,10 @@ fn main() {
         std::process::exit(run_compare(base, cur, args.threshold_pct));
     }
     if args.baseline {
-        std::process::exit(run_baseline("results/BENCH_capacity_baseline.json"));
+        std::process::exit(run_baseline(
+            "results/BENCH_capacity_baseline.json",
+            "results/BENCH_scenarios_baseline.json",
+        ));
     }
     let seed = args.seed;
     let csv_dir = args.csv.clone();
@@ -530,6 +598,10 @@ fn main() {
     if ids.iter().any(|a| a == "capacity-burst") {
         capacity_burst(&cap_params);
     }
+    // Recovery matrix: also explicit-only, with its own manifest shape.
+    if ids.iter().any(|a| a == "scenarios") {
+        scenarios(&args);
+    }
     if want("ablate-dos") {
         ablate_dos();
     }
@@ -586,11 +658,12 @@ fn run_compare(base_path: &str, cur_path: &str, threshold_pct: f64) -> i32 {
     1
 }
 
-/// Reruns the exact configuration the CI regression gate uses
-/// (`capacity --ues 10000 --duration-s 1 --seed 7`, analytic backend)
-/// and rewrites the committed baseline manifest. Returns the process
-/// exit code: 0 written, 2 unwritable path.
-fn run_baseline(path: &str) -> i32 {
+/// Reruns the exact configurations the CI regression gates use —
+/// `capacity --ues 10000 --duration-s 1 --seed 7` and the full scenario
+/// matrix at `--ues 20000 --shards 2 --seed 7`, both analytic — and
+/// rewrites the committed baseline manifests. Returns the process exit
+/// code: 0 both written, 2 unwritable path.
+fn run_baseline(cap_path: &str, scen_path: &str) -> i32 {
     let params = exp::capacity::CapacityParams {
         ues: 10_000,
         duration_s: 1.0,
@@ -602,18 +675,39 @@ fn run_baseline(path: &str) -> i32 {
     };
     let curves = exp::capacity::sweep(&params);
     let manifest = RunManifest::from_capacity(&params, &curves);
-    if let Err(e) = std::fs::write(path, manifest.to_json()) {
-        eprintln!("reproduce: baseline: {path}: {e}");
+    if let Err(e) = std::fs::write(cap_path, manifest.to_json()) {
+        eprintln!("reproduce: baseline: {cap_path}: {e}");
         return 2;
     }
     println!(
-        "wrote {path}: baseline manifest (seed {}, {} UEs, {} shards, {} backend), {} metric \
+        "wrote {cap_path}: baseline manifest (seed {}, {} UEs, {} shards, {} backend), {} metric \
          series",
         params.seed,
         params.ues,
         params.shards,
         params.backend,
         manifest.metrics.len()
+    );
+    let scen_params = exp::scenario::ScenarioParams {
+        ues: Some(20_000),
+        shards: 2,
+        seed: 7,
+        ..exp::scenario::ScenarioParams::default()
+    };
+    let specs = ScenarioSpec::library();
+    let outcomes = exp::scenario::run_matrix(&specs, &scen_params);
+    let scen_manifest = RunManifest::from_scenarios(&scen_params, &specs, &outcomes);
+    if let Err(e) = std::fs::write(scen_path, scen_manifest.to_json()) {
+        eprintln!("reproduce: baseline: {scen_path}: {e}");
+        return 2;
+    }
+    println!(
+        "wrote {scen_path}: scenario baseline manifest (seed {}, {} UEs, {} shards), {} metric \
+         series",
+        scen_params.seed,
+        20_000,
+        scen_params.shards,
+        scen_manifest.metrics.len()
     );
     0
 }
@@ -851,6 +945,106 @@ fn capacity(args: &Args) {
     }
     if let Some(max_workers) = params.workers {
         closed_loop(params, max_workers);
+    }
+}
+
+/// Builds the `ScenarioParams` for the matrix from the parsed command
+/// line. Shared by the `scenarios` experiment and `baseline`.
+fn scenario_params(args: &Args) -> exp::scenario::ScenarioParams {
+    exp::scenario::ScenarioParams {
+        ues: args.scenario_ues,
+        shards: args.cap.shards,
+        seed: args.seed,
+        backend: args.cap.backend,
+        metrics_interval_ms: args.cap.metrics_interval_ms.unwrap_or(100.0),
+        slo: args.slo,
+        pin: args.cap.pin,
+        wait: args.cap.wait,
+    }
+}
+
+/// Runs the scenario × admission-policy recovery matrix and prints one
+/// row per cell; `--manifest-out` additionally writes a scenario run
+/// manifest for the `compare` gate.
+fn scenarios(args: &Args) {
+    let specs: Vec<ScenarioSpec> = if args.scenario.is_empty() {
+        ScenarioSpec::library()
+    } else {
+        args.scenario
+            .iter()
+            .map(|n| ScenarioSpec::by_name(n).expect("names validated at parse"))
+            .collect()
+    };
+    let params = scenario_params(args);
+    let outcomes = exp::scenario::run_matrix(&specs, &params);
+    let table: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                format!("{}/{}", o.scenario, policy_name(o.policy)),
+                f(o.capacity_eps),
+                o.offered.to_string(),
+                o.shed.to_string(),
+                o.backpressure.to_string(),
+                f(o.p99_ms),
+                f(o.p99_budget_ms),
+                o.peak_window_shed.to_string(),
+                o.violation_spans.to_string(),
+                o.time_to_first_violation_ms
+                    .map_or_else(|| "-".to_string(), f),
+                match o.recovery_ms {
+                    Some(0.0) => "clean".to_string(),
+                    Some(v) => format!("{} ms", f(v)),
+                    None => format!("never (>= {} ms)", f(o.horizon_ms)),
+                },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Scenarios: incident x admission-policy recovery matrix \
+                 (seed {}, {} shards, {} backend, {} ms windows)",
+                params.seed, params.shards, params.backend, params.metrics_interval_ms
+            ),
+            &[
+                "scenario/policy",
+                "cap (ev/s)",
+                "offered",
+                "shed",
+                "bp",
+                "p99 (ms)",
+                "budget (ms)",
+                "peak shed/win",
+                "spans",
+                "first viol (ms)",
+                "recovery",
+            ],
+            &table
+        )
+    );
+    for spec in &specs {
+        if let Some(o) = outcomes.iter().find(|o| o.scenario == spec.name) {
+            println!(
+                "{}: {} ({} UEs, {} s scripted, capacity {} ev/s, p99 budget {} ms)",
+                spec.name,
+                spec.summary,
+                o.ues,
+                f(o.duration_s),
+                f(o.capacity_eps),
+                f(o.p99_budget_ms),
+            );
+        }
+    }
+    if let Some(path) = args.manifest_out.as_deref() {
+        let manifest = RunManifest::from_scenarios(&params, &specs, &outcomes);
+        std::fs::write(path, manifest.to_json()).expect("write manifest file");
+        println!(
+            "wrote {path}: scenario run manifest, {} metric series, {} scenario specs",
+            manifest.metrics.len(),
+            manifest.scenarios.len()
+        );
     }
 }
 
@@ -1619,6 +1813,71 @@ mod tests {
     }
 
     #[test]
+    fn scenario_flags_parse_into_typed_fields() {
+        let args = parse(&["scenarios"]).unwrap();
+        assert!(args.scenario.is_empty(), "empty filter = whole library");
+        assert_eq!(
+            args.scenario_ues, None,
+            "without --ues each scenario keeps its own fleet size"
+        );
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(100.0),
+            "scenarios always carry a timeline"
+        );
+
+        let args = parse(&[
+            "scenarios",
+            "--scenario",
+            "flash-crowd,diurnal",
+            "--ues",
+            "5000",
+            "--shards",
+            "2",
+            "--metrics-interval-ms",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.scenario,
+            vec!["flash-crowd".to_string(), "diurnal".to_string()]
+        );
+        assert_eq!(args.scenario_ues, Some(5000));
+        assert_eq!(args.cap.metrics_interval_ms, Some(50.0));
+    }
+
+    #[test]
+    fn unknown_scenario_names_are_rejected() {
+        let err = parse(&["scenarios", "--scenario", "tsunami"]).unwrap_err();
+        assert!(err.contains("unknown scenario `tsunami`"), "{err}");
+        assert!(err.contains("flash-crowd"), "lists the library: {err}");
+        assert!(parse(&["scenarios", "--scenario", "flash-crowd,nope"])
+            .unwrap_err()
+            .contains("unknown scenario `nope`"));
+    }
+
+    #[test]
+    fn scenario_flag_needs_the_scenarios_experiment() {
+        assert!(parse(&["--scenario", "flash-crowd"])
+            .unwrap_err()
+            .contains("needs the `scenarios` experiment"));
+        assert!(parse(&["capacity", "--scenario", "flash-crowd"])
+            .unwrap_err()
+            .contains("needs the `scenarios` experiment"));
+    }
+
+    #[test]
+    fn manifest_out_refuses_capacity_plus_scenarios() {
+        for ids in [["capacity", "scenarios"], ["all", "scenarios"]] {
+            let err = parse(&[ids[0], ids[1], "--manifest-out", "run.json"]).unwrap_err();
+            assert!(err.contains("ambiguous"), "{ids:?}: {err}");
+        }
+        // Each alone is fine.
+        assert!(parse(&["scenarios", "--manifest-out", "run.json"]).is_ok());
+        assert!(parse(&["capacity", "--manifest-out", "run.json"]).is_ok());
+    }
+
+    #[test]
     fn telemetry_flags_parse_into_typed_fields() {
         let args = parse(&[
             "capacity",
@@ -1827,8 +2086,10 @@ mod tests {
                 transit_p99_ms: None,
                 loss_pct: 0.0,
                 recovery_ms,
+                time_to_first_violation_ms: None,
             }],
             saturation: None,
+            scenarios: Vec::new(),
         }
     }
 

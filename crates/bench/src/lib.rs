@@ -19,7 +19,10 @@
 
 pub mod manifest;
 
-pub use manifest::{compare, deployment_name, MetricRow, Regression, RunManifest, SaturationRow};
+pub use manifest::{
+    compare, deployment_name, policy_name, MetricRow, Regression, RunManifest, SaturationRow,
+    ScenarioEntry,
+};
 
 /// Formats a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -20,8 +20,10 @@
 use l25gc_codec::json;
 use l25gc_codec::{ObjectBuilder, Value};
 use l25gc_core::Deployment;
+use l25gc_load::{OverloadPolicy, ScenarioSpec};
 use l25gc_obs::DEFAULT_BITS;
 use l25gc_testbed::exp::capacity::{CapacityCurve, CapacityParams, SWEEP_FRACTIONS};
+use l25gc_testbed::exp::scenario::{ScenarioOutcome, ScenarioParams};
 
 /// The `kind` discriminator stored in every manifest.
 pub const MANIFEST_KIND: &str = "l25gc-capacity-manifest";
@@ -32,6 +34,15 @@ pub fn deployment_name(d: Deployment) -> &'static str {
         Deployment::Free5gc => "free5GC",
         Deployment::OnvmUpf => "ONVM-UPF",
         Deployment::L25gc => "L25GC",
+    }
+}
+
+/// Lowercase admission-policy label used in scenario metric names
+/// (`flash-crowd/shed`).
+pub fn policy_name(p: OverloadPolicy) -> &'static str {
+    match p {
+        OverloadPolicy::Shed => "shed",
+        OverloadPolicy::Queue => "queue",
     }
 }
 
@@ -65,6 +76,35 @@ pub struct MetricRow {
     /// clamped to the timeline horizon so the gate still bites. `None`
     /// when the run carried no metrics timeline (or predates the field).
     pub recovery_ms: Option<f64>,
+    /// Start of the first SLO-violating window, ms from the run origin
+    /// — the disturbance-onset half of recovery. Informational (not
+    /// gated by [`compare`]: earlier onset with the same recovery is
+    /// not by itself worse). `None` when the run never violated or
+    /// carried no timeline.
+    pub time_to_first_violation_ms: Option<f64>,
+}
+
+/// One library scenario's declarative spec as the manifest records it:
+/// the scripted profile (rates in capacity fractions), the procedure
+/// mix, and the sizes the run resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEntry {
+    /// Library name (`flash-crowd`, ...).
+    pub name: String,
+    /// One-line incident description.
+    pub summary: String,
+    /// Fleet size the run used.
+    pub ues: u64,
+    /// Calibrated sustainable capacity the profile was scaled to,
+    /// events/s.
+    pub capacity_eps: f64,
+    /// The p99 budget the scenario was scored against, ms.
+    pub p99_budget_ms: f64,
+    /// Per segment: `(duration_s, rate_start, rate_end, burst)`, rates
+    /// as capacity fractions.
+    pub segments: Vec<(f64, f64, f64, f64)>,
+    /// Procedure-mix weights as `(event, weight)` pairs.
+    pub mix: Vec<(String, f64)>,
 }
 
 /// The saturation-search result carried on a manifest when the run was
@@ -110,11 +150,15 @@ pub struct RunManifest {
     /// Log2-histogram sub-bucket bits the latency quantiles carry;
     /// bounds their relative error at `2^-bits`.
     pub hist_bits: u32,
-    /// One row per deployment × sweep fraction, in sweep order.
+    /// One row per deployment × sweep fraction, in sweep order — or,
+    /// for scenario manifests, one per scenario × admission policy.
     pub metrics: Vec<MetricRow>,
     /// Saturation-search result when the run was invoked with
     /// `--saturate`.
     pub saturation: Option<SaturationRow>,
+    /// The declarative scenario specs behind a `reproduce scenarios`
+    /// run, in matrix order. Empty on capacity manifests.
+    pub scenarios: Vec<ScenarioEntry>,
 }
 
 impl RunManifest {
@@ -128,15 +172,22 @@ impl RunManifest {
             // against the same budget. Only sweeps that carried
             // timelines (one per point) can report it.
             let gate = l25gc_obs::SloSpec::default_gate();
-            let recoveries: Vec<Option<f64>> = if c.timelines.len() == c.points.len() {
+            let slo_cols: Vec<(Option<f64>, Option<f64>)> = if c.timelines.len() == c.points.len() {
                 l25gc_testbed::exp::capacity::slo_reports(c, &gate)
                     .iter()
-                    .map(|r| Some(r.recovery_ns_or_horizon() as f64 / 1e6))
+                    .map(|r| {
+                        (
+                            Some(r.recovery_ns_or_horizon() as f64 / 1e6),
+                            r.time_to_first_violation_ns.map(|ns| ns as f64 / 1e6),
+                        )
+                    })
                     .collect()
             } else {
-                vec![None; c.points.len()]
+                vec![(None, None); c.points.len()]
             };
-            for ((frac, p), recovery_ms) in SWEEP_FRACTIONS.iter().zip(&c.points).zip(recoveries) {
+            for ((frac, p), (recovery_ms, ttfv_ms)) in
+                SWEEP_FRACTIONS.iter().zip(&c.points).zip(slo_cols)
+            {
                 metrics.push(MetricRow {
                     name: format!("{name}@{frac}x"),
                     offered_eps: p.offered_eps,
@@ -149,6 +200,7 @@ impl RunManifest {
                     service_p99_ms: Some(p.service_p99_ms),
                     transit_p99_ms: Some(p.transit_p99_ms),
                     recovery_ms,
+                    time_to_first_violation_ms: ttfv_ms,
                 });
             }
         }
@@ -166,6 +218,80 @@ impl RunManifest {
             hist_bits: DEFAULT_BITS,
             metrics,
             saturation: None,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Builds a manifest from a finished scenario matrix. Rows are named
+    /// `<scenario>/<policy>`; each library spec rides along verbatim in
+    /// [`RunManifest::scenarios`] so a baseline records *what* incident
+    /// it measured, not just the numbers. `ues` is the CLI override
+    /// (0 = every scenario used its own default fleet) and `duration_s`
+    /// is the summed scripted horizon.
+    pub fn from_scenarios(
+        params: &ScenarioParams,
+        specs: &[ScenarioSpec],
+        outcomes: &[ScenarioOutcome],
+    ) -> RunManifest {
+        let metrics = outcomes
+            .iter()
+            .map(|o| MetricRow {
+                name: format!("{}/{}", o.scenario, policy_name(o.policy)),
+                offered_eps: o.offered as f64 / o.duration_s.max(1e-9),
+                achieved_eps: o.achieved_eps,
+                p50_ms: o.p50_ms,
+                p95_ms: o.p95_ms,
+                p99_ms: o.p99_ms,
+                loss_pct: o.loss_pct,
+                queue_wait_p99_ms: Some(o.queue_wait_p99_ms),
+                service_p99_ms: Some(o.service_p99_ms),
+                transit_p99_ms: Some(o.transit_p99_ms),
+                recovery_ms: Some(o.recovery_or_horizon_ms),
+                time_to_first_violation_ms: o.time_to_first_violation_ms,
+            })
+            .collect();
+        let scenarios = specs
+            .iter()
+            .map(|spec| {
+                // The matrix derives capacity and the budget per
+                // scenario; both policies share them, so read the first
+                // matching outcome.
+                let cell = outcomes.iter().find(|o| o.scenario == spec.name);
+                ScenarioEntry {
+                    name: spec.name.to_string(),
+                    summary: spec.summary.to_string(),
+                    ues: cell.map(|o| o.ues as u64).unwrap_or(spec.ues as u64),
+                    capacity_eps: cell.map(|o| o.capacity_eps).unwrap_or(0.0),
+                    p99_budget_ms: cell.map(|o| o.p99_budget_ms).unwrap_or(0.0),
+                    segments: spec
+                        .segments
+                        .iter()
+                        .map(|s| (s.duration_s, s.rate_start, s.rate_end, s.burst))
+                        .collect(),
+                    mix: spec
+                        .mix
+                        .weights
+                        .iter()
+                        .map(|(k, w)| (format!("{k:?}"), *w))
+                        .collect(),
+                }
+            })
+            .collect();
+        RunManifest {
+            kind: MANIFEST_KIND.to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: params.seed,
+            ues: params.ues.unwrap_or(0) as u64,
+            shards: params.shards,
+            duration_s: specs.iter().map(|s| s.duration().as_secs_f64()).sum(),
+            backend: params.backend.to_string(),
+            burst: 1.0,
+            pin: params.pin,
+            wait: params.wait.as_str().to_string(),
+            hist_bits: DEFAULT_BITS,
+            metrics,
+            saturation: None,
+            scenarios,
         }
     }
 
@@ -188,6 +314,47 @@ impl RunManifest {
                     .opt("service_p99_ms", m.service_p99_ms.map(Value::F64))
                     .opt("transit_p99_ms", m.transit_p99_ms.map(Value::F64))
                     .opt("recovery_ms", m.recovery_ms.map(Value::F64))
+                    .opt(
+                        "time_to_first_violation_ms",
+                        m.time_to_first_violation_ms.map(Value::F64),
+                    )
+                    .build()
+            })
+            .collect();
+        let scenarios: Vec<Value> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let segments: Vec<Value> = s
+                    .segments
+                    .iter()
+                    .map(|&(duration_s, rate_start, rate_end, burst)| {
+                        ObjectBuilder::new()
+                            .field("duration_s", Value::F64(duration_s))
+                            .field("rate_start", Value::F64(rate_start))
+                            .field("rate_end", Value::F64(rate_end))
+                            .field("burst", Value::F64(burst))
+                            .build()
+                    })
+                    .collect();
+                let mix: Vec<Value> = s
+                    .mix
+                    .iter()
+                    .map(|(event, weight)| {
+                        ObjectBuilder::new()
+                            .field("event", Value::Str(event.clone()))
+                            .field("weight", Value::F64(*weight))
+                            .build()
+                    })
+                    .collect();
+                ObjectBuilder::new()
+                    .field("name", Value::Str(s.name.clone()))
+                    .field("summary", Value::Str(s.summary.clone()))
+                    .field("ues", Value::U64(s.ues))
+                    .field("capacity_eps", Value::F64(s.capacity_eps))
+                    .field("p99_budget_ms", Value::F64(s.p99_budget_ms))
+                    .field("segments", Value::Array(segments))
+                    .field("mix", Value::Array(mix))
                     .build()
             })
             .collect();
@@ -213,6 +380,12 @@ impl RunManifest {
             .field("hist_bits", Value::U64(u64::from(self.hist_bits)))
             .field("metrics", Value::Array(rows))
             .opt("saturation", saturation)
+            // Only scenario manifests carry the spec block; capacity
+            // manifest bytes stay identical to earlier releases.
+            .opt(
+                "scenarios",
+                (!scenarios.is_empty()).then_some(Value::Array(scenarios)),
+            )
             .build();
         json::to_string(&v)
     }
@@ -243,8 +416,53 @@ impl RunManifest {
                 service_p99_ms: row.get("service_p99_ms").and_then(Value::as_f64),
                 transit_p99_ms: row.get("transit_p99_ms").and_then(Value::as_f64),
                 recovery_ms: row.get("recovery_ms").and_then(Value::as_f64),
+                time_to_first_violation_ms: row
+                    .get("time_to_first_violation_ms")
+                    .and_then(Value::as_f64),
             });
         }
+        // Capacity manifests (and all pre-scenario manifests) carry no
+        // scenario spec block.
+        let scenarios = match v.get("scenarios") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(s) => {
+                let entries = s.as_array().ok_or("`scenarios` is not an array")?;
+                let mut out = Vec::with_capacity(entries.len());
+                for e in entries {
+                    let seg_rows = e
+                        .get("segments")
+                        .and_then(Value::as_array)
+                        .ok_or("scenario entry missing `segments` array")?;
+                    let mut segments = Vec::with_capacity(seg_rows.len());
+                    for seg in seg_rows {
+                        segments.push((
+                            f64_field(seg, "duration_s")?,
+                            f64_field(seg, "rate_start")?,
+                            f64_field(seg, "rate_end")?,
+                            f64_field(seg, "burst")?,
+                        ));
+                    }
+                    let mix_rows = e
+                        .get("mix")
+                        .and_then(Value::as_array)
+                        .ok_or("scenario entry missing `mix` array")?;
+                    let mut mix = Vec::with_capacity(mix_rows.len());
+                    for m in mix_rows {
+                        mix.push((str_field(m, "event")?, f64_field(m, "weight")?));
+                    }
+                    out.push(ScenarioEntry {
+                        name: str_field(e, "name")?,
+                        summary: str_field(e, "summary")?,
+                        ues: u64_field(e, "ues")?,
+                        capacity_eps: f64_field(e, "capacity_eps")?,
+                        p99_budget_ms: f64_field(e, "p99_budget_ms")?,
+                        segments,
+                        mix,
+                    });
+                }
+                out
+            }
+        };
         // Pre-placement manifests carry neither field; those runs were
         // unpinned with the default wait strategy.
         let pin = v.get("pin").and_then(Value::as_bool).unwrap_or(false);
@@ -280,6 +498,7 @@ impl RunManifest {
                 .map_err(|_| "`hist_bits` out of u32 range".to_string())?,
             metrics,
             saturation,
+            scenarios,
         })
     }
 }
@@ -547,6 +766,73 @@ mod tests {
         assert!(!parsed.pin);
         assert_eq!(parsed.wait, "adaptive");
         assert_eq!(parsed.saturation, None);
+    }
+
+    #[test]
+    fn scenario_manifest_round_trips_and_feeds_compare() {
+        use l25gc_load::ScenarioSpec;
+        use l25gc_testbed::exp::scenario::{run_matrix, ScenarioParams};
+
+        let params = ScenarioParams {
+            ues: Some(2_000),
+            shards: 2,
+            seed: 7,
+            ..ScenarioParams::default()
+        };
+        let specs = vec![ScenarioSpec::by_name("flash-crowd").unwrap()];
+        let outcomes = run_matrix(&specs, &params);
+        let m = RunManifest::from_scenarios(&params, &specs, &outcomes);
+
+        assert_eq!(m.kind, MANIFEST_KIND);
+        assert_eq!(m.metrics.len(), 2, "one row per policy");
+        assert!(m.metrics.iter().any(|r| r.name == "flash-crowd/shed"));
+        assert!(m.metrics.iter().any(|r| r.name == "flash-crowd/queue"));
+        assert!(m.metrics.iter().all(|r| r.recovery_ms.is_some()));
+        assert_eq!(m.scenarios.len(), 1);
+        assert_eq!(m.scenarios[0].name, "flash-crowd");
+        assert!(m.scenarios[0].capacity_eps > 0.0);
+        assert!(!m.scenarios[0].segments.is_empty());
+        assert!(!m.scenarios[0].mix.is_empty());
+
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // Scenario manifests flow through the same gate as capacity
+        // manifests: identical runs compare clean, a recovery
+        // regression is flagged.
+        assert_eq!(compare(&m, &back, 10.0).unwrap(), vec![]);
+        let mut slower = m.clone();
+        for r in &mut slower.metrics {
+            r.recovery_ms = r.recovery_ms.map(|v| v.max(1.0) * 2.0);
+        }
+        let regs = compare(&m, &slower, 10.0).unwrap();
+        assert!(
+            regs.iter().any(|r| r.field == "recovery_ms"),
+            "doubled recovery must trip the gate: {regs:?}"
+        );
+    }
+
+    #[test]
+    fn time_to_first_violation_round_trips_and_is_not_gated() {
+        let mut m = small_manifest();
+        m.metrics[0].time_to_first_violation_ms = Some(123.5);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // The field is informational: an earlier onset with the same
+        // recovery time is not a regression.
+        let mut earlier = m.clone();
+        earlier.metrics[0].time_to_first_violation_ms = Some(10.0);
+        assert_eq!(compare(&m, &earlier, 10.0).unwrap(), vec![]);
+
+        // Manifests written before the field existed still parse.
+        let legacy = m
+            .to_json()
+            .replace(",\"time_to_first_violation_ms\":123.5", "");
+        assert!(!legacy.contains("time_to_first_violation_ms"));
+        let parsed = RunManifest::from_json(&legacy).unwrap();
+        assert_eq!(parsed.metrics[0].time_to_first_violation_ms, None);
+        assert!(parsed.scenarios.is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use l25gc_core::UeEvent;
 use l25gc_obs::{EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
-use crate::arrival::{ArrivalStream, EventMix};
+use crate::arrival::{ArrivalStream, EventMix, RateSegment};
 use crate::dispatch::{proc_kind, ProfileSet};
 use crate::fleet::{Fleet, UeState};
 use crate::shard::{Admission, ShardConfig, ShardSet};
@@ -134,6 +134,12 @@ pub enum LoadError {
     ZeroWorkers,
     /// A requested metrics timeline needs a non-zero interval.
     ZeroMetricsInterval,
+    /// The scripted rate profile failed [`RateSegment::validate`]; the
+    /// payload is the validator's reason.
+    BadScript(&'static str),
+    /// A scripted profile only drives open-loop arrivals — closed-loop
+    /// workers pace themselves.
+    ScriptInClosedLoop,
 }
 
 impl std::fmt::Display for LoadError {
@@ -160,6 +166,10 @@ impl std::fmt::Display for LoadError {
             LoadError::ZeroMetricsInterval => {
                 write!(f, "metrics timeline interval must be non-zero")
             }
+            LoadError::BadScript(reason) => write!(f, "bad scripted profile: {reason}"),
+            LoadError::ScriptInClosedLoop => {
+                write!(f, "scripted profiles apply to open-loop arrivals only")
+            }
         }
     }
 }
@@ -180,6 +190,10 @@ pub struct LoadConfig {
     /// Burstiness: 1.0 = Poisson arrivals, > 1 = MMPP-2 with this
     /// high/low phase rate ratio.
     pub burst: f64,
+    /// When set, open-loop arrivals follow this scripted piecewise rate
+    /// profile instead of the steady `offered_eps`/`burst` process (the
+    /// steady fields are ignored). `None` = steady arrivals.
+    pub script: Option<Vec<RateSegment>>,
     /// Run horizon.
     pub duration: SimDuration,
     /// Master seed; every RNG in the run forks from it.
@@ -212,6 +226,7 @@ impl Default for LoadConfig {
             mix: EventMix::default(),
             offered_eps: 100.0,
             burst: 1.0,
+            script: None,
             duration: SimDuration::from_secs(5),
             seed: 0,
             backend: ExecBackend::Analytic,
@@ -258,16 +273,23 @@ impl LoadConfig {
             return Err(LoadError::EmptyMix);
         }
         if self.mode == LoadMode::Open {
-            if !self.offered_eps.is_finite() || self.offered_eps <= 0.0 {
-                return Err(LoadError::NonPositiveRate(self.offered_eps));
-            }
-            if !self.burst.is_finite() || self.burst < 1.0 {
-                return Err(LoadError::BadBurst(self.burst));
+            if let Some(script) = &self.script {
+                RateSegment::validate(script).map_err(LoadError::BadScript)?;
+            } else {
+                if !self.offered_eps.is_finite() || self.offered_eps <= 0.0 {
+                    return Err(LoadError::NonPositiveRate(self.offered_eps));
+                }
+                if !self.burst.is_finite() || self.burst < 1.0 {
+                    return Err(LoadError::BadBurst(self.burst));
+                }
             }
         }
         if let LoadMode::Closed { workers, .. } = self.mode {
             if workers == 0 {
                 return Err(LoadError::ZeroWorkers);
+            }
+            if self.script.is_some() {
+                return Err(LoadError::ScriptInClosedLoop);
             }
         }
         if self.metrics_interval.is_some_and(|iv| iv.is_zero()) {
@@ -336,6 +358,13 @@ impl LoadConfigBuilder {
     /// Burstiness (1.0 = Poisson, > 1 = MMPP-2 rate ratio).
     pub fn burst(mut self, burst: f64) -> Self {
         self.cfg.burst = burst;
+        self
+    }
+
+    /// Drives open-loop arrivals from a scripted piecewise rate profile
+    /// (overrides `offered_eps`/`burst`; see [`LoadConfig::script`]).
+    pub fn script(mut self, segments: Vec<RateSegment>) -> Self {
+        self.cfg.script = Some(segments);
         self
     }
 
@@ -686,11 +715,22 @@ fn finish(
     }
 }
 
+/// Builds the open-loop arrival stream for `cfg` — scripted when a
+/// profile is set, steady otherwise. Both paths fork `rng` once per
+/// active mix kind, so the choice never perturbs downstream RNGs; both
+/// backends call this so their arrival sequences stay identical.
+pub(crate) fn open_stream(cfg: &LoadConfig, rng: &mut SimRng) -> ArrivalStream {
+    match &cfg.script {
+        Some(segments) => ArrivalStream::scripted(&cfg.mix, segments, rng),
+        None => ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, rng),
+    }
+}
+
 /// The analytic open-loop engine (virtual time, single-threaded).
 fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     let mut rng = SimRng::new(cfg.seed);
     let mut fleet_rng = rng.fork();
-    let mut stream = ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, &mut rng);
+    let mut stream = open_stream(cfg, &mut rng);
     let mut sample_rng = rng.fork();
 
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);

@@ -1,0 +1,246 @@
+//! Named incident scenarios: declarative scripted-arrival specs.
+//!
+//! Real 5GC control-plane incidents are not steady-state: a paging storm
+//! is a step function, mass re-registration after an AMF restart is a
+//! decaying ramp skewed toward Registration/PDU-establishment, stadium
+//! egress is a deregistration/handover wave, and private-5G traffic is
+//! diurnal. Each [`ScenarioSpec`] here packages one such incident as a
+//! declarative spec — piecewise [`RateSegment`]s, a procedure-mix skew,
+//! and a fleet size — constructible by name ([`ScenarioSpec::by_name`])
+//! and serialized into the run manifest by the bench layer.
+//!
+//! Rates are expressed as **fractions of sustainable capacity** (1.0 =
+//! the calibrated `shards / mean_occupancy` rate), so the same spec
+//! stresses admission control identically at any fleet/shard scale;
+//! [`ScenarioSpec::absolute_segments`] converts to events/s at run time.
+//! Every spec ends in a recovery tail — a hold comfortably under
+//! capacity, long enough for the SLO engine's clean-window rule to
+//! certify recovery inside the horizon.
+
+use l25gc_core::UeEvent;
+use l25gc_sim::SimDuration;
+
+use crate::arrival::{EventMix, RateSegment};
+
+/// Every scenario name in the library, in canonical order.
+pub const SCENARIO_NAMES: [&str; 4] = [
+    "flash-crowd",
+    "post-outage-reattach",
+    "diurnal",
+    "stadium-egress",
+];
+
+/// One named incident: a scripted rate profile (in capacity fractions),
+/// a procedure-mix skew, and a default fleet size.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Library name (`flash-crowd`, …).
+    pub name: &'static str,
+    /// One-line description for tables and docs.
+    pub summary: &'static str,
+    /// The rate profile; `rate_*` fields are fractions of sustainable
+    /// capacity, converted by [`ScenarioSpec::absolute_segments`].
+    pub segments: Vec<RateSegment>,
+    /// Procedure-mix weights for this incident.
+    pub mix: EventMix,
+    /// Default fleet size when the caller does not override it.
+    pub ues: usize,
+}
+
+impl ScenarioSpec {
+    /// Looks a scenario up by its library name.
+    pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+        match name {
+            "flash-crowd" => Some(flash_crowd()),
+            "post-outage-reattach" => Some(post_outage_reattach()),
+            "diurnal" => Some(diurnal()),
+            "stadium-egress" => Some(stadium_egress()),
+            _ => None,
+        }
+    }
+
+    /// The whole library in canonical order.
+    pub fn library() -> Vec<ScenarioSpec> {
+        SCENARIO_NAMES
+            .iter()
+            .map(|n| ScenarioSpec::by_name(n).expect("library names resolve"))
+            .collect()
+    }
+
+    /// Total scripted length — the natural run horizon for this
+    /// scenario.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.segments.iter().map(|s| s.duration_s).sum())
+    }
+
+    /// The profile in absolute events/s for a deployment sustaining
+    /// `capacity_eps` events/s.
+    pub fn absolute_segments(&self, capacity_eps: f64) -> Vec<RateSegment> {
+        self.segments
+            .iter()
+            .map(|s| s.scaled(capacity_eps))
+            .collect()
+    }
+
+    /// The pre-disturbance baseline rate fraction: the profile's
+    /// starting level, floored so quiet-start scenarios (an outage) still
+    /// yield a usable latency baseline for deriving the SLO budget.
+    pub fn baseline_fraction(&self) -> f64 {
+        self.segments
+            .first()
+            .map(|s| s.rate_start)
+            .unwrap_or(0.0)
+            .max(0.1)
+    }
+}
+
+/// A paging/registration storm: steady load, a sudden 1.8× capacity
+/// step (the crowd arriving), then back to baseline.
+fn flash_crowd() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "flash-crowd",
+        summary: "sudden 1.8x-capacity signalling step, then baseline",
+        segments: vec![
+            RateSegment::step(1.5, 0.4),
+            RateSegment::step(1.0, 1.8).with_burst(3.0),
+            RateSegment::hold(2.0, 0.4),
+        ],
+        mix: EventMix::default(),
+        ues: 100_000,
+    }
+}
+
+/// Mass re-registration after an AMF outage: near-silence while the
+/// core is down, then a reattach wave that starts at 2× capacity and
+/// decays as the fleet re-registers — skewed hard toward Registration
+/// and PDU-session establishment.
+fn post_outage_reattach() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "post-outage-reattach",
+        summary: "outage silence, then a decaying 2x re-registration wave",
+        segments: vec![
+            RateSegment::step(1.0, 0.05),
+            RateSegment::ramp(1.5, 2.0, 0.8),
+            RateSegment::hold(2.0, 0.4),
+        ],
+        mix: EventMix {
+            weights: vec![
+                (UeEvent::Registration, 0.50),
+                (UeEvent::SessionRequest, 0.30),
+                (UeEvent::Handover, 0.05),
+                (UeEvent::IdleTransition, 0.05),
+                (UeEvent::Paging, 0.05),
+                (UeEvent::Deregistration, 0.05),
+            ],
+        },
+        ues: 100_000,
+    }
+}
+
+/// A compressed diurnal cycle: morning ramp-up to a bursty busy hour
+/// just under capacity, then the evening ramp-down.
+fn diurnal() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "diurnal",
+        summary: "ramp to a bursty 0.9x busy hour, then ramp down",
+        segments: vec![
+            RateSegment::ramp(2.0, 0.3, 0.9),
+            RateSegment::step(1.0, 0.9).with_burst(4.0),
+            RateSegment::ramp(2.0, 0.9, 0.3),
+            RateSegment::hold(1.0, 0.3),
+        ],
+        mix: EventMix::default(),
+        ues: 100_000,
+    }
+}
+
+/// Stadium egress: a full venue empties at once — a deregistration and
+/// handover wave at 2× capacity that decays as the crowd disperses.
+fn stadium_egress() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "stadium-egress",
+        summary: "2x deregistration/handover wave decaying to baseline",
+        segments: vec![
+            RateSegment::step(1.0, 0.5),
+            RateSegment::step(0.8, 2.0).with_burst(3.0),
+            RateSegment::ramp(1.2, 2.0, 0.4),
+            RateSegment::hold(2.0, 0.4),
+        ],
+        mix: EventMix {
+            weights: vec![
+                (UeEvent::Registration, 0.05),
+                (UeEvent::SessionRequest, 0.10),
+                (UeEvent::Handover, 0.25),
+                (UeEvent::IdleTransition, 0.15),
+                (UeEvent::Paging, 0.05),
+                (UeEvent::Deregistration, 0.40),
+            ],
+        },
+        ues: 100_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_scenario_is_valid_and_named_consistently() {
+        let lib = ScenarioSpec::library();
+        assert_eq!(lib.len(), SCENARIO_NAMES.len());
+        for (spec, name) in lib.iter().zip(SCENARIO_NAMES) {
+            assert_eq!(spec.name, name);
+            RateSegment::validate(&spec.segments)
+                .unwrap_or_else(|e| panic!("{name}: invalid profile: {e}"));
+            assert!(spec.mix.total() > 0.0, "{name}: empty mix");
+            assert!(spec.ues > 0, "{name}: zero fleet");
+            assert!(
+                spec.duration() >= SimDuration::from_secs(1),
+                "{name}: too short to evaluate windows"
+            );
+            // Recovery tail: the profile must end under capacity so the
+            // clean-window rule can certify recovery.
+            let tail = spec.segments.last().unwrap();
+            assert!(
+                tail.rate_end < 1.0 && tail.duration_s >= 1.0,
+                "{name}: missing recovery tail"
+            );
+            // Every spec must actually disturb the system at some point:
+            // the effective peak (including the MMPP high-phase factor,
+            // 2b/(1+b)) must exceed capacity.
+            assert!(
+                spec.segments.iter().any(|s| {
+                    let hi = if s.burst > 1.0 {
+                        2.0 * s.burst / (1.0 + s.burst)
+                    } else {
+                        1.0
+                    };
+                    s.rate_start.max(s.rate_end) * hi > 1.0
+                }),
+                "{name}: never exceeds capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(ScenarioSpec::by_name("flash-mob").is_none());
+        assert!(ScenarioSpec::by_name("").is_none());
+    }
+
+    #[test]
+    fn absolute_segments_scale_by_capacity() {
+        let spec = ScenarioSpec::by_name("flash-crowd").unwrap();
+        let abs = spec.absolute_segments(10_000.0);
+        assert!((abs[1].rate_start - 18_000.0).abs() < 1e-6);
+        assert_eq!(abs.len(), spec.segments.len());
+    }
+
+    #[test]
+    fn baseline_fraction_floors_quiet_starts() {
+        let outage = ScenarioSpec::by_name("post-outage-reattach").unwrap();
+        assert!((outage.baseline_fraction() - 0.1).abs() < 1e-12);
+        let crowd = ScenarioSpec::by_name("flash-crowd").unwrap();
+        assert!((crowd.baseline_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -43,7 +43,6 @@ use l25gc_nfv::topology::{pin_current_thread, CpuTopology, PinError, PinPlan};
 use l25gc_obs::{DropCode, EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
-use crate::arrival::ArrivalStream;
 use crate::dispatch::{proc_kind, ProfileSet};
 use crate::driver::{
     apply_transition, draw_kind, transition, LoadConfig, LoadMode, LoadReport, WallClock, HIST_ALL,
@@ -606,7 +605,7 @@ fn threaded_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     // backends produce the same latency multiset (tested).
     let mut rng = SimRng::new(cfg.seed);
     let mut fleet_rng = rng.fork();
-    let mut stream = ArrivalStream::new(&cfg.mix, cfg.offered_eps, cfg.burst, &mut rng);
+    let mut stream = crate::driver::open_stream(cfg, &mut rng);
     let mut sample_rng = rng.fork();
 
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);

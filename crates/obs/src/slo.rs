@@ -159,6 +159,11 @@ pub struct SloReport {
     pub recovery_windows: Option<u64>,
     /// [`SloReport::recovery_windows`] × interval, nanoseconds.
     pub recovery_ns: Option<u64>,
+    /// Start of the first violating window, nanoseconds from the run
+    /// origin — the disturbance-onset half of recovery (recovery counts
+    /// the violated width; this pins down *when* it began). `None` when
+    /// the run never violated.
+    pub time_to_first_violation_ns: Option<u64>,
 }
 
 impl SloReport {
@@ -202,6 +207,10 @@ impl SloReport {
             .field("burn_rate", Value::F64(self.burn_rate))
             .opt("recovery_windows", self.recovery_windows.map(Value::U64))
             .opt("recovery_ns", self.recovery_ns.map(Value::U64))
+            .opt(
+                "time_to_first_violation_ns",
+                self.time_to_first_violation_ns.map(Value::U64),
+            )
             .field("spans", Value::Array(spans))
             .build()
     }
@@ -286,6 +295,7 @@ pub fn evaluate(tl: &MetricsTimeline, spec: &SloSpec) -> SloReport {
         interval_ns,
         window_count: count,
         windows,
+        time_to_first_violation_ns: spans.first().map(|s| s.first as u64 * interval_ns),
         spans,
         violating_windows: violating,
         burn_rate,
@@ -358,6 +368,8 @@ mod tests {
         assert_eq!(report.recovery_windows, Some(3));
         assert_eq!(report.recovery_ns, Some(300_000_000));
         assert_eq!(report.recovery_ns_or_horizon(), 300_000_000);
+        // Onset: window 3 starts at 300 ms.
+        assert_eq!(report.time_to_first_violation_ns, Some(300_000_000));
         // Burn rate: violating windows burn ~5×, clean ones ~0.1×.
         assert!(report.burn_rate > 1.0 && report.burn_rate < 5.0);
         assert!(report.windows[3].violated && !report.windows[2].violated);
@@ -379,10 +391,13 @@ mod tests {
             10 * 100_000_000,
             "clamps to the observed horizon"
         );
-        // A fully clean run recovers instantly.
+        // Even unrecovered runs know when trouble started.
+        assert_eq!(report.time_to_first_violation_ns, Some(300_000_000));
+        // A fully clean run recovers instantly and has no onset.
         let clean = evaluate(&tl, &SloSpec::new(1_000_000_000, 100.0));
         assert_eq!(clean.recovery_windows, Some(0));
         assert_eq!(clean.violating_windows, 0);
+        assert_eq!(clean.time_to_first_violation_ns, None);
     }
 
     #[test]
@@ -415,6 +430,10 @@ mod tests {
         assert_eq!(v.get("windows").and_then(Value::as_u64), Some(10));
         assert_eq!(v.get("violating_windows").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("recovery_windows").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("time_to_first_violation_ns").and_then(Value::as_u64),
+            Some(300_000_000)
+        );
         assert!(v.get("spans").is_some());
     }
 }

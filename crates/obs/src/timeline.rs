@@ -266,6 +266,25 @@ impl MetricsTimeline {
         self.lanes.iter().flatten().map(|w| w.shed).sum()
     }
 
+    /// Sheds in window `w`, summed across every shard lane.
+    pub fn window_shed(&self, w: usize) -> u64 {
+        self.lanes
+            .iter()
+            .filter_map(|lane| lane.get(w))
+            .map(|win| win.shed)
+            .sum()
+    }
+
+    /// The worst single window's shed count (shard lanes merged
+    /// window-wise) — the scenario tables' "peak shed" column: how hard
+    /// admission control bit at the height of a disturbance.
+    pub fn peak_window_shed(&self) -> u64 {
+        (0..self.window_count())
+            .map(|w| self.window_shed(w))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// One shard's whole-run latency distribution (window deltas merged).
     pub fn shard_latency(&self, shard: u16) -> Log2Histogram {
         let mut h = Log2Histogram::new();
@@ -933,6 +952,25 @@ mod tests {
         tl.record_depth(1, ms(40), 7);
         tl.record_depth(1, ms(41), 3);
         tl
+    }
+
+    #[test]
+    fn window_shed_merges_lanes_and_peak_finds_the_worst_window() {
+        let mut tl = sample_timeline();
+        assert_eq!(tl.window_shed(0), 1, "one shed in window 0 (shard 1)");
+        assert_eq!(tl.window_shed(1), 0);
+        assert_eq!(tl.peak_window_shed(), 1);
+        // Pile sheds into window 2 across both lanes; the peak moves.
+        for _ in 0..3 {
+            tl.record_shed(0, ms(250));
+        }
+        tl.record_shed(1, ms(260));
+        assert_eq!(tl.window_shed(2), 4, "lanes merge window-wise");
+        assert_eq!(tl.peak_window_shed(), 4);
+        assert_eq!(
+            MetricsTimeline::new(SimDuration::from_millis(100), 1).peak_window_shed(),
+            0
+        );
     }
 
     #[test]

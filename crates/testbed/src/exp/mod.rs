@@ -9,6 +9,7 @@ pub mod failover;
 pub mod handover;
 pub mod paging;
 pub mod pdr;
+pub mod scenario;
 pub mod serialization;
 pub mod tcp_impact;
 pub mod webpage;
