@@ -26,13 +26,14 @@
 //! scaling study on both backends.
 //!
 //! `scenarios` runs the incident library (flash-crowd,
-//! post-outage-reattach, diurnal, stadium-egress) as scripted-arrival
-//! profiles against the calibrated capacity, under both Shed and Queue
-//! admission, scoring each run with the windowed SLO engine — per cell:
-//! recovery time, time to first violation, peak per-window shed, and
-//! violation-span count. `--scenario <names>` picks a subset;
-//! `--manifest-out` writes a scenario manifest the `compare` gate
-//! accepts. Not part of `all`.
+//! post-outage-reattach, diurnal, stadium-egress, amf-restart) as
+//! scripted-arrival profiles against the calibrated capacity, under
+//! both Shed and Queue admission, scoring each run with the windowed
+//! SLO engine — per cell: recovery time, time to first violation, peak
+//! per-window shed, violation-span count, and (for fault runs) the
+//! failover disruption. `--scenario <names>` picks a subset; `--fault
+//! <plan>` overrides the scripted fault plan; `--manifest-out` writes a
+//! scenario manifest the `compare` gate accepts. Not part of `all`.
 //!
 //! `--csv <dir>` additionally writes the Fig 13/14 RTT time series as
 //! CSV files (`fig13_<system>.csv`, `fig14_<system>.csv`) for plotting.
@@ -70,7 +71,7 @@
 
 use l25gc_bench::{deployment_name, f, policy_name, render_table, RunManifest, SaturationRow};
 use l25gc_core::Deployment;
-use l25gc_load::{ExecBackend, ScenarioSpec, SCENARIO_NAMES};
+use l25gc_load::{ExecBackend, ScenarioSpec};
 use l25gc_nfv::CostModel;
 use l25gc_testbed::exp;
 
@@ -137,6 +138,10 @@ struct Args {
     /// scenario's own default fleet size (the capacity sweep's 1 M
     /// default must not leak into scenario runs).
     scenario_ues: Option<usize>,
+    /// `--fault kill@3s:shard=2,recover@5s`: overrides the scripted
+    /// fault plan of every selected scenario (validated at parse time
+    /// against each scenario's horizon and the run's shard count).
+    fault: Option<l25gc_load::FaultPlan>,
     /// Validated experiment ids, in given order (empty = everything).
     experiments: Vec<String>,
 }
@@ -204,7 +209,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                const FLAGS: [&str; 21] = [
+                const FLAGS: [&str; 22] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -226,6 +231,7 @@ impl Args {
                     "--slo",
                     "--slo-out",
                     "--scenario",
+                    "--fault",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -320,19 +326,10 @@ impl Args {
                             return Err("--repeats must be positive".into());
                         }
                     }
-                    "--slo" => args.slo = Some(l25gc_obs::SloSpec::parse(v)?),
+                    "--slo" => args.slo = Some(l25gc_bench::spec::slo(v)?),
                     "--slo-out" => args.slo_out = Some(v.to_string()),
-                    "--scenario" => {
-                        for name in v.split(',').map(str::trim) {
-                            if !SCENARIO_NAMES.contains(&name) {
-                                return Err(format!(
-                                    "unknown scenario `{name}` (library: {})",
-                                    SCENARIO_NAMES.join(", ")
-                                ));
-                            }
-                            args.scenario.push(name.to_string());
-                        }
-                    }
+                    "--scenario" => args.scenario = l25gc_bench::spec::scenario_names(v)?,
+                    "--fault" => args.fault = Some(l25gc_bench::spec::fault_plan(v)?),
                     "--threshold-pct" => {
                         args.threshold_pct = num(flag, v, "a percentage")?;
                         if !args.threshold_pct.is_finite() || args.threshold_pct <= 0.0 {
@@ -371,6 +368,25 @@ impl Args {
         }
         if !args.scenario.is_empty() && !scenarios_selected {
             return Err("--scenario needs the `scenarios` experiment".into());
+        }
+        if let Some(fault) = &args.fault {
+            if !scenarios_selected {
+                return Err("--fault needs the `scenarios` experiment".into());
+            }
+            // Structural fit is checkable right here: the override must
+            // suit every scenario it will ride (each has its own
+            // horizon) and the run's shard count.
+            let names: Vec<&str> = if args.scenario.is_empty() {
+                l25gc_load::SCENARIO_NAMES.to_vec()
+            } else {
+                args.scenario.iter().map(String::as_str).collect()
+            };
+            for name in names {
+                let spec = ScenarioSpec::by_name(name).expect("names validated at parse");
+                fault
+                    .validate(args.cap.shards, spec.duration())
+                    .map_err(|e| format!("--fault does not fit scenario `{name}`: {e}"))?;
+            }
         }
         if args.manifest_out.is_some() && scenarios_selected && capacity_selected {
             return Err(
@@ -430,9 +446,10 @@ experiments:
   capacity-burst    MMPP burstiness x admission policy (not part of `all`)
   scenarios         incident scenario x admission-policy recovery matrix
                     over the scripted-arrival library (flash-crowd,
-                    post-outage-reattach, diurnal, stadium-egress);
-                    reports recovery time, time to first violation, and
-                    peak shed per cell (not part of `all`)
+                    post-outage-reattach, diurnal, stadium-egress,
+                    amf-restart); reports recovery time, time to first
+                    violation, peak shed, and failover disruption per
+                    cell (not part of `all`)
   ablate-dos        tuple-space explosion DoS
   ablate-checkpoint checkpoint interval sweep
   ablate-canary     canary rollout split
@@ -481,9 +498,13 @@ flags:
   --slo-out <path>    write the per-point SLO reports as JSON (needs
                       --slo)
   --scenario <names>  scenarios: comma-separated subset of the library
-                      (default: all four); --ues, --shards, --backend,
+                      (default: all five); --ues, --shards, --backend,
                       --slo, --metrics-interval-ms, and --manifest-out
                       apply to the matrix too
+  --fault <plan>      scenarios: override every selected scenario's
+                      scripted fault plan, e.g.
+                      `kill@3s:shard=2,recover@5s` (validated against
+                      each scenario's horizon and --shards)
   --trace-sample <n>  capacity: keep every nth UE's procedure spans
                       (strided, allocation-free when sampled out)
   --manifest-out <p>  capacity: write the machine-readable run manifest
@@ -967,7 +988,7 @@ fn scenario_params(args: &Args) -> exp::scenario::ScenarioParams {
 /// row per cell; `--manifest-out` additionally writes a scenario run
 /// manifest for the `compare` gate.
 fn scenarios(args: &Args) {
-    let specs: Vec<ScenarioSpec> = if args.scenario.is_empty() {
+    let mut specs: Vec<ScenarioSpec> = if args.scenario.is_empty() {
         ScenarioSpec::library()
     } else {
         args.scenario
@@ -975,6 +996,14 @@ fn scenarios(args: &Args) {
             .map(|n| ScenarioSpec::by_name(n).expect("names validated at parse"))
             .collect()
     };
+    // `--fault` overrides every selected scenario's scripted plan
+    // (validated against each horizon and the shard count at parse
+    // time), turning any library profile into a failover run.
+    if let Some(fault) = &args.fault {
+        for spec in &mut specs {
+            spec.fault = Some(fault.clone());
+        }
+    }
     let params = scenario_params(args);
     let outcomes = exp::scenario::run_matrix(&specs, &params);
     let table: Vec<Vec<String>> = outcomes
@@ -997,6 +1026,8 @@ fn scenarios(args: &Args) {
                     Some(v) => format!("{} ms", f(v)),
                     None => format!("never (>= {} ms)", f(o.horizon_ms)),
                 },
+                o.disruption_ms
+                    .map_or_else(|| "-".to_string(), |v| format!("{} ms", f(v))),
             ]
         })
         .collect();
@@ -1020,6 +1051,7 @@ fn scenarios(args: &Args) {
                 "spans",
                 "first viol (ms)",
                 "recovery",
+                "disruption",
             ],
             &table
         )
@@ -1867,6 +1899,59 @@ mod tests {
     }
 
     #[test]
+    fn fault_flag_parses_and_validates_against_the_selection() {
+        let args = parse(&[
+            "scenarios",
+            "--scenario",
+            "diurnal",
+            "--fault",
+            "kill@3s:shard=2",
+        ])
+        .unwrap();
+        let fault = args.fault.expect("plan parsed");
+        assert_eq!(fault.kills().count(), 1);
+
+        // Grammar errors surface the flag, one line.
+        let err = parse(&["scenarios", "--fault", "explode@1s"]).unwrap_err();
+        assert!(err.contains("--fault"), "{err}");
+        assert!(!err.contains('\n'), "{err}");
+
+        // Structural misfit against a selected scenario is caught at
+        // parse time: shard out of range for the default 4-shard run...
+        let err = parse(&[
+            "scenarios",
+            "--scenario",
+            "diurnal",
+            "--fault",
+            "kill@3s:shard=9",
+        ])
+        .unwrap_err();
+        assert!(err.contains("does not fit scenario `diurnal`"), "{err}");
+        // ...and a kill scripted past the scenario's own horizon.
+        let err = parse(&[
+            "scenarios",
+            "--scenario",
+            "amf-restart",
+            "--fault",
+            "kill@60s:shard=0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("does not fit scenario `amf-restart`"), "{err}");
+        // With no --scenario filter the plan must fit the whole library.
+        assert!(parse(&["scenarios", "--fault", "kill@2s:shard=0"]).is_ok());
+    }
+
+    #[test]
+    fn fault_flag_needs_the_scenarios_experiment() {
+        assert!(parse(&["--fault", "kill@1s:shard=0"])
+            .unwrap_err()
+            .contains("needs the `scenarios` experiment"));
+        assert!(parse(&["capacity", "--fault", "kill@1s:shard=0"])
+            .unwrap_err()
+            .contains("needs the `scenarios` experiment"));
+    }
+
+    #[test]
     fn manifest_out_refuses_capacity_plus_scenarios() {
         for ids in [["capacity", "scenarios"], ["all", "scenarios"]] {
             let err = parse(&[ids[0], ids[1], "--manifest-out", "run.json"]).unwrap_err();
@@ -2087,6 +2172,7 @@ mod tests {
                 loss_pct: 0.0,
                 recovery_ms,
                 time_to_first_violation_ms: None,
+                disruption_ms: None,
             }],
             saturation: None,
             scenarios: Vec::new(),

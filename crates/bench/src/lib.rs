@@ -12,12 +12,16 @@
 //!   tables; EXPERIMENTS.md records a run next to the paper's values.
 //!
 //! This module hosts small table-formatting helpers shared by the
-//! binaries, plus the [`manifest`] layer: machine-readable
+//! binaries, the [`spec`] module (one parsing seam for the CLI's
+//! `--slo`/`--scenario`/`--fault` spec strings, with a uniform
+//! one-line-stderr + exit-2 error contract), plus the [`manifest`]
+//! layer: machine-readable
 //! [`manifest::RunManifest`] records of a capacity run and the
 //! histogram-error-aware [`manifest::compare`] that turns two of them
 //! into a pass/fail regression gate.
 
 pub mod manifest;
+pub mod spec;
 
 pub use manifest::{
     compare, deployment_name, policy_name, MetricRow, Regression, RunManifest, SaturationRow,

@@ -82,6 +82,12 @@ pub struct MetricRow {
     /// not by itself worse). `None` when the run never violated or
     /// carried no timeline.
     pub time_to_first_violation_ms: Option<f64>,
+    /// Externally visible failover disruption, ms — the full scripted
+    /// charge (detect + reroute + replay) for kills, the measured stall
+    /// span for freezes. `None` on fault-free runs and pre-fault
+    /// manifests; gated by [`compare`] with the same 1 ms floor as
+    /// `recovery_ms`.
+    pub disruption_ms: Option<f64>,
 }
 
 /// One library scenario's declarative spec as the manifest records it:
@@ -105,6 +111,9 @@ pub struct ScenarioEntry {
     pub segments: Vec<(f64, f64, f64, f64)>,
     /// Procedure-mix weights as `(event, weight)` pairs.
     pub mix: Vec<(String, f64)>,
+    /// The scripted fault plan the run rode, in `FaultPlan` spec-string
+    /// form (`kill@2500ms:shard=0`); `None` for pure load profiles.
+    pub fault: Option<String>,
 }
 
 /// The saturation-search result carried on a manifest when the run was
@@ -201,6 +210,7 @@ impl RunManifest {
                     transit_p99_ms: Some(p.transit_p99_ms),
                     recovery_ms,
                     time_to_first_violation_ms: ttfv_ms,
+                    disruption_ms: None,
                 });
             }
         }
@@ -248,6 +258,7 @@ impl RunManifest {
                 transit_p99_ms: Some(o.transit_p99_ms),
                 recovery_ms: Some(o.recovery_or_horizon_ms),
                 time_to_first_violation_ms: o.time_to_first_violation_ms,
+                disruption_ms: o.disruption_ms,
             })
             .collect();
         let scenarios = specs
@@ -274,6 +285,7 @@ impl RunManifest {
                         .iter()
                         .map(|(k, w)| (format!("{k:?}"), *w))
                         .collect(),
+                    fault: spec.fault.as_ref().map(|p| p.to_string()),
                 }
             })
             .collect();
@@ -318,6 +330,7 @@ impl RunManifest {
                         "time_to_first_violation_ms",
                         m.time_to_first_violation_ms.map(Value::F64),
                     )
+                    .opt("disruption_ms", m.disruption_ms.map(Value::F64))
                     .build()
             })
             .collect();
@@ -355,6 +368,7 @@ impl RunManifest {
                     .field("p99_budget_ms", Value::F64(s.p99_budget_ms))
                     .field("segments", Value::Array(segments))
                     .field("mix", Value::Array(mix))
+                    .opt("fault", s.fault.clone().map(Value::Str))
                     .build()
             })
             .collect();
@@ -419,6 +433,7 @@ impl RunManifest {
                 time_to_first_violation_ms: row
                     .get("time_to_first_violation_ms")
                     .and_then(Value::as_f64),
+                disruption_ms: row.get("disruption_ms").and_then(Value::as_f64),
             });
         }
         // Capacity manifests (and all pre-scenario manifests) carry no
@@ -458,6 +473,7 @@ impl RunManifest {
                         p99_budget_ms: f64_field(e, "p99_budget_ms")?,
                         segments,
                         mix,
+                        fault: e.get("fault").and_then(Value::as_str).map(str::to_string),
                     });
                 }
                 out
@@ -578,9 +594,9 @@ fn pct_delta(base: f64, cur: f64) -> f64 {
 /// - The per-stage p99s (`queue_wait_p99_ms`, `service_p99_ms`,
 ///   `transit_p99_ms`) gate exactly like the end-to-end quantiles, but
 ///   only when both manifests carry them.
-/// - `recovery_ms` regresses when it rises more than `threshold_pct`
-///   relative to the baseline floored at 1 ms, again only when both
-///   runs carry it.
+/// - `recovery_ms` and `disruption_ms` regress when they rise more
+///   than `threshold_pct` relative to the baseline floored at 1 ms,
+///   again only when both runs carry them.
 /// - A series present in the baseline but missing from the current run
 ///   is itself a regression (field `missing`).
 ///
@@ -687,6 +703,22 @@ pub fn compare(
                 out.push(Regression {
                     metric: b.name.clone(),
                     field: "recovery_ms",
+                    baseline: bv,
+                    current: cv,
+                    delta_pct: pct_delta(floor, cv),
+                    threshold_pct,
+                });
+            }
+        }
+        // Failover disruption gates exactly like recovery: relative
+        // rise against the baseline floored at 1 ms, only when both
+        // runs scripted a fault.
+        if let Some((bv, cv)) = b.disruption_ms.zip(c.disruption_ms) {
+            let floor = bv.max(1.0);
+            if cv - bv > threshold_pct * floor / 100.0 {
+                out.push(Regression {
+                    metric: b.name.clone(),
+                    field: "disruption_ms",
                     baseline: bv,
                     current: cv,
                     delta_pct: pct_delta(floor, cv),
@@ -954,6 +986,77 @@ mod tests {
         base.metrics[0].recovery_ms = Some(500.0);
         cur.metrics[0].recovery_ms = Some(100.0);
         assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn disruption_regression_is_flagged_with_a_floor() {
+        let mut base = small_manifest();
+        let mut cur = base.clone();
+        // Same contract as recovery_ms: a zero baseline gets a 1 ms
+        // floor, so sub-allowance wobble passes and a real rise fails.
+        base.metrics[0].disruption_ms = Some(0.0);
+        cur.metrics[0].disruption_ms = Some(0.05);
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+        cur.metrics[0].disruption_ms = Some(5.0);
+        let regs = compare(&base, &cur, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "disruption_ms");
+        // Improvement, or a side that scripted no fault, never flags.
+        base.metrics[0].disruption_ms = Some(500.0);
+        cur.metrics[0].disruption_ms = Some(100.0);
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+        cur.metrics[0].disruption_ms = None;
+        assert_eq!(compare(&base, &cur, 10.0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn fault_scenario_manifest_records_the_plan_and_disruption() {
+        use l25gc_load::ScenarioSpec;
+        use l25gc_testbed::exp::scenario::{run_matrix, ScenarioParams};
+
+        let params = ScenarioParams {
+            ues: Some(2_000),
+            shards: 2,
+            seed: 7,
+            ..ScenarioParams::default()
+        };
+        let specs = vec![ScenarioSpec::by_name("amf-restart").unwrap()];
+        let outcomes = run_matrix(&specs, &params);
+        let m = RunManifest::from_scenarios(&params, &specs, &outcomes);
+
+        assert_eq!(
+            m.scenarios[0].fault.as_deref(),
+            Some("kill@2500ms:shard=0"),
+            "the scripted plan rides the manifest in spec-string form"
+        );
+        assert!(
+            m.metrics
+                .iter()
+                .all(|r| r.disruption_ms.is_some_and(|v| v > 0.0)),
+            "both policy rows charge the failover: {:?}",
+            m.metrics
+        );
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // A worsened failover trips the gate on the new field.
+        let mut slower = m.clone();
+        for r in &mut slower.metrics {
+            r.disruption_ms = r.disruption_ms.map(|v| v * 2.0);
+        }
+        let regs = compare(&m, &slower, 10.0).unwrap();
+        assert!(
+            regs.iter().any(|r| r.field == "disruption_ms"),
+            "doubled disruption must trip the gate: {regs:?}"
+        );
+
+        // Pre-fault manifests (no fault, no disruption column) parse.
+        let legacy = m
+            .to_json()
+            .replace(",\"fault\":\"kill@2500ms:shard=0\"", "");
+        assert!(!legacy.contains("\"fault\""), "field really stripped");
+        let parsed = RunManifest::from_json(&legacy).unwrap();
+        assert_eq!(parsed.scenarios[0].fault, None);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Unified spec-string parsing for the `reproduce` CLI.
+//!
+//! Three user-facing flags take little declarative languages: `--slo`
+//! (`p99=2ms,shed=1%`), `--scenario` (comma-separated library names),
+//! and `--fault` (`kill@3s:shard=2,recover@5s`). Each grammar lives
+//! with its domain type — [`l25gc_obs::SloSpec::parse`],
+//! [`l25gc_load::ScenarioSpec::by_name`],
+//! [`l25gc_load::FaultPlan::parse`] — but the CLI needs one error
+//! contract across all of them: a single human-readable line on
+//! stderr and exit code 2, never a panic or a multi-line dump. This
+//! module is that seam. Every function returns `Result<T, String>`
+//! where the `Err` is exactly one line naming the flag, the offending
+//! input, and (where the domain has one) the valid vocabulary, so
+//! `main`'s `eprintln!` + `exit(2)` path renders every mis-typed spec
+//! identically.
+
+use l25gc_load::{FaultPlan, SCENARIO_NAMES};
+use l25gc_obs::SloSpec;
+
+/// Parses an `--slo` spec (`p99=<N>ms,shed=<P>%[,clean=<K>]`).
+pub fn slo(s: &str) -> Result<SloSpec, String> {
+    SloSpec::parse(s).map_err(|e| format!("--slo: {e}"))
+}
+
+/// Parses a `--scenario` list: comma-separated, trimmed, every name
+/// validated against the scenario library's vocabulary.
+pub fn scenario_names(s: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for name in s.split(',').map(str::trim) {
+        if !SCENARIO_NAMES.contains(&name) {
+            return Err(format!(
+                "--scenario: unknown scenario `{name}` (library: {})",
+                SCENARIO_NAMES.join(", ")
+            ));
+        }
+        names.push(name.to_string());
+    }
+    Ok(names)
+}
+
+/// Parses a `--fault` plan (`kill@3s:shard=2,recover@5s`). Structural
+/// validation against the run's shard count and horizon happens later,
+/// once both are known; this rejects only grammar errors.
+pub fn fault_plan(s: &str) -> Result<FaultPlan, String> {
+    FaultPlan::parse(s).map_err(|e| format!("--fault: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_one_line(err: &str) {
+        assert!(!err.contains('\n'), "multi-line error: {err:?}");
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn slo_parses_and_prefixes_errors_with_the_flag() {
+        let spec = slo("p99=2ms,shed=1%").expect("valid spec");
+        assert_eq!(spec.p99_budget_ns, 2_000_000);
+        let err = slo("p99=fast").unwrap_err();
+        assert!(err.starts_with("--slo: "), "{err}");
+        assert_one_line(&err);
+    }
+
+    #[test]
+    fn scenario_names_trim_split_and_validate() {
+        let names = scenario_names("flash-crowd, amf-restart").expect("both in library");
+        assert_eq!(names, vec!["flash-crowd", "amf-restart"]);
+        let err = scenario_names("flash-crowd,flash-mob").unwrap_err();
+        assert!(
+            err.starts_with("--scenario: unknown scenario `flash-mob`"),
+            "{err}"
+        );
+        assert!(
+            err.contains("amf-restart"),
+            "error lists the vocabulary: {err}"
+        );
+        assert_one_line(&err);
+    }
+
+    #[test]
+    fn fault_plans_parse_and_prefix_errors_with_the_flag() {
+        let plan = fault_plan("kill@3s:shard=2,recover@5s").expect("valid plan");
+        assert_eq!(plan.kills().count(), 1);
+        let err = fault_plan("explode@3s:shard=2").unwrap_err();
+        assert!(err.starts_with("--fault: "), "{err}");
+        assert_one_line(&err);
+    }
+
+    #[test]
+    fn every_surface_rejects_empty_input_with_one_line() {
+        // `--slo ""` is legal (all-default gate); the other two are not.
+        assert!(slo("").is_ok());
+        for err in [scenario_names("").unwrap_err(), fault_plan("").unwrap_err()] {
+            assert_one_line(&err);
+        }
+    }
+}

@@ -41,8 +41,12 @@ use l25gc_core::UeEvent;
 use l25gc_obs::{EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
+use l25gc_nfv::cost::CostModel;
+use l25gc_resilience::FailoverTimeline;
+
 use crate::arrival::{ArrivalStream, EventMix, RateSegment};
 use crate::dispatch::{proc_kind, ProfileSet};
+use crate::fault::FaultPlan;
 use crate::fleet::{Fleet, UeState};
 use crate::shard::{Admission, ShardConfig, ShardSet};
 
@@ -140,6 +144,10 @@ pub enum LoadError {
     /// A scripted profile only drives open-loop arrivals — closed-loop
     /// workers pace themselves.
     ScriptInClosedLoop,
+    /// The scripted fault plan failed
+    /// [`FaultPlan::validate`](crate::fault::FaultPlan::validate); the
+    /// payload is the validator's reason.
+    BadFaultPlan(&'static str),
 }
 
 impl std::fmt::Display for LoadError {
@@ -170,6 +178,7 @@ impl std::fmt::Display for LoadError {
             LoadError::ScriptInClosedLoop => {
                 write!(f, "scripted profiles apply to open-loop arrivals only")
             }
+            LoadError::BadFaultPlan(reason) => write!(f, "bad fault plan: {reason}"),
         }
     }
 }
@@ -194,6 +203,10 @@ pub struct LoadConfig {
     /// profile instead of the steady `offered_eps`/`burst` process (the
     /// steady fields are ignored). `None` = steady arrivals.
     pub script: Option<Vec<RateSegment>>,
+    /// When set, shards suffer this scripted plan of kill / freeze /
+    /// recover faults mid-run; the report carries a [`Disruption`]
+    /// block. `None` = fault-free.
+    pub fault: Option<FaultPlan>,
     /// Run horizon.
     pub duration: SimDuration,
     /// Master seed; every RNG in the run forks from it.
@@ -227,6 +240,7 @@ impl Default for LoadConfig {
             offered_eps: 100.0,
             burst: 1.0,
             script: None,
+            fault: None,
             duration: SimDuration::from_secs(5),
             seed: 0,
             backend: ExecBackend::Analytic,
@@ -294,6 +308,10 @@ impl LoadConfig {
         }
         if self.metrics_interval.is_some_and(|iv| iv.is_zero()) {
             return Err(LoadError::ZeroMetricsInterval);
+        }
+        if let Some(plan) = &self.fault {
+            plan.validate(self.shard_cfg.shards, self.duration)
+                .map_err(LoadError::BadFaultPlan)?;
         }
         Ok(())
     }
@@ -368,6 +386,13 @@ impl LoadConfigBuilder {
         self
     }
 
+    /// Injects a scripted plan of shard faults mid-run (see
+    /// [`LoadConfig::fault`]).
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault = Some(plan);
+        self
+    }
+
     /// Run horizon.
     pub fn duration(mut self, duration: SimDuration) -> Self {
         self.cfg.duration = duration;
@@ -439,6 +464,57 @@ pub struct WallClock {
     pub sustained_eps: f64,
 }
 
+/// How a scripted fault disturbed the run: the resilience timeline's
+/// cost parts plus what the execution engine actually measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disruption {
+    /// S-BFD detection window charged per kill (ms). Zero when the plan
+    /// held only freezes (no failover fires for a stall).
+    pub detect_ms: f64,
+    /// Route-migration cost charged per kill (ms).
+    pub reroute_ms: f64,
+    /// Non-overlapped log-replay cost charged per kill (ms).
+    pub replay_ms: f64,
+    /// Worst measured disruption across outages (ms): for a kill, kill
+    /// instant → replayed backlog drained; for a freeze, the stall span.
+    pub disruption_ms: f64,
+    /// Procedures re-run from the packet log after a kill.
+    pub replayed: u64,
+    /// Arrivals shed while their shard was inside an outage (always 0
+    /// under [`OverloadPolicy::Queue`](crate::shard::OverloadPolicy) —
+    /// the loss-freedom claim).
+    pub completions_lost: u64,
+}
+
+/// Builds the [`Disruption`] block from the engine's measured counters;
+/// both backends feed their own accounting through here so the block
+/// means the same thing either way.
+pub(crate) fn disruption_from(
+    cfg: &LoadConfig,
+    replayed: u64,
+    completions_lost: u64,
+    measured_span: Option<SimDuration>,
+) -> Option<Disruption> {
+    let plan = cfg.fault.as_ref()?;
+    let tl = FailoverTimeline::paper(&CostModel::paper());
+    let killed = plan.kills().next().is_some();
+    let charge = |d: SimDuration| if killed { d.as_millis_f64() } else { 0.0 };
+    Some(Disruption {
+        detect_ms: charge(tl.detect),
+        reroute_ms: charge(tl.reroute),
+        replay_ms: charge(tl.replay * (1.0 - tl.overlap)),
+        disruption_ms: measured_span.unwrap_or(SimDuration::ZERO).as_millis_f64(),
+        replayed,
+        completions_lost,
+    })
+}
+
+/// The paper-constant failover timeline both backends charge faults
+/// against.
+pub(crate) fn fault_timeline() -> FailoverTimeline {
+    FailoverTimeline::paper(&CostModel::paper())
+}
+
 /// What one load run measured.
 #[derive(Debug)]
 pub struct LoadReport {
@@ -480,6 +556,8 @@ pub struct LoadReport {
     pub busy_fraction: f64,
     /// Wall-clock stats (threaded backend only).
     pub wall: Option<WallClock>,
+    /// Fault-disturbance accounting, when [`LoadConfig::fault`] was set.
+    pub disruption: Option<Disruption>,
     /// Per-shard windowed telemetry, when
     /// [`LoadConfig::metrics_interval`] was set (per-worker timelines
     /// already merged for threaded runs).
@@ -689,6 +767,12 @@ fn finish(
             .map(|h| SimDuration::from_nanos(h.quantile(0.99)))
             .unwrap_or(SimDuration::ZERO)
     };
+    let disruption = disruption_from(
+        cfg,
+        shards.replayed(),
+        shards.lost_in_outage(),
+        shards.disruption_span(),
+    );
     LoadReport {
         offered,
         dispatched,
@@ -710,8 +794,16 @@ fn finish(
         peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
         busy_fraction: shards.busy_fraction(end),
         wall: None,
+        disruption,
         timeline,
         obs,
+    }
+}
+
+/// Installs the config's fault plan (when any) into a fresh shard set.
+fn install_outages(cfg: &LoadConfig, shards: &mut ShardSet) {
+    if let Some(plan) = &cfg.fault {
+        shards.set_outages(&plan.outages(&fault_timeline(), cfg.duration));
     }
 }
 
@@ -736,6 +828,7 @@ fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
     fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
     let mut shards = ShardSet::new(cfg.shard_cfg);
+    install_outages(cfg, &mut shards);
     let mut tel = Telemetry::new(cfg);
 
     let horizon = SimTime::ZERO + cfg.duration;
@@ -782,6 +875,7 @@ fn analytic_closed(
     let mut fleet = Fleet::new(cfg.ues, cfg.shard_cfg.shards);
     fleet.warm_start(&mut fleet_rng, 0.2, 0.3, 0.2);
     let mut shards = ShardSet::new(cfg.shard_cfg);
+    install_outages(cfg, &mut shards);
     let mut tel = Telemetry::new(cfg);
 
     // Each queued item is a worker becoming ready to issue.
@@ -1065,5 +1159,123 @@ mod tests {
         // Sampling must not perturb the run itself.
         assert_eq!(off.dispatched, on.dispatched);
         assert_eq!(off.p99, on.p99);
+    }
+
+    #[test]
+    fn fault_free_runs_carry_no_disruption_block() {
+        let profiles = calibrate(Deployment::L25gc);
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .offered_eps(100.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(7)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert!(r.disruption.is_none(), "no plan, no disruption block");
+    }
+
+    #[test]
+    fn analytic_kill_run_reports_disruption_and_replays_backlog() {
+        let profiles = calibrate(Deployment::L25gc);
+        let plan = crate::fault::FaultPlan::parse("kill@1s:shard=0").unwrap();
+        // High enough rate that shard 0 has work in flight at the kill;
+        // Queue policy with wide rings so the outage loses nothing.
+        let cfg = LoadConfig::builder()
+            .ues(5_000)
+            .shards(2)
+            .offered_eps(5_000.0)
+            .duration(SimDuration::from_secs(3))
+            .seed(23)
+            .policy(crate::shard::OverloadPolicy::Queue)
+            .ring_capacity(1 << 15)
+            .high_water(1 << 14)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let d = r.disruption.expect("kill plan yields a disruption block");
+        assert!(d.replayed > 0, "backlog crossed the kill and re-ran");
+        assert!(d.detect_ms > 0.0 && d.reroute_ms > 0.0 && d.replay_ms > 0.0);
+        // The measured span covers at least the charged failover window.
+        let tl = fault_timeline();
+        let charged = tl.total().as_millis_f64();
+        assert!(
+            d.disruption_ms >= charged,
+            "measured {} < charged {}",
+            d.disruption_ms,
+            charged
+        );
+        // Queue policy: the outage loses nothing.
+        assert_eq!(d.completions_lost, 0, "Queue is loss-free across a kill");
+        assert_eq!(r.completed_total, r.dispatched);
+    }
+
+    #[test]
+    fn analytic_fault_runs_are_seed_deterministic() {
+        let profiles = calibrate(Deployment::L25gc);
+        let build = || {
+            LoadConfig::builder()
+                .ues(4_000)
+                .shards(2)
+                .offered_eps(3_000.0)
+                .duration(SimDuration::from_secs(3))
+                .seed(31)
+                .fault(crate::fault::FaultPlan::parse("kill@1s:shard=1").unwrap())
+                .build()
+                .unwrap()
+        };
+        let a = Driver::new(build()).unwrap().run(&profiles);
+        let b = Driver::new(build()).unwrap().run(&profiles);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.dispatched, b.dispatched);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.p50, b.p50);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.disruption, b.disruption);
+    }
+
+    #[test]
+    fn freeze_disruption_is_the_stall_span_with_no_failover_charge() {
+        let profiles = calibrate(Deployment::L25gc);
+        let plan = crate::fault::FaultPlan::parse("freeze@1s:shard=0,recover@1500ms").unwrap();
+        let cfg = LoadConfig::builder()
+            .ues(3_000)
+            .shards(2)
+            .offered_eps(1_000.0)
+            .duration(SimDuration::from_secs(3))
+            .seed(41)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let d = r.disruption.expect("freeze plan yields a disruption block");
+        assert_eq!(d.detect_ms, 0.0, "no failover fires for a stall");
+        assert_eq!(d.reroute_ms, 0.0);
+        assert_eq!(d.replay_ms, 0.0);
+        assert_eq!(d.replayed, 0, "freeze floors, it does not replay");
+        assert!(
+            (d.disruption_ms - 500.0).abs() < 1e-6,
+            "stall span is the scripted 500 ms, got {}",
+            d.disruption_ms
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_fault_plans() {
+        let plan = crate::fault::FaultPlan::parse("kill@1s:shard=9").unwrap();
+        let err = LoadConfig::builder()
+            .shards(2)
+            .fault(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LoadError::BadFaultPlan(_)), "{err:?}");
+        let late = crate::fault::FaultPlan::parse("kill@20s").unwrap();
+        let err = LoadConfig::builder()
+            .duration(SimDuration::from_secs(5))
+            .fault(late)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LoadError::BadFaultPlan(_)), "{err:?}");
     }
 }

@@ -21,13 +21,15 @@ use l25gc_core::UeEvent;
 use l25gc_sim::SimDuration;
 
 use crate::arrival::{EventMix, RateSegment};
+use crate::fault::FaultPlan;
 
 /// Every scenario name in the library, in canonical order.
-pub const SCENARIO_NAMES: [&str; 4] = [
+pub const SCENARIO_NAMES: [&str; 5] = [
     "flash-crowd",
     "post-outage-reattach",
     "diurnal",
     "stadium-egress",
+    "amf-restart",
 ];
 
 /// One named incident: a scripted rate profile (in capacity fractions),
@@ -45,6 +47,10 @@ pub struct ScenarioSpec {
     pub mix: EventMix,
     /// Default fleet size when the caller does not override it.
     pub ues: usize,
+    /// Scripted faults riding the profile (a mid-plateau shard kill,
+    /// say). Times are absolute into the scenario; shrink runs must
+    /// rescale them with [`FaultPlan::scaled`] alongside the segments.
+    pub fault: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
@@ -55,6 +61,7 @@ impl ScenarioSpec {
             "post-outage-reattach" => Some(post_outage_reattach()),
             "diurnal" => Some(diurnal()),
             "stadium-egress" => Some(stadium_egress()),
+            "amf-restart" => Some(amf_restart()),
             _ => None,
         }
     }
@@ -107,6 +114,7 @@ fn flash_crowd() -> ScenarioSpec {
         ],
         mix: EventMix::default(),
         ues: 100_000,
+        fault: None,
     }
 }
 
@@ -134,6 +142,7 @@ fn post_outage_reattach() -> ScenarioSpec {
             ],
         },
         ues: 100_000,
+        fault: None,
     }
 }
 
@@ -151,6 +160,7 @@ fn diurnal() -> ScenarioSpec {
         ],
         mix: EventMix::default(),
         ues: 100_000,
+        fault: None,
     }
 }
 
@@ -177,6 +187,27 @@ fn stadium_egress() -> ScenarioSpec {
             ],
         },
         ues: 100_000,
+        fault: None,
+    }
+}
+
+/// An AMF instance dies during the busy hour: a diurnal-style ramp to a
+/// bursty plateau just under capacity, with a scripted shard kill
+/// mid-plateau. The disturbance here is the failover itself — detection,
+/// reroute, and log replay — not the offered load, so the recovery-time
+/// gate measures §3.5's resiliency machinery under realistic traffic.
+fn amf_restart() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "amf-restart",
+        summary: "busy-hour plateau with a mid-run shard kill and failover",
+        segments: vec![
+            RateSegment::ramp(1.5, 0.3, 0.9),
+            RateSegment::step(2.0, 0.9).with_burst(3.0),
+            RateSegment::hold(1.5, 0.4),
+        ],
+        mix: EventMix::default(),
+        ues: 100_000,
+        fault: Some(FaultPlan::parse("kill@2500ms:shard=0").expect("library fault plan parses")),
     }
 }
 
@@ -219,6 +250,30 @@ mod tests {
                 }),
                 "{name}: never exceeds capacity"
             );
+            // A scripted fault must be structurally valid against the
+            // scenario's own horizon (shard ids are checked at run time
+            // against the actual shard count).
+            if let Some(f) = &spec.fault {
+                f.validate(u16::MAX, spec.duration())
+                    .unwrap_or_else(|e| panic!("{name}: invalid fault plan: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn amf_restart_kills_a_shard_mid_plateau() {
+        let spec = ScenarioSpec::by_name("amf-restart").unwrap();
+        let fault = spec.fault.as_ref().expect("amf-restart scripts a kill");
+        let kill = fault.kills().next().expect("plan holds a kill");
+        // The kill lands inside the busy-hour plateau (1.5 s – 3.5 s),
+        // not in the ramp or the recovery tail.
+        assert!(kill.at > SimDuration::from_secs_f64(1.5));
+        assert!(kill.at < SimDuration::from_secs_f64(3.5));
+        // Every other library scenario is a pure load profile.
+        for other in ScenarioSpec::library() {
+            if other.name != "amf-restart" {
+                assert!(other.fault.is_none(), "{}: unexpected fault", other.name);
+            }
         }
     }
 

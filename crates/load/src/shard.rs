@@ -26,6 +26,7 @@ use l25gc_obs::{DropCode, EventKind, Obs};
 use l25gc_sim::{SimDuration, SimTime};
 
 use crate::dispatch::ProcedureProfile;
+use crate::fault::Outage;
 
 /// What to do when a shard's queue crosses its high-water mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +94,16 @@ struct Shard {
     dispatched: u64,
     /// Peak in-flight depth observed.
     peak_depth: usize,
+    /// Scripted service outages on this shard, sorted by start.
+    outages: Vec<Outage>,
+    /// Procedures whose service crossed a kill outage and restarted
+    /// after it — the log-replay count.
+    replayed: u64,
+    /// Arrivals shed while an outage was in progress on this shard.
+    lost_in_outage: u64,
+    /// Latest CPU-done instant among kill-replayed procedures: how long
+    /// the replayed backlog took to drain past the kill.
+    last_replay_done: Option<SimTime>,
 }
 
 impl Shard {
@@ -160,6 +171,10 @@ impl ShardSet {
                     stashed: None,
                     dispatched: 0,
                     peak_depth: 0,
+                    outages: Vec::new(),
+                    replayed: 0,
+                    lost_in_outage: 0,
+                    last_replay_done: None,
                 }
             })
             .collect();
@@ -195,6 +210,9 @@ impl ShardSet {
         // congestion signal, adjusted by the one-slot lookahead.
         let congested = s.tx.above_high_water() || s.depth() >= s.tx.high_water();
         if congested && self.cfg.policy == OverloadPolicy::Shed {
+            if s.outages.iter().any(|o| now >= o.start && now < o.end) {
+                s.lost_in_outage += 1;
+            }
             self.shed += 1;
             obs.event(
                 now,
@@ -205,8 +223,11 @@ impl ShardSet {
             );
             return Admission::Shed;
         }
-        // FIFO server: the shard's CPU serialises occupancy.
+        // FIFO server: the shard's CPU serialises occupancy, and service
+        // cannot overlap a scripted outage — work in flight across a
+        // kill restarts after the failover window (log replay).
         let start = s.busy_until.max(now);
+        let (start, crossed_kill) = crate::fault::floor_service(&s.outages, start, prof.occupancy);
         let done_cpu = start + prof.occupancy;
         // Off-shard wire time does not hold the shard.
         let completes_at = done_cpu + prof.latency.saturating_sub(prof.occupancy);
@@ -215,6 +236,11 @@ impl ShardSet {
                 s.busy_until = done_cpu;
                 s.dispatched += 1;
                 s.peak_depth = s.peak_depth.max(s.depth());
+                if crossed_kill {
+                    s.replayed += 1;
+                    s.last_replay_done =
+                        Some(s.last_replay_done.map_or(done_cpu, |d| d.max(done_cpu)));
+                }
                 Admission::Dispatched {
                     completes_at,
                     queue_wait: start.duration_since(now),
@@ -233,6 +259,49 @@ impl ShardSet {
                 Admission::Backpressure
             }
         }
+    }
+
+    /// Installs scripted service outages (from
+    /// [`FaultPlan::outages`](crate::fault::FaultPlan::outages)); each
+    /// shard keeps its own intervals sorted by start.
+    pub fn set_outages(&mut self, outages: &[Outage]) {
+        for o in outages {
+            self.shards[o.shard as usize].outages.push(*o);
+        }
+        for s in &mut self.shards {
+            s.outages.sort_by_key(|o| o.start.as_nanos());
+        }
+    }
+
+    /// Procedures whose service crossed a kill outage and re-ran after
+    /// the failover window — the log-replay count.
+    pub fn replayed(&self) -> u64 {
+        self.shards.iter().map(|s| s.replayed).sum()
+    }
+
+    /// Arrivals shed while their shard was inside a scripted outage.
+    pub fn lost_in_outage(&self) -> u64 {
+        self.shards.iter().map(|s| s.lost_in_outage).sum()
+    }
+
+    /// Worst observed disruption across scripted outages: for a kill,
+    /// from the kill instant until the replayed backlog drained (the
+    /// outage span if nothing was in flight); for a freeze, the stall
+    /// span itself. `None` when no outages were installed.
+    pub fn disruption_span(&self) -> Option<SimDuration> {
+        let mut worst: Option<SimDuration> = None;
+        for s in &self.shards {
+            for o in &s.outages {
+                let until = if o.kill {
+                    s.last_replay_done.filter(|&d| d >= o.end).unwrap_or(o.end)
+                } else {
+                    o.end
+                };
+                let span = until.duration_since(o.start);
+                worst = Some(worst.map_or(span, |w| w.max(span)));
+            }
+        }
+        worst
     }
 
     /// Current in-flight depth of `shard` (ring occupancy plus the

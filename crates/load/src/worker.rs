@@ -45,12 +45,13 @@ use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::dispatch::{proc_kind, ProfileSet};
 use crate::driver::{
-    apply_transition, draw_kind, transition, LoadConfig, LoadMode, LoadReport, WallClock, HIST_ALL,
-    HIST_QUEUE_WAIT, HIST_SERVICE, HIST_TRANSIT,
+    apply_transition, disruption_from, draw_kind, fault_timeline, transition, LoadConfig, LoadMode,
+    LoadReport, WallClock, HIST_ALL, HIST_QUEUE_WAIT, HIST_SERVICE, HIST_TRANSIT,
 };
+use crate::fault::{floor_service, Outage};
 use crate::fleet::Fleet;
 use crate::shard::{OverloadPolicy, SHARD_LABELS};
-use crate::wait::{WaitStats, Waiter};
+use crate::wait::{WaitStats, WaitStrategy, Waiter};
 
 /// Submissions a worker drains per ring poll (the DPDK burst idiom).
 const BURST: usize = 64;
@@ -106,6 +107,9 @@ struct HotStats {
 
 /// What one worker thread hands back at join.
 struct WorkerStats {
+    /// Which shard this worker served (a killed shard yields two stats
+    /// bundles: the dead primary's and its standby's).
+    shard: u16,
     /// The padded hot counters (busy-until, served, peak depth).
     hot: HotStats,
     /// Whether this worker is actually pinned to its planned CPU.
@@ -117,6 +121,10 @@ struct WorkerStats {
     /// The worker's private timeline lane (completion counts + latency
     /// deltas for its shard), merged by the dispatcher at join.
     timeline: Option<MetricsTimeline>,
+    /// Procedures whose service crossed a kill outage (log replay).
+    replayed: u64,
+    /// Latest CPU-done instant among kill-replayed procedures.
+    last_replay_done: Option<SimTime>,
 }
 
 /// One shard's server loop: pop submissions in bursts, advance the
@@ -140,6 +148,13 @@ struct ShardWorker {
     idle_wait: Waiter,
     /// Wait site: completion ring full.
     complete_wait: Waiter,
+    /// Scripted service outages on this shard, sorted by start — the
+    /// same intervals the analytic backend floors with.
+    outages: Vec<Outage>,
+    /// Procedures whose service crossed a kill outage (log replay).
+    replayed: u64,
+    /// Latest CPU-done instant among kill-replayed procedures.
+    last_replay_done: Option<SimTime>,
 }
 
 /// Warn exactly once per pool when affinity cannot be set; pinning is
@@ -183,11 +198,14 @@ impl ShardWorker {
         let mut wait = self.idle_wait.stats();
         wait.absorb(&self.complete_wait.stats());
         WorkerStats {
+            shard: self.shard,
             hot: self.hot,
             pinned,
             wait,
             obs: self.obs,
             timeline: self.timeline,
+            replayed: self.replayed,
+            last_replay_done: self.last_replay_done,
         }
     }
 
@@ -198,10 +216,19 @@ impl ShardWorker {
     fn serve(&mut self, s: Submit) {
         let prof = self.profiles.get(s.kind);
         let start = self.hot.busy_until.max(s.at);
+        // Scripted outages floor the recurrence exactly as in the
+        // analytic backend — a kill-crossing procedure is the log-replay
+        // path re-running it after the failover window.
+        let (start, crossed_kill) = floor_service(&self.outages, start, prof.occupancy);
         let done_cpu = start + prof.occupancy;
         let completes_at = done_cpu + prof.latency.saturating_sub(prof.occupancy);
         self.hot.busy_until = done_cpu;
         self.hot.served += 1;
+        if crossed_kill {
+            self.replayed += 1;
+            self.last_replay_done =
+                Some(self.last_replay_done.map_or(done_cpu, |d| d.max(done_cpu)));
+        }
         // Stage anatomy: queue-wait (arrival → service start), service
         // (shard occupancy), and completion transit (the off-shard wire
         // time) tile the end-to-end latency exactly — same boundaries as
@@ -243,6 +270,27 @@ impl ShardWorker {
     }
 }
 
+/// One scripted kill the dispatcher still has to deliver.
+struct PendingKill {
+    shard: u16,
+    at: SimTime,
+    fired: bool,
+}
+
+/// Everything needed to spawn a standby worker when a kill fires.
+struct Respawn {
+    profiles: ProfileSet,
+    wait: WaitStrategy,
+    metrics_interval: Option<SimDuration>,
+    shards_total: u16,
+    ring_capacity: usize,
+    high_water: usize,
+    /// Per-shard outage intervals, sorted by start.
+    outages: Vec<Vec<Outage>>,
+    pin_cpus: Vec<Option<u32>>,
+    pin_warn: Arc<AtomicBool>,
+}
+
 /// The dispatcher's side of the pool: per-shard duplex hosts plus the
 /// join handles, and the drop/completion accounting.
 struct Pool {
@@ -276,6 +324,14 @@ struct Pool {
     shutdown_wait: Waiter,
     /// Wait site: closed-loop completion round trip.
     await_wait: Waiter,
+    /// Scripted kills not yet delivered, in plan order.
+    kills: Vec<PendingKill>,
+    /// Stats of workers already joined mid-run (killed primaries).
+    retired: Vec<WorkerStats>,
+    /// Standby-spawn context for failover.
+    respawn: Respawn,
+    /// Arrivals shed while their shard was inside a scripted outage.
+    lost_in_outage: u64,
 }
 
 impl Pool {
@@ -317,6 +373,23 @@ impl Pool {
             cfg.metrics_interval
                 .map(|iv| MetricsTimeline::new(iv, cfg.shard_cfg.shards))
         };
+        // Outage intervals and the kill schedule from the fault plan —
+        // the same compiled intervals the analytic backend floors with.
+        let mut outages_by_shard: Vec<Vec<Outage>> = vec![Vec::new(); shards];
+        let mut kills = Vec::new();
+        if let Some(fault) = &cfg.fault {
+            for o in fault.outages(&fault_timeline(), cfg.duration) {
+                outages_by_shard[o.shard as usize].push(o);
+            }
+            kills.extend(fault.kills().map(|e| PendingKill {
+                shard: e.shard,
+                at: SimTime::ZERO + e.at,
+                fired: false,
+            }));
+        }
+        let pin_cpus: Vec<Option<u32>> = (0..shards)
+            .map(|i| plan.as_ref().map(|p| p.worker_cpus[i]))
+            .collect();
         let mut hosts = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -336,10 +409,13 @@ impl Pool {
                 obs: Obs::new(),
                 timeline: timeline_for(cfg),
                 out_buf: Vec::with_capacity(BURST),
-                pin_cpu: plan.as_ref().map(|p| p.worker_cpus[i]),
+                pin_cpu: pin_cpus[i],
                 pin_warn: pin_warn.clone(),
                 idle_wait: Waiter::new(cfg.wait),
                 complete_wait: Waiter::new(cfg.wait),
+                outages: outages_by_shard[i].clone(),
+                replayed: 0,
+                last_replay_done: None,
             };
             let handle = thread::Builder::new()
                 .name(format!("l25gc-{label}"))
@@ -368,7 +444,114 @@ impl Pool {
             offer_wait: Waiter::new(cfg.wait),
             shutdown_wait: Waiter::new(cfg.wait),
             await_wait: Waiter::new(cfg.wait),
+            kills,
+            retired: Vec::new(),
+            respawn: Respawn {
+                profiles: profiles.clone(),
+                wait: cfg.wait,
+                metrics_interval: cfg.metrics_interval,
+                shards_total: cfg.shard_cfg.shards,
+                ring_capacity: cfg.shard_cfg.ring_capacity,
+                high_water: cfg.shard_cfg.high_water,
+                outages: outages_by_shard,
+                pin_cpus,
+                pin_warn,
+            },
+            lost_in_outage: 0,
         }
+    }
+
+    /// Delivers every scripted kill whose virtual time has been reached.
+    /// Called from the dispatch loop (with the current arrival time) and
+    /// once more at shutdown (with the horizon) so trailing kills fire.
+    fn maybe_fire_kills(&mut self, now: SimTime, horizon: SimTime, obs: &mut Obs) {
+        while let Some(idx) = self.kills.iter().position(|k| !k.fired && k.at <= now) {
+            self.kills[idx].fired = true;
+            let shard = self.kills[idx].shard;
+            self.fail_over(shard, horizon, obs);
+        }
+    }
+
+    /// Kills `shard`'s primary worker and fails its queue pair over to a
+    /// freshly spawned standby. The stop sentinel rides the same FIFO
+    /// ring as the backlog, so the primary serves everything already
+    /// logged before dying — the counter-ordered log replay of §3.5 —
+    /// and the standby resumes from the replica checkpoint: the
+    /// primary's final virtual clock.
+    fn fail_over(&mut self, shard: u16, horizon: SimTime, obs: &mut Obs) {
+        let i = shard as usize;
+        // Deliver the poison pill behind the logged backlog, draining
+        // completions so the primary's flush can never wedge the pair.
+        let mut stop = Submit {
+            seq: STOP_SEQ,
+            kind: UeEvent::Registration,
+            ue: 0,
+            at: SimTime::ZERO,
+        };
+        loop {
+            match self.hosts[i].submit.push(stop) {
+                Ok(()) => break,
+                Err(RingFull(back)) => {
+                    stop = back;
+                    self.drain_completions(horizon, obs);
+                    self.shutdown_wait.wait();
+                }
+            }
+        }
+        self.workers[i].unpark();
+        self.shutdown_wait.reset();
+        while !self.handles[i].is_finished() {
+            self.drain_completions(horizon, obs);
+            self.shutdown_wait.wait();
+        }
+        self.shutdown_wait.reset();
+        let stats = self
+            .handles
+            .remove(i)
+            .join()
+            .expect("killed shard worker panicked");
+        let seed_busy = stats.hot.busy_until;
+        self.retired.push(stats);
+        // The final flush may have landed between the last drain and
+        // thread exit; empty the old completion ring before the pair is
+        // replaced, or those completions are lost with it.
+        self.drain_completions(horizon, obs);
+        let label = SHARD_LABELS[i % SHARD_LABELS.len()];
+        let (mut host, port) = duplex::<Submit, Completion>(self.respawn.ring_capacity, label);
+        host.submit.set_high_water(self.respawn.high_water);
+        let worker = ShardWorker {
+            port,
+            profiles: self.respawn.profiles.clone(),
+            shard,
+            // Seeding the standby's virtual clock with the dead
+            // primary's keeps the shard's FIFO recurrence unbroken, so
+            // threaded latencies still match the analytic backend.
+            hot: HotStats {
+                busy_until: seed_busy,
+                served: 0,
+                peak_depth: 0,
+            },
+            obs: Obs::new(),
+            timeline: self
+                .respawn
+                .metrics_interval
+                .map(|iv| MetricsTimeline::new(iv, self.respawn.shards_total)),
+            out_buf: Vec::with_capacity(BURST),
+            pin_cpu: self.respawn.pin_cpus[i],
+            pin_warn: self.respawn.pin_warn.clone(),
+            idle_wait: Waiter::new(self.respawn.wait),
+            complete_wait: Waiter::new(self.respawn.wait),
+            outages: self.respawn.outages[i].clone(),
+            replayed: 0,
+            last_replay_done: None,
+        };
+        let handle = thread::Builder::new()
+            .name(format!("l25gc-{label}-standby"))
+            .spawn(move || worker.run())
+            .expect("spawn standby shard worker");
+        self.workers[i] = handle.thread().clone();
+        self.handles.insert(i, handle);
+        self.hosts[i] = host;
     }
 
     /// Records one drained completion into the shared histograms, plus a
@@ -422,10 +605,17 @@ impl Pool {
         horizon: SimTime,
         obs: &mut Obs,
     ) -> Option<u64> {
+        self.maybe_fire_kills(at, horizon, obs);
         let host = &mut self.hosts[shard as usize];
         // Admission control at the high-water mark, against real ring
         // occupancy — the substrate's own congestion signal.
         if host.submit.above_high_water() && self.policy == OverloadPolicy::Shed {
+            if self.respawn.outages[shard as usize]
+                .iter()
+                .any(|o| at >= o.start && at < o.end)
+            {
+                self.lost_in_outage += 1;
+            }
             self.shed += 1;
             obs.event(
                 at,
@@ -496,6 +686,9 @@ impl Pool {
     /// final completions, and merges the per-worker recorder bundles.
     /// Returns each worker's stats.
     fn shutdown(mut self, horizon: SimTime, obs: &mut Obs) -> PoolStats {
+        // Kills scripted after the last arrival still fire, so the
+        // failover (and its replay accounting) happens before the join.
+        self.maybe_fire_kills(horizon, horizon, obs);
         for i in 0..self.hosts.len() {
             let mut stop = Submit {
                 seq: STOP_SEQ,
@@ -518,16 +711,30 @@ impl Pool {
             self.workers[i].unpark();
             self.shutdown_wait.reset();
         }
-        let mut busy = Vec::with_capacity(self.handles.len());
+        // Retired (killed) primaries and their standbys report under the
+        // same shard id; `busy_until` is the per-shard max and replay
+        // counters sum, so failover is invisible to the occupancy math.
+        let shards_total = self.respawn.shards_total as usize;
+        let mut busy = vec![SimTime::ZERO; shards_total];
+        let mut last_done: Vec<Option<SimTime>> = vec![None; shards_total];
+        let mut replayed = 0u64;
         let mut peak = self.peak_depth;
         let mut served = 0u64;
         let mut pinned_workers = 0usize;
         let mut wait = self.offer_wait.stats();
         wait.absorb(&self.shutdown_wait.stats());
         wait.absorb(&self.await_wait.stats());
+        let mut all = std::mem::take(&mut self.retired);
         for h in std::mem::take(&mut self.handles) {
-            let stats = h.join().expect("shard worker panicked");
-            busy.push(stats.hot.busy_until);
+            all.push(h.join().expect("shard worker panicked"));
+        }
+        for stats in all {
+            let i = stats.shard as usize;
+            busy[i] = busy[i].max(stats.hot.busy_until);
+            if let Some(d) = stats.last_replay_done {
+                last_done[i] = Some(last_done[i].map_or(d, |p| p.max(d)));
+            }
+            replayed += stats.replayed;
             peak = peak.max(stats.hot.peak_depth);
             served += stats.hot.served;
             pinned_workers += usize::from(stats.pinned);
@@ -544,6 +751,21 @@ impl Pool {
         // Everything the workers pushed before exiting is still in the
         // completion rings; drain it so the loss accounting closes.
         self.drain_completions(horizon, obs);
+        // Mirror of `ShardSet::disruption_span`: for a kill the outage
+        // lasts until the last replayed completion lands; for a freeze
+        // it is the scripted stall span.
+        let mut disruption_span: Option<SimDuration> = None;
+        for (i, outs) in self.respawn.outages.iter().enumerate() {
+            for o in outs {
+                let until = if o.kill {
+                    last_done[i].filter(|&d| d >= o.end).unwrap_or(o.end)
+                } else {
+                    o.end
+                };
+                let span = until.duration_since(o.start);
+                disruption_span = Some(disruption_span.map_or(span, |w| w.max(span)));
+            }
+        }
         PoolStats {
             shed: self.shed,
             backpressure: self.backpressure,
@@ -556,6 +778,9 @@ impl Pool {
             dispatcher_pinned: self.dispatcher_pinned,
             wait,
             timeline: self.timeline,
+            replayed,
+            lost_in_outage: self.lost_in_outage,
+            disruption_span,
         }
     }
 }
@@ -575,6 +800,12 @@ struct PoolStats {
     /// Merged wait-ladder counters from every wait site in the pool.
     wait: WaitStats,
     timeline: Option<MetricsTimeline>,
+    /// Services that crossed a kill outage and re-ran (log replay).
+    replayed: u64,
+    /// Arrivals shed while their shard was inside a scripted outage.
+    lost_in_outage: u64,
+    /// Worst observed outage span, replay drain included.
+    disruption_span: Option<SimDuration>,
 }
 
 /// Mean shard CPU utilisation from the workers' final virtual clocks.
@@ -799,6 +1030,12 @@ fn finish_threaded(
             elapsed,
             sustained_eps,
         }),
+        disruption: disruption_from(
+            cfg,
+            stats.replayed,
+            stats.lost_in_outage,
+            stats.disruption_span,
+        ),
         timeline: stats.timeline,
         obs,
     }
@@ -1150,5 +1387,82 @@ mod tests {
         assert_eq!(r.shed, 0, "queue policy never sheds");
         assert_eq!(r.backpressure, 0, "queue policy blocks instead of dropping");
         assert_eq!(r.completed_total, r.dispatched);
+    }
+
+    #[test]
+    fn threaded_kill_fails_over_to_standby_loss_free() {
+        let profiles = calibrate(Deployment::L25gc);
+        // A scripted mid-run kill under Queue with wide rings: the
+        // primary thread really dies, the standby inherits its SPSC
+        // pair, and every dispatched UE still completes — on one worker
+        // or the other.
+        let plan = crate::fault::FaultPlan::parse("kill@500ms:shard=0").unwrap();
+        let cfg = LoadConfig::builder()
+            .ues(5_000)
+            .shards(2)
+            .shard_cfg(ShardConfig {
+                shards: 2,
+                high_water: 1 << 14,
+                policy: OverloadPolicy::Queue,
+                ring_capacity: 1 << 15,
+            })
+            .offered_eps(8_000.0)
+            .duration(SimDuration::from_secs(1))
+            .seed(53)
+            .backend(ExecBackend::Threaded)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert_eq!(
+            r.shed + r.backpressure,
+            0,
+            "Queue with headroom drops nothing"
+        );
+        assert_eq!(
+            r.completed_total, r.dispatched,
+            "killed worker's UEs complete on the standby"
+        );
+        let d = r.disruption.expect("kill plan yields a disruption block");
+        assert!(d.replayed > 0, "backlog crossed the kill and re-ran");
+        assert_eq!(d.completions_lost, 0, "Queue is loss-free across failover");
+        assert!(d.disruption_ms > 0.0);
+    }
+
+    #[test]
+    fn threaded_fault_run_matches_analytic() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Identical outage flooring plus the standby inheriting the dead
+        // primary's virtual clock keep the shard's FIFO recurrence
+        // unbroken — so a faulted threaded run still reproduces the
+        // analytic latency multiset exactly.
+        let base = LoadConfig::builder()
+            .ues(3_000)
+            .shards(2)
+            .shard_cfg(ShardConfig {
+                shards: 2,
+                high_water: 1 << 14,
+                policy: OverloadPolicy::Queue,
+                ring_capacity: 1 << 15,
+            })
+            .offered_eps(2_000.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(61)
+            .fault(crate::fault::FaultPlan::parse("kill@800ms:shard=1").unwrap());
+        let a = Driver::new(base.clone().backend(ExecBackend::Analytic).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        let t = Driver::new(base.backend(ExecBackend::Threaded).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        assert_eq!(a.offered, t.offered);
+        assert_eq!(a.dispatched, t.dispatched);
+        assert_eq!(a.completed, t.completed);
+        assert_eq!(a.p50, t.p50, "same latency multiset → same quantiles");
+        assert_eq!(a.p99, t.p99);
+        let (ad, td) = (a.disruption.unwrap(), t.disruption.unwrap());
+        assert_eq!(ad.replayed, td.replayed, "replay counts agree");
+        assert_eq!(ad.disruption_ms, td.disruption_ms, "measured spans agree");
+        assert_eq!(ad.completions_lost, td.completions_lost);
     }
 }

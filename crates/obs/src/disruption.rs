@@ -1,0 +1,167 @@
+//! Per-window completion-dip scoring: how visible was an outage?
+//!
+//! The resilience engine reports *charged* failover costs (detect,
+//! reroute, replay) and the engine-measured outage span; this module
+//! answers the complementary, observable question — **how did the
+//! completion stream actually dip?** It walks a [`MetricsTimeline`]'s
+//! per-window completion counts (summed across shard lanes), establishes
+//! a pre-incident baseline from the leading windows, and scores every
+//! later window against a fraction of that baseline. Contiguous
+//! below-threshold windows form the dip: its depth, width, and deficit
+//! are the user-visible cost of the fault, independent of how the
+//! failover machinery accounts for itself.
+//!
+//! The scoring is deliberately model-free — no knowledge of the fault
+//! plan, the arrival script, or the failover timeline — so the same
+//! function audits an analytic run, a threaded run, or a parsed
+//! timeline from an archived manifest.
+
+use l25gc_sim::{SimDuration, SimTime};
+
+use crate::timeline::MetricsTimeline;
+
+/// The completion-stream dip a timeline exhibits, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionDip {
+    /// Mean completions per window over the baseline prefix.
+    pub baseline_per_window: f64,
+    /// Windows below the dip threshold, after the baseline prefix.
+    pub dip_windows: usize,
+    /// Start of the first below-threshold window.
+    pub start: SimTime,
+    /// End of the last below-threshold window.
+    pub end: SimTime,
+    /// Deepest window's completion count.
+    pub worst_completed: u64,
+    /// Completions missing versus baseline, summed over dip windows.
+    pub deficit: f64,
+}
+
+impl CompletionDip {
+    /// Width of the dip, first below-threshold window to last.
+    pub fn span(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// Scores `timeline` for a completion dip.
+///
+/// The first `baseline_windows` windows establish the expected
+/// per-window completion rate; every later window completing fewer than
+/// `ratio` × baseline is part of the dip. Returns `None` when the
+/// timeline is too short to baseline, the baseline is empty, or no
+/// window dips — steady runs score clean.
+pub fn completion_dip(
+    timeline: &MetricsTimeline,
+    baseline_windows: usize,
+    ratio: f64,
+) -> Option<CompletionDip> {
+    let windows = timeline.window_count();
+    if baseline_windows == 0 || windows <= baseline_windows {
+        return None;
+    }
+    // Sum the completion counters across shard lanes per window; lanes
+    // can be ragged (a shard may not have reached the last window).
+    let mut completed = vec![0u64; windows];
+    for shard in 0..timeline.shards() {
+        for (w, cell) in timeline.lane(shard).iter().enumerate() {
+            completed[w] += cell.completed;
+        }
+    }
+    let baseline: f64 =
+        completed[..baseline_windows].iter().sum::<u64>() as f64 / baseline_windows as f64;
+    if baseline <= 0.0 {
+        return None;
+    }
+    let threshold = baseline * ratio;
+    let iv = timeline.interval();
+    let mut dip: Option<CompletionDip> = None;
+    // The final window is excluded: a horizon that does not divide the
+    // interval leaves it partially filled, which reads as a false dip.
+    for (w, &c) in completed
+        .iter()
+        .enumerate()
+        .take(windows - 1)
+        .skip(baseline_windows)
+    {
+        if (c as f64) >= threshold {
+            continue;
+        }
+        let start = SimTime::ZERO + iv * (w as u64);
+        let end = SimTime::ZERO + iv * (w as u64 + 1);
+        let deficit = (baseline - c as f64).max(0.0);
+        match dip.as_mut() {
+            None => {
+                dip = Some(CompletionDip {
+                    baseline_per_window: baseline,
+                    dip_windows: 1,
+                    start,
+                    end,
+                    worst_completed: c,
+                    deficit,
+                });
+            }
+            Some(d) => {
+                d.dip_windows += 1;
+                d.end = end;
+                d.worst_completed = d.worst_completed.min(c);
+                d.deficit += deficit;
+            }
+        }
+    }
+    dip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline_with(completions_per_window: &[u64]) -> MetricsTimeline {
+        let iv = SimDuration::from_millis(100);
+        let mut tl = MetricsTimeline::new(iv, 2);
+        for (w, &n) in completions_per_window.iter().enumerate() {
+            let at = SimTime::ZERO + iv * (w as u64) + SimDuration::from_millis(1);
+            for i in 0..n {
+                tl.record_completion((i % 2) as u16, at, 1_000);
+            }
+        }
+        tl
+    }
+
+    #[test]
+    fn steady_runs_score_clean() {
+        let tl = timeline_with(&[100, 100, 100, 100, 100, 100, 100, 100]);
+        assert!(completion_dip(&tl, 3, 0.5).is_none());
+    }
+
+    #[test]
+    fn an_outage_window_scores_as_a_dip() {
+        // Baseline 100/window, then a two-window collapse, then recovery.
+        let tl = timeline_with(&[100, 100, 100, 10, 0, 100, 100, 100]);
+        let dip = completion_dip(&tl, 3, 0.5).expect("collapse must score");
+        assert!((dip.baseline_per_window - 100.0).abs() < 1e-9);
+        assert_eq!(dip.dip_windows, 2);
+        assert_eq!(dip.worst_completed, 0);
+        assert_eq!(dip.start, SimTime::ZERO + SimDuration::from_millis(300));
+        assert_eq!(dip.end, SimTime::ZERO + SimDuration::from_millis(500));
+        assert_eq!(dip.span(), SimDuration::from_millis(200));
+        assert!((dip.deficit - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn the_partial_final_window_is_not_a_false_dip() {
+        // The trailing 5 looks like a dip but is the run's ragged edge.
+        let tl = timeline_with(&[100, 100, 100, 100, 5]);
+        assert!(completion_dip(&tl, 3, 0.5).is_none());
+    }
+
+    #[test]
+    fn too_short_or_empty_baselines_yield_none() {
+        let tl = timeline_with(&[100, 100]);
+        assert!(completion_dip(&tl, 3, 0.5).is_none());
+        let silent = timeline_with(&[0, 0, 0, 0, 0, 0]);
+        assert!(completion_dip(&silent, 3, 0.5).is_none());
+        let tl = timeline_with(&[100, 100, 100, 0, 100]);
+        assert!(completion_dip(&tl, 0, 0.5).is_none());
+    }
+}

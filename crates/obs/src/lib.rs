@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod disruption;
 pub mod events;
 pub mod export;
 pub mod hist;
@@ -30,6 +31,7 @@ pub mod slo;
 pub mod span;
 pub mod timeline;
 
+pub use disruption::{completion_dip, CompletionDip};
 pub use events::{DropCode, Event, EventKind, FlightRecorder};
 pub use export::{
     parse_jsonl_line, to_chrome_trace, to_jsonl, to_summary, JsonlError, ParsedField, ParsedLine,

@@ -1,0 +1,298 @@
+//! The adapter half of the pure/adapter split: one facade that owns the
+//! clocked components and drives the pure [`FailoverFsm`].
+//!
+//! Before this facade existed, callers composed the §3.5 pieces by hand
+//! — an [`SbfdSession`] for detection, a [`PacketLogger`] for the
+//! in-flight log, a [`Replica`] for checkpoints, a [`UeAwareLb`] for
+//! affinity, and a [`FailoverTimeline`] for the recovery arithmetic —
+//! and had to get the ordering rules right at every call site. The
+//! coordinator owns all five and consults the [`FailoverFsm`] for every
+//! ordering decision, so the protocol logic exists exactly once (and is
+//! property-tested in isolation, clock-free, in `tests/fsm_prop.rs`).
+//!
+//! The facade is protocol-level, not hot-path: the `l25gc-load` driver
+//! charges failover cost analytically via [`FailoverTimeline`] and only
+//! counts replayed events; this type is for experiments that walk a real
+//! state machine (`S` = a `CoreNetwork` in the testbed) through a
+//! failure.
+
+use l25gc_core::msg::{Envelope, UeId};
+use l25gc_nfv::cost::CostModel;
+use l25gc_sim::SimTime;
+
+use crate::detector::SbfdSession;
+use crate::fsm::{FailoverFsm, FaultEvent, FsmAction, FsmState};
+use crate::lb::{FailoverTimeline, UeAwareLb, UnitId};
+use crate::logger::{LoggedEntry, PacketLogger};
+use crate::replica::Replica;
+
+/// What a completed failover hands back to the caller.
+#[derive(Debug)]
+pub struct FailoverReport<S> {
+    /// The replica state as of the last acknowledged checkpoint; the
+    /// caller re-applies `replay` to reconstruct the lost tail.
+    pub state: S,
+    /// The counter-ordered backlog logged since the checkpoint
+    /// watermark (every entry the dead primary may not have finished).
+    pub replay: Vec<LoggedEntry>,
+    /// When the detector confirmed the failure.
+    pub detected_at: SimTime,
+    /// When the standby starts serving: detection instant plus reroute
+    /// plus the non-overlapped part of replay.
+    pub recovered_at: SimTime,
+    /// UE sessions re-pointed from the dead unit to the standby.
+    pub migrated_ues: usize,
+}
+
+/// Facade composing detector, logger, replica, LB, and timeline around
+/// the pure protocol machine. See the module docs.
+#[derive(Debug)]
+pub struct FailoverCoordinator<S: Clone> {
+    fsm: FailoverFsm,
+    detector: SbfdSession,
+    replica: Replica<S>,
+    logger: PacketLogger,
+    lb: UeAwareLb,
+    timeline: FailoverTimeline,
+    primary: UnitId,
+    standby: UnitId,
+}
+
+impl<S: Clone> FailoverCoordinator<S> {
+    /// A coordinator protecting `primary` with a frozen replica on
+    /// `standby`, using the paper's detector/timeline constants from
+    /// `cost` and `data_capacity` entries per data log queue.
+    pub fn new(
+        initial: S,
+        primary: UnitId,
+        standby: UnitId,
+        data_capacity: usize,
+        cost: &CostModel,
+        now: SimTime,
+    ) -> FailoverCoordinator<S> {
+        let detector = SbfdSession::paper(now);
+        FailoverCoordinator {
+            fsm: FailoverFsm::new(detector.multiplier),
+            detector,
+            replica: Replica::new(initial, now),
+            logger: PacketLogger::new(data_capacity),
+            lb: UeAwareLb::new(&[primary, standby]),
+            timeline: FailoverTimeline::paper(cost),
+            primary,
+            standby,
+        }
+    }
+
+    /// Routes a UE session (affinity-sticky, failed units excluded).
+    pub fn route(&mut self, ue: UeId) -> Option<UnitId> {
+        self.lb.route(ue)
+    }
+
+    /// Logs a message on its way into the unit and returns its counter.
+    /// While the primary is down (failure confirmed, replay pending) the
+    /// message is buffered in the log and not forwarded — external
+    /// synchrony; it is delivered by the replay burst.
+    pub fn ingress(&mut self, env: &Envelope) -> u64 {
+        let counter = self.logger.log(env);
+        let acts = self.fsm.step(FaultEvent::Ingress(counter));
+        debug_assert!(
+            acts.iter()
+                .any(|a| matches!(a, FsmAction::LogPacket { counter: c, .. } if *c == counter)),
+            "fsm and logger counters must advance in lockstep"
+        );
+        counter
+    }
+
+    /// Marks a logged message's output externally released (the unit
+    /// responded and the output-commit gate passed).
+    pub fn commit(&mut self, counter: u64) {
+        self.fsm.step(FaultEvent::Commit(counter));
+    }
+
+    /// Takes a checkpoint of the primary's state: the replica snapshots
+    /// at the logger's current watermark and the covered log prefix is
+    /// released.
+    pub fn checkpoint(&mut self, primary_state: &S, now: SimTime) {
+        let upto = self.logger.next_counter();
+        self.replica.checkpoint(primary_state, upto, now);
+        let acts = self.fsm.step(FaultEvent::CheckpointAck(upto));
+        if acts.contains(&FsmAction::ReleaseLog { upto }) {
+            self.logger.release_upto(upto);
+        }
+    }
+
+    /// Records a liveness probe response from the primary.
+    pub fn on_probe_response(&mut self, now: SimTime) {
+        self.detector.on_response(now);
+        self.fsm.step(FaultEvent::HeartbeatOk);
+    }
+
+    /// Evaluates liveness at `now`. Returns the completed failover
+    /// exactly once, at the poll where the detector confirms the
+    /// failure: routes migrate to the standby, the replica wakes, and
+    /// the post-watermark log drains as the counter-ordered replay.
+    pub fn poll(&mut self, now: SimTime) -> Option<FailoverReport<S>> {
+        if !self.detector.check(now) {
+            return None;
+        }
+        // Confirmed: walk the pure machine through the same decision.
+        for _ in 0..self.detector.multiplier {
+            self.fsm.step(FaultEvent::HeartbeatMiss);
+        }
+        debug_assert!(matches!(self.fsm.state(), FsmState::Failed { .. }));
+        self.lb.mark_failed(self.primary);
+        let migrated_ues = self.lb.migrate(self.primary, self.standby);
+        self.fsm.step(FaultEvent::RerouteDone);
+        let state = self.replica.unfreeze(now);
+        let acts = self.fsm.step(FaultEvent::ReplicaAwake);
+        debug_assert!(acts.contains(&FsmAction::ResumeForwarding));
+        let replay = self.logger.replay();
+        // `now` is the detection instant, so the remaining cost is the
+        // reroute plus the non-overlapped replay fraction.
+        let recovered_at =
+            now + self.timeline.reroute + self.timeline.replay * (1.0 - self.timeline.overlap);
+        Some(FailoverReport {
+            state,
+            replay,
+            detected_at: now,
+            recovered_at,
+            migrated_ues,
+        })
+    }
+
+    /// The pure protocol machine (for assertions and introspection).
+    pub fn fsm(&self) -> &FailoverFsm {
+        &self.fsm
+    }
+
+    /// The recovery-cost arithmetic in use.
+    pub fn timeline(&self) -> &FailoverTimeline {
+        &self.timeline
+    }
+
+    /// Entries currently held in the packet log.
+    pub fn backlog(&self) -> usize {
+        self.logger.len()
+    }
+
+    /// The unit a UE is currently pinned to.
+    pub fn unit_of(&self, ue: UeId) -> Option<UnitId> {
+        self.lb.unit_of(ue)
+    }
+
+    /// The standby unit id.
+    pub fn standby(&self) -> UnitId {
+        self.standby
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l25gc_core::msg::{Endpoint, Msg, SbiOp};
+    use l25gc_sim::SimDuration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        applied: u64,
+    }
+
+    fn env(ue: UeId) -> Envelope {
+        Envelope::new(
+            Endpoint::Gnb(1),
+            Endpoint::Amf,
+            Msg::Sbi {
+                op: SbiOp::SmContextRetrieveReq,
+                ue,
+            },
+        )
+    }
+
+    fn coordinator() -> FailoverCoordinator<Toy> {
+        FailoverCoordinator::new(
+            Toy { applied: 0 },
+            1,
+            2,
+            64,
+            &CostModel::paper(),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn healthy_run_never_fails_over() {
+        let mut c = coordinator();
+        let mut now = SimTime::ZERO;
+        for i in 0..50 {
+            now += SimDuration::from_micros(100);
+            c.on_probe_response(now);
+            c.ingress(&env(i));
+            assert!(c.poll(now).is_none());
+        }
+        assert_eq!(c.backlog(), 50);
+    }
+
+    #[test]
+    fn checkpoint_releases_log_and_failover_replays_the_tail() {
+        let mut c = coordinator();
+        let mut primary = Toy { applied: 0 };
+        // Route two UEs to the primary, apply and commit 4 messages.
+        assert_eq!(c.route(7), Some(1));
+        assert_eq!(c.route(8), Some(2));
+        for _ in 0..4 {
+            let counter = c.ingress(&env(7));
+            primary.applied += 1;
+            c.commit(counter);
+        }
+        let t_ck = SimTime::ZERO + SimDuration::from_millis(10);
+        c.checkpoint(&primary, t_ck);
+        assert_eq!(c.backlog(), 0, "checkpoint releases the covered prefix");
+        // Two more in-flight messages the primary dies holding.
+        c.ingress(&env(7));
+        c.ingress(&env(8));
+        c.on_probe_response(t_ck);
+
+        // Silence; the detector confirms within the paper's 0.5 ms.
+        let mut now = t_ck;
+        let report = loop {
+            now += SimDuration::from_micros(50);
+            if let Some(r) = c.poll(now) {
+                break r;
+            }
+            assert!(
+                now < t_ck + SimDuration::from_millis(1),
+                "detection must confirm quickly"
+            );
+        };
+        assert_eq!(report.state, primary, "checkpointed state restored");
+        assert_eq!(report.replay.len(), 2, "post-watermark tail replays");
+        assert!(report
+            .replay
+            .windows(2)
+            .all(|w| w[0].counter < w[1].counter));
+        assert_eq!(report.migrated_ues, 1, "UE 7 moves to the standby");
+        assert_eq!(c.unit_of(7), Some(2));
+        let added = report.recovered_at.duration_since(report.detected_at);
+        assert!(
+            added <= SimDuration::from_millis(6),
+            "reroute + replay tail stays in the paper's few-ms band, got {added}"
+        );
+        assert!(c.poll(now + SimDuration::from_secs(1)).is_none(), "once");
+    }
+
+    #[test]
+    fn ingress_during_outage_is_buffered_until_replay() {
+        let mut c = coordinator();
+        c.route(7);
+        c.on_probe_response(SimTime::ZERO);
+        // Ingress lands after the primary went silent but before the
+        // detector confirmed: the FSM still forwards (failure unknown),
+        // and the entry stays in the log so the replay covers it.
+        c.ingress(&env(7));
+        let report = c
+            .poll(SimTime::ZERO + SimDuration::from_secs(1))
+            .expect("silent primary fails over");
+        assert_eq!(report.replay.len(), 1, "unreleased entry replays");
+        assert_eq!(c.fsm().state(), FsmState::Recovered);
+    }
+}

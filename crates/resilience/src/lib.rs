@@ -1,7 +1,20 @@
 //! # l25gc-resilience — the §3.5 failure-resiliency framework
 //!
-//! L²5GC avoids 3GPP's reattach-from-scratch recovery with four pieces,
-//! each implemented here as a driver-agnostic component:
+//! L²5GC avoids 3GPP's reattach-from-scratch recovery with a protocol
+//! that is **specified once, purely**, and adapted to clocks and
+//! payloads around the edges:
+//!
+//! - [`fsm`] — the failover protocol as a pure state machine over an
+//!   in-flight message multiset: typed [`FaultEvent`] transitions to
+//!   typed [`FsmAction`]s, no clocks, every detect/reroute/replay
+//!   interleaving property-tested (nothing lost, nothing duplicated,
+//!   external synchrony preserved).
+//! - [`coordinator`] — the adapter facade: [`FailoverCoordinator`] owns
+//!   the clocked components below and consults the FSM for every
+//!   ordering decision.
+//!
+//! The clocked components (usable directly, but most callers want the
+//! facade):
 //!
 //! - [`logger`] — the LB-side packet logger: every inbound message gets
 //!   a counter and a copy in one of four queues (UL/DL × control/data);
@@ -17,15 +30,27 @@
 //!   migration, and the detect→reroute→replay timeline.
 //! - [`reattach`] — the 3GPP restoration baseline L²5GC is compared
 //!   against in §5.5.
+//!
+//! The pre-facade free-floating entry points are kept as `#[deprecated]`
+//! shims for one release (currently: [`logger::classify`] — use
+//! [`QueueKind::classify`]).
 
+pub mod coordinator;
 pub mod detector;
+pub mod fsm;
 pub mod lb;
 pub mod logger;
 pub mod reattach;
 pub mod replica;
 
+pub use coordinator::{FailoverCoordinator, FailoverReport};
 pub use detector::SbfdSession;
+pub use fsm::{FailoverFsm, FaultEvent, FsmAction, FsmState};
 pub use lb::{FailoverTimeline, UeAwareLb, UnitId};
-pub use logger::{classify, LoggedEntry, PacketLogger, QueueKind};
+pub use logger::{LoggedEntry, PacketLogger, QueueKind};
 pub use reattach::ReattachModel;
 pub use replica::{CheckpointPolicy, OutputCommit, Replica, ReplicaState};
+
+// Deprecated shim kept importable from the crate root for one release.
+#[allow(deprecated)]
+pub use logger::classify;

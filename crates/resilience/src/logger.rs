@@ -26,19 +26,27 @@ pub enum QueueKind {
     DlData,
 }
 
-/// Classifies an envelope entering the 5GC unit.
-pub fn classify(env: &Envelope) -> QueueKind {
-    match &env.msg {
-        Msg::Data(p) => match p.dir {
-            Direction::Uplink => QueueKind::UlData,
-            Direction::Downlink => QueueKind::DlData,
-        },
-        // Control: direction by which side it enters from.
-        _ => match env.from {
-            Endpoint::Gnb(_) | Endpoint::Ue(_) => QueueKind::UlControl,
-            _ => QueueKind::DlControl,
-        },
+impl QueueKind {
+    /// Classifies an envelope entering the 5GC unit.
+    pub fn classify(env: &Envelope) -> QueueKind {
+        match &env.msg {
+            Msg::Data(p) => match p.dir {
+                Direction::Uplink => QueueKind::UlData,
+                Direction::Downlink => QueueKind::DlData,
+            },
+            // Control: direction by which side it enters from.
+            _ => match env.from {
+                Endpoint::Gnb(_) | Endpoint::Ue(_) => QueueKind::UlControl,
+                _ => QueueKind::DlControl,
+            },
+        }
     }
+}
+
+/// Classifies an envelope entering the 5GC unit.
+#[deprecated(since = "0.1.0", note = "use `QueueKind::classify` instead")]
+pub fn classify(env: &Envelope) -> QueueKind {
+    QueueKind::classify(env)
 }
 
 /// One logged message.
@@ -88,7 +96,7 @@ impl PacketLogger {
     pub fn log(&mut self, env: &Envelope) -> u64 {
         let counter = self.next_counter;
         self.next_counter += 1;
-        let kind = classify(env);
+        let kind = QueueKind::classify(env);
         let q = &mut self.queues[idx(kind)];
         let is_data = matches!(kind, QueueKind::UlData | QueueKind::DlData);
         if is_data && q.len() >= self.data_capacity {
@@ -195,12 +203,24 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(classify(&data_env(Direction::Uplink, 0)), QueueKind::UlData);
         assert_eq!(
-            classify(&data_env(Direction::Downlink, 0)),
+            QueueKind::classify(&data_env(Direction::Uplink, 0)),
+            QueueKind::UlData
+        );
+        assert_eq!(
+            QueueKind::classify(&data_env(Direction::Downlink, 0)),
             QueueKind::DlData
         );
-        assert_eq!(classify(&ctrl_env()), QueueKind::UlControl);
+        assert_eq!(QueueKind::classify(&ctrl_env()), QueueKind::UlControl);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_classify_still_answers() {
+        assert_eq!(
+            classify(&data_env(Direction::Uplink, 0)),
+            QueueKind::classify(&data_env(Direction::Uplink, 0))
+        );
     }
 
     #[test]

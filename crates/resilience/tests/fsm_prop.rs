@@ -1,0 +1,196 @@
+//! Interleaving exploration of the pure failover FSM (ISSUE 8
+//! tentpole): across arbitrary schedules of ingress / commit /
+//! checkpoint / heartbeat / reroute / replica-wake events, no in-flight
+//! message is lost, none is delivered twice, replay is counter-ordered,
+//! and external synchrony holds (nothing is forwarded between failure
+//! confirmation and replay completion).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use l25gc_resilience::{FailoverFsm, FaultEvent, FsmAction, FsmState};
+use proptest::prelude::*;
+
+/// Mirror of the machine's externally visible bookkeeping, rebuilt
+/// purely from the emitted actions — so the test also proves the
+/// actions faithfully describe the state evolution.
+#[derive(Default)]
+struct Shadow {
+    /// counter → id, rebuilt from LogPacket / ReleaseLog / Replay*.
+    log: BTreeMap<u64, u64>,
+    last_logged: Option<u64>,
+    /// True between StartReroute and ResumeForwarding.
+    outage: bool,
+    replayed: BTreeSet<u64>,
+    suppressed: BTreeSet<u64>,
+}
+
+impl Shadow {
+    fn apply(&mut self, acts: &[FsmAction]) -> Result<(), TestCaseError> {
+        let mut last_replay: Option<u64> = None;
+        for a in acts {
+            match *a {
+                FsmAction::LogPacket { counter, id } => {
+                    prop_assert!(
+                        self.last_logged.is_none_or(|l| counter > l),
+                        "log counters must be strictly increasing"
+                    );
+                    self.last_logged = Some(counter);
+                    self.log.insert(counter, id);
+                }
+                FsmAction::Forward { .. } => {
+                    prop_assert!(!self.outage, "external synchrony: no forward mid-failover");
+                }
+                FsmAction::ReleaseLog { upto } => {
+                    self.log.retain(|&c, _| c >= upto);
+                }
+                FsmAction::StartReroute => self.outage = true,
+                FsmAction::WakeReplica => {}
+                FsmAction::ReplayPacket { counter, id } => {
+                    prop_assert!(
+                        last_replay.is_none_or(|l| counter > l),
+                        "replay must drain in counter order"
+                    );
+                    last_replay = Some(counter);
+                    self.log.remove(&counter);
+                    prop_assert!(self.replayed.insert(id), "id replayed twice");
+                }
+                FsmAction::ReplaySuppressed { counter, id } => {
+                    prop_assert!(
+                        last_replay.is_none_or(|l| counter > l),
+                        "suppressed replays keep counter order too"
+                    );
+                    last_replay = Some(counter);
+                    self.log.remove(&counter);
+                    self.suppressed.insert(id);
+                }
+                FsmAction::ResumeForwarding => self.outage = false,
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    /// The headline invariant: for every interleaving, after the
+    /// failover completes, every ingress id is accounted for exactly
+    /// once — committed pre-failure, delivered by replay, or still held
+    /// in the log (arrived post-recovery) — with the committed and
+    /// replayed sets disjoint.
+    #[test]
+    fn no_event_lost_or_duplicated_across_interleavings(
+        ops in proptest::collection::vec((0u8..7, 0u64..1_000_000), 1..250),
+        multiplier in 1u32..4,
+    ) {
+        let mut fsm = FailoverFsm::new(multiplier);
+        let mut shadow = Shadow::default();
+        let mut next_id = 0u64;
+        let mut forwarded: Vec<u64> = Vec::new();
+        let step = |fsm: &mut FailoverFsm, shadow: &mut Shadow, ev: FaultEvent|
+            -> Result<(), TestCaseError> {
+            let acts = fsm.step(ev);
+            shadow.apply(&acts)?;
+            prop_assert_eq!(
+                shadow.log.len(),
+                fsm.in_flight(),
+                "actions must faithfully describe the in-flight log"
+            );
+            Ok(())
+        };
+        for (op, pick) in ops {
+            let ev = match op {
+                0 | 1 => {
+                    let id = next_id;
+                    next_id += 1;
+                    forwarded.push(id);
+                    FaultEvent::Ingress(id)
+                }
+                2 => {
+                    // Commit a random previously seen id (the machine
+                    // ignores stale/unknown ones — that is part of what
+                    // we are testing).
+                    if forwarded.is_empty() {
+                        continue;
+                    }
+                    FaultEvent::Commit(forwarded[(pick as usize) % forwarded.len()])
+                }
+                3 => FaultEvent::CheckpointAck(pick % (fsm.next_counter() + 1)),
+                4 => {
+                    if pick % 2 == 0 {
+                        FaultEvent::HeartbeatMiss
+                    } else {
+                        FaultEvent::HeartbeatOk
+                    }
+                }
+                5 => FaultEvent::RerouteDone,
+                _ => FaultEvent::ReplicaAwake,
+            };
+            step(&mut fsm, &mut shadow, ev)?;
+        }
+        // Force the failover to completion so the accounting can close.
+        if !matches!(fsm.state(), FsmState::Recovered) {
+            for _ in 0..multiplier {
+                step(&mut fsm, &mut shadow, FaultEvent::HeartbeatMiss)?;
+            }
+            step(&mut fsm, &mut shadow, FaultEvent::RerouteDone)?;
+            step(&mut fsm, &mut shadow, FaultEvent::ReplicaAwake)?;
+        }
+        prop_assert_eq!(fsm.state(), FsmState::Recovered);
+
+        let committed = fsm.committed();
+        let replayed = fsm.replayed();
+        prop_assert!(
+            committed.is_disjoint(replayed),
+            "an id must never be delivered both pre-failure and by replay"
+        );
+        prop_assert_eq!(
+            replayed, &shadow.replayed,
+            "machine and action-derived replay sets agree"
+        );
+        // Nothing lost: every ingress id is committed, replayed, or
+        // still in the (post-recovery) log awaiting the next cycle.
+        let in_log: BTreeSet<u64> = shadow.log.values().copied().collect();
+        for id in 0..next_id {
+            prop_assert!(
+                committed.contains(&id) || replayed.contains(&id) || in_log.contains(&id),
+                "ingress id {} vanished", id
+            );
+        }
+        // Suppressed replays are exactly re-executions of committed ids.
+        prop_assert!(shadow.suppressed.is_subset(committed));
+    }
+
+    /// Focused replay shape: ingress N, commit a prefix, checkpoint at a
+    /// watermark, fail — the replay burst is exactly the unreleased
+    /// entries, counter-ordered, and only uncommitted ids deliver.
+    #[test]
+    fn replay_burst_is_exactly_the_unreleased_tail(
+        n in 1u64..60,
+        committed_prefix in 0u64..60,
+        watermark in 0u64..60,
+    ) {
+        let committed_prefix = committed_prefix.min(n);
+        let watermark = watermark.min(committed_prefix);
+        let mut fsm = FailoverFsm::new(1);
+        for id in 0..n {
+            fsm.step(FaultEvent::Ingress(id));
+        }
+        for id in 0..committed_prefix {
+            fsm.step(FaultEvent::Commit(id));
+        }
+        fsm.step(FaultEvent::CheckpointAck(watermark));
+        fsm.step(FaultEvent::HeartbeatMiss);
+        fsm.step(FaultEvent::RerouteDone);
+        let acts = fsm.step(FaultEvent::ReplicaAwake);
+        let mut expect = Vec::new();
+        for id in watermark..n {
+            // Ids double as counters here: ingress order.
+            if id < committed_prefix {
+                expect.push(FsmAction::ReplaySuppressed { counter: id, id });
+            } else {
+                expect.push(FsmAction::ReplayPacket { counter: id, id });
+            }
+        }
+        expect.push(FsmAction::ResumeForwarding);
+        prop_assert_eq!(acts, expect);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the four-queue packet logger (ISSUE 8 satellite):
+//! counter monotonicity across arbitrary traffic mixes, idempotence of
+//! `release_upto`, replay exhaustiveness (drain-once semantics), and the
+//! control-never-shed guarantee under data floods.
+
+use l25gc_core::msg::{DataPacket, Direction, Endpoint, Envelope, Msg, SbiOp, UeId};
+use l25gc_resilience::{PacketLogger, QueueKind};
+use l25gc_sim::SimTime;
+use proptest::prelude::*;
+
+fn data_env(dir: Direction, seq: u64) -> Envelope {
+    let (from, to) = match dir {
+        Direction::Uplink => (Endpoint::Gnb(1), Endpoint::UpfU),
+        Direction::Downlink => (Endpoint::Dn, Endpoint::UpfU),
+    };
+    Envelope::new(
+        from,
+        to,
+        Msg::Data(DataPacket {
+            ue: 1,
+            flow: 0,
+            dir,
+            seq,
+            size: 100,
+            sent_at: SimTime::ZERO,
+            dst_port: 80,
+            protocol: 6,
+            tunnel_teid: None,
+            ack_seq: None,
+        }),
+    )
+}
+
+fn ctrl_env(ue: UeId) -> Envelope {
+    Envelope::new(
+        Endpoint::Gnb(1),
+        Endpoint::Amf,
+        Msg::Sbi {
+            op: SbiOp::SmContextRetrieveReq,
+            ue,
+        },
+    )
+}
+
+/// Decodes a drawn byte into one of the four traffic classes.
+fn env_for(code: u8, seq: u64) -> Envelope {
+    match code % 4 {
+        0 => data_env(Direction::Uplink, seq),
+        1 => data_env(Direction::Downlink, seq),
+        2 => ctrl_env(seq as UeId),
+        _ => Envelope::new(
+            Endpoint::Smf,
+            Endpoint::Amf,
+            Msg::Sbi {
+                op: SbiOp::SmContextRetrieveReq,
+                ue: seq as UeId,
+            },
+        ),
+    }
+}
+
+fn filled(mix: &[u8], capacity: usize) -> PacketLogger {
+    let mut log = PacketLogger::new(capacity);
+    for (i, &code) in mix.iter().enumerate() {
+        log.log(&env_for(code, i as u64));
+    }
+    log
+}
+
+proptest! {
+    /// Counters are assigned strictly increasing regardless of the
+    /// traffic mix, and replay emits the surviving subset in that order.
+    #[test]
+    fn counters_monotone_and_replay_ordered(
+        mix in proptest::collection::vec(0u8..8, 1..200),
+        capacity in 1usize..32,
+    ) {
+        let mut log = filled(&mix, capacity);
+        prop_assert_eq!(log.next_counter(), mix.len() as u64);
+        let replay = log.replay();
+        prop_assert!(replay.windows(2).all(|w| w[0].counter < w[1].counter));
+        prop_assert_eq!(
+            replay.len() as u64 + log.overflow_drops,
+            mix.len() as u64,
+            "every logged entry either replays or was counted as a drop"
+        );
+    }
+
+    /// `release_upto` is idempotent and monotone: re-applying the same
+    /// watermark (or any lower one) changes nothing.
+    #[test]
+    fn release_upto_is_idempotent(
+        mix in proptest::collection::vec(0u8..8, 1..200),
+        capacity in 1usize..32,
+        upto in 0u64..250,
+        lower in 0u64..250,
+    ) {
+        let mut once = filled(&mix, capacity);
+        once.release_upto(upto);
+        let len_after_once = once.len();
+
+        let mut twice = filled(&mix, capacity);
+        twice.release_upto(upto);
+        twice.release_upto(upto);
+        twice.release_upto(lower.min(upto));
+        prop_assert_eq!(twice.len(), len_after_once);
+
+        let a: Vec<u64> = once.replay().iter().map(|e| e.counter).collect();
+        let b: Vec<u64> = twice.replay().iter().map(|e| e.counter).collect();
+        prop_assert_eq!(a.clone(), b, "released logs replay identically");
+        prop_assert!(a.iter().all(|&c| c >= upto), "released prefix stays gone");
+    }
+
+    /// Replay drains: a second replay is empty, and logging resumes with
+    /// the counter sequence unbroken.
+    #[test]
+    fn replay_drains_once_and_counters_survive(
+        mix in proptest::collection::vec(0u8..8, 1..100),
+    ) {
+        let mut log = filled(&mix, 1024);
+        let first = log.replay();
+        prop_assert_eq!(first.len(), mix.len());
+        prop_assert!(log.replay().is_empty(), "replay is drain-once");
+        prop_assert!(log.is_empty());
+        let next = log.log(&ctrl_env(1));
+        prop_assert_eq!(next, mix.len() as u64, "counter stream is unbroken");
+    }
+
+    /// Data floods shed only data; every control entry survives to the
+    /// replay no matter how the queues overflow.
+    #[test]
+    fn control_is_never_shed(
+        mix in proptest::collection::vec(0u8..8, 1..200),
+        capacity in 1usize..8,
+    ) {
+        let ctrl_logged = mix.iter().filter(|&&c| c % 4 >= 2).count();
+        let mut log = filled(&mix, capacity);
+        prop_assert_eq!(
+            log.queue_len(QueueKind::UlControl) + log.queue_len(QueueKind::DlControl),
+            ctrl_logged
+        );
+        let replayed_ctrl = log
+            .replay()
+            .iter()
+            .filter(|e| !matches!(e.env.msg, Msg::Data(_)))
+            .count();
+        prop_assert_eq!(replayed_ctrl, ctrl_logged);
+    }
+}

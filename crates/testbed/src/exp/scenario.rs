@@ -142,6 +142,13 @@ pub struct ScenarioOutcome {
     pub shed_budget_pct: f64,
     /// Mean per-window burn rate (1.0 = exactly on budget).
     pub burn_rate: f64,
+    /// Engine-measured worst outage span (kill instant → replayed
+    /// backlog drained), ms; `None` when the scenario scripts no fault.
+    pub disruption_ms: Option<f64>,
+    /// Procedures re-run from the packet log after a scripted kill.
+    pub replayed: u64,
+    /// Arrivals shed while their shard was inside a scripted outage.
+    pub completions_lost: u64,
 }
 
 /// Per-shard backlog bound, expressed as drain time. The capacity
@@ -229,7 +236,7 @@ fn run_cell(
     slo_spec: &SloSpec,
 ) -> ScenarioOutcome {
     let ues = params.ues.unwrap_or(spec.ues);
-    let cfg = LoadConfig::builder()
+    let mut builder = LoadConfig::builder()
         .ues(ues)
         .shard_cfg(cfg_shards)
         .mix(spec.mix.clone())
@@ -241,9 +248,11 @@ fn run_cell(
             params.metrics_interval_ms.max(1.0) / 1e3,
         ))
         .pin(params.pin)
-        .wait(params.wait)
-        .build()
-        .expect("scenario run config is valid");
+        .wait(params.wait);
+    if let Some(fault) = &spec.fault {
+        builder = builder.fault(fault.clone());
+    }
+    let cfg = builder.build().expect("scenario run config is valid");
     let mut r = run(cfg, profiles);
     let tl = r
         .timeline
@@ -280,6 +289,9 @@ fn run_cell(
         p99_budget_ms: slo_spec.p99_budget_ns as f64 / 1e6,
         shed_budget_pct: slo_spec.shed_budget_pct,
         burn_rate: report.burn_rate,
+        disruption_ms: r.disruption.map(|d| d.disruption_ms),
+        replayed: r.disruption.map_or(0, |d| d.replayed),
+        completions_lost: r.disruption.map_or(0, |d| d.completions_lost),
     }
 }
 
@@ -352,6 +364,9 @@ mod tests {
         for s in &mut spec.segments {
             s.duration_s *= f;
         }
+        // Fault times are absolute into the scenario; compress them with
+        // the segments or the kill falls off the shortened horizon.
+        spec.fault = spec.fault.map(|p| p.scaled(f));
         spec
     }
 
@@ -401,6 +416,18 @@ mod tests {
                 .filter(|r| r.scenario == name)
                 .any(|r| r.violating_windows > 0);
             assert!(disturbed, "{name}: no cell ever violated");
+        }
+        // The failover incident carries a disruption block; the pure
+        // load profiles do not.
+        for r in &rows {
+            if r.scenario == "amf-restart" {
+                let d = r.disruption_ms.expect("amf-restart measures disruption");
+                assert!(d > 0.0, "zero-width outage");
+                assert!(r.replayed > 0, "the mid-plateau kill replays backlog");
+            } else {
+                assert!(r.disruption_ms.is_none(), "{}: phantom fault", r.scenario);
+                assert_eq!(r.replayed, 0);
+            }
         }
     }
 
