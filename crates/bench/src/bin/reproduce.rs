@@ -60,6 +60,17 @@
 //! the exact CI gate configuration and rewrites the committed
 //! `results/BENCH_capacity_baseline.json`.
 //!
+//! Live telemetry: `--serve-metrics <addr>` (e.g. `127.0.0.1:0`)
+//! serves `GET /metrics` (the current Prometheus exposition, refreshed
+//! each timeline window) and `GET /healthz` (the run phase) while
+//! `capacity`, `scenarios`, or `--saturate` runs — the resolved
+//! address is advertised on stderr. It implies the 100 ms metrics
+//! timeline. `reproduce report <manifest.json>` prints a human-readable
+//! digest of a finished run (knee + anatomy, per-shard utilization,
+//! SLO verdicts, disruption spans); `reproduce validate-prom <file|->`
+//! checks a Prometheus exposition (e.g. a live scrape) and exits 1 if
+//! it does not validate.
+//!
 //! Threaded-backend placement: `--pin` pins each shard worker (and the
 //! dispatcher when a core is spare) to its own physical core — a
 //! warning no-op where affinity is restricted; `--wait
@@ -69,7 +80,9 @@
 //! closed-loop worker count where throughput plateaus and records it
 //! in the manifest.
 
-use l25gc_bench::{deployment_name, f, policy_name, render_table, RunManifest, SaturationRow};
+use l25gc_bench::{
+    deployment_name, f, policy_name, render_table, MetricRow, RunManifest, SaturationRow,
+};
 use l25gc_core::Deployment;
 use l25gc_load::{ExecBackend, ScenarioSpec};
 use l25gc_nfv::CostModel;
@@ -120,6 +133,10 @@ struct Args {
     /// `baseline`: rerun the CI gate config and rewrite the committed
     /// baseline manifest.
     baseline: bool,
+    /// `report <manifest.json>`: print a human-readable run digest.
+    report: Option<String>,
+    /// `validate-prom <file|->`: validate a Prometheus exposition.
+    validate_prom: Option<String>,
     /// `--saturate`: closed-loop saturation search on the capacity run.
     saturate: bool,
     /// `--slo p99=<N>ms,shed=<P>%[,clean=<K>]`: evaluate every capacity
@@ -193,6 +210,32 @@ impl Args {
                 i += 1;
                 continue;
             }
+            if a == "report" {
+                if args.report.is_some() {
+                    return Err("report given more than once".into());
+                }
+                let path = raw
+                    .get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .cloned()
+                    .ok_or("report needs a manifest path: report <manifest.json>")?;
+                args.report = Some(path);
+                i += 2;
+                continue;
+            }
+            if a == "validate-prom" {
+                if args.validate_prom.is_some() {
+                    return Err("validate-prom given more than once".into());
+                }
+                let path = raw
+                    .get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .cloned()
+                    .ok_or("validate-prom needs a file path (or `-` for stdin)")?;
+                args.validate_prom = Some(path);
+                i += 2;
+                continue;
+            }
             // Boolean flags take no value.
             if a == "--pin" || a == "--saturate" {
                 let flag: &'static str = if a == "--pin" { "--pin" } else { "--saturate" };
@@ -209,7 +252,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                const FLAGS: [&str; 22] = [
+                const FLAGS: [&str; 23] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -232,6 +275,7 @@ impl Args {
                     "--slo-out",
                     "--scenario",
                     "--fault",
+                    "--serve-metrics",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -326,6 +370,15 @@ impl Args {
                             return Err("--repeats must be positive".into());
                         }
                     }
+                    "--serve-metrics" => {
+                        if !v.contains(':') {
+                            return Err(format!(
+                                "--serve-metrics needs a socket address like 127.0.0.1:9500 \
+                                 (port 0 picks a free one), got `{v}`"
+                            ));
+                        }
+                        args.cap.serve_metrics = Some(v.to_string());
+                    }
                     "--slo" => args.slo = Some(l25gc_bench::spec::slo(v)?),
                     "--slo-out" => args.slo_out = Some(v.to_string()),
                     "--scenario" => args.scenario = l25gc_bench::spec::scenario_names(v)?,
@@ -366,6 +419,19 @@ impl Args {
         if args.baseline && (!args.experiments.is_empty() || args.compare.is_some()) {
             return Err("baseline is standalone; drop the experiment ids".into());
         }
+        if args.report.is_some()
+            && (!args.experiments.is_empty()
+                || args.compare.is_some()
+                || args.baseline
+                || args.validate_prom.is_some())
+        {
+            return Err("report is standalone; drop the other subcommands and ids".into());
+        }
+        if args.validate_prom.is_some()
+            && (!args.experiments.is_empty() || args.compare.is_some() || args.baseline)
+        {
+            return Err("validate-prom is standalone; drop the other subcommands and ids".into());
+        }
         if !args.scenario.is_empty() && !scenarios_selected {
             return Err("--scenario needs the `scenarios` experiment".into());
         }
@@ -396,18 +462,27 @@ impl Args {
             );
         }
         // `scenarios` always carries a timeline, so the interval flag
-        // stands on its own there.
+        // stands on its own there; `--serve-metrics` implies one too
+        // (there is nothing to publish without windows).
         if metrics_interval_ms.is_some()
             && args.metrics_out.is_none()
             && args.slo.is_none()
+            && args.cap.serve_metrics.is_none()
             && !scenarios_selected
         {
-            return Err("--metrics-interval-ms needs --metrics-out, --slo, or scenarios".into());
+            return Err(
+                "--metrics-interval-ms needs --metrics-out, --slo, --serve-metrics, or scenarios"
+                    .into(),
+            );
         }
         if args.slo_out.is_some() && args.slo.is_none() {
             return Err("--slo-out needs --slo".into());
         }
-        if args.metrics_out.is_some() || args.slo.is_some() || scenarios_selected {
+        if args.metrics_out.is_some()
+            || args.slo.is_some()
+            || args.cap.serve_metrics.is_some()
+            || scenarios_selected
+        {
             args.cap.metrics_interval_ms = Some(metrics_interval_ms.unwrap_or(100.0));
         }
         Ok(args)
@@ -424,6 +499,12 @@ usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
        reproduce baseline    (rerun the CI gate configs, rewrite
                               results/BENCH_capacity_baseline.json and
                               results/BENCH_scenarios_baseline.json)
+       reproduce report <manifest.json>   (human-readable run digest:
+                              knee + anatomy, per-shard utilization,
+                              SLO verdicts, disruption spans)
+       reproduce validate-prom <file|->   (validate a Prometheus
+                              exposition, e.g. a live /metrics scrape;
+                              `-` reads stdin)
 
 experiments:
   fig6              PostSmContextsRequest serialization cost
@@ -490,7 +571,16 @@ flags:
                       text, JSONL otherwise)
   --metrics-interval-ms <ms>
                       timeline window width (default 100; needs
-                      --metrics-out or --slo)
+                      --metrics-out, --slo, --serve-metrics, or
+                      scenarios)
+  --serve-metrics <addr>
+                      serve live telemetry while capacity, scenarios,
+                      or --saturate runs: GET /metrics returns the
+                      current Prometheus exposition (refreshed every
+                      timeline window and on failover transitions),
+                      GET /healthz the run phase. Port 0 picks a free
+                      port; the resolved address is advertised on
+                      stderr. Implies --metrics-interval-ms 100.
   --slo <spec>        capacity: evaluate every sweep point's timeline
                       against `p99=<N>ms,shed=<P>%[,clean=<K>]` and
                       print violation spans, burn rate, and recovery
@@ -514,8 +604,8 @@ flags:
                       histogram error bound)
   --help              this listing
 
-exit status: 0 ok; 1 compare found regressions; 2 bad usage or
-unreadable compare inputs"
+exit status: 0 ok; 1 compare found regressions or validate-prom found
+an invalid exposition; 2 bad usage or unreadable inputs"
     );
 }
 
@@ -541,9 +631,15 @@ fn main() {
             "results/BENCH_scenarios_baseline.json",
         ));
     }
+    if let Some(path) = args.report.as_ref() {
+        std::process::exit(run_report(path));
+    }
+    if let Some(path) = args.validate_prom.as_ref() {
+        std::process::exit(run_validate_prom(path));
+    }
     let seed = args.seed;
     let csv_dir = args.csv.clone();
-    let cap_params = args.cap;
+    let cap_params = args.cap.clone();
 
     // Standalone studies: with no experiment ids alongside, run only
     // them. With --trace-sample the trace comes out of the capacity
@@ -677,6 +773,189 @@ fn run_compare(base_path: &str, cur_path: &str, threshold_pct: f64) -> i32 {
     }
     eprintln!("reproduce: compare: {} regression(s)", regs.len());
     1
+}
+
+/// `reproduce report <manifest.json>`: prints a human-readable digest
+/// of a finished run. Returns the process exit code: 0 printed, 2
+/// unreadable input.
+fn run_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reproduce: report: {path}: {e}");
+            return 2;
+        }
+    };
+    let manifest = match RunManifest::from_json(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("reproduce: report: {path}: {e}");
+            return 2;
+        }
+    };
+    print!("{}", render_report(&manifest));
+    0
+}
+
+/// Renders the `report` digest: run identity, knee + anatomy per
+/// deployment (capacity manifests) or the scenario roster (scenario
+/// manifests), then per-series SLO verdicts, failover disruption, and
+/// utilization. Works on any manifest `compare` accepts — the
+/// utilization columns are optional, so pre-upgrade manifests digest
+/// cleanly, just with less detail.
+fn render_report(m: &RunManifest) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run digest: seed {}, {} UEs, {} shards, {} backend, burst {}, {} metric series \
+         (manifest v{})",
+        m.seed,
+        m.ues,
+        m.shards,
+        m.backend,
+        m.burst,
+        m.metrics.len(),
+        m.version,
+    );
+    if m.scenarios.is_empty() {
+        // Capacity manifest: rows are named `<deployment>@<frac>x`.
+        // Re-derive each deployment's knee with the sweep's rule (last
+        // point still healthy: <1% loss and >=90% of offered achieved).
+        let mut deployments: Vec<&str> = Vec::new();
+        for r in &m.metrics {
+            if let Some((dep, _)) = r.name.split_once('@') {
+                if !deployments.contains(&dep) {
+                    deployments.push(dep);
+                }
+            }
+        }
+        for dep in deployments {
+            let prefix = format!("{dep}@");
+            let rows: Vec<&MetricRow> = m
+                .metrics
+                .iter()
+                .filter(|r| r.name.starts_with(&prefix))
+                .collect();
+            let mut knee = 0usize;
+            for (i, r) in rows.iter().enumerate() {
+                if r.loss_pct < 1.0 && r.achieved_eps >= 0.9 * r.offered_eps {
+                    knee = i;
+                }
+            }
+            let k = rows[knee];
+            let _ = writeln!(
+                out,
+                "{dep}: knee at {} — {} ev/s offered, {} achieved, p99 {} ms, loss {:.2}%",
+                k.name,
+                f(k.offered_eps),
+                f(k.achieved_eps),
+                f(k.p99_ms),
+                k.loss_pct,
+            );
+            let past = rows[(knee + 1).min(rows.len() - 1)];
+            if let (Some(qw), Some(svc)) = (past.queue_wait_p99_ms, past.service_p99_ms) {
+                let anatomy = if qw > svc {
+                    "queueing-dominated (arrivals stack up behind busy shards)"
+                } else {
+                    "service-dominated (the work itself is the cost)"
+                };
+                let _ = writeln!(
+                    out,
+                    "{dep}: anatomy past the knee: {anatomy} — queue-wait p99 {} ms vs service \
+                     p99 {} ms",
+                    f(qw),
+                    f(svc),
+                );
+            }
+            if let (Some(util), Some(ps), Some(pu)) = (k.util, k.peak_shard, k.peak_shard_util) {
+                let _ = writeln!(
+                    out,
+                    "{dep}: utilization at the knee: mean {:.0}%, peak shard {ps} at {:.0}% — \
+                     shard {ps} saturates first",
+                    util * 100.0,
+                    pu * 100.0,
+                );
+            }
+        }
+    } else {
+        for s in &m.scenarios {
+            let fault = s
+                .fault
+                .as_deref()
+                .map(|p| format!(", fault {p}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "scenario {}: {} ({} UEs, capacity {} ev/s, p99 budget {} ms{fault})",
+                s.name,
+                s.summary,
+                s.ues,
+                f(s.capacity_eps),
+                f(s.p99_budget_ms),
+            );
+        }
+    }
+    for r in &m.metrics {
+        let verdict = match r.recovery_ms {
+            None => "no SLO timeline".to_string(),
+            Some(rec) => match r.time_to_first_violation_ms {
+                None => "clean (no violating window)".to_string(),
+                Some(t) => format!("first violation at {} ms, recovered in {} ms", f(t), f(rec)),
+            },
+        };
+        let disruption = r
+            .disruption_ms
+            .map(|d| format!(", failover disruption {} ms", f(d)))
+            .unwrap_or_default();
+        let util = r
+            .util
+            .map(|u| format!(", mean util {:.0}%", u * 100.0))
+            .unwrap_or_default();
+        let peak = r
+            .peak_shard
+            .zip(r.peak_shard_util)
+            .map(|(s, u)| format!(" (peak shard {s} at {:.0}%)", u * 100.0))
+            .unwrap_or_default();
+        let _ = writeln!(out, "  {}: SLO {verdict}{disruption}{util}{peak}", r.name);
+    }
+    out
+}
+
+/// `reproduce validate-prom <file|->`: validates a Prometheus text
+/// exposition — typically a live `/metrics` scrape — with the same
+/// checker the exporters self-validate with. Returns the process exit
+/// code: 0 valid (sample count printed), 1 invalid, 2 unreadable.
+fn run_validate_prom(path: &str) -> i32 {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("reproduce: validate-prom: stdin: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reproduce: validate-prom: {path}: {e}");
+                return 2;
+            }
+        }
+    };
+    match l25gc_obs::validate_prometheus(&text) {
+        Ok(samples) => {
+            println!("{path}: valid Prometheus exposition, {samples} samples");
+            0
+        }
+        Err(e) => {
+            eprintln!("reproduce: validate-prom: {path}: {e}");
+            1
+        }
+    }
 }
 
 /// Reruns the exact configurations the CI regression gates use —
@@ -852,6 +1131,12 @@ fn capacity(args: &Args) {
             f(past.queue_wait_p99_ms),
             f(past.service_p99_ms),
         );
+        let (peak_shard, peak_util) = c.peak_shard_at_knee();
+        println!(
+            "{name} knee utilization: mean {:.0}%, peak shard {peak_shard} at {:.0}%",
+            c.points[c.knee].utilisation * 100.0,
+            peak_util * 100.0,
+        );
         if let Some(wall) = c.points[c.knee].wall_eps {
             println!(
                 "{name} threaded knee point moved {} events/s of wall-clock throughput \
@@ -981,6 +1266,7 @@ fn scenario_params(args: &Args) -> exp::scenario::ScenarioParams {
         slo: args.slo,
         pin: args.cap.pin,
         wait: args.cap.wait,
+        serve_metrics: args.cap.serve_metrics.clone(),
     }
 }
 
@@ -2173,6 +2459,9 @@ mod tests {
                 recovery_ms,
                 time_to_first_violation_ms: None,
                 disruption_ms: None,
+                util: None,
+                peak_shard: None,
+                peak_shard_util: None,
             }],
             saturation: None,
             scenarios: Vec::new(),
@@ -2214,5 +2503,116 @@ mod tests {
             "faster recovery is not a regression"
         );
         assert_eq!(run_compare(&base, "/no/such/file.json", 10.0), 2);
+    }
+
+    #[test]
+    fn serve_metrics_parses_and_implies_a_timeline() {
+        let args = parse(&["capacity", "--serve-metrics", "127.0.0.1:0"]).unwrap();
+        assert_eq!(args.cap.serve_metrics.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(100.0),
+            "--serve-metrics implies the default timeline window"
+        );
+
+        let args = parse(&[
+            "capacity",
+            "--serve-metrics",
+            "127.0.0.1:9500",
+            "--metrics-interval-ms",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.cap.metrics_interval_ms,
+            Some(50.0),
+            "an explicit window width wins; --serve-metrics alone satisfies the gate"
+        );
+
+        assert_eq!(parse(&["capacity"]).unwrap().cap.serve_metrics, None);
+        assert!(
+            parse(&["--serve-metrics", "9500"])
+                .unwrap_err()
+                .contains("socket address"),
+            "a bare port is not an address"
+        );
+        let gate = parse(&["--metrics-interval-ms", "100"]).unwrap_err();
+        assert!(
+            gate.contains("needs --metrics-out") && gate.contains("--serve-metrics"),
+            "the gating error names every flag that satisfies it: {gate}"
+        );
+    }
+
+    #[test]
+    fn report_and_validate_prom_are_standalone_subcommands() {
+        assert_eq!(
+            parse(&["report", "m.json"]).unwrap().report.as_deref(),
+            Some("m.json")
+        );
+        assert_eq!(parse(&[]).unwrap().report, None);
+        assert!(parse(&["report"]).unwrap_err().contains("manifest path"));
+        assert!(parse(&["report", "m.json", "capacity"])
+            .unwrap_err()
+            .contains("standalone"));
+        assert!(parse(&["report", "a.json", "report", "b.json"])
+            .unwrap_err()
+            .contains("more than once"));
+        assert!(parse(&["report", "m.json", "baseline"])
+            .unwrap_err()
+            .contains("standalone"));
+
+        assert_eq!(
+            parse(&["validate-prom", "-"])
+                .unwrap()
+                .validate_prom
+                .as_deref(),
+            Some("-")
+        );
+        assert!(parse(&["validate-prom"]).unwrap_err().contains("file path"));
+        assert!(parse(&["validate-prom", "x.prom", "fig6"])
+            .unwrap_err()
+            .contains("standalone"));
+        assert!(parse(&["report", "m.json", "validate-prom", "x.prom"])
+            .unwrap_err()
+            .contains("standalone"));
+    }
+
+    #[test]
+    fn run_report_digests_manifests_and_rejects_junk() {
+        let mut manifest = tiny_manifest_with_recovery(4.0, Some(120.0));
+        let row = &mut manifest.metrics[0];
+        row.util = Some(0.6);
+        row.peak_shard = Some(2);
+        row.peak_shard_util = Some(0.9);
+        let good = write_tmp("report-good.json", &manifest.to_json());
+        assert_eq!(run_report(&good), 0, "a capacity manifest digests");
+
+        let digest = render_report(&manifest);
+        assert!(digest.contains("knee at L25GC@0.9x"), "digest: {digest}");
+        assert!(
+            digest.contains("peak shard 2 at 90%"),
+            "per-shard utilization surfaces: {digest}"
+        );
+        assert!(
+            digest.contains("clean (no violating window)"),
+            "recovered-with-no-violation rows read as clean: {digest}"
+        );
+
+        let junk = write_tmp("report-junk.json", "{\"kind\":\"other\"}");
+        assert_eq!(run_report(&junk), 2, "unrelated JSON is a usage error");
+        assert_eq!(run_report("/no/such/manifest.json"), 2);
+    }
+
+    #[test]
+    fn run_validate_prom_checks_expositions() {
+        let valid = write_tmp("scrape-valid.prom", &l25gc_obs::prometheus_header());
+        assert_eq!(
+            run_validate_prom(&valid),
+            0,
+            "type declarations without samples validate"
+        );
+        let invalid = write_tmp("scrape-invalid.prom", "l25gc_mystery_metric 1\n");
+        assert_eq!(run_validate_prom(&invalid), 1, "undeclared metric fails");
+        assert_eq!(run_validate_prom("/no/such/scrape.prom"), 2);
     }
 }

@@ -88,6 +88,15 @@ pub struct MetricRow {
     /// manifests; gated by [`compare`] with the same 1 ms floor as
     /// `recovery_ms`.
     pub disruption_ms: Option<f64>,
+    /// Mean shard CPU-busy fraction over the run (0..1). Informational
+    /// (not gated by [`compare`] — higher utilization at the same
+    /// throughput/latency is not by itself worse). `None` on
+    /// pre-utilization manifests.
+    pub util: Option<f64>,
+    /// Index of the busiest shard — which shard saturated. Informational.
+    pub peak_shard: Option<u16>,
+    /// The busiest shard's busy fraction. Informational.
+    pub peak_shard_util: Option<f64>,
 }
 
 /// One library scenario's declarative spec as the manifest records it:
@@ -197,6 +206,7 @@ impl RunManifest {
             for ((frac, p), (recovery_ms, ttfv_ms)) in
                 SWEEP_FRACTIONS.iter().zip(&c.points).zip(slo_cols)
             {
+                let peak = l25gc_testbed::exp::scenario::peak_shard_util(&p.shard_utilization);
                 metrics.push(MetricRow {
                     name: format!("{name}@{frac}x"),
                     offered_eps: p.offered_eps,
@@ -211,6 +221,9 @@ impl RunManifest {
                     recovery_ms,
                     time_to_first_violation_ms: ttfv_ms,
                     disruption_ms: None,
+                    util: Some(p.utilisation),
+                    peak_shard: Some(peak.0),
+                    peak_shard_util: Some(peak.1),
                 });
             }
         }
@@ -259,6 +272,12 @@ impl RunManifest {
                 recovery_ms: Some(o.recovery_or_horizon_ms),
                 time_to_first_violation_ms: o.time_to_first_violation_ms,
                 disruption_ms: o.disruption_ms,
+                util: Some(
+                    o.shard_utilization.iter().sum::<f64>()
+                        / o.shard_utilization.len().max(1) as f64,
+                ),
+                peak_shard: Some(o.peak_shard),
+                peak_shard_util: Some(o.peak_shard_util),
             })
             .collect();
         let scenarios = specs
@@ -331,6 +350,9 @@ impl RunManifest {
                         m.time_to_first_violation_ms.map(Value::F64),
                     )
                     .opt("disruption_ms", m.disruption_ms.map(Value::F64))
+                    .opt("util", m.util.map(Value::F64))
+                    .opt("peak_shard", m.peak_shard.map(|s| Value::U64(u64::from(s))))
+                    .opt("peak_shard_util", m.peak_shard_util.map(Value::F64))
                     .build()
             })
             .collect();
@@ -434,6 +456,12 @@ impl RunManifest {
                     .get("time_to_first_violation_ms")
                     .and_then(Value::as_f64),
                 disruption_ms: row.get("disruption_ms").and_then(Value::as_f64),
+                util: row.get("util").and_then(Value::as_f64),
+                peak_shard: row
+                    .get("peak_shard")
+                    .and_then(Value::as_u64)
+                    .and_then(|v| u16::try_from(v).ok()),
+                peak_shard_util: row.get("peak_shard_util").and_then(Value::as_f64),
             });
         }
         // Capacity manifests (and all pre-scenario manifests) carry no
@@ -865,6 +893,48 @@ mod tests {
         let parsed = RunManifest::from_json(&legacy).unwrap();
         assert_eq!(parsed.metrics[0].time_to_first_violation_ms, None);
         assert!(parsed.scenarios.is_empty());
+    }
+
+    #[test]
+    fn utilization_columns_round_trip_and_are_not_gated() {
+        let m = small_manifest();
+        // Fresh sweeps always carry the utilization anatomy.
+        for r in &m.metrics {
+            let util = r.util.expect("mean utilization recorded");
+            assert!(util > 0.0 && util <= 1.0, "{util}");
+            let peak = r.peak_shard_util.expect("peak shard utilization");
+            assert!(peak >= util - 1e-12, "the peak bounds the mean");
+            assert!(r.peak_shard.expect("peak shard index") < m.shards);
+        }
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // The columns are informational: a hotter run with the same
+        // throughput and latency is not a regression.
+        let mut hotter = m.clone();
+        for r in &mut hotter.metrics {
+            r.util = r.util.map(|v| (v * 2.0).min(1.0));
+            r.peak_shard_util = r.peak_shard_util.map(|v| (v * 2.0).min(1.0));
+            r.peak_shard = Some(3);
+        }
+        assert_eq!(compare(&m, &hotter, 10.0).unwrap(), vec![]);
+
+        // Pre-utilization manifests (no columns) still parse.
+        let mut tagged = m.clone();
+        tagged.metrics.truncate(1);
+        tagged.metrics[0].util = Some(0.5);
+        tagged.metrics[0].peak_shard = Some(2);
+        tagged.metrics[0].peak_shard_util = Some(0.75);
+        let legacy = tagged
+            .to_json()
+            .replace(",\"util\":0.5", "")
+            .replace(",\"peak_shard\":2", "")
+            .replace(",\"peak_shard_util\":0.75", "");
+        assert!(!legacy.contains("util"), "fields really stripped");
+        let parsed = RunManifest::from_json(&legacy).unwrap();
+        assert_eq!(parsed.metrics[0].util, None);
+        assert_eq!(parsed.metrics[0].peak_shard, None);
+        assert_eq!(parsed.metrics[0].peak_shard_util, None);
     }
 
     #[test]

@@ -148,6 +148,9 @@ pub enum LoadError {
     /// [`FaultPlan::validate`](crate::fault::FaultPlan::validate); the
     /// payload is the validator's reason.
     BadFaultPlan(&'static str),
+    /// A live metrics endpoint renders per-window snapshots, so it needs
+    /// a metrics timeline interval to publish on.
+    ServeWithoutInterval,
 }
 
 impl std::fmt::Display for LoadError {
@@ -179,6 +182,9 @@ impl std::fmt::Display for LoadError {
                 write!(f, "scripted profiles apply to open-loop arrivals only")
             }
             LoadError::BadFaultPlan(reason) => write!(f, "bad fault plan: {reason}"),
+            LoadError::ServeWithoutInterval => {
+                write!(f, "serving live metrics needs a metrics timeline interval")
+            }
         }
     }
 }
@@ -218,6 +224,11 @@ pub struct LoadConfig {
     /// When set, the run carries a per-shard [`MetricsTimeline`]
     /// snapshotting at this interval (virtual time). `None` = off.
     pub metrics_interval: Option<SimDuration>,
+    /// When set, the run publishes its live Prometheus exposition to an
+    /// [`l25gc_obs::serve::MetricsServer`] bound on this address, one
+    /// snapshot per closed timeline window (requires
+    /// [`LoadConfig::metrics_interval`]). `None` = no live endpoint.
+    pub serve_metrics: Option<String>,
     /// Span sampling stride: keep every Nth UE's procedure spans
     /// (`ue % N == 0`). `0` = tracing off.
     pub trace_sample: u64,
@@ -246,6 +257,7 @@ impl Default for LoadConfig {
             backend: ExecBackend::Analytic,
             mode: LoadMode::Open,
             metrics_interval: None,
+            serve_metrics: None,
             trace_sample: 0,
             pin: false,
             wait: crate::wait::WaitStrategy::default(),
@@ -308,6 +320,9 @@ impl LoadConfig {
         }
         if self.metrics_interval.is_some_and(|iv| iv.is_zero()) {
             return Err(LoadError::ZeroMetricsInterval);
+        }
+        if self.serve_metrics.is_some() && self.metrics_interval.is_none() {
+            return Err(LoadError::ServeWithoutInterval);
         }
         if let Some(plan) = &self.fault {
             plan.validate(self.shard_cfg.shards, self.duration)
@@ -426,6 +441,15 @@ impl LoadConfigBuilder {
     /// Carries a per-shard metrics timeline snapshotting at `interval`.
     pub fn metrics_interval(mut self, interval: SimDuration) -> Self {
         self.cfg.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Publishes the live Prometheus exposition on `addr` (e.g.
+    /// `127.0.0.1:0`), one snapshot per closed timeline window; requires
+    /// [`LoadConfigBuilder::metrics_interval`]. See
+    /// [`LoadConfig::serve_metrics`].
+    pub fn serve_metrics(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.serve_metrics = Some(addr.into());
         self
     }
 
@@ -554,6 +578,10 @@ pub struct LoadReport {
     pub peak_depth: usize,
     /// Mean shard CPU utilisation over the horizon.
     pub busy_fraction: f64,
+    /// Per-shard CPU-busy fraction over the horizon, 0..1 — the worker
+    /// utilization anatomy, comparable across backends (both derive it
+    /// from the same charged-service-time recurrence).
+    pub shard_utilization: Vec<f64>,
     /// Wall-clock stats (threaded backend only).
     pub wall: Option<WallClock>,
     /// Fault-disturbance accounting, when [`LoadConfig::fault`] was set.
@@ -635,14 +663,113 @@ pub(crate) fn draw_kind(mix: &EventMix, total_w: f64, rng: &mut SimRng) -> UeEve
     kind
 }
 
+/// Publishes the run's live Prometheus exposition into the shared
+/// [`MetricsServer`](l25gc_obs::serve::MetricsServer): one snapshot per
+/// closed timeline window, plus a final `drain` snapshot after idle
+/// finalization. Both backends drive the same publisher, so the live
+/// surface is backend-agnostic — the phase string and the
+/// `l25gc_shard_outage` gauge come from the compiled fault-plan
+/// intervals, which only depend on virtual time.
+pub(crate) struct ScrapePublisher {
+    server: std::sync::Arc<l25gc_obs::serve::MetricsServer>,
+    series: String,
+    interval: SimDuration,
+    /// Window index of the last publish (one snapshot per window).
+    last_window: Option<u64>,
+    /// Outage flags at the last publish: a flag transition publishes
+    /// immediately, so the `l25gc_shard_outage` flip is observable even
+    /// when the outage is shorter than a window.
+    last_flags: Option<Vec<bool>>,
+    outages: Vec<crate::fault::Outage>,
+    shards: u16,
+}
+
+impl ScrapePublisher {
+    /// Builds the publisher when the config asks for one. A bind failure
+    /// warns and disables the endpoint rather than failing the run.
+    pub(crate) fn from_config(cfg: &LoadConfig) -> Option<ScrapePublisher> {
+        let addr = cfg.serve_metrics.as_ref()?;
+        let interval = cfg.metrics_interval?;
+        let server = match l25gc_obs::serve::shared(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warning: cannot serve metrics on {addr} ({e}); live endpoint disabled");
+                return None;
+            }
+        };
+        let outages = cfg
+            .fault
+            .as_ref()
+            .map(|p| p.outages(&fault_timeline(), cfg.duration))
+            .unwrap_or_default();
+        Some(ScrapePublisher {
+            server,
+            series: cfg.backend.to_string(),
+            interval,
+            last_window: None,
+            last_flags: None,
+            outages,
+            shards: cfg.shard_cfg.shards,
+        })
+    }
+
+    /// Which shards a scripted outage holds down at `now`.
+    fn down_flags(&self, now: SimTime) -> Vec<bool> {
+        (0..self.shards)
+            .map(|s| {
+                self.outages
+                    .iter()
+                    .any(|o| o.shard == s && now >= o.start && now < o.end)
+            })
+            .collect()
+    }
+
+    fn render(&self, tl: &MetricsTimeline, flags: &[bool]) -> String {
+        let mut body = l25gc_obs::prometheus_header();
+        body.push_str(&tl.to_prometheus_samples(&self.series));
+        body.push_str(&l25gc_obs::shard_outage_samples(&self.series, flags));
+        body
+    }
+
+    /// Publishes when `now` enters a new timeline window, or immediately
+    /// when an outage flag transitions (so the `l25gc_shard_outage`
+    /// 0→1→0 flip is observable even for outages shorter than a
+    /// window); the phase reads `fault-outage` while any shard is down.
+    pub(crate) fn maybe_publish(&mut self, now: SimTime, tl: &MetricsTimeline) {
+        let w = now.as_nanos() / self.interval.as_nanos();
+        let flags = self.down_flags(now);
+        if self.last_window == Some(w) && self.last_flags.as_ref() == Some(&flags) {
+            return;
+        }
+        self.last_window = Some(w);
+        let phase = if flags.contains(&true) {
+            "fault-outage"
+        } else {
+            "steady"
+        };
+        let body = self.render(tl, &flags);
+        self.server.publish(phase, body);
+        self.last_flags = Some(flags);
+    }
+
+    /// The final snapshot, after idle finalization: phase `drain`.
+    pub(crate) fn publish_drain(&mut self, horizon: SimTime, tl: &MetricsTimeline) {
+        let flags = self.down_flags(horizon);
+        let body = self.render(tl, &flags);
+        self.server.publish("drain", body);
+    }
+}
+
 /// The hot-path recorder bundle: the `Obs` recorders plus the opt-in
-/// timeline and span-sampling stride, threaded through both backends as
-/// one value.
+/// timeline, live publisher, and span-sampling stride, threaded through
+/// both backends as one value.
 pub(crate) struct Telemetry {
     /// Histograms, flight recorder, span log.
     pub obs: Obs,
     /// Windowed per-shard snapshots, when configured.
     pub timeline: Option<MetricsTimeline>,
+    /// Live scrape-endpoint publisher, when configured.
+    pub publisher: Option<ScrapePublisher>,
     /// Span sampling stride (0 = off).
     pub trace_sample: u64,
 }
@@ -654,7 +781,15 @@ impl Telemetry {
             timeline: cfg
                 .metrics_interval
                 .map(|iv| MetricsTimeline::new(iv, cfg.shard_cfg.shards)),
+            publisher: ScrapePublisher::from_config(cfg),
             trace_sample: cfg.trace_sample,
+        }
+    }
+
+    /// Publishes the live snapshot when `now` enters a new window.
+    pub(crate) fn maybe_publish(&mut self, now: SimTime) {
+        if let (Some(p), Some(tl)) = (self.publisher.as_mut(), self.timeline.as_ref()) {
+            p.maybe_publish(now, tl);
         }
     }
 
@@ -709,6 +844,14 @@ fn offer_event(
                 tl.record_completion(shard, completes_at, lat);
                 tl.record_stages(shard, completes_at, qw, svc, transit);
                 tl.record_depth(shard, at, shards.depth(shard) as u64);
+                // Utilization anatomy: busy is the charged service span
+                // of the FIFO recurrence, occupancy the whole sojourn —
+                // both derived from virtual time, so analytic and
+                // threaded lanes are comparable.
+                let start = at + queue_wait;
+                let done_cpu = start + service;
+                tl.record_busy(shard, start, done_cpu);
+                tl.record_occupancy(shard, at, done_cpu);
             }
             if tel.sampled(ue) {
                 tel.obs
@@ -744,9 +887,22 @@ fn finish(
     completed: u64,
 ) -> LoadReport {
     let Telemetry {
-        mut obs, timeline, ..
+        mut obs,
+        mut timeline,
+        publisher,
+        ..
     } = tel;
     let end = SimTime::ZERO + cfg.duration;
+    // Idle finalization: the analytic engine never deschedules, so the
+    // parked share of idle time is zero by definition.
+    if let Some(tl) = timeline.as_mut() {
+        for s in 0..shards.shard_count() {
+            tl.finalize_idle(s, cfg.duration, 0.0);
+        }
+    }
+    if let (Some(mut p), Some(tl)) = (publisher, timeline.as_ref()) {
+        p.publish_drain(end, tl);
+    }
     obs.event(
         end,
         EventKind::Gauge {
@@ -793,6 +949,7 @@ fn finish(
         active_ues: fleet.active(),
         peak_depth: shards.peak_depths().into_iter().max().unwrap_or(0),
         busy_fraction: shards.busy_fraction(end),
+        shard_utilization: shards.busy_fractions(end),
         wall: None,
         disruption,
         timeline,
@@ -854,6 +1011,7 @@ fn analytic_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
                 completed += 1;
             }
         }
+        tel.maybe_publish(at);
     }
     finish(
         cfg, &fleet, shards, tel, offered, dispatched, infeasible, completed,
@@ -913,6 +1071,7 @@ fn analytic_closed(
             // Rejected or infeasible: back off one think time.
             None => at + think,
         };
+        tel.maybe_publish(at);
         q.push(next_ready, worker);
     }
     finish(
@@ -1058,6 +1217,62 @@ mod tests {
             .closed_loop(4, SimDuration::from_millis(1))
             .build()
             .is_ok());
+        // A live endpoint without a timeline has nothing to publish.
+        assert_eq!(
+            LoadConfig::builder()
+                .serve_metrics("127.0.0.1:0")
+                .build()
+                .unwrap_err(),
+            LoadError::ServeWithoutInterval
+        );
+        assert!(LoadConfig::builder()
+            .serve_metrics("127.0.0.1:0")
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn utilization_lanes_tile_windows_analytic() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Light load: real idle time in every window, so the tiling has
+        // non-trivial blocked shares to get right.
+        let cfg = LoadConfig::builder()
+            .ues(3_000)
+            .shards(2)
+            .offered_eps(300.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(37)
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        let tl = r.timeline.as_ref().expect("timeline was requested");
+        let iv = SimDuration::from_millis(100).as_nanos();
+        let horizon = SimDuration::from_secs(2).as_nanos();
+        assert_eq!(r.shard_utilization.len(), 2);
+        for shard in 0..tl.shards() {
+            let u = r.shard_utilization[shard as usize];
+            assert!(u > 0.0 && u <= 1.0, "shard {shard} utilization {u}");
+            let mut blocked_seen = false;
+            for (i, w) in tl.lane(shard).iter().enumerate() {
+                let start = i as u64 * iv;
+                if start >= horizon {
+                    break; // busy spillover past the horizon is untiled
+                }
+                let len = iv.min(horizon - start);
+                if w.busy_ns <= len {
+                    assert_eq!(
+                        w.busy_ns + w.blocked_ns + w.parked_ns,
+                        len,
+                        "shard {shard} window {i} does not tile"
+                    );
+                }
+                blocked_seen |= w.blocked_ns > 0;
+                assert_eq!(w.parked_ns, 0, "analytic never parks");
+            }
+            assert!(blocked_seen, "light load must leave idle time");
+        }
     }
 
     #[test]

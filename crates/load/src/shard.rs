@@ -328,6 +328,22 @@ impl ShardSet {
         }
     }
 
+    /// Per-shard CPU-busy fraction up to `horizon`: each shard's
+    /// `min(busy_until, horizon) / horizon`. The per-worker counterpart
+    /// of [`ShardSet::busy_fraction`], feeding the utilization lanes and
+    /// `LoadReport::shard_utilization`.
+    pub fn busy_fractions(&self, horizon: SimTime) -> Vec<f64> {
+        if horizon.as_nanos() == 0 {
+            return vec![0.0; self.shards.len()];
+        }
+        self.shards
+            .iter()
+            .map(|s| {
+                s.busy_until.as_nanos().min(horizon.as_nanos()) as f64 / horizon.as_nanos() as f64
+            })
+            .collect()
+    }
+
     /// Total CPU-busy time accumulated across shards up to `horizon`
     /// (approximation: each shard busy until min(busy_until, horizon)).
     pub fn busy_fraction(&self, horizon: SimTime) -> f64 {

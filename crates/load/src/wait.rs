@@ -86,6 +86,11 @@ pub struct WaitStats {
     pub transitions: u64,
     /// Wall time spent descheduled (yield + park tiers), in nanoseconds.
     pub blocked_ns: u64,
+    /// Wall time spent in the park tier only, in nanoseconds — a subset
+    /// of [`WaitStats::blocked_ns`]. The utilization lanes use the
+    /// parked/blocked ratio to apportion idle time between the
+    /// blocked and parked duty-cycle buckets.
+    pub parked_ns: u64,
 }
 
 impl WaitStats {
@@ -96,6 +101,7 @@ impl WaitStats {
         self.parks += other.parks;
         self.transitions += other.transitions;
         self.blocked_ns += other.blocked_ns;
+        self.parked_ns += other.parked_ns;
     }
 }
 
@@ -189,7 +195,9 @@ impl Waiter {
         self.stats.parks += 1;
         let t = Instant::now();
         std::thread::park_timeout(PARK_TIMEOUT);
-        self.stats.blocked_ns += t.elapsed().as_nanos() as u64;
+        let ns = t.elapsed().as_nanos() as u64;
+        self.stats.blocked_ns += ns;
+        self.stats.parked_ns += ns;
     }
 }
 
@@ -217,6 +225,7 @@ mod tests {
         assert_eq!(s.spins, 10_000);
         assert_eq!(s.yields + s.parks + s.transitions, 0);
         assert_eq!(s.blocked_ns, 0);
+        assert_eq!(s.parked_ns, 0);
     }
 
     #[test]
@@ -231,6 +240,8 @@ mod tests {
         assert_eq!(s.parks, 2);
         assert_eq!(s.transitions, 2, "one per tier boundary");
         assert!(s.blocked_ns > 0, "park time is measured");
+        assert!(s.parked_ns > 0, "park-tier time is tracked separately");
+        assert!(s.parked_ns <= s.blocked_ns, "parked is a subset of blocked");
     }
 
     #[test]
@@ -267,6 +278,7 @@ mod tests {
             parks: 3,
             transitions: 4,
             blocked_ns: 5,
+            parked_ns: 6,
         };
         let b = WaitStats {
             spins: 10,
@@ -274,6 +286,7 @@ mod tests {
             parks: 30,
             transitions: 40,
             blocked_ns: 50,
+            parked_ns: 60,
         };
         a.absorb(&b);
         assert_eq!(
@@ -283,7 +296,8 @@ mod tests {
                 yields: 22,
                 parks: 33,
                 transitions: 44,
-                blocked_ns: 55
+                blocked_ns: 55,
+                parked_ns: 66
             }
         );
     }

@@ -46,7 +46,7 @@ use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use crate::dispatch::{proc_kind, ProfileSet};
 use crate::driver::{
     apply_transition, disruption_from, draw_kind, fault_timeline, transition, LoadConfig, LoadMode,
-    LoadReport, WallClock, HIST_ALL, HIST_QUEUE_WAIT, HIST_SERVICE, HIST_TRANSIT,
+    LoadReport, ScrapePublisher, WallClock, HIST_ALL, HIST_QUEUE_WAIT, HIST_SERVICE, HIST_TRANSIT,
 };
 use crate::fault::{floor_service, Outage};
 use crate::fleet::Fleet;
@@ -313,9 +313,17 @@ struct Pool {
     /// Span sampling stride (0 = off); applied at completion drain.
     trace_sample: u64,
     /// The dispatcher's timeline lanes: dispatch/shed/backpressure
-    /// counts and submit-ring depth. Workers record completions into
-    /// their own lanes; everything merges at shutdown.
+    /// counts, submit-ring depth, and the busy/occupancy duty cycles.
+    /// Workers record completions into their own lanes; everything
+    /// merges at shutdown.
     timeline: Option<MetricsTimeline>,
+    /// Shadow of each shard's virtual busy-until, mirrored by the
+    /// dispatcher so the busy lanes are live (recorded at dispatch, not
+    /// at join) — the same FIFO recurrence the workers run, over the
+    /// same arrivals, so the lanes match the analytic backend's.
+    shadow_busy: Vec<SimTime>,
+    /// Live scrape-endpoint publisher, when configured.
+    publisher: Option<ScrapePublisher>,
     /// Whether the dispatcher itself landed on its planned CPU.
     dispatcher_pinned: bool,
     /// Wait site: full submit ring under the `Queue` policy.
@@ -440,6 +448,8 @@ impl Pool {
             comp_buf: Vec::with_capacity(BURST),
             trace_sample: cfg.trace_sample,
             timeline: timeline_for(cfg),
+            shadow_busy: vec![SimTime::ZERO; shards],
+            publisher: ScrapePublisher::from_config(cfg),
             dispatcher_pinned,
             offer_wait: Waiter::new(cfg.wait),
             shutdown_wait: Waiter::new(cfg.wait),
@@ -678,8 +688,27 @@ impl Pool {
         if let Some(tl) = self.timeline.as_mut() {
             tl.record_dispatched(shard, at);
             tl.record_depth(shard, at, depth as u64);
+            // Mirror the worker's FIFO recurrence so the busy lanes are
+            // live: same profiles, same outage flooring, same arrivals —
+            // the worker will compute the identical span when it serves
+            // this submission.
+            let prof = self.respawn.profiles.get(kind);
+            let start = self.shadow_busy[shard as usize].max(at);
+            let (start, _) =
+                floor_service(&self.respawn.outages[shard as usize], start, prof.occupancy);
+            let done_cpu = start + prof.occupancy;
+            self.shadow_busy[shard as usize] = done_cpu;
+            tl.record_busy(shard, start, done_cpu);
+            tl.record_occupancy(shard, at, done_cpu);
         }
         Some(seq)
+    }
+
+    /// Publishes the live snapshot when `now` enters a new window.
+    fn maybe_publish(&mut self, now: SimTime) {
+        if let (Some(p), Some(tl)) = (self.publisher.as_mut(), self.timeline.as_ref()) {
+            p.maybe_publish(now, tl);
+        }
     }
 
     /// Sends the stop sentinel to every worker, joins them, drains the
@@ -724,6 +753,13 @@ impl Pool {
         let mut wait = self.offer_wait.stats();
         wait.absorb(&self.shutdown_wait.stats());
         wait.absorb(&self.await_wait.stats());
+        // The dispatcher's own wait sites, before the workers fold in —
+        // what dispatcher utilization subtracts from wall time.
+        let dispatcher_wait = wait;
+        // Per-shard wait counters *sum* a killed primary's stats with
+        // its standby's, so a shard's descheduled time survives failover
+        // instead of being flattened into the pool-wide total.
+        let mut per_shard_wait = vec![WaitStats::default(); shards_total];
         let mut all = std::mem::take(&mut self.retired);
         for h in std::mem::take(&mut self.handles) {
             all.push(h.join().expect("shard worker panicked"));
@@ -738,6 +774,7 @@ impl Pool {
             peak = peak.max(stats.hot.peak_depth);
             served += stats.hot.served;
             pinned_workers += usize::from(stats.pinned);
+            per_shard_wait[i].absorb(&stats.wait);
             wait.absorb(&stats.wait);
             obs.absorb(&stats.obs);
             if let (Some(tl), Some(wtl)) = (self.timeline.as_mut(), stats.timeline.as_ref()) {
@@ -777,7 +814,10 @@ impl Pool {
             pinned_workers,
             dispatcher_pinned: self.dispatcher_pinned,
             wait,
+            dispatcher_wait,
+            per_shard_wait,
             timeline: self.timeline,
+            publisher: self.publisher,
             replayed,
             lost_in_outage: self.lost_in_outage,
             disruption_span,
@@ -799,7 +839,16 @@ struct PoolStats {
     dispatcher_pinned: bool,
     /// Merged wait-ladder counters from every wait site in the pool.
     wait: WaitStats,
+    /// The dispatcher's own wait sites only (offer/shutdown/await) —
+    /// dispatcher utilization is wall time minus this descheduled time.
+    dispatcher_wait: WaitStats,
+    /// Per-shard wait counters: a killed shard's primary and its standby
+    /// sum under the same index, so failover loses no accounting.
+    per_shard_wait: Vec<WaitStats>,
     timeline: Option<MetricsTimeline>,
+    /// Live scrape-endpoint publisher, handed back for the drain
+    /// snapshot after idle finalization.
+    publisher: Option<ScrapePublisher>,
     /// Services that crossed a kill outage and re-ran (log replay).
     replayed: u64,
     /// Arrivals shed while their shard was inside a scripted outage.
@@ -869,6 +918,7 @@ fn threaded_open(cfg: &LoadConfig, profiles: &ProfileSet) -> LoadReport {
         // Opportunistic drain keeps completion rings shallow and spreads
         // histogram recording across the run.
         pool.drain_completions(horizon, &mut obs);
+        pool.maybe_publish(at);
     }
     finish_threaded(
         cfg, &fleet, pool, obs, offered, infeasible, horizon, wall_start,
@@ -926,6 +976,7 @@ fn threaded_closed(
             }
             None => at + think,
         };
+        pool.maybe_publish(at);
         q.push(next_ready, worker);
     }
     finish_threaded(
@@ -972,8 +1023,36 @@ fn finish_threaded(
     horizon: SimTime,
     wall_start: Instant,
 ) -> LoadReport {
-    let stats = pool.shutdown(horizon, &mut obs);
+    let mut stats = pool.shutdown(horizon, &mut obs);
     let elapsed = wall_start.elapsed();
+    // Idle finalization on the merged timeline: the parked share of each
+    // shard's idle time comes from its measured park/blocked ratio, and
+    // dispatcher utilization is wall time not spent descheduled.
+    if let Some(tl) = stats.timeline.as_mut() {
+        for (s, w) in stats.per_shard_wait.iter().enumerate() {
+            let ratio = w.parked_ns as f64 / w.blocked_ns.max(1) as f64;
+            tl.finalize_idle(s as u16, cfg.duration, ratio);
+        }
+        let wall_ns = elapsed.as_nanos() as u64;
+        tl.record_dispatcher_utilization(
+            wall_ns.saturating_sub(stats.dispatcher_wait.blocked_ns),
+            wall_ns,
+        );
+    }
+    if let (Some(p), Some(tl)) = (stats.publisher.as_mut(), stats.timeline.as_ref()) {
+        p.publish_drain(horizon, tl);
+    }
+    let shard_utilization: Vec<f64> = stats
+        .busy_until
+        .iter()
+        .map(|b| {
+            if horizon.as_nanos() == 0 {
+                0.0
+            } else {
+                b.as_nanos().min(horizon.as_nanos()) as f64 / horizon.as_nanos() as f64
+            }
+        })
+        .collect();
     obs.event(
         horizon,
         EventKind::Gauge {
@@ -991,6 +1070,7 @@ fn finish_threaded(
     gauge("wait_parks", stats.wait.parks);
     gauge("wait_transitions", stats.wait.transitions);
     gauge("wait_blocked_us", stats.wait.blocked_ns / 1_000);
+    gauge("wait_parked_us", stats.wait.parked_ns / 1_000);
     gauge("pinned_workers", stats.pinned_workers as u64);
     gauge("pinned_dispatcher", u64::from(stats.dispatcher_pinned));
     let q = |p: f64| {
@@ -1026,6 +1106,7 @@ fn finish_threaded(
         active_ues: fleet.active(),
         peak_depth: stats.peak_depth,
         busy_fraction: busy_fraction(&stats.busy_until, horizon),
+        shard_utilization,
         wall: Some(WallClock {
             elapsed,
             sustained_eps,
@@ -1427,6 +1508,235 @@ mod tests {
         assert!(d.replayed > 0, "backlog crossed the kill and re-ran");
         assert_eq!(d.completions_lost, 0, "Queue is loss-free across failover");
         assert!(d.disruption_ms > 0.0);
+    }
+
+    /// Serializes tests that touch the process-wide shared metrics
+    /// server: the registry keyed by `"127.0.0.1:0"` is one server, and
+    /// its history is sliced by offset per test.
+    static SERVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn killed_shard_wait_stats_survive_failover() {
+        let profiles = calibrate(Deployment::L25gc);
+        let plan = crate::fault::FaultPlan::parse("kill@1ms:shard=0").unwrap();
+        let cfg = LoadConfig::builder()
+            .ues(100)
+            .shards(2)
+            .seed(73)
+            .backend(ExecBackend::Threaded)
+            .wait(crate::wait::WaitStrategy::Park)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let mut obs = Obs::new();
+        let mut pool = Pool::spawn(&cfg, &profiles);
+        // Let the shard-0 primary park on its empty submit ring so it
+        // accumulates descheduled time before it is killed.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let horizon = SimTime::ZERO + cfg.duration;
+        // This arrival is past the scripted kill instant, so the kill
+        // fires first: the parked primary is retired and replaced, and
+        // the submission is served by the standby.
+        let seq = pool
+            .offer(
+                0,
+                UeEvent::Registration,
+                0,
+                SimTime::from_nanos(2_000_000),
+                1,
+                horizon,
+                &mut obs,
+            )
+            .expect("empty ring admits");
+        pool.await_completion(0, seq, horizon, &mut obs);
+        let stats = pool.shutdown(horizon, &mut obs);
+        assert_eq!(stats.per_shard_wait.len(), 2);
+        let s0 = &stats.per_shard_wait[0];
+        assert!(s0.parks > 0, "the killed primary parked while idle");
+        assert!(
+            s0.parked_ns > 0 && s0.blocked_ns >= s0.parked_ns,
+            "the killed primary's descheduled time survives the standby merge"
+        );
+    }
+
+    #[test]
+    fn utilization_lanes_agree_across_backends_when_unshed() {
+        let profiles = calibrate(Deployment::L25gc);
+        let base = LoadConfig::builder()
+            .ues(3_000)
+            .shards(2)
+            .high_water(4_096)
+            .ring_capacity(8_192)
+            .offered_eps(300.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(79)
+            .metrics_interval(SimDuration::from_millis(100));
+        let a = Driver::new(base.clone().backend(ExecBackend::Analytic).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        let t = Driver::new(base.backend(ExecBackend::Threaded).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        assert_eq!(a.shed + a.backpressure + t.shed + t.backpressure, 0);
+        let (atl, ttl) = (a.timeline.as_ref().unwrap(), t.timeline.as_ref().unwrap());
+        for shard in 0..2u16 {
+            let (al, tl) = (atl.lane(shard), ttl.lane(shard));
+            assert_eq!(al.len(), tl.len(), "shard {shard}: same touched windows");
+            for (i, (aw, tw)) in al.iter().zip(tl.iter()).enumerate() {
+                assert_eq!(aw.busy_ns, tw.busy_ns, "shard {shard} window {i} busy");
+                assert_eq!(
+                    aw.occupancy_ns, tw.occupancy_ns,
+                    "shard {shard} window {i} occupancy"
+                );
+            }
+        }
+        // Report-level utilization agrees too, and sits in (0, 1].
+        assert_eq!(a.shard_utilization, t.shard_utilization);
+        assert!(a.shard_utilization.iter().all(|&u| u > 0.0 && u <= 1.0));
+        // Threaded tiling: busy + blocked + parked fills every window
+        // inside the horizon exactly (the final clamp case is guarded by
+        // construction: busy within a window never exceeds its length).
+        let iv = SimDuration::from_millis(100).as_nanos();
+        let horizon_ns = SimDuration::from_secs(2).as_nanos();
+        for shard in 0..ttl.shards() {
+            for (i, w) in ttl.lane(shard).iter().enumerate() {
+                let start = i as u64 * iv;
+                if start >= horizon_ns {
+                    break;
+                }
+                let len = iv.min(horizon_ns - start);
+                if w.busy_ns <= len {
+                    assert_eq!(
+                        w.busy_ns + w.blocked_ns + w.parked_ns,
+                        len,
+                        "shard {shard} window {i} does not tile"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_endpoint_shows_outage_flip_and_history_validates() {
+        let _guard = SERVE_LOCK.lock().unwrap();
+        let profiles = calibrate(Deployment::L25gc);
+        let server = l25gc_obs::serve::shared("127.0.0.1:0").unwrap();
+        let base_len = server.history_len();
+        let plan = crate::fault::FaultPlan::parse("kill@1s:shard=0").unwrap();
+        let cfg = LoadConfig::builder()
+            .ues(3_000)
+            .shards(2)
+            .offered_eps(2_000.0)
+            .duration(SimDuration::from_secs(3))
+            .seed(83)
+            .policy(OverloadPolicy::Queue)
+            .high_water(1 << 14)
+            .ring_capacity(1 << 15)
+            .metrics_interval(SimDuration::from_millis(100))
+            .serve_metrics("127.0.0.1:0")
+            .fault(plan)
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert!(r.dispatched > 0);
+        let hist = &server.history()[base_len..];
+        assert!(hist.len() >= 3, "windows published: {}", hist.len());
+        for snap in hist {
+            l25gc_obs::validate_prometheus(&snap.body).expect("live exposition validates");
+        }
+        // The shard-0 outage gauge flips 0 → 1 → 0 across the run.
+        let flag = |s: &l25gc_obs::Snapshot| {
+            s.body
+                .lines()
+                .find(|l| l.starts_with("l25gc_shard_outage{") && l.contains("shard=\"0\""))
+                .map(|l| l.ends_with(" 1"))
+                .expect("outage gauge present in every snapshot")
+        };
+        let flags: Vec<bool> = hist.iter().map(flag).collect();
+        let first_up = flags.iter().position(|&f| f).expect("outage observed live");
+        assert!(first_up > 0, "the gauge starts at 0 before the kill");
+        assert!(
+            flags[first_up..].iter().any(|&f| !f),
+            "the gauge returns to 0 after failover"
+        );
+        assert!(!flags[flags.len() - 1], "recovered by drain");
+        // Phases cover the lifecycle.
+        assert!(hist.iter().any(|s| s.phase == "steady"));
+        assert!(hist.iter().any(|s| s.phase == "fault-outage"));
+        assert_eq!(hist.last().unwrap().phase, "drain");
+    }
+
+    #[test]
+    fn live_scrapes_validate_and_counters_are_monotone() {
+        let _guard = SERVE_LOCK.lock().unwrap();
+        let profiles = calibrate(Deployment::L25gc);
+        let server = l25gc_obs::serve::shared("127.0.0.1:0").unwrap();
+        let base_len = server.history_len();
+        let cfg = LoadConfig::builder()
+            .ues(2_000)
+            .shards(2)
+            .offered_eps(2_000.0)
+            .duration(SimDuration::from_secs(1))
+            .seed(89)
+            .backend(ExecBackend::Threaded)
+            .metrics_interval(SimDuration::from_millis(100))
+            .serve_metrics("127.0.0.1:0")
+            .build()
+            .unwrap();
+        let r = Driver::new(cfg).unwrap().run(&profiles);
+        assert!(r.dispatched > 0);
+        // Successive published expositions are exactly what GET /metrics
+        // served at those instants: each validates, and the counters are
+        // monotone between any two scrapes.
+        let hist = &server.history()[base_len..];
+        assert!(hist.len() >= 2, "at least two mid-run scrapes");
+        let counter_sum = |body: &str, name: &str| -> u64 {
+            body.lines()
+                .filter(|l| l.starts_with(name))
+                .filter_map(|l| l.rsplit(' ').next())
+                .filter_map(|v| v.parse::<f64>().ok())
+                .sum::<f64>() as u64
+        };
+        let mut prev: Option<(u64, u64)> = None;
+        for snap in hist {
+            l25gc_obs::validate_prometheus(&snap.body).expect("scrape validates");
+            let cur = (
+                counter_sum(&snap.body, "l25gc_worker_busy_ns_total"),
+                counter_sum(&snap.body, "l25gc_dispatched_total"),
+            );
+            if let Some(p) = prev {
+                assert!(cur.0 >= p.0, "busy counter is monotone");
+                assert!(cur.1 >= p.1, "dispatched counter is monotone");
+            }
+            prev = Some(cur);
+        }
+        // Worker utilization ratios in the final exposition sit in (0, 1].
+        let last = &hist.last().unwrap().body;
+        let ratios: Vec<f64> = last
+            .lines()
+            .filter(|l| l.starts_with("l25gc_worker_utilization_ratio"))
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse::<f64>().ok())
+            .collect();
+        assert_eq!(ratios.len(), 2, "one ratio per shard");
+        assert!(ratios.iter().all(|&u| u > 0.0 && u <= 1.0), "{ratios:?}");
+        // The endpoint itself serves the last published snapshot.
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        let (_, body) = resp.split_once("\r\n\r\n").unwrap();
+        assert_eq!(body, last, "GET /metrics serves the drain snapshot");
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.ends_with("drain\n"), "{resp}");
     }
 
     #[test]

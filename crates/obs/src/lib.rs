@@ -15,7 +15,9 @@
 //! - [`export`] — JSON Lines (with its own parser), Chrome `trace_event`
 //!   JSON for Perfetto, and a human-readable summary table;
 //! - [`slo`] — windowed SLO evaluation over the metrics timelines:
-//!   violation spans, burn rate, and recovery time.
+//!   violation spans, burn rate, and recovery time;
+//! - [`serve`] — a std-only live scrape endpoint (`GET /metrics`,
+//!   `GET /healthz`) the dispatcher publishes into each timeline window.
 //!
 //! Everything is simulation-clock driven (`SimTime`), `std`-only, and
 //! allocation-free on the record path; the recorders are plain values a
@@ -27,6 +29,7 @@ pub mod disruption;
 pub mod events;
 pub mod export;
 pub mod hist;
+pub mod serve;
 pub mod slo;
 pub mod span;
 pub mod timeline;
@@ -38,11 +41,12 @@ pub use export::{
     TraceBundle,
 };
 pub use hist::{Log2Histogram, DEFAULT_BITS};
+pub use serve::{MetricsServer, Snapshot};
 pub use slo::{SloReport, SloSpec, ViolationSpan, WindowVerdict};
 pub use span::{ProcKind, SpanLog};
 pub use timeline::{
-    parse_timeline_jsonl_line, prometheus_header, timeline_csv_header, validate_prometheus,
-    MetricsTimeline, Stage, TimelineLine, TimelineWindow,
+    parse_timeline_jsonl_line, prometheus_header, shard_outage_samples, timeline_csv_header,
+    validate_prometheus, MetricsTimeline, Stage, TimelineLine, TimelineWindow,
 };
 
 use l25gc_sim::SimTime;

@@ -93,6 +93,25 @@ pub struct TimelineWindow {
     pub backpressure: u64,
     /// Deepest in-flight queue observed during the window.
     pub peak_depth: u64,
+    /// Virtual time the shard server spent executing charged service
+    /// time inside this window, nanoseconds
+    /// ([`MetricsTimeline::record_busy`], overlap-split across window
+    /// boundaries). Both backends derive it from the same FIFO
+    /// recurrence, so analytic and threaded lanes agree when unshed.
+    pub busy_ns: u64,
+    /// Idle time apportioned to the yield/blocked tier by
+    /// [`MetricsTimeline::finalize_idle`], nanoseconds. Together with
+    /// `busy_ns` and `parked_ns` it tiles the window exactly.
+    pub blocked_ns: u64,
+    /// Idle time apportioned to the park tier by
+    /// [`MetricsTimeline::finalize_idle`], nanoseconds.
+    pub parked_ns: u64,
+    /// Ring-occupancy time integral: the summed per-event sojourn
+    /// (arrival → CPU done) overlapping this window, nanoseconds
+    /// ([`MetricsTimeline::record_occupancy`]). Unlike `busy_ns` this
+    /// counts concurrent residents multiply, so occupancy/window-length
+    /// is the mean queue depth.
+    pub occupancy_ns: u64,
     /// Latency distribution of this window's completions only.
     pub latency: Log2Histogram,
     /// [`Stage::QueueWait`] distribution of this window's completions.
@@ -112,6 +131,10 @@ impl TimelineWindow {
             shed: 0,
             backpressure: 0,
             peak_depth: 0,
+            busy_ns: 0,
+            blocked_ns: 0,
+            parked_ns: 0,
+            occupancy_ns: 0,
             latency: Log2Histogram::new(),
             queue_wait: Log2Histogram::new(),
             service: Log2Histogram::new(),
@@ -134,6 +157,10 @@ impl TimelineWindow {
         self.shed += other.shed;
         self.backpressure += other.backpressure;
         self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.busy_ns += other.busy_ns;
+        self.blocked_ns += other.blocked_ns;
+        self.parked_ns += other.parked_ns;
+        self.occupancy_ns += other.occupancy_ns;
         self.latency.merge(&other.latency);
         self.queue_wait.merge(&other.queue_wait);
         self.service.merge(&other.service);
@@ -148,6 +175,13 @@ pub struct MetricsTimeline {
     /// One lane per shard; windows allocate lazily and contiguously.
     lanes: Vec<Vec<TimelineWindow>>,
     clamped: u64,
+    /// Wall time the dispatcher spent doing work (total minus its
+    /// waiters' descheduled time), nanoseconds.
+    dispatcher_busy_ns: u64,
+    /// Total dispatcher wall time the busy figure is measured against,
+    /// nanoseconds. Zero on backends that have no dispatcher thread
+    /// (the analytic loop runs in virtual time).
+    dispatcher_wall_ns: u64,
 }
 
 impl MetricsTimeline {
@@ -160,6 +194,8 @@ impl MetricsTimeline {
             interval,
             lanes: vec![Vec::new(); shards as usize],
             clamped: 0,
+            dispatcher_busy_ns: 0,
+            dispatcher_wall_ns: 0,
         }
     }
 
@@ -251,6 +287,126 @@ impl MetricsTimeline {
         w.peak_depth = w.peak_depth.max(depth);
     }
 
+    /// Adds the virtual interval `[start, end)` into one duty-cycle
+    /// bucket, overlap-split across window boundaries so each window
+    /// receives exactly the nanoseconds falling inside it. Spans past
+    /// the [`MAX_WINDOWS`] cap fold into the terminal window.
+    fn record_span(
+        &mut self,
+        shard: u16,
+        start: SimTime,
+        end: SimTime,
+        pick: fn(&mut TimelineWindow) -> &mut u64,
+    ) {
+        let iv = self.interval.as_nanos();
+        let end = end.as_nanos();
+        let mut cur = start.as_nanos();
+        while cur < end {
+            let i = (cur / iv) as usize;
+            if i >= MAX_WINDOWS - 1 {
+                // The terminal window also takes the clamp spill.
+                let w = self.window_mut(shard, SimTime::from_nanos(cur));
+                *pick(w) += end - cur;
+                return;
+            }
+            let chunk_end = end.min((i as u64 + 1) * iv);
+            let w = self.window_mut(shard, SimTime::from_nanos(cur));
+            *pick(w) += chunk_end - cur;
+            cur = chunk_end;
+        }
+    }
+
+    /// Records charged service time `[start, end)` as shard busy time,
+    /// overlap-split across windows. Both backends call this with the
+    /// same FIFO-recurrence instants (`start = max(busy_until, arrival)`
+    /// floored through scripted outages, `end = start + occupancy`), so
+    /// the busy lanes agree byte-for-byte when unshed.
+    pub fn record_busy(&mut self, shard: u16, start: SimTime, end: SimTime) {
+        self.record_span(shard, start, end, |w| &mut w.busy_ns);
+    }
+
+    /// Records one event's ring-residency sojourn `[arrival, cpu_done)`
+    /// into the occupancy time integral, overlap-split across windows.
+    pub fn record_occupancy(&mut self, shard: u16, start: SimTime, end: SimTime) {
+        self.record_span(shard, start, end, |w| &mut w.occupancy_ns);
+    }
+
+    /// Apportions each window's idle remainder (window length minus
+    /// `busy_ns`, clamped at zero) between the blocked and parked
+    /// buckets, so `busy + blocked + parked` tiles every window inside
+    /// `horizon` exactly. `parked_ratio` is the shard's measured
+    /// park-tier share of its descheduled wall time (0 on the analytic
+    /// backend, which never parks).
+    ///
+    /// Call once per shard on the **final merged** timeline — the
+    /// blocked/parked buckets are overwritten, not accumulated, so a
+    /// second call (or a later absorb of this lane) would double-count
+    /// idle time.
+    pub fn finalize_idle(&mut self, shard: u16, horizon: SimDuration, parked_ratio: f64) {
+        let iv = self.interval.as_nanos();
+        let horizon_ns = horizon.as_nanos();
+        if horizon_ns == 0 {
+            return;
+        }
+        let last = (((horizon_ns - 1) / iv) as usize).min(MAX_WINDOWS - 1);
+        let ratio = if parked_ratio.is_finite() {
+            parked_ratio.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // Materialise every window up to the horizon, then tile.
+        self.window_mut(shard, SimTime::from_nanos(horizon_ns - 1));
+        let lane = &mut self.lanes[shard as usize];
+        for (i, w) in lane.iter_mut().enumerate().take(last + 1) {
+            let start = i as u64 * iv;
+            let len = iv.min(horizon_ns - start);
+            let idle = len.saturating_sub(w.busy_ns);
+            w.parked_ns = (idle as f64 * ratio) as u64;
+            w.blocked_ns = idle - w.parked_ns;
+        }
+    }
+
+    /// One shard's whole-run duty-cycle utilization: busy time over the
+    /// lane's window span, clamped to `(0, 1]`. Usable mid-run (before
+    /// [`MetricsTimeline::finalize_idle`]) because the denominator is
+    /// the windows the lane has touched, not the idle buckets.
+    pub fn shard_utilization(&self, shard: u16) -> f64 {
+        let lane = self.lane(shard);
+        let span = lane.len() as u64 * self.interval.as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        let busy: u64 = lane.iter().map(|w| w.busy_ns).sum();
+        (busy as f64 / span as f64).min(1.0)
+    }
+
+    /// Adds a dispatcher duty-cycle measurement: `busy_ns` of `wall_ns`
+    /// spent doing work rather than descheduled in a wait ladder.
+    pub fn record_dispatcher_utilization(&mut self, busy_ns: u64, wall_ns: u64) {
+        self.dispatcher_busy_ns += busy_ns;
+        self.dispatcher_wall_ns += wall_ns;
+    }
+
+    /// Dispatcher busy wall time, nanoseconds.
+    pub fn dispatcher_busy_ns(&self) -> u64 {
+        self.dispatcher_busy_ns
+    }
+
+    /// Dispatcher total wall time, nanoseconds (zero when no dispatcher
+    /// thread exists — the analytic backend).
+    pub fn dispatcher_wall_ns(&self) -> u64 {
+        self.dispatcher_wall_ns
+    }
+
+    /// Dispatcher utilization ratio in `[0, 1]`; `0.0` when no
+    /// dispatcher wall time was recorded.
+    pub fn dispatcher_utilization(&self) -> f64 {
+        if self.dispatcher_wall_ns == 0 {
+            return 0.0;
+        }
+        (self.dispatcher_busy_ns as f64 / self.dispatcher_wall_ns as f64).min(1.0)
+    }
+
     /// Total dispatches across every shard and window.
     pub fn dispatched_total(&self) -> u64 {
         self.lanes.iter().flatten().map(|w| w.dispatched).sum()
@@ -324,6 +480,8 @@ impl MetricsTimeline {
             "shard-count mismatch in absorb"
         );
         self.clamped += other.clamped;
+        self.dispatcher_busy_ns += other.dispatcher_busy_ns;
+        self.dispatcher_wall_ns += other.dispatcher_wall_ns;
         for (shard, lane) in other.lanes.iter().enumerate() {
             for (i, w) in lane.iter().enumerate() {
                 let at = SimTime::from_nanos(i as u64 * self.interval.as_nanos());
@@ -341,7 +499,7 @@ impl MetricsTimeline {
 
 /// The CSV header matching [`MetricsTimeline::to_csv_rows`].
 pub fn timeline_csv_header() -> &'static str {
-    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns,queue_wait_p99_ns,service_p99_ns,transit_p99_ns\n"
+    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns,queue_wait_p99_ns,service_p99_ns,transit_p99_ns,busy_ns,blocked_ns,parked_ns,occupancy_ns\n"
 }
 
 impl MetricsTimeline {
@@ -354,7 +512,7 @@ impl MetricsTimeline {
                 let start = i as u64 * self.interval.as_nanos();
                 let _ = writeln!(
                     out,
-                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     w.dispatched,
                     w.completed,
                     w.shed,
@@ -367,6 +525,10 @@ impl MetricsTimeline {
                     w.queue_wait.quantile(0.99),
                     w.service.quantile(0.99),
                     w.completion_transit.quantile(0.99),
+                    w.busy_ns,
+                    w.blocked_ns,
+                    w.parked_ns,
+                    w.occupancy_ns,
                 );
             }
         }
@@ -425,6 +587,14 @@ pub enum TimelineLine {
         /// [`Stage::CompletionTransit`] p99 of the window's completions,
         /// ns.
         transit_p99_ns: u64,
+        /// Charged service time overlapping the window, ns.
+        busy_ns: u64,
+        /// Idle time apportioned to the blocked bucket, ns.
+        blocked_ns: u64,
+        /// Idle time apportioned to the park bucket, ns.
+        parked_ns: u64,
+        /// Ring-occupancy time integral overlapping the window, ns.
+        occupancy_ns: u64,
     },
     /// The per-series trailing metadata line.
     Meta {
@@ -438,6 +608,10 @@ pub enum TimelineLine {
         windows: u64,
         /// Samples folded into the last window past [`MAX_WINDOWS`].
         clamped: u64,
+        /// Dispatcher busy wall time, ns.
+        dispatcher_busy_ns: u64,
+        /// Dispatcher total wall time, ns (0 = no dispatcher thread).
+        dispatcher_wall_ns: u64,
     },
 }
 
@@ -463,6 +637,10 @@ impl TimelineLine {
                 queue_wait_p99_ns,
                 service_p99_ns,
                 transit_p99_ns,
+                busy_ns,
+                blocked_ns,
+                parked_ns,
+                occupancy_ns,
             } => obj()
                 .field("t", Value::Str("tl".into()))
                 .field("series", Value::Str(series.clone()))
@@ -481,6 +659,10 @@ impl TimelineLine {
                 .field("queue_wait_p99_ns", Value::U64(*queue_wait_p99_ns))
                 .field("service_p99_ns", Value::U64(*service_p99_ns))
                 .field("transit_p99_ns", Value::U64(*transit_p99_ns))
+                .field("busy_ns", Value::U64(*busy_ns))
+                .field("blocked_ns", Value::U64(*blocked_ns))
+                .field("parked_ns", Value::U64(*parked_ns))
+                .field("occupancy_ns", Value::U64(*occupancy_ns))
                 .build(),
             TimelineLine::Meta {
                 series,
@@ -488,6 +670,8 @@ impl TimelineLine {
                 shards,
                 windows,
                 clamped,
+                dispatcher_busy_ns,
+                dispatcher_wall_ns,
             } => obj()
                 .field("t", Value::Str("tl_meta".into()))
                 .field("series", Value::Str(series.clone()))
@@ -495,6 +679,8 @@ impl TimelineLine {
                 .field("shards", Value::U64(*shards))
                 .field("windows", Value::U64(*windows))
                 .field("clamped", Value::U64(*clamped))
+                .field("dispatcher_busy_ns", Value::U64(*dispatcher_busy_ns))
+                .field("dispatcher_wall_ns", Value::U64(*dispatcher_wall_ns))
                 .build(),
         }
     }
@@ -536,6 +722,10 @@ pub fn parse_timeline_jsonl_line(line: &str) -> Result<TimelineLine, JsonlError>
             queue_wait_p99_ns: u("queue_wait_p99_ns")?,
             service_p99_ns: u("service_p99_ns")?,
             transit_p99_ns: u("transit_p99_ns")?,
+            busy_ns: u("busy_ns")?,
+            blocked_ns: u("blocked_ns")?,
+            parked_ns: u("parked_ns")?,
+            occupancy_ns: u("occupancy_ns")?,
         }),
         "tl_meta" => Ok(TimelineLine::Meta {
             series: s("series")?,
@@ -543,6 +733,8 @@ pub fn parse_timeline_jsonl_line(line: &str) -> Result<TimelineLine, JsonlError>
             shards: u("shards")?,
             windows: u("windows")?,
             clamped: u("clamped")?,
+            dispatcher_busy_ns: u("dispatcher_busy_ns")?,
+            dispatcher_wall_ns: u("dispatcher_wall_ns")?,
         }),
         _ => Err(JsonlError::BadShape),
     }
@@ -573,6 +765,10 @@ impl MetricsTimeline {
                     queue_wait_p99_ns: w.queue_wait.quantile(0.99),
                     service_p99_ns: w.service.quantile(0.99),
                     transit_p99_ns: w.completion_transit.quantile(0.99),
+                    busy_ns: w.busy_ns,
+                    blocked_ns: w.blocked_ns,
+                    parked_ns: w.parked_ns,
+                    occupancy_ns: w.occupancy_ns,
                 };
                 out.push_str(&json::to_string(&line.to_value()));
                 out.push('\n');
@@ -584,6 +780,8 @@ impl MetricsTimeline {
             shards: self.lanes.len() as u64,
             windows: self.window_count() as u64,
             clamped: self.clamped,
+            dispatcher_busy_ns: self.dispatcher_busy_ns,
+            dispatcher_wall_ns: self.dispatcher_wall_ns,
         };
         out.push_str(&json::to_string(&meta.to_value()));
         out.push('\n');
@@ -596,7 +794,7 @@ impl MetricsTimeline {
 // ---------------------------------------------------------------------------
 
 /// Every metric the Prometheus writer emits: `(name, type, help)`.
-const PROM_METRICS: [(&str, &str, &str); 9] = [
+const PROM_METRICS: [(&str, &str, &str); 16] = [
     (
         "l25gc_dispatched_total",
         "counter",
@@ -642,6 +840,41 @@ const PROM_METRICS: [(&str, &str, &str); 9] = [
         "counter",
         "Samples folded into the last window past the cap.",
     ),
+    (
+        "l25gc_worker_busy_ns_total",
+        "counter",
+        "Charged service time executed by a shard worker, nanoseconds.",
+    ),
+    (
+        "l25gc_worker_blocked_ns_total",
+        "counter",
+        "Idle shard time apportioned to the yield/blocked tier, nanoseconds.",
+    ),
+    (
+        "l25gc_worker_parked_ns_total",
+        "counter",
+        "Idle shard time apportioned to the park tier, nanoseconds.",
+    ),
+    (
+        "l25gc_ring_occupancy_ns_total",
+        "counter",
+        "Summed per-event ring-residency sojourn per shard, nanoseconds.",
+    ),
+    (
+        "l25gc_worker_utilization_ratio",
+        "gauge",
+        "Shard busy time over its touched window span, 0..1.",
+    ),
+    (
+        "l25gc_dispatcher_utilization_ratio",
+        "gauge",
+        "Dispatcher busy wall time over its total wall time, 0..1.",
+    ),
+    (
+        "l25gc_shard_outage",
+        "gauge",
+        "1 while a scripted fault holds the shard down, else 0.",
+    ),
 ];
 
 /// The `# HELP` / `# TYPE` preamble for every metric the samples use.
@@ -651,6 +884,23 @@ pub fn prometheus_header() -> String {
     for (name, kind, help) in PROM_METRICS {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} {kind}");
+    }
+    out
+}
+
+/// `l25gc_shard_outage` samples for a live exposition: one gauge per
+/// shard, 1 while a scripted fault holds the shard down. The timeline
+/// does not store outage state — the publisher (which knows the current
+/// virtual time and the fault plan's intervals) passes the flags.
+pub fn shard_outage_samples(series: &str, outage: &[bool]) -> String {
+    let series = prom_escape(series);
+    let mut out = String::new();
+    for (shard, down) in outage.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "l25gc_shard_outage{{series=\"{series}\",shard=\"{shard}\"}} {}",
+            u8::from(*down)
+        );
     }
     out
 }
@@ -700,6 +950,31 @@ impl MetricsTimeline {
                 "l25gc_peak_depth{{{labels}}} {}",
                 lane.iter().map(|w| w.peak_depth).max().unwrap_or(0)
             );
+            let _ = writeln!(
+                out,
+                "l25gc_worker_busy_ns_total{{{labels}}} {}",
+                sum(|w| w.busy_ns)
+            );
+            let _ = writeln!(
+                out,
+                "l25gc_worker_blocked_ns_total{{{labels}}} {}",
+                sum(|w| w.blocked_ns)
+            );
+            let _ = writeln!(
+                out,
+                "l25gc_worker_parked_ns_total{{{labels}}} {}",
+                sum(|w| w.parked_ns)
+            );
+            let _ = writeln!(
+                out,
+                "l25gc_ring_occupancy_ns_total{{{labels}}} {}",
+                sum(|w| w.occupancy_ns)
+            );
+            let _ = writeln!(
+                out,
+                "l25gc_worker_utilization_ratio{{{labels}}} {}",
+                self.shard_utilization(shard)
+            );
             let h = self.shard_latency(shard);
             for (q, qs) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                 let _ = writeln!(
@@ -742,6 +1017,11 @@ impl MetricsTimeline {
             out,
             "l25gc_timeline_clamped_total{{series=\"{series}\"}} {}",
             self.clamped
+        );
+        let _ = writeln!(
+            out,
+            "l25gc_dispatcher_utilization_ratio{{series=\"{series}\"}} {}",
+            self.dispatcher_utilization()
         );
         out
     }
@@ -1078,12 +1358,16 @@ mod tests {
                 shards,
                 windows,
                 clamped,
+                dispatcher_busy_ns,
+                dispatcher_wall_ns,
             } => {
                 assert_eq!(series, "L25GC@0.9x");
                 assert_eq!(interval_ns, 100_000_000);
                 assert_eq!(shards, 2);
                 assert_eq!(windows, 3);
                 assert_eq!(clamped, 0);
+                assert_eq!(dispatcher_busy_ns, 0);
+                assert_eq!(dispatcher_wall_ns, 0);
             }
             other => panic!("expected meta, got {other:?}"),
         }
@@ -1095,12 +1379,98 @@ mod tests {
 
     #[test]
     fn csv_has_one_row_per_window() {
-        let tl = sample_timeline();
+        let mut tl = sample_timeline();
+        tl.record_busy(0, ms(10), ms(20));
         let text = tl.to_csv("s");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], timeline_csv_header().trim_end());
         assert_eq!(lines.len(), 1 + 2 + 3);
         assert!(lines[1].starts_with("s,0,0,0,1,1,0,0,"));
+        assert!(
+            lines[1].ends_with(",10000000,0,0,0"),
+            "duty-cycle columns trail the row: {}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn busy_spans_overlap_split_across_windows() {
+        let mut tl = MetricsTimeline::new(SimDuration::from_millis(100), 1);
+        // 70 ms..230 ms crosses two window boundaries.
+        tl.record_busy(0, ms(70), ms(230));
+        assert_eq!(tl.lane(0)[0].busy_ns, 30_000_000);
+        assert_eq!(tl.lane(0)[1].busy_ns, 100_000_000);
+        assert_eq!(tl.lane(0)[2].busy_ns, 30_000_000);
+        // Occupancy integrates independently and counts overlap twice.
+        tl.record_occupancy(0, ms(0), ms(100));
+        tl.record_occupancy(0, ms(50), ms(100));
+        assert_eq!(tl.lane(0)[0].occupancy_ns, 150_000_000);
+        assert_eq!(tl.lane(0)[0].busy_ns, 30_000_000, "buckets are disjoint");
+        // Empty and inverted spans record nothing.
+        tl.record_busy(0, ms(5), ms(5));
+        assert_eq!(tl.lane(0)[0].busy_ns, 30_000_000);
+    }
+
+    #[test]
+    fn finalize_idle_tiles_every_window_exactly() {
+        let mut tl = MetricsTimeline::new(SimDuration::from_millis(100), 2);
+        tl.record_busy(0, ms(70), ms(230));
+        // Horizon 250 ms: three windows, the last partial (50 ms).
+        let horizon = SimDuration::from_millis(250);
+        tl.finalize_idle(0, horizon, 0.25);
+        tl.finalize_idle(1, horizon, 0.0);
+        for shard in 0..2 {
+            let lane = tl.lane(shard);
+            assert_eq!(lane.len(), 3, "windows materialise up to the horizon");
+            for (i, w) in lane.iter().enumerate() {
+                let len = if i == 2 { 50_000_000 } else { 100_000_000 };
+                assert_eq!(
+                    w.busy_ns + w.blocked_ns + w.parked_ns,
+                    len,
+                    "shard {shard} window {i} tiles"
+                );
+            }
+        }
+        // The parked ratio splits only the idle remainder.
+        let w = &tl.lane(0)[0];
+        assert_eq!(w.busy_ns, 30_000_000);
+        assert_eq!(w.parked_ns, 17_500_000, "25% of the 70 ms idle");
+        assert_eq!(w.blocked_ns, 52_500_000);
+        // The all-blocked shard parks nothing.
+        assert!(tl.lane(1).iter().all(|w| w.parked_ns == 0));
+        // Utilization: shard 0 was busy 160 ms of its 300 ms span.
+        let u = tl.shard_utilization(0);
+        assert!((u - 160.0 / 300.0).abs() < 1e-9, "{u}");
+        assert_eq!(tl.shard_utilization(1), 0.0);
+    }
+
+    #[test]
+    fn absorb_adds_duty_cycles_and_dispatcher_time() {
+        let mut a = MetricsTimeline::new(SimDuration::from_millis(100), 1);
+        a.record_busy(0, ms(0), ms(40));
+        a.record_dispatcher_utilization(3, 10);
+        let mut b = MetricsTimeline::new(SimDuration::from_millis(100), 1);
+        b.record_busy(0, ms(20), ms(60));
+        b.record_occupancy(0, ms(0), ms(10));
+        b.record_dispatcher_utilization(5, 10);
+        a.absorb(&b);
+        assert_eq!(a.lane(0)[0].busy_ns, 80_000_000);
+        assert_eq!(a.lane(0)[0].occupancy_ns, 10_000_000);
+        assert_eq!(a.dispatcher_busy_ns(), 8);
+        assert_eq!(a.dispatcher_wall_ns(), 20);
+        assert!((a.dispatcher_utilization() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_samples_validate_and_flag_down_shards() {
+        let text = format!(
+            "{}{}",
+            prometheus_header(),
+            shard_outage_samples("amf-restart/queue", &[true, false])
+        );
+        validate_prometheus(&text).expect("outage exposition validates");
+        assert!(text.contains("l25gc_shard_outage{series=\"amf-restart/queue\",shard=\"0\"} 1"));
+        assert!(text.contains("l25gc_shard_outage{series=\"amf-restart/queue\",shard=\"1\"} 0"));
     }
 
     #[test]

@@ -31,9 +31,11 @@
 //! - [`reattach`] — the 3GPP restoration baseline L²5GC is compared
 //!   against in §5.5.
 //!
-//! The pre-facade free-floating entry points are kept as `#[deprecated]`
-//! shims for one release (currently: [`logger::classify`] — use
+//! Every entry point lives on a type; the pre-facade free functions
+//! served their one deprecated release and are gone ([`classify`] became
 //! [`QueueKind::classify`]).
+//!
+//! [`classify`]: QueueKind::classify
 
 pub mod coordinator;
 pub mod detector;
@@ -50,7 +52,3 @@ pub use lb::{FailoverTimeline, UeAwareLb, UnitId};
 pub use logger::{LoggedEntry, PacketLogger, QueueKind};
 pub use reattach::ReattachModel;
 pub use replica::{CheckpointPolicy, OutputCommit, Replica, ReplicaState};
-
-// Deprecated shim kept importable from the crate root for one release.
-#[allow(deprecated)]
-pub use logger::classify;

@@ -43,12 +43,6 @@ impl QueueKind {
     }
 }
 
-/// Classifies an envelope entering the 5GC unit.
-#[deprecated(since = "0.1.0", note = "use `QueueKind::classify` instead")]
-pub fn classify(env: &Envelope) -> QueueKind {
-    QueueKind::classify(env)
-}
-
 /// One logged message.
 #[derive(Debug, Clone)]
 pub struct LoggedEntry {
@@ -212,15 +206,6 @@ mod tests {
             QueueKind::DlData
         );
         assert_eq!(QueueKind::classify(&ctrl_env()), QueueKind::UlControl);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_classify_still_answers() {
-        assert_eq!(
-            classify(&data_env(Direction::Uplink, 0)),
-            QueueKind::classify(&data_env(Direction::Uplink, 0))
-        );
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct CapacityPoint {
     pub active_ues: usize,
     /// Mean shard CPU utilisation.
     pub utilisation: f64,
+    /// Per-shard CPU-busy fraction over the horizon (0..1) — the
+    /// utilization anatomy behind the mean above, comparable across
+    /// backends.
+    pub shard_utilization: Vec<f64>,
     /// Deepest shard queue observed.
     pub peak_depth: usize,
     /// Wall-clock sustained events/s (threaded backend only).
@@ -88,6 +92,7 @@ impl CapacityPoint {
             loss_pct: 100.0 * (r.shed + r.backpressure) as f64 / denom,
             active_ues: r.active_ues,
             utilisation: r.busy_fraction,
+            shard_utilization: r.shard_utilization.clone(),
             peak_depth: r.peak_depth,
             wall_eps: r.wall.map(|w| w.sustained_eps),
         }
@@ -126,10 +131,16 @@ impl CapacityCurve {
     pub fn knee_p99_ms(&self) -> f64 {
         self.points[self.knee].p99_ms
     }
+
+    /// Which shard saturated: index and busy fraction of the busiest
+    /// shard at the knee point.
+    pub fn peak_shard_at_knee(&self) -> (u16, f64) {
+        super::scenario::peak_shard_util(&self.points[self.knee].shard_utilization)
+    }
 }
 
 /// Sweep parameters (CLI-settable).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CapacityParams {
     /// Fleet size per run.
     pub ues: usize,
@@ -161,6 +172,11 @@ pub struct CapacityParams {
     /// How many times [`shard_scaling`] reruns each threaded point to
     /// estimate the mean ± CV of wall-clock `sustained_eps` (min 1).
     pub repeats: usize,
+    /// Serve a live `GET /metrics` endpoint on this address while the
+    /// sweep runs (requires [`CapacityParams::metrics_interval_ms`];
+    /// silently unused without it). All sweep points publish into one
+    /// shared server keyed by this requested address.
+    pub serve_metrics: Option<String>,
 }
 
 impl Default for CapacityParams {
@@ -179,6 +195,7 @@ impl Default for CapacityParams {
             pin: false,
             wait: WaitStrategy::default(),
             repeats: 1,
+            serve_metrics: None,
         }
     }
 }
@@ -216,6 +233,11 @@ fn base_builder(params: &CapacityParams, mix: &EventMix) -> LoadConfigBuilder {
         .wait(params.wait);
     if let Some(ms) = params.metrics_interval_ms {
         b = b.metrics_interval(SimDuration::from_secs_f64(ms / 1e3));
+        // A live endpoint needs windows to publish, so it rides the
+        // interval's presence.
+        if let Some(addr) = &params.serve_metrics {
+            b = b.serve_metrics(addr.clone());
+        }
     }
     b
 }
@@ -572,7 +594,10 @@ pub fn shard_scaling(params: &CapacityParams, lo: u16, hi: u16) -> Vec<ShardScal
     let mut shards = lo.max(1);
     while shards <= hi.max(1) {
         let offered = f64::from(shards) / occ * 0.9;
-        let scaled = CapacityParams { shards, ..*params };
+        let scaled = CapacityParams {
+            shards,
+            ..params.clone()
+        };
         let seed = point_seed(&scaled, deployment, 700 + shards as usize);
         let mk = |backend: ExecBackend| {
             base_builder(&scaled, &mix)
@@ -789,6 +814,22 @@ mod tests {
             // Past the knee the tail must be congestion, not slower
             // procedures: the sweep holds the profiles fixed.
             assert_eq!(knee_anatomy(c), KneeAnatomy::WaitDominated);
+            // Utilization anatomy: one busy fraction per shard at every
+            // point, and the knee names its busiest shard.
+            for p in &c.points {
+                assert_eq!(p.shard_utilization.len(), 4, "{:?}", c.deployment);
+                assert!(p.shard_utilization.iter().all(|&u| u > 0.0 && u <= 1.0));
+            }
+            let (peak_shard, peak_util) = c.peak_shard_at_knee();
+            assert!(peak_shard < 4);
+            assert_eq!(
+                peak_util,
+                c.points[c.knee]
+                    .shard_utilization
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+            );
         }
     }
 

@@ -39,7 +39,7 @@ pub const SLO_SHED_BUDGET_PCT: f64 = 0.5;
 pub const SLO_P99_MULTIPLE: f64 = 4.0;
 
 /// Matrix parameters (CLI-settable).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ScenarioParams {
     /// Fleet size override; `None` uses each scenario's own default.
     pub ues: Option<usize>,
@@ -59,6 +59,9 @@ pub struct ScenarioParams {
     pub pin: bool,
     /// Wait strategy for threaded-backend poll loops.
     pub wait: WaitStrategy,
+    /// Serve a live `GET /metrics` endpoint on this address while the
+    /// matrix runs (e.g. `127.0.0.1:0`); `None` disables it.
+    pub serve_metrics: Option<String>,
 }
 
 impl Default for ScenarioParams {
@@ -72,6 +75,7 @@ impl Default for ScenarioParams {
             slo: None,
             pin: false,
             wait: WaitStrategy::default(),
+            serve_metrics: None,
         }
     }
 }
@@ -149,6 +153,22 @@ pub struct ScenarioOutcome {
     pub replayed: u64,
     /// Arrivals shed while their shard was inside a scripted outage.
     pub completions_lost: u64,
+    /// Per-shard CPU-busy fraction over the horizon (0..1), comparable
+    /// across backends.
+    pub shard_utilization: Vec<f64>,
+    /// Shard index with the highest busy fraction.
+    pub peak_shard: u16,
+    /// That shard's busy fraction.
+    pub peak_shard_util: f64,
+}
+
+/// Index and value of the busiest shard in a utilization vector
+/// (shard 0 when the vector is empty).
+pub fn peak_shard_util(util: &[f64]) -> (u16, f64) {
+    util.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or((0, 0.0), |(i, &u)| (i as u16, u))
 }
 
 /// Per-shard backlog bound, expressed as drain time. The capacity
@@ -249,6 +269,9 @@ fn run_cell(
         ))
         .pin(params.pin)
         .wait(params.wait);
+    if let Some(addr) = &params.serve_metrics {
+        builder = builder.serve_metrics(addr.clone());
+    }
     if let Some(fault) = &spec.fault {
         builder = builder.fault(fault.clone());
     }
@@ -292,6 +315,9 @@ fn run_cell(
         disruption_ms: r.disruption.map(|d| d.disruption_ms),
         replayed: r.disruption.map_or(0, |d| d.replayed),
         completions_lost: r.disruption.map_or(0, |d| d.completions_lost),
+        peak_shard: peak_shard_util(&r.shard_utilization).0,
+        peak_shard_util: peak_shard_util(&r.shard_utilization).1,
+        shard_utilization: r.shard_utilization,
     }
 }
 
@@ -396,6 +422,20 @@ mod tests {
                     policy
                 );
                 assert!(r.horizon_ms >= r.duration_s * 1e3 * 0.99);
+                // Utilization anatomy: one busy fraction per shard, the
+                // peak picked from them, all inside (0, 1].
+                assert_eq!(r.shard_utilization.len(), 2, "{}: lanes", spec.name);
+                assert!(
+                    r.peak_shard_util > 0.0 && r.peak_shard_util <= 1.0,
+                    "{}/{:?}: peak shard util {} out of range",
+                    spec.name,
+                    policy,
+                    r.peak_shard_util
+                );
+                assert_eq!(
+                    r.shard_utilization[r.peak_shard as usize],
+                    r.peak_shard_util
+                );
                 // Violations and their onset marker agree.
                 assert_eq!(
                     r.time_to_first_violation_ms.is_some(),
@@ -495,7 +535,10 @@ mod tests {
             };
             let slo_spec = SloSpec::default_gate();
             let cell = |backend| {
-                let p = ScenarioParams { backend, ..params };
+                let p = ScenarioParams {
+                    backend,
+                    ..params.clone()
+                };
                 run_cell(&spec, &p, wide, &profiles, capacity_eps, &slo_spec)
             };
             let a = cell(ExecBackend::Analytic);
