@@ -89,7 +89,7 @@ use l25gc_nfv::CostModel;
 use l25gc_testbed::exp;
 
 /// Every experiment id the CLI accepts (besides `all` / `help`).
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "fig6",
     "fig7",
     "fig8",
@@ -109,6 +109,7 @@ const EXPERIMENTS: [&str; 23] = [
     "capacity",
     "capacity-burst",
     "scenarios",
+    "dispatch",
     "ablate-dos",
     "ablate-checkpoint",
     "ablate-canary",
@@ -252,7 +253,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                const FLAGS: [&str; 23] = [
+                const FLAGS: [&str; 24] = [
                     "--seed",
                     "--ues",
                     "--shards",
@@ -276,6 +277,7 @@ impl Args {
                     "--scenario",
                     "--fault",
                     "--serve-metrics",
+                    "--dispatch-batch",
                 ];
                 let Some(&flag) = FLAGS.iter().find(|&&f| f == a) else {
                     return Err(format!("unknown flag `{a}` (see --help)"));
@@ -379,6 +381,12 @@ impl Args {
                         }
                         args.cap.serve_metrics = Some(v.to_string());
                     }
+                    "--dispatch-batch" => {
+                        args.cap.dispatch_batch = num(flag, v, "a positive count")?;
+                        if args.cap.dispatch_batch == 0 {
+                            return Err("--dispatch-batch must be positive".into());
+                        }
+                    }
                     "--slo" => args.slo = Some(l25gc_bench::spec::slo(v)?),
                     "--slo-out" => args.slo_out = Some(v.to_string()),
                     "--scenario" => args.scenario = l25gc_bench::spec::scenario_names(v)?,
@@ -454,10 +462,17 @@ impl Args {
                     .map_err(|e| format!("--fault does not fit scenario `{name}`: {e}"))?;
             }
         }
-        if args.manifest_out.is_some() && scenarios_selected && capacity_selected {
+        let dispatch_selected = args.experiments.iter().any(|a| a == "dispatch");
+        if args.manifest_out.is_some()
+            && [scenarios_selected, capacity_selected, dispatch_selected]
+                .iter()
+                .filter(|&&s| s)
+                .count()
+                > 1
+        {
             return Err(
-                "--manifest-out is ambiguous with both `capacity` and `scenarios` selected; \
-                 run them separately"
+                "--manifest-out is ambiguous with more than one of `capacity`, `scenarios`, \
+                 and `dispatch` selected; run them separately"
                     .into(),
             );
         }
@@ -497,8 +512,9 @@ reproduce — regenerate the paper's figures and tables
 usage: reproduce [flags] [experiment ids...]   (no ids, or `all`: everything)
        reproduce compare <baseline.json> <current.json> [--threshold-pct <p>]
        reproduce baseline    (rerun the CI gate configs, rewrite
-                              results/BENCH_capacity_baseline.json and
-                              results/BENCH_scenarios_baseline.json)
+                              results/BENCH_capacity_baseline.json,
+                              results/BENCH_scenarios_baseline.json, and
+                              results/BENCH_dispatch_baseline.json)
        reproduce report <manifest.json>   (human-readable run digest:
                               knee + anatomy, per-shard utilization,
                               SLO verdicts, disruption spans)
@@ -531,6 +547,11 @@ experiments:
                     amf-restart); reports recovery time, time to first
                     violation, peak shed, and failover disruption per
                     cell (not part of `all`)
+  dispatch          staged-dispatch ladder: rerun one threaded point at
+                    batch sizes 1/8/32/128, prove the virtual-time
+                    columns are batch-invariant, and report the
+                    wall-clock sustained rate per size (not part of
+                    `all`)
   ablate-dos        tuple-space explosion DoS
   ablate-checkpoint checkpoint interval sweep
   ablate-canary     canary rollout split
@@ -555,6 +576,11 @@ flags:
   --wait <w>          threaded: poll-loop wait strategy — `spin`
                       (busy-poll, PMD-style), `adaptive` (default:
                       spin -> yield -> park ladder) or `park`
+  --dispatch-batch <n>
+                      threaded: stage up to n routed events per shard
+                      and flush them as one ring burst (default 1 =
+                      per-event dispatch); virtual-time results are
+                      identical at every size when unshed
   --repeats <n>       shard scaling: rerun each point n times, report
                       mean +/- CV of the wall-clock rate (default 1)
   --saturate          capacity: binary-search the closed-loop worker
@@ -629,6 +655,7 @@ fn main() {
         std::process::exit(run_baseline(
             "results/BENCH_capacity_baseline.json",
             "results/BENCH_scenarios_baseline.json",
+            "results/BENCH_dispatch_baseline.json",
         ));
     }
     if let Some(path) = args.report.as_ref() {
@@ -718,6 +745,10 @@ fn main() {
     // Recovery matrix: also explicit-only, with its own manifest shape.
     if ids.iter().any(|a| a == "scenarios") {
         scenarios(&args);
+    }
+    // Staged-dispatch ladder: explicit-only, threaded by construction.
+    if ids.iter().any(|a| a == "dispatch") {
+        dispatch(&args);
     }
     if want("ablate-dos") {
         ablate_dos();
@@ -963,7 +994,7 @@ fn run_validate_prom(path: &str) -> i32 {
 /// matrix at `--ues 20000 --shards 2 --seed 7`, both analytic — and
 /// rewrites the committed baseline manifests. Returns the process exit
 /// code: 0 both written, 2 unwritable path.
-fn run_baseline(cap_path: &str, scen_path: &str) -> i32 {
+fn run_baseline(cap_path: &str, scen_path: &str, dispatch_path: &str) -> i32 {
     let params = exp::capacity::CapacityParams {
         ues: 10_000,
         duration_s: 1.0,
@@ -1009,7 +1040,38 @@ fn run_baseline(cap_path: &str, scen_path: &str) -> i32 {
         scen_params.shards,
         scen_manifest.metrics.len()
     );
+    // The dispatch ladder gates exact virtual-time counts and
+    // quantiles, which are host-independent even on the threaded
+    // backend; the wall-clock column rides along uncompared.
+    let dis_params = dispatch_gate_params();
+    let ladder = exp::capacity::dispatch_ladder(&dis_params);
+    print_dispatch_ladder(&dis_params, &ladder);
+    let dis_manifest = RunManifest::from_dispatch(&dis_params, &ladder);
+    if let Err(e) = std::fs::write(dispatch_path, dis_manifest.to_json()) {
+        eprintln!("reproduce: baseline: {dispatch_path}: {e}");
+        return 2;
+    }
+    println!(
+        "wrote {dispatch_path}: dispatch baseline manifest (seed {}, {} UEs, {} shards, \
+         threaded), {} metric series",
+        dis_params.seed,
+        dis_params.ues,
+        dis_params.shards,
+        dis_manifest.metrics.len()
+    );
     0
+}
+
+/// The fixed config `reproduce baseline` and the CI dispatch gate
+/// share: the committed manifest and the fresh run must be comparable.
+fn dispatch_gate_params() -> exp::capacity::CapacityParams {
+    exp::capacity::CapacityParams {
+        ues: 5_000,
+        shards: 2,
+        duration_s: 1.0,
+        seed: 7,
+        ..exp::capacity::CapacityParams::default()
+    }
 }
 
 /// Writes every sweep point's timeline to one file, format chosen by
@@ -1436,6 +1498,102 @@ fn capacity_burst(params: &exp::capacity::CapacityParams) {
             &table
         )
     );
+}
+
+/// Prints the staged-dispatch ladder table plus the lines CI greps: the
+/// batch-invariance verdict on the virtual-time columns and the batch=32
+/// wall-clock speedup over per-event dispatch. The table itself carries
+/// only virtual-time (seed-determined) columns so the whole table is
+/// run-to-run byte-stable; the host-dependent wall-clock sustained rates
+/// print as separate `dispatch wall:` lines CI strips before diffing.
+fn print_dispatch_ladder(
+    params: &exp::capacity::CapacityParams,
+    ladder: &[(usize, exp::capacity::CapacityPoint)],
+) {
+    let table: Vec<Vec<String>> = ladder
+        .iter()
+        .map(|(batch, p)| {
+            vec![
+                batch.to_string(),
+                f(p.achieved_eps),
+                f(p.p50_ms),
+                f(p.p99_ms),
+                f(p.queue_wait_p99_ms),
+                format!("{:.2}%", p.loss_pct),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Dispatch: staged-burst ladder at {} ev/s offered ({} UEs, {} shards, \
+                 {} s/point, threaded, unshed Queue policy, dispatcher-saturating)",
+                exp::capacity::DISPATCH_OFFERED_EPS,
+                params.ues,
+                params.shards,
+                params.duration_s
+            ),
+            &[
+                "batch",
+                "achieved (ev/s)",
+                "p50 (ms)",
+                "p99 (ms)",
+                "qw p99 (ms)",
+                "loss"
+            ],
+            &table
+        )
+    );
+    for (batch, p) in ladder {
+        if let Some(w) = p.wall_eps {
+            println!("dispatch wall: batch={batch} sustained {} ev/s", f(w));
+        }
+    }
+    let base = &ladder[0].1;
+    let invariant = ladder.iter().all(|(_, p)| {
+        p.achieved_eps == base.achieved_eps
+            && p.p50_ms == base.p50_ms
+            && p.p99_ms == base.p99_ms
+            && p.queue_wait_p99_ms == base.queue_wait_p99_ms
+            && p.service_p99_ms == base.service_p99_ms
+            && p.loss_pct == 0.0
+    });
+    println!(
+        "dispatch determinism: virtual-time columns {} across batch sizes {:?}",
+        if invariant { "identical" } else { "DIVERGED" },
+        exp::capacity::DISPATCH_BATCHES,
+    );
+    let wall_at = |b: usize| {
+        ladder
+            .iter()
+            .find(|(batch, _)| *batch == b)
+            .and_then(|(_, p)| p.wall_eps)
+    };
+    if let (Some(one), Some(batched)) = (wall_at(1), wall_at(32)) {
+        println!(
+            "dispatch speedup: batch=32 sustained {} ev/s vs per-event {} ev/s ({:.2}x)",
+            f(batched),
+            f(one),
+            batched / one.max(1e-9),
+        );
+    }
+}
+
+/// The `dispatch` experiment: run the ladder at the CLI config and
+/// optionally write the gateable manifest.
+fn dispatch(args: &Args) {
+    let params = &args.cap;
+    let ladder = exp::capacity::dispatch_ladder(params);
+    print_dispatch_ladder(params, &ladder);
+    if let Some(path) = args.manifest_out.as_deref() {
+        let manifest = RunManifest::from_dispatch(params, &ladder);
+        std::fs::write(path, manifest.to_json()).expect("write manifest file");
+        println!(
+            "wrote {path}: dispatch ladder manifest, {} metric series",
+            manifest.metrics.len()
+        );
+    }
 }
 
 fn shard_scaling(params: &exp::capacity::CapacityParams, lo: u16, hi: u16) {
@@ -2444,11 +2602,13 @@ mod tests {
             burst: 1.0,
             pin: false,
             wait: "adaptive".to_string(),
+            dispatch_batch: 1,
             hist_bits: 5,
             metrics: vec![l25gc_bench::MetricRow {
                 name: "L25GC@0.9x".to_string(),
                 offered_eps: 900.0,
                 achieved_eps: 890.0,
+                sustained_eps: None,
                 p50_ms: 1.0,
                 p95_ms: 2.0,
                 p99_ms,

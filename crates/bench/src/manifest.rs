@@ -22,7 +22,7 @@ use l25gc_codec::{ObjectBuilder, Value};
 use l25gc_core::Deployment;
 use l25gc_load::{OverloadPolicy, ScenarioSpec};
 use l25gc_obs::DEFAULT_BITS;
-use l25gc_testbed::exp::capacity::{CapacityCurve, CapacityParams, SWEEP_FRACTIONS};
+use l25gc_testbed::exp::capacity::{CapacityCurve, CapacityParams, CapacityPoint, SWEEP_FRACTIONS};
 use l25gc_testbed::exp::scenario::{ScenarioOutcome, ScenarioParams};
 
 /// The `kind` discriminator stored in every manifest.
@@ -56,6 +56,10 @@ pub struct MetricRow {
     /// Completed events/s within the horizon (exact count, no histogram
     /// error).
     pub achieved_eps: f64,
+    /// Wall-clock sustained events/s (threaded backend only).
+    /// Informational — not gated by [`compare`]: wall-clock throughput
+    /// is host-dependent, so a committed baseline cannot bind it.
+    pub sustained_eps: Option<f64>,
     /// Median latency, ms (log2-histogram estimate).
     pub p50_ms: f64,
     /// 95th percentile, ms (log2-histogram estimate).
@@ -165,6 +169,12 @@ pub struct RunManifest {
     pub pin: bool,
     /// Threaded-backend wait strategy (`spin` / `adaptive` / `park`).
     pub wait: String,
+    /// Staged-dispatch burst size the run used (`--dispatch-batch`;
+    /// 1 = per-event). Batching changes wall-clock behaviour and shed
+    /// decisions under overload, so runs that differ here are not
+    /// comparable. Dispatch-ladder manifests record 1 here and carry
+    /// the ladder in their row names instead.
+    pub dispatch_batch: u64,
     /// Log2-histogram sub-bucket bits the latency quantiles carry;
     /// bounds their relative error at `2^-bits`.
     pub hist_bits: u32,
@@ -211,6 +221,7 @@ impl RunManifest {
                     name: format!("{name}@{frac}x"),
                     offered_eps: p.offered_eps,
                     achieved_eps: p.achieved_eps,
+                    sustained_eps: p.wall_eps,
                     p50_ms: p.p50_ms,
                     p95_ms: p.p95_ms,
                     p99_ms: p.p99_ms,
@@ -238,6 +249,63 @@ impl RunManifest {
             burst: params.burst,
             pin: params.pin,
             wait: params.wait.as_str().to_string(),
+            dispatch_batch: params.dispatch_batch as u64,
+            hist_bits: DEFAULT_BITS,
+            metrics,
+            saturation: None,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Builds a manifest from a finished staged-dispatch ladder
+    /// (`reproduce dispatch`). Rows are named `dispatch/batch=<N>`;
+    /// every virtual-time column must agree across the ladder, so a
+    /// committed baseline gates exact counts and quantiles on any host,
+    /// while `sustained_eps` rides along as the informational wall-clock
+    /// column batching exists to move. The manifest-level
+    /// `dispatch_batch` stays 1 because the ladder itself spans batch
+    /// sizes — the per-row batch lives in the row name.
+    pub fn from_dispatch(
+        params: &CapacityParams,
+        ladder: &[(usize, CapacityPoint)],
+    ) -> RunManifest {
+        let metrics = ladder
+            .iter()
+            .map(|(batch, p)| {
+                let peak = l25gc_testbed::exp::scenario::peak_shard_util(&p.shard_utilization);
+                MetricRow {
+                    name: format!("dispatch/batch={batch}"),
+                    offered_eps: p.offered_eps,
+                    achieved_eps: p.achieved_eps,
+                    sustained_eps: p.wall_eps,
+                    p50_ms: p.p50_ms,
+                    p95_ms: p.p95_ms,
+                    p99_ms: p.p99_ms,
+                    loss_pct: p.loss_pct,
+                    queue_wait_p99_ms: Some(p.queue_wait_p99_ms),
+                    service_p99_ms: Some(p.service_p99_ms),
+                    transit_p99_ms: Some(p.transit_p99_ms),
+                    recovery_ms: None,
+                    time_to_first_violation_ms: None,
+                    disruption_ms: None,
+                    util: Some(p.utilisation),
+                    peak_shard: Some(peak.0),
+                    peak_shard_util: Some(peak.1),
+                }
+            })
+            .collect();
+        RunManifest {
+            kind: MANIFEST_KIND.to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: params.seed,
+            ues: params.ues as u64,
+            shards: params.shards,
+            duration_s: params.duration_s,
+            backend: "threaded".to_string(),
+            burst: params.burst,
+            pin: params.pin,
+            wait: params.wait.as_str().to_string(),
+            dispatch_batch: 1,
             hist_bits: DEFAULT_BITS,
             metrics,
             saturation: None,
@@ -262,6 +330,7 @@ impl RunManifest {
                 name: format!("{}/{}", o.scenario, policy_name(o.policy)),
                 offered_eps: o.offered as f64 / o.duration_s.max(1e-9),
                 achieved_eps: o.achieved_eps,
+                sustained_eps: None,
                 p50_ms: o.p50_ms,
                 p95_ms: o.p95_ms,
                 p99_ms: o.p99_ms,
@@ -319,6 +388,7 @@ impl RunManifest {
             burst: 1.0,
             pin: params.pin,
             wait: params.wait.as_str().to_string(),
+            dispatch_batch: 1,
             hist_bits: DEFAULT_BITS,
             metrics,
             saturation: None,
@@ -341,6 +411,7 @@ impl RunManifest {
                     .field("p95_ms", Value::F64(m.p95_ms))
                     .field("p99_ms", Value::F64(m.p99_ms))
                     .field("loss_pct", Value::F64(m.loss_pct))
+                    .opt("sustained_eps", m.sustained_eps.map(Value::F64))
                     .opt("queue_wait_p99_ms", m.queue_wait_p99_ms.map(Value::F64))
                     .opt("service_p99_ms", m.service_p99_ms.map(Value::F64))
                     .opt("transit_p99_ms", m.transit_p99_ms.map(Value::F64))
@@ -413,6 +484,10 @@ impl RunManifest {
             .field("burst", Value::F64(self.burst))
             .field("pin", Value::Bool(self.pin))
             .field("wait", Value::Str(self.wait.clone()))
+            .opt(
+                "dispatch_batch",
+                (self.dispatch_batch != 1).then_some(Value::U64(self.dispatch_batch)),
+            )
             .field("hist_bits", Value::U64(u64::from(self.hist_bits)))
             .field("metrics", Value::Array(rows))
             .opt("saturation", saturation)
@@ -443,6 +518,9 @@ impl RunManifest {
                 name: str_field(row, "name")?,
                 offered_eps: f64_field(row, "offered_eps")?,
                 achieved_eps: f64_field(row, "achieved_eps")?,
+                // Wall-clock column arrived with staged dispatch; older
+                // manifests (and analytic rows) carry none.
+                sustained_eps: row.get("sustained_eps").and_then(Value::as_f64),
                 p50_ms: f64_field(row, "p50_ms")?,
                 p95_ms: f64_field(row, "p95_ms")?,
                 p99_ms: f64_field(row, "p99_ms")?,
@@ -537,6 +615,8 @@ impl RunManifest {
             burst: f64_field(&v, "burst")?,
             pin,
             wait,
+            // Pre-batching manifests were all per-event dispatch.
+            dispatch_batch: v.get("dispatch_batch").and_then(Value::as_u64).unwrap_or(1),
             hist_bits: u64_field(&v, "hist_bits")?
                 .try_into()
                 .map_err(|_| "`hist_bits` out of u32 range".to_string())?,
@@ -643,24 +723,27 @@ pub fn compare(
             m.burst,
             m.pin,
             m.wait.clone(),
+            m.dispatch_batch,
         )
     };
     if cfg(base) != cfg(cur) {
         return Err(format!(
-            "manifests are not comparable: baseline {} UEs/{} shards/{}/burst {}/pin={}/wait {} \
-             vs current {} UEs/{} shards/{}/burst {}/pin={}/wait {}",
+            "manifests are not comparable: baseline {} UEs/{} shards/{}/burst {}/pin={}/wait {}\
+             /batch {} vs current {} UEs/{} shards/{}/burst {}/pin={}/wait {}/batch {}",
             base.ues,
             base.shards,
             base.backend,
             base.burst,
             base.pin,
             base.wait,
+            base.dispatch_batch,
             cur.ues,
             cur.shards,
             cur.backend,
             cur.burst,
             cur.pin,
-            cur.wait
+            cur.wait,
+            cur.dispatch_batch
         ));
     }
     let err_guard = 100.0 * ((-(base.hist_bits as f64)).exp2() + (-(cur.hist_bits as f64)).exp2());
@@ -1163,5 +1246,98 @@ mod tests {
         assert!(compare(&base, &other, 10.0)
             .unwrap_err()
             .contains("not comparable"));
+    }
+
+    #[test]
+    fn dispatch_batch_mismatch_refuses_to_compare() {
+        let base = small_manifest();
+        assert_eq!(base.dispatch_batch, 1, "per-event dispatch by default");
+        let mut batched = base.clone();
+        batched.dispatch_batch = 32;
+        let err = compare(&base, &batched, 10.0).unwrap_err();
+        assert!(err.contains("not comparable"), "{err}");
+        assert!(err.contains("batch 32"), "names the mismatch: {err}");
+    }
+
+    #[test]
+    fn dispatch_batch_round_trips_and_legacy_manifests_default_to_one() {
+        let mut m = small_manifest();
+        m.dispatch_batch = 32;
+        let text = m.to_json();
+        assert!(text.contains("\"dispatch_batch\":32"));
+        assert_eq!(RunManifest::from_json(&text).unwrap(), m);
+
+        // Per-event manifests omit the field entirely, so committed
+        // pre-batching baselines stay byte-identical — and parse back
+        // to batch 1.
+        m.dispatch_batch = 1;
+        let text = m.to_json();
+        assert!(!text.contains("dispatch_batch"), "1 is the silent default");
+        assert_eq!(RunManifest::from_json(&text).unwrap().dispatch_batch, 1);
+    }
+
+    #[test]
+    fn sustained_eps_round_trips_and_is_not_gated() {
+        let mut m = small_manifest();
+        assert!(
+            m.metrics.iter().all(|r| r.sustained_eps.is_none()),
+            "analytic rows carry no wall-clock column"
+        );
+        m.metrics[0].sustained_eps = Some(1234.5);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        // Wall-clock throughput is host-dependent and informational: a
+        // slower wall rate with identical virtual-time columns is not a
+        // regression.
+        let mut slower = m.clone();
+        slower.metrics[0].sustained_eps = Some(1.0e3);
+        assert_eq!(compare(&m, &slower, 10.0).unwrap(), vec![]);
+
+        // Manifests written before the column existed still parse.
+        let legacy = m.to_json().replace(",\"sustained_eps\":1234.5", "");
+        assert!(!legacy.contains("sustained_eps"), "field really stripped");
+        let parsed = RunManifest::from_json(&legacy).unwrap();
+        assert!(parsed.metrics.iter().all(|r| r.sustained_eps.is_none()));
+    }
+
+    #[test]
+    fn dispatch_manifest_gates_counts_and_quantiles_exactly() {
+        use l25gc_testbed::exp::capacity::{dispatch_ladder, DISPATCH_BATCHES};
+
+        let params = CapacityParams {
+            ues: 2_000,
+            shards: 2,
+            duration_s: 0.5,
+            seed: 7,
+            ..CapacityParams::default()
+        };
+        let ladder = dispatch_ladder(&params);
+        let m = RunManifest::from_dispatch(&params, &ladder);
+        assert_eq!(m.metrics.len(), DISPATCH_BATCHES.len());
+        assert!(m.metrics.iter().any(|r| r.name == "dispatch/batch=1"));
+        assert!(m.metrics.iter().any(|r| r.name == "dispatch/batch=32"));
+        assert_eq!(m.dispatch_batch, 1, "the ladder spans sizes via rows");
+        assert!(
+            m.metrics.iter().all(|r| r.sustained_eps.is_some()),
+            "threaded rows always carry the wall-clock column"
+        );
+        // The virtual-time columns are the gated ones, and they agree
+        // across the whole ladder by construction.
+        for r in &m.metrics {
+            assert_eq!(r.achieved_eps, m.metrics[0].achieved_eps);
+            assert_eq!(r.p99_ms, m.metrics[0].p99_ms);
+            assert_eq!(r.loss_pct, 0.0);
+        }
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(compare(&m, &back, 10.0).unwrap(), vec![]);
+        // A count drop on one batch row trips the exact gate.
+        let mut worse = m.clone();
+        worse.metrics[2].achieved_eps *= 0.8;
+        let regs = compare(&m, &worse, 10.0).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].field, "achieved_eps");
+        assert_eq!(regs[0].metric, "dispatch/batch=32");
     }
 }

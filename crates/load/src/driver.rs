@@ -151,6 +151,9 @@ pub enum LoadError {
     /// A live metrics endpoint renders per-window snapshots, so it needs
     /// a metrics timeline interval to publish on.
     ServeWithoutInterval,
+    /// The dispatcher stages at least one event per burst; a zero batch
+    /// would never flush anything.
+    ZeroDispatchBatch,
 }
 
 impl std::fmt::Display for LoadError {
@@ -184,6 +187,9 @@ impl std::fmt::Display for LoadError {
             LoadError::BadFaultPlan(reason) => write!(f, "bad fault plan: {reason}"),
             LoadError::ServeWithoutInterval => {
                 write!(f, "serving live metrics needs a metrics timeline interval")
+            }
+            LoadError::ZeroDispatchBatch => {
+                write!(f, "dispatch batch must be at least 1")
             }
         }
     }
@@ -240,6 +246,12 @@ pub struct LoadConfig {
     /// How threaded-backend loops wait on a missed ring poll. Ignored by
     /// the analytic engine; never affects virtual-time results.
     pub wait: crate::wait::WaitStrategy,
+    /// Dispatcher staging depth: routed events accumulate in per-shard
+    /// buffers and flush as one `push_burst` when a shard's buffer
+    /// reaches this size (or on admission pressure, a barrier, or the
+    /// virtual-time flush deadline). `1` = today's per-event dispatch.
+    /// Threaded backend only; never affects virtual-time results.
+    pub dispatch_batch: usize,
 }
 
 impl Default for LoadConfig {
@@ -261,6 +273,7 @@ impl Default for LoadConfig {
             trace_sample: 0,
             pin: false,
             wait: crate::wait::WaitStrategy::default(),
+            dispatch_batch: 1,
         }
     }
 }
@@ -323,6 +336,9 @@ impl LoadConfig {
         }
         if self.serve_metrics.is_some() && self.metrics_interval.is_none() {
             return Err(LoadError::ServeWithoutInterval);
+        }
+        if self.dispatch_batch == 0 {
+            return Err(LoadError::ZeroDispatchBatch);
         }
         if let Some(plan) = &self.fault {
             plan.validate(self.shard_cfg.shards, self.duration)
@@ -469,6 +485,13 @@ impl LoadConfigBuilder {
     /// Wait strategy for threaded-backend poll loops.
     pub fn wait(mut self, wait: crate::wait::WaitStrategy) -> Self {
         self.cfg.wait = wait;
+        self
+    }
+
+    /// Dispatcher staging depth (1 = per-event dispatch); see
+    /// [`LoadConfig::dispatch_batch`].
+    pub fn dispatch_batch(mut self, batch: usize) -> Self {
+        self.cfg.dispatch_batch = batch;
         self
     }
 
@@ -1230,6 +1253,12 @@ mod tests {
             .metrics_interval(SimDuration::from_millis(100))
             .build()
             .is_ok());
+        // A zero dispatch batch would stage forever and flush nothing.
+        assert_eq!(
+            LoadConfig::builder().dispatch_batch(0).build().unwrap_err(),
+            LoadError::ZeroDispatchBatch
+        );
+        assert!(LoadConfig::builder().dispatch_batch(32).build().is_ok());
     }
 
     #[test]

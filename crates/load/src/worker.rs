@@ -38,7 +38,7 @@ use std::thread;
 use std::time::Instant;
 
 use l25gc_core::UeEvent;
-use l25gc_nfv::ring::{duplex, DuplexHost, RingFull};
+use l25gc_nfv::ring::{duplex_on, DuplexHost, RingFull, RingMemory};
 use l25gc_nfv::topology::{pin_current_thread, CpuTopology, PinError, PinPlan};
 use l25gc_obs::{DropCode, EventKind, MetricsTimeline, Obs};
 use l25gc_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -55,6 +55,18 @@ use crate::wait::{WaitStats, WaitStrategy, Waiter};
 
 /// Submissions a worker drains per ring poll (the DPDK burst idiom).
 const BURST: usize = 64;
+
+/// Virtual-time flush deadline for staged dispatch: a staged burst whose
+/// oldest arrival has aged past this is flushed even if under-full, so
+/// batching can never hold an event back across a long arrival gap. The
+/// deadline is in *virtual* nanoseconds — queue-wait is charged from the
+/// arrival instant either way, so the latency anatomy is exact and this
+/// bound only caps how stale the ring's wall-clock view may get. 50 ms
+/// sits below the calibrated per-procedure occupancy (tens of ms), so a
+/// staged event can never wait out even one service time, while arrival
+/// gaps tighter than the deadline — overload, flash crowds — let bursts
+/// genuinely fill to the configured batch size.
+const FLUSH_DEADLINE_NS: u64 = 50_000_000;
 
 /// `seq` value of the stop sentinel; FIFO rings guarantee every real
 /// submission is processed before the worker sees it.
@@ -288,6 +300,9 @@ struct Respawn {
     /// Per-shard outage intervals, sorted by start.
     outages: Vec<Vec<Outage>>,
     pin_cpus: Vec<Option<u32>>,
+    /// Per-shard ring placement: the memory node of the worker's planned
+    /// CPU, so a standby's fresh duplex pair lands on the same node.
+    ring_mem: Vec<RingMemory>,
     pin_warn: Arc<AtomicBool>,
 }
 
@@ -340,6 +355,17 @@ struct Pool {
     respawn: Respawn,
     /// Arrivals shed while their shard was inside a scripted outage.
     lost_in_outage: u64,
+    /// Per-shard staging buffers for batched dispatch: routed events
+    /// accumulate here and cross the submit ring as one `push_burst`,
+    /// amortising the admission check, the ring's release fence, and the
+    /// wake-on-submit unpark over the whole burst. Empty at batch 1.
+    staged: Vec<Vec<Submit>>,
+    /// Virtual arrival instant of each shard's oldest staged event —
+    /// the flush-deadline clock, and the window a flush is charged to.
+    staged_oldest: Vec<Option<SimTime>>,
+    /// Configured staging burst size; 1 = per-event dispatch (legacy
+    /// path, byte-for-byte unchanged).
+    batch: usize,
 }
 
 impl Pool {
@@ -398,12 +424,23 @@ impl Pool {
         let pin_cpus: Vec<Option<u32>> = (0..shards)
             .map(|i| plan.as_ref().map(|p| p.worker_cpus[i]))
             .collect();
+        // Ring placement follows the pin plan: each worker's duplex pair
+        // is allocated from the memory node of its planned CPU (DPDK's
+        // `rte_malloc_socket` discipline). Unpinned runs — and any host
+        // where the node bind is refused — stay on first-touch heap.
+        let ring_mem: Vec<RingMemory> = (0..shards)
+            .map(|i| match plan.as_ref() {
+                Some(p) => RingMemory::Node(p.worker_nodes[i]),
+                None => RingMemory::Heap,
+            })
+            .collect();
         let mut hosts = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for i in 0..shards {
             let label = SHARD_LABELS[i % SHARD_LABELS.len()];
-            let (mut host, port) = duplex::<Submit, Completion>(cfg.shard_cfg.ring_capacity, label);
+            let (mut host, port) =
+                duplex_on::<Submit, Completion>(cfg.shard_cfg.ring_capacity, label, ring_mem[i]);
             host.submit.set_high_water(cfg.shard_cfg.high_water);
             let worker = ShardWorker {
                 port,
@@ -465,9 +502,15 @@ impl Pool {
                 high_water: cfg.shard_cfg.high_water,
                 outages: outages_by_shard,
                 pin_cpus,
+                ring_mem,
                 pin_warn,
             },
             lost_in_outage: 0,
+            staged: (0..shards)
+                .map(|_| Vec::with_capacity(cfg.dispatch_batch.max(1)))
+                .collect(),
+            staged_oldest: vec![None; shards],
+            batch: cfg.dispatch_batch.max(1),
         }
     }
 
@@ -490,6 +533,11 @@ impl Pool {
     /// primary's final virtual clock.
     fn fail_over(&mut self, shard: u16, horizon: SimTime, obs: &mut Obs) {
         let i = shard as usize;
+        // Staged events were logged (admitted and sequenced) before the
+        // kill fired; flush them ahead of the sentinel so the dying
+        // primary serves its whole logged backlog — the counter-ordered
+        // log replay, identical to per-event dispatch.
+        self.flush_shard(i, horizon, obs);
         // Deliver the poison pill behind the logged backlog, draining
         // completions so the primary's flush can never wedge the pair.
         let mut stop = Submit {
@@ -527,7 +575,11 @@ impl Pool {
         // replaced, or those completions are lost with it.
         self.drain_completions(horizon, obs);
         let label = SHARD_LABELS[i % SHARD_LABELS.len()];
-        let (mut host, port) = duplex::<Submit, Completion>(self.respawn.ring_capacity, label);
+        let (mut host, port) = duplex_on::<Submit, Completion>(
+            self.respawn.ring_capacity,
+            label,
+            self.respawn.ring_mem[i],
+        );
         host.submit.set_high_water(self.respawn.high_water);
         let worker = ShardWorker {
             port,
@@ -604,6 +656,12 @@ impl Pool {
     /// Offers one procedure to `shard`: admission control against the
     /// real submit ring, then a push. Returns the assigned `seq` on
     /// dispatch, `None` when the arrival was shed or backpressured.
+    ///
+    /// With `--dispatch-batch N > 1` the push is deferred: the event is
+    /// staged and crosses the ring later as part of one `push_burst`
+    /// ([`Pool::offer_staged`]). Everything virtual-time — the seq
+    /// order, the FIFO recurrence, the latency anatomy — is fixed at
+    /// offer time, so batching changes wall-clock behaviour only.
     #[allow(clippy::too_many_arguments)]
     fn offer(
         &mut self,
@@ -616,6 +674,10 @@ impl Pool {
         obs: &mut Obs,
     ) -> Option<u64> {
         self.maybe_fire_kills(at, horizon, obs);
+        if self.batch > 1 {
+            self.flush_expired(at, horizon, obs);
+            return self.offer_staged(shard, kind, ue, at, seid, horizon, obs);
+        }
         let host = &mut self.hosts[shard as usize];
         // Admission control at the high-water mark, against real ring
         // occupancy — the substrate's own congestion signal.
@@ -704,6 +766,139 @@ impl Pool {
         Some(seq)
     }
 
+    /// The batched offer path: admission control against *logical*
+    /// occupancy (ring plus staged), then staging instead of pushing.
+    /// The seq is assigned and all virtual-time accounting (dispatch
+    /// count, depth, shadow busy/occupancy lanes) happens here, at the
+    /// arrival instant — exactly where the per-event path does it — so
+    /// the timeline and the FIFO recurrence are independent of when the
+    /// burst physically crosses the ring.
+    #[allow(clippy::too_many_arguments)]
+    fn offer_staged(
+        &mut self,
+        shard: u16,
+        kind: UeEvent,
+        ue: u32,
+        at: SimTime,
+        seid: u64,
+        horizon: SimTime,
+        obs: &mut Obs,
+    ) -> Option<u64> {
+        let i = shard as usize;
+        // High-water admission against logical occupancy. Under Shed the
+        // shard is first flushed (shard-switch pressure propagates the
+        // staged residue down) and the verdict comes from the real ring —
+        // the same signal the per-event path reads. Because admission
+        // caps logical occupancy at the high-water mark, a flush under
+        // Shed can never meet a full ring: backpressure drops cannot
+        // happen while batching under Shed, the overload shows up as
+        // admission shed instead.
+        if self.policy == OverloadPolicy::Shed
+            && self.hosts[i].submit.len() + self.staged[i].len() >= self.respawn.high_water
+        {
+            self.flush_shard(i, horizon, obs);
+            if self.hosts[i].submit.above_high_water() {
+                if self.respawn.outages[i]
+                    .iter()
+                    .any(|o| at >= o.start && at < o.end)
+                {
+                    self.lost_in_outage += 1;
+                }
+                self.shed += 1;
+                obs.event(
+                    at,
+                    EventKind::PacketDrop {
+                        reason: DropCode::AdmissionShed,
+                        seid,
+                    },
+                );
+                if let Some(tl) = self.timeline.as_mut() {
+                    tl.record_shed(shard, at);
+                }
+                return None;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.dispatched += 1;
+        self.staged[i].push(Submit { seq, kind, ue, at });
+        if self.staged_oldest[i].is_none() {
+            self.staged_oldest[i] = Some(at);
+        }
+        let depth = self.hosts[i].submit.len() + self.staged[i].len();
+        self.peak_depth = self.peak_depth.max(depth);
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record_dispatched(shard, at);
+            tl.record_depth(shard, at, depth as u64);
+            // Same live shadow recurrence as the per-event path: the
+            // worker will compute the identical span whenever the burst
+            // reaches it.
+            let prof = self.respawn.profiles.get(kind);
+            let start = self.shadow_busy[i].max(at);
+            let (start, _) = floor_service(&self.respawn.outages[i], start, prof.occupancy);
+            let done_cpu = start + prof.occupancy;
+            self.shadow_busy[i] = done_cpu;
+            tl.record_busy(shard, start, done_cpu);
+            tl.record_occupancy(shard, at, done_cpu);
+        }
+        if self.staged[i].len() >= self.batch {
+            self.flush_shard(i, horizon, obs);
+        }
+        Some(seq)
+    }
+
+    /// Pushes shard `i`'s staged burst into its submit ring as one
+    /// `push_burst`: one consumer-index refresh, one release fence, and
+    /// at most one wake-on-submit unpark for the whole burst. Residue
+    /// (ring full, Queue policy only — see [`Pool::offer_staged`]) waits
+    /// for worker progress exactly like the per-event Queue path,
+    /// draining completions so the pair cannot wedge.
+    fn flush_shard(&mut self, i: usize, horizon: SimTime, obs: &mut Obs) {
+        if self.staged[i].is_empty() {
+            return;
+        }
+        let fill = self.staged[i].len() as u64;
+        let at = self.staged_oldest[i].take().unwrap_or(SimTime::ZERO);
+        loop {
+            let was_empty = self.hosts[i].submit.is_empty();
+            let pushed = self.hosts[i].submit.push_burst(&mut self.staged[i]);
+            if pushed > 0 && was_empty {
+                // One wake per flushed burst, not per event — the worker
+                // drains the whole burst from a single unpark.
+                self.workers[i].unpark();
+            }
+            if self.staged[i].is_empty() {
+                break;
+            }
+            self.drain_completions(horizon, obs);
+            self.offer_wait.wait();
+        }
+        self.offer_wait.reset();
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.record_batch_flush(i as u16, at, fill);
+        }
+    }
+
+    /// Flushes every shard whose oldest staged arrival has aged past
+    /// [`FLUSH_DEADLINE_NS`] of virtual time — the deadline flush that
+    /// keeps under-full bursts from riding out long arrival gaps.
+    fn flush_expired(&mut self, now: SimTime, horizon: SimTime, obs: &mut Obs) {
+        for i in 0..self.staged.len() {
+            if let Some(oldest) = self.staged_oldest[i] {
+                if now.duration_since(oldest).as_nanos() >= FLUSH_DEADLINE_NS {
+                    self.flush_shard(i, horizon, obs);
+                }
+            }
+        }
+    }
+
+    /// Flushes every shard's staged residue, in shard order.
+    fn flush_all(&mut self, horizon: SimTime, obs: &mut Obs) {
+        for i in 0..self.staged.len() {
+            self.flush_shard(i, horizon, obs);
+        }
+    }
+
     /// Publishes the live snapshot when `now` enters a new window.
     fn maybe_publish(&mut self, now: SimTime) {
         if let (Some(p), Some(tl)) = (self.publisher.as_mut(), self.timeline.as_ref()) {
@@ -718,6 +913,9 @@ impl Pool {
         // Kills scripted after the last arrival still fire, so the
         // failover (and its replay accounting) happens before the join.
         self.maybe_fire_kills(horizon, horizon, obs);
+        // Staged residue drains in FIFO order ahead of the sentinels —
+        // every sequenced submission reaches its worker before the stop.
+        self.flush_all(horizon, obs);
         for i in 0..self.hosts.len() {
             let mut stop = Submit {
                 seq: STOP_SEQ,
@@ -995,6 +1193,9 @@ impl Pool {
         horizon: SimTime,
         obs: &mut Obs,
     ) -> SimTime {
+        // `seq` may still be staged (closed loop issues then immediately
+        // awaits); flush the shard so the round trip can complete.
+        self.flush_shard(shard as usize, horizon, obs);
         loop {
             if let Some(c) = self.hosts[shard as usize].completions.pop() {
                 self.await_wait.reset();
@@ -1774,5 +1975,237 @@ mod tests {
         assert_eq!(ad.replayed, td.replayed, "replay counts agree");
         assert_eq!(ad.disruption_ms, td.disruption_ms, "measured spans agree");
         assert_eq!(ad.completions_lost, td.completions_lost);
+    }
+
+    #[test]
+    fn batched_dispatch_matches_batch_one_at_every_size() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Unshed Queue with wide rings: the latency multiset is fully
+        // determined by the per-shard arrival order, which staging
+        // preserves — so any batch size must reproduce batch=1 exactly,
+        // counts and quantiles both.
+        let base = || {
+            LoadConfig::builder()
+                .ues(3_000)
+                .shards(2)
+                .shard_cfg(ShardConfig {
+                    shards: 2,
+                    high_water: 1 << 14,
+                    policy: OverloadPolicy::Queue,
+                    ring_capacity: 1 << 15,
+                })
+                .offered_eps(2_000.0)
+                .duration(SimDuration::from_secs(1))
+                .seed(97)
+                .backend(ExecBackend::Threaded)
+                .metrics_interval(SimDuration::from_millis(100))
+        };
+        let one = Driver::new(base().dispatch_batch(1).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        assert_eq!(
+            one.shed + one.backpressure,
+            0,
+            "test needs an unshed config"
+        );
+        assert_eq!(
+            one.timeline.as_ref().unwrap().batch_flush_total(),
+            0,
+            "per-event dispatch never stages"
+        );
+        for batch in [2usize, 8, 32, 128] {
+            let b = Driver::new(base().dispatch_batch(batch).build().unwrap())
+                .unwrap()
+                .run(&profiles);
+            assert_eq!(b.shed + b.backpressure, 0, "batch {batch} stays unshed");
+            assert_eq!(one.offered, b.offered, "batch {batch}");
+            assert_eq!(one.dispatched, b.dispatched, "batch {batch}");
+            assert_eq!(one.infeasible, b.infeasible, "batch {batch}");
+            assert_eq!(one.completed, b.completed, "batch {batch}");
+            assert_eq!(b.completed_total, b.dispatched, "batch {batch}: loss-free");
+            assert_eq!(one.p50, b.p50, "batch {batch}: same latency multiset");
+            assert_eq!(one.p99, b.p99, "batch {batch}");
+            assert_eq!(one.queue_wait_p99, b.queue_wait_p99, "batch {batch}");
+            assert_eq!(one.service_p99, b.service_p99, "batch {batch}");
+            assert_eq!(one.transit_p99, b.transit_p99, "batch {batch}");
+            assert_eq!(one.active_ues, b.active_ues, "batch {batch}");
+            // The batch lanes prove staging actually engaged: every
+            // dispatched event rode some flushed burst, and no burst
+            // overfilled the configured size.
+            let tl = b.timeline.as_ref().unwrap();
+            assert_eq!(tl.batch_events_total(), b.dispatched, "batch {batch}");
+            assert!(tl.batch_flush_total() > 0, "batch {batch}: bursts flushed");
+            assert_eq!(
+                tl.batch_fill().count(),
+                tl.batch_flush_total(),
+                "batch {batch}: one fill sample per flush"
+            );
+            assert!(
+                tl.batch_fill().max() <= batch as u64,
+                "batch {batch}: no burst exceeds the configured size"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_threaded_matches_analytic_when_unshed() {
+        let profiles = calibrate(Deployment::L25gc);
+        // The cross-backend equivalence survives batching: staging moves
+        // wall-clock work, never virtual time.
+        let base = LoadConfig::builder()
+            .ues(3_000)
+            .shards(1)
+            .high_water(4_096)
+            .ring_capacity(8_192)
+            .offered_eps(150.0)
+            .duration(SimDuration::from_secs(2))
+            .seed(23);
+        let a = Driver::new(base.clone().backend(ExecBackend::Analytic).build().unwrap())
+            .unwrap()
+            .run(&profiles);
+        let t = Driver::new(
+            base.backend(ExecBackend::Threaded)
+                .dispatch_batch(32)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run(&profiles);
+        assert_eq!(a.shed + a.backpressure + t.shed + t.backpressure, 0);
+        assert_eq!(a.dispatched, t.dispatched);
+        assert_eq!(a.completed, t.completed);
+        assert_eq!(a.p50, t.p50, "same latency multiset → same quantiles");
+        assert_eq!(a.p99, t.p99);
+        assert_eq!(a.queue_wait_p99, t.queue_wait_p99);
+        assert_eq!(a.service_p99, t.service_p99);
+        assert_eq!(a.transit_p99, t.transit_p99);
+    }
+
+    #[test]
+    fn parked_worker_wakes_on_burst_of_one() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Batch 32 with a single offered event: the event stages without
+        // flushing, then `await_completion` flushes a burst of fill 1 —
+        // and the single unpark that burst carries must wake the parked
+        // worker (satellite: coalesced wakeups still wake on tiny bursts).
+        let cfg = LoadConfig::builder()
+            .ues(100)
+            .shards(1)
+            .seed(71)
+            .backend(ExecBackend::Threaded)
+            .dispatch_batch(32)
+            .wait(crate::wait::WaitStrategy::Park)
+            .metrics_interval(SimDuration::from_millis(100))
+            .build()
+            .unwrap();
+        let mut obs = Obs::new();
+        let mut pool = Pool::spawn(&cfg, &profiles);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let horizon = SimTime::ZERO + cfg.duration;
+        let seq = pool
+            .offer(
+                0,
+                UeEvent::Registration,
+                0,
+                SimTime::from_nanos(1),
+                1,
+                horizon,
+                &mut obs,
+            )
+            .expect("under high water admits");
+        assert_eq!(
+            pool.hosts[0].submit.len(),
+            0,
+            "a lone event stages instead of crossing the ring"
+        );
+        let done = pool.await_completion(0, seq, horizon, &mut obs);
+        assert!(done > SimTime::from_nanos(1), "completion carries latency");
+        let stats = pool.shutdown(horizon, &mut obs);
+        assert!(
+            stats.wait.parks > 0,
+            "an idle Park worker must actually park"
+        );
+        assert_eq!(stats.completed_total, 1, "the woken worker served it");
+        let tl = stats.timeline.as_ref().unwrap();
+        assert_eq!(tl.batch_flush_total(), 1, "one burst flushed");
+        assert_eq!(tl.batch_events_total(), 1, "of fill one");
+    }
+
+    #[test]
+    fn shutdown_flushes_staged_residue_in_order() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Ten events staged against a batch of 64 never auto-flush; the
+        // shutdown barrier must drain them ahead of the stop sentinels
+        // so every sequenced submission is served.
+        let cfg = LoadConfig::builder()
+            .ues(100)
+            .shards(2)
+            .seed(79)
+            .backend(ExecBackend::Threaded)
+            .dispatch_batch(64)
+            .build()
+            .unwrap();
+        let mut obs = Obs::new();
+        let mut pool = Pool::spawn(&cfg, &profiles);
+        let horizon = SimTime::ZERO + cfg.duration;
+        for n in 0..10u64 {
+            pool.offer(
+                (n % 2) as u16,
+                UeEvent::Registration,
+                n as u32,
+                SimTime::from_nanos(n + 1),
+                n + 1,
+                horizon,
+                &mut obs,
+            )
+            .expect("under high water admits");
+        }
+        assert_eq!(pool.dispatched, 10);
+        assert_eq!(
+            pool.staged.iter().map(Vec::len).sum::<usize>(),
+            10,
+            "nothing crossed the rings yet"
+        );
+        let stats = pool.shutdown(horizon, &mut obs);
+        assert_eq!(
+            stats.completed_total, stats.dispatched,
+            "staged residue drained before the sentinels"
+        );
+        assert_eq!(stats.completed_total, 10);
+    }
+
+    #[test]
+    fn node_bound_rings_requested_iff_pinned() {
+        let profiles = calibrate(Deployment::L25gc);
+        // Unpinned pools stay on the heap; pinned pools ask for the
+        // planned node (whether the bind sticks is host-dependent — the
+        // fallback is first-touch, never a failure).
+        let base = |pin: bool| {
+            LoadConfig::builder()
+                .ues(100)
+                .shards(2)
+                .seed(83)
+                .backend(ExecBackend::Threaded)
+                .pin(pin)
+                .build()
+                .unwrap()
+        };
+        let mut obs = Obs::new();
+        let pool = Pool::spawn(&base(false), &profiles);
+        assert!(pool.respawn.ring_mem.iter().all(|m| *m == RingMemory::Heap));
+        let horizon = SimTime::ZERO + SimDuration::from_millis(1);
+        pool.shutdown(horizon, &mut obs);
+        let pool = Pool::spawn(&base(true), &profiles);
+        // Topology discovery may fail on restricted hosts, in which case
+        // the plan (and the node request) degrades to heap — both shapes
+        // are legal, but they must be consistent across shards.
+        let node_reqs = pool
+            .respawn
+            .ring_mem
+            .iter()
+            .filter(|m| matches!(m, RingMemory::Node(_)))
+            .count();
+        assert!(node_reqs == 0 || node_reqs == pool.respawn.ring_mem.len());
+        pool.shutdown(horizon, &mut obs);
     }
 }

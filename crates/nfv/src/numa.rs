@@ -1,0 +1,269 @@
+//! mmap-backed buffers bound to a NUMA node.
+//!
+//! The paper's testbed keeps every NF's rings in hugepage memory local to
+//! the socket the NF is pinned on; DPDK does the same with
+//! `rte_malloc_socket`. This module is the minimal equivalent for the
+//! threaded backend: an anonymous `mmap(2)` region whose pages are bound
+//! to one memory node with `mbind(2)` (`MPOL_BIND`), so the worker's
+//! first touch faults them in node-locally. No libnuma, no crate
+//! dependency — std already links the C library, and `mbind` is reached
+//! through `syscall(2)` because glibc only exports it via libnuma.
+//!
+//! Failure is *graceful* in two tiers, mirroring the pinning policy in
+//! [`crate::topology`]:
+//!
+//! - `mbind` rejected (kernel built without `CONFIG_NUMA`, node offline,
+//!   sandbox seccomp): keep the plain mapping, mark it unbound, and warn
+//!   once per process. Everything still works — it is just first-touch
+//!   memory like before.
+//! - `mmap` itself failed, or the platform is not Linux: return an error
+//!   so the caller (the ring constructor) falls back to ordinary heap
+//!   allocation.
+
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+
+/// One anonymous memory mapping, preferentially bound to a NUMA node.
+///
+/// The memory is zero-initialized (kernel-guaranteed for anonymous
+/// mappings) and page-aligned. Dropping unmaps it; the buffer never runs
+/// destructors for whatever the caller stored inside, so callers own
+/// element cleanup (the ring does this in its own `Drop`).
+pub struct NodeBuffer {
+    ptr: *mut u8,
+    len: usize,
+    bound: bool,
+}
+
+// SAFETY: the buffer is plain memory; aliasing discipline is the
+// caller's (the ring already upholds it for its slot array).
+unsafe impl Send for NodeBuffer {}
+unsafe impl Sync for NodeBuffer {}
+
+/// Why a node-bound buffer could not be created at all (the caller
+/// should fall back to heap allocation; a bind-only failure is *not*
+/// reported here — see [`NodeBuffer::bound`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumaError {
+    /// Not a Linux host; there is no `mmap`/`mbind` to call.
+    Unsupported,
+    /// `mmap` failed (errno).
+    Map(i32),
+}
+
+impl fmt::Display for NumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumaError::Unsupported => write!(f, "node-bound memory unsupported on this platform"),
+            NumaError::Map(errno) => write!(f, "mmap failed (errno {errno})"),
+        }
+    }
+}
+
+impl std::error::Error for NumaError {}
+
+/// Set once the first `mbind` failure has been reported, so a pool with
+/// many rings warns exactly once — same contract as pinning warnings.
+static MBIND_WARNED: AtomicBool = AtomicBool::new(false);
+
+impl NodeBuffer {
+    /// Maps `len` zeroed bytes and asks the kernel to bind their backing
+    /// pages to `node`. When the bind is refused the mapping survives
+    /// unbound ([`NodeBuffer::bound`] reports which happened) and a
+    /// warning is printed once per process.
+    pub fn bind(len: usize, node: u32) -> Result<NodeBuffer, NumaError> {
+        imp::bind(len, node)
+    }
+
+    /// Start of the mapping (page-aligned, zero-initialized).
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Mapping length in bytes as requested.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never, for rings).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `mbind` accepted the node binding; false means the
+    /// buffer is ordinary first-touch memory.
+    pub fn bound(&self) -> bool {
+        self.bound
+    }
+}
+
+impl Drop for NodeBuffer {
+    fn drop(&mut self) {
+        imp::unmap(self.ptr, self.len);
+    }
+}
+
+impl fmt::Debug for NodeBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeBuffer")
+            .field("len", &self.len)
+            .field("bound", &self.bound)
+            .finish()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{NodeBuffer, NumaError, MBIND_WARNED};
+    use std::ffi::c_void;
+    use std::sync::atomic::Ordering;
+
+    const PROT_READ: i32 = 0x1;
+    const PROT_WRITE: i32 = 0x2;
+    const MAP_PRIVATE: i32 = 0x02;
+    const MAP_ANONYMOUS: i32 = 0x20;
+    const MPOL_BIND: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MBIND: i64 = 237;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MBIND: i64 = 235;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        fn syscall(num: i64, ...) -> i64;
+    }
+
+    pub fn bind(len: usize, node: u32) -> Result<NodeBuffer, NumaError> {
+        if len == 0 {
+            return Err(NumaError::Map(22));
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(-1);
+            return Err(NumaError::Map(errno));
+        }
+        let bound = mbind(ptr, len, node);
+        if !bound && !MBIND_WARNED.swap(true, Ordering::Relaxed) {
+            let err = std::io::Error::last_os_error();
+            eprintln!(
+                "warning: numa: mbind to node {node} failed ({err}); \
+                 ring memory stays first-touch (reported once)"
+            );
+        }
+        Ok(NodeBuffer {
+            ptr: ptr.cast(),
+            len,
+            bound,
+        })
+    }
+
+    /// `mbind(addr, len, MPOL_BIND, &nodemask, maxnode, 0)`: bind the
+    /// mapping's *future* page faults to `node`, so the worker thread's
+    /// first touch allocates node-locally. Returns whether the kernel
+    /// accepted the policy.
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    fn mbind(addr: *mut c_void, len: usize, node: u32) -> bool {
+        const MASK_WORDS: usize = 16; // 1024 nodes, matches libnuma's default
+        if node as usize >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut nodemask = [0u64; MASK_WORDS];
+        nodemask[(node / 64) as usize] = 1u64 << (node % 64);
+        let rc = unsafe {
+            syscall(
+                SYS_MBIND,
+                addr,
+                len,
+                MPOL_BIND,
+                nodemask.as_ptr(),
+                MASK_WORDS * 64 + 1,
+                0usize,
+            )
+        };
+        rc == 0
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn mbind(_addr: *mut c_void, _len: usize, _node: u32) -> bool {
+        false
+    }
+
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        if len > 0 {
+            // SAFETY: (ptr, len) is exactly what mmap returned.
+            unsafe { munmap(ptr.cast(), len) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{NodeBuffer, NumaError};
+
+    pub fn bind(_len: usize, _node: u32) -> Result<NodeBuffer, NumaError> {
+        Err(NumaError::Unsupported)
+    }
+
+    pub fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_is_usable_whether_or_not_bind_succeeds() {
+        // CI containers may lack CONFIG_NUMA or seccomp-filter mbind; the
+        // contract is that the memory works either way.
+        match NodeBuffer::bind(4096, 0) {
+            Ok(buf) => {
+                assert_eq!(buf.len(), 4096);
+                let p = buf.as_ptr();
+                // Anonymous mappings are zeroed; write/read round-trips.
+                unsafe {
+                    assert_eq!(*p, 0);
+                    *p = 0xAB;
+                    *p.add(4095) = 0xCD;
+                    assert_eq!(*p, 0xAB);
+                    assert_eq!(*p.add(4095), 0xCD);
+                }
+                // bound() is informational — either outcome is legal here.
+                let _ = buf.bound();
+            }
+            Err(NumaError::Unsupported) => {
+                if cfg!(target_os = "linux") {
+                    panic!("one-page mmap reported Unsupported on linux");
+                }
+            }
+            Err(e) => panic!("mmap should not fail for one page: {e}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_and_absurd_nodes_fail_cleanly() {
+        assert!(NodeBuffer::bind(0, 0).is_err());
+        if let Ok(buf) = NodeBuffer::bind(4096, 100_000) {
+            // A node beyond the mask can map but must never claim bound.
+            assert!(!buf.bound());
+        }
+    }
+}

@@ -112,6 +112,13 @@ pub struct TimelineWindow {
     /// counts concurrent residents multiply, so occupancy/window-length
     /// is the mean queue depth.
     pub occupancy_ns: u64,
+    /// Staged-dispatch bursts flushed into the shard's submit ring
+    /// during the window ([`MetricsTimeline::record_batch_flush`]).
+    /// Zero under per-event dispatch.
+    pub batch_flushes: u64,
+    /// Events those flushed bursts carried; `batch_events /
+    /// batch_flushes` is the window's mean burst fill.
+    pub batch_events: u64,
     /// Latency distribution of this window's completions only.
     pub latency: Log2Histogram,
     /// [`Stage::QueueWait`] distribution of this window's completions.
@@ -135,6 +142,8 @@ impl TimelineWindow {
             blocked_ns: 0,
             parked_ns: 0,
             occupancy_ns: 0,
+            batch_flushes: 0,
+            batch_events: 0,
             latency: Log2Histogram::new(),
             queue_wait: Log2Histogram::new(),
             service: Log2Histogram::new(),
@@ -161,6 +170,8 @@ impl TimelineWindow {
         self.blocked_ns += other.blocked_ns;
         self.parked_ns += other.parked_ns;
         self.occupancy_ns += other.occupancy_ns;
+        self.batch_flushes += other.batch_flushes;
+        self.batch_events += other.batch_events;
         self.latency.merge(&other.latency);
         self.queue_wait.merge(&other.queue_wait);
         self.service.merge(&other.service);
@@ -182,6 +193,10 @@ pub struct MetricsTimeline {
     /// nanoseconds. Zero on backends that have no dispatcher thread
     /// (the analytic loop runs in virtual time).
     dispatcher_wall_ns: u64,
+    /// Whole-run distribution of flushed burst fills (events per
+    /// `push_burst`) — how full the dispatcher's staging buffers were at
+    /// flush time. Empty under per-event dispatch.
+    batch_fill: Log2Histogram,
 }
 
 impl MetricsTimeline {
@@ -196,6 +211,7 @@ impl MetricsTimeline {
             clamped: 0,
             dispatcher_busy_ns: 0,
             dispatcher_wall_ns: 0,
+            batch_fill: Log2Histogram::new(),
         }
     }
 
@@ -285,6 +301,35 @@ impl MetricsTimeline {
     pub fn record_depth(&mut self, shard: u16, at: SimTime, depth: u64) {
         let w = self.window_mut(shard, at);
         w.peak_depth = w.peak_depth.max(depth);
+    }
+
+    /// Counts one staged-dispatch burst of `fill` events flushed into
+    /// `shard`'s submit ring at virtual time `at` (the burst's oldest
+    /// staged arrival), and records the fill into the run-wide
+    /// [`MetricsTimeline::batch_fill`] distribution.
+    pub fn record_batch_flush(&mut self, shard: u16, at: SimTime, fill: u64) {
+        let w = self.window_mut(shard, at);
+        w.batch_flushes += 1;
+        w.batch_events += fill;
+        self.batch_fill.record(fill);
+    }
+
+    /// Whole-run flushed-burst fill distribution (events per
+    /// `push_burst`); empty under per-event dispatch.
+    pub fn batch_fill(&self) -> &Log2Histogram {
+        &self.batch_fill
+    }
+
+    /// Total staged-dispatch bursts flushed across every shard and
+    /// window.
+    pub fn batch_flush_total(&self) -> u64 {
+        self.lanes.iter().flatten().map(|w| w.batch_flushes).sum()
+    }
+
+    /// Total events carried by flushed bursts across every shard and
+    /// window.
+    pub fn batch_events_total(&self) -> u64 {
+        self.lanes.iter().flatten().map(|w| w.batch_events).sum()
     }
 
     /// Adds the virtual interval `[start, end)` into one duty-cycle
@@ -482,6 +527,7 @@ impl MetricsTimeline {
         self.clamped += other.clamped;
         self.dispatcher_busy_ns += other.dispatcher_busy_ns;
         self.dispatcher_wall_ns += other.dispatcher_wall_ns;
+        self.batch_fill.merge(&other.batch_fill);
         for (shard, lane) in other.lanes.iter().enumerate() {
             for (i, w) in lane.iter().enumerate() {
                 let at = SimTime::from_nanos(i as u64 * self.interval.as_nanos());
@@ -499,7 +545,7 @@ impl MetricsTimeline {
 
 /// The CSV header matching [`MetricsTimeline::to_csv_rows`].
 pub fn timeline_csv_header() -> &'static str {
-    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns,queue_wait_p99_ns,service_p99_ns,transit_p99_ns,busy_ns,blocked_ns,parked_ns,occupancy_ns\n"
+    "series,shard,window,start_ns,dispatched,completed,shed,backpressure,peak_depth,count,p50_ns,p95_ns,p99_ns,queue_wait_p99_ns,service_p99_ns,transit_p99_ns,busy_ns,blocked_ns,parked_ns,occupancy_ns,batch_flushes,batch_events\n"
 }
 
 impl MetricsTimeline {
@@ -512,7 +558,7 @@ impl MetricsTimeline {
                 let start = i as u64 * self.interval.as_nanos();
                 let _ = writeln!(
                     out,
-                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{series},{shard},{i},{start},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     w.dispatched,
                     w.completed,
                     w.shed,
@@ -529,6 +575,8 @@ impl MetricsTimeline {
                     w.blocked_ns,
                     w.parked_ns,
                     w.occupancy_ns,
+                    w.batch_flushes,
+                    w.batch_events,
                 );
             }
         }
@@ -595,6 +643,11 @@ pub enum TimelineLine {
         parked_ns: u64,
         /// Ring-occupancy time integral overlapping the window, ns.
         occupancy_ns: u64,
+        /// Staged-dispatch bursts flushed in the window (0 on lines
+        /// written before batching existed — the parser defaults it).
+        batch_flushes: u64,
+        /// Events those bursts carried (0 on pre-batching lines).
+        batch_events: u64,
     },
     /// The per-series trailing metadata line.
     Meta {
@@ -641,6 +694,8 @@ impl TimelineLine {
                 blocked_ns,
                 parked_ns,
                 occupancy_ns,
+                batch_flushes,
+                batch_events,
             } => obj()
                 .field("t", Value::Str("tl".into()))
                 .field("series", Value::Str(series.clone()))
@@ -663,6 +718,8 @@ impl TimelineLine {
                 .field("blocked_ns", Value::U64(*blocked_ns))
                 .field("parked_ns", Value::U64(*parked_ns))
                 .field("occupancy_ns", Value::U64(*occupancy_ns))
+                .field("batch_flushes", Value::U64(*batch_flushes))
+                .field("batch_events", Value::U64(*batch_events))
                 .build(),
             TimelineLine::Meta {
                 series,
@@ -726,6 +783,10 @@ pub fn parse_timeline_jsonl_line(line: &str) -> Result<TimelineLine, JsonlError>
             blocked_ns: u("blocked_ns")?,
             parked_ns: u("parked_ns")?,
             occupancy_ns: u("occupancy_ns")?,
+            // Absent on lines written before staged dispatch existed;
+            // default 0 keeps old exports parseable.
+            batch_flushes: v.get("batch_flushes").and_then(Value::as_u64).unwrap_or(0),
+            batch_events: v.get("batch_events").and_then(Value::as_u64).unwrap_or(0),
         }),
         "tl_meta" => Ok(TimelineLine::Meta {
             series: s("series")?,
@@ -769,6 +830,8 @@ impl MetricsTimeline {
                     blocked_ns: w.blocked_ns,
                     parked_ns: w.parked_ns,
                     occupancy_ns: w.occupancy_ns,
+                    batch_flushes: w.batch_flushes,
+                    batch_events: w.batch_events,
                 };
                 out.push_str(&json::to_string(&line.to_value()));
                 out.push('\n');
@@ -794,7 +857,7 @@ impl MetricsTimeline {
 // ---------------------------------------------------------------------------
 
 /// Every metric the Prometheus writer emits: `(name, type, help)`.
-const PROM_METRICS: [(&str, &str, &str); 16] = [
+const PROM_METRICS: [(&str, &str, &str); 19] = [
     (
         "l25gc_dispatched_total",
         "counter",
@@ -874,6 +937,21 @@ const PROM_METRICS: [(&str, &str, &str); 16] = [
         "l25gc_shard_outage",
         "gauge",
         "1 while a scripted fault holds the shard down, else 0.",
+    ),
+    (
+        "l25gc_dispatch_batch_flushes_total",
+        "counter",
+        "Staged-dispatch bursts flushed into a shard's submit ring.",
+    ),
+    (
+        "l25gc_dispatch_batch_events_total",
+        "counter",
+        "Events carried by staged-dispatch bursts into a shard's submit ring.",
+    ),
+    (
+        "l25gc_dispatch_batch_fill",
+        "histogram",
+        "Events per flushed staged-dispatch burst over the run.",
     ),
 ];
 
@@ -972,6 +1050,16 @@ impl MetricsTimeline {
             );
             let _ = writeln!(
                 out,
+                "l25gc_dispatch_batch_flushes_total{{{labels}}} {}",
+                sum(|w| w.batch_flushes)
+            );
+            let _ = writeln!(
+                out,
+                "l25gc_dispatch_batch_events_total{{{labels}}} {}",
+                sum(|w| w.batch_events)
+            );
+            let _ = writeln!(
+                out,
                 "l25gc_worker_utilization_ratio{{{labels}}} {}",
                 self.shard_utilization(shard)
             );
@@ -1008,6 +1096,32 @@ impl MetricsTimeline {
                 );
             }
         }
+        // Burst-fill distribution is run-wide (the dispatcher stages
+        // across shards), exported with the same cumulative-histogram
+        // contract as the stage anatomy above.
+        let bh = self.batch_fill();
+        let blabels = format!("series=\"{series}\"");
+        for (bound, cum) in bh.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "l25gc_dispatch_batch_fill_bucket{{{blabels},le=\"{bound}\"}} {cum}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "l25gc_dispatch_batch_fill_bucket{{{blabels},le=\"+Inf\"}} {}",
+            bh.count()
+        );
+        let _ = writeln!(
+            out,
+            "l25gc_dispatch_batch_fill_sum{{{blabels}}} {}",
+            bh.sum()
+        );
+        let _ = writeln!(
+            out,
+            "l25gc_dispatch_batch_fill_count{{{blabels}}} {}",
+            bh.count()
+        );
         let _ = writeln!(
             out,
             "l25gc_timeline_windows{{series=\"{series}\"}} {}",
@@ -1387,8 +1501,8 @@ mod tests {
         assert_eq!(lines.len(), 1 + 2 + 3);
         assert!(lines[1].starts_with("s,0,0,0,1,1,0,0,"));
         assert!(
-            lines[1].ends_with(",10000000,0,0,0"),
-            "duty-cycle columns trail the row: {}",
+            lines[1].ends_with(",10000000,0,0,0,0,0"),
+            "duty-cycle and batch columns trail the row: {}",
             lines[1]
         );
     }
@@ -1504,6 +1618,75 @@ mod tests {
         assert!(text.contains(
             "l25gc_stage_latency_ns_bucket{series=\"free5GC@1x\",shard=\"1\",stage=\"service\",le=\"+Inf\"} 0"
         ));
+    }
+
+    #[test]
+    fn batch_lanes_flow_through_every_exporter() {
+        let mut tl = MetricsTimeline::new(SimDuration::from_millis(100), 2);
+        tl.record_batch_flush(0, ms(10), 32);
+        tl.record_batch_flush(0, ms(150), 1);
+        tl.record_batch_flush(1, ms(20), 8);
+        assert_eq!(tl.batch_flush_total(), 3);
+        assert_eq!(tl.batch_events_total(), 41);
+        assert_eq!(tl.batch_fill().count(), 3);
+        assert_eq!(tl.batch_fill().sum(), 41);
+
+        // Absorb merges both the window counters and the fill histogram.
+        let mut merged = MetricsTimeline::new(SimDuration::from_millis(100), 2);
+        merged.absorb(&tl);
+        merged.absorb(&tl);
+        assert_eq!(merged.batch_events_total(), 82);
+        assert_eq!(merged.batch_fill().count(), 6);
+
+        // CSV: the two batch columns land in the right windows.
+        let csv = tl.to_csv("b");
+        assert!(
+            csv.lines()
+                .any(|l| l.starts_with("b,0,0,") && l.ends_with(",1,32")),
+            "shard 0 window 0 carries the 32-burst: {csv}"
+        );
+        assert!(csv
+            .lines()
+            .any(|l| l.starts_with("b,0,1,") && l.ends_with(",1,1")));
+
+        // JSONL round-trips the new fields; a legacy line without them
+        // still parses, defaulting both to zero.
+        let text = tl.to_jsonl("b");
+        let first = text.lines().next().unwrap();
+        match parse_timeline_jsonl_line(first).unwrap() {
+            TimelineLine::Window {
+                batch_flushes,
+                batch_events,
+                ..
+            } => {
+                assert_eq!(batch_flushes, 1);
+                assert_eq!(batch_events, 32);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+        let legacy = first.replace(",\"batch_flushes\":1,\"batch_events\":32", "");
+        assert_ne!(legacy, *first, "fields were present to strip");
+        match parse_timeline_jsonl_line(&legacy).unwrap() {
+            TimelineLine::Window {
+                batch_flushes,
+                batch_events,
+                ..
+            } => {
+                assert_eq!(batch_flushes, 0, "legacy lines default to zero");
+                assert_eq!(batch_events, 0);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+
+        // Prometheus: per-shard counters plus a conformant run-wide
+        // fill histogram.
+        let prom = tl.to_prometheus("b");
+        validate_prometheus(&prom).expect("well-formed with batch lanes");
+        assert!(prom.contains("l25gc_dispatch_batch_flushes_total{series=\"b\",shard=\"0\"} 2"));
+        assert!(prom.contains("l25gc_dispatch_batch_events_total{series=\"b\",shard=\"1\"} 8"));
+        assert!(prom.contains("l25gc_dispatch_batch_fill_bucket{series=\"b\",le=\"+Inf\"} 3"));
+        assert!(prom.contains("l25gc_dispatch_batch_fill_sum{series=\"b\"} 41"));
+        assert!(prom.contains("l25gc_dispatch_batch_fill_count{series=\"b\"} 3"));
     }
 
     #[test]

@@ -150,18 +150,26 @@ pub enum BatchSize {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    /// Per-sample mean ns/iter; the report takes the median so one
+    /// scheduler preemption cannot poison the estimate.
+    samples: Vec<f64>,
 }
 
-/// Measurement budget per benchmark. Far below upstream criterion's
+/// Measurement budget per benchmark. Below upstream criterion's
 /// defaults on purpose: these stand-in numbers are for smoke comparisons,
-/// not publication.
+/// not publication. The budget splits into [`SAMPLES`] timed samples and
+/// the report is the median sample, which shrugs off the occasional
+/// descheduling on busy or single-core hosts where a single mean would
+/// wander by tens of percent.
 const WARMUP_ITERS: u64 = 3;
-const TARGET: Duration = Duration::from_millis(20);
-const MIN_ITERS: u64 = 10;
+const TARGET: Duration = Duration::from_millis(100);
+const SAMPLES: u32 = 10;
+const MIN_ITERS: u64 = 1;
 const MAX_ITERS: u64 = 100_000;
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Times repeated calls of `routine`: [`SAMPLES`] timed batches,
+    /// each batch capped by its share of [`TARGET`].
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
@@ -169,14 +177,19 @@ impl Bencher {
         for _ in 0..WARMUP_ITERS {
             std::hint::black_box(routine());
         }
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while iters < MIN_ITERS || (start.elapsed() < TARGET && iters < MAX_ITERS) {
-            std::hint::black_box(routine());
-            iters += 1;
+        let per_sample = TARGET / SAMPLES;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while iters < MIN_ITERS || (start.elapsed() < per_sample && iters < MAX_ITERS) {
+                std::hint::black_box(routine());
+                iters += 1;
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += iters;
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
         }
-        self.total += start.elapsed();
-        self.iters += iters;
     }
 
     /// Times `routine` over inputs produced by `setup`; setup time is
@@ -190,27 +203,34 @@ impl Bencher {
             let input = setup();
             std::hint::black_box(routine(input));
         }
-        let mut measured = Duration::ZERO;
-        let mut iters = 0u64;
-        while iters < MIN_ITERS || (measured < TARGET && iters < MAX_ITERS) {
-            let input = setup();
-            let start = Instant::now();
-            std::hint::black_box(routine(input));
-            measured += start.elapsed();
-            iters += 1;
+        let per_sample = TARGET / SAMPLES;
+        for _ in 0..SAMPLES {
+            let mut measured = Duration::ZERO;
+            let mut iters = 0u64;
+            while iters < MIN_ITERS || (measured < per_sample && iters < MAX_ITERS) {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                measured += start.elapsed();
+                iters += 1;
+            }
+            self.total += measured;
+            self.iters += iters;
+            self.samples.push(measured.as_nanos() as f64 / iters as f64);
         }
-        self.total += measured;
-        self.iters += iters;
     }
 
     fn report(&self, group: &str, label: &str) {
-        if self.iters == 0 {
+        if self.iters == 0 || self.samples.is_empty() {
             println!("{group}/{label}: no measurements");
             return;
         }
-        let per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample is finite"));
+        let median = sorted[sorted.len() / 2];
         println!(
-            "{group}/{label}: {per_iter:.1} ns/iter ({} iters)",
+            "{group}/{label}: {median:.1} ns/iter (median of {} samples, {} iters)",
+            sorted.len(),
             self.iters
         );
     }

@@ -172,6 +172,10 @@ pub struct CapacityParams {
     /// How many times [`shard_scaling`] reruns each threaded point to
     /// estimate the mean ± CV of wall-clock `sustained_eps` (min 1).
     pub repeats: usize,
+    /// Staged-dispatch burst size for the threaded backend (1 =
+    /// per-event dispatch). Virtual-time results are identical at every
+    /// size when unshed; only the wall-clock columns move.
+    pub dispatch_batch: usize,
     /// Serve a live `GET /metrics` endpoint on this address while the
     /// sweep runs (requires [`CapacityParams::metrics_interval_ms`];
     /// silently unused without it). All sweep points publish into one
@@ -195,6 +199,7 @@ impl Default for CapacityParams {
             pin: false,
             wait: WaitStrategy::default(),
             repeats: 1,
+            dispatch_batch: 1,
             serve_metrics: None,
         }
     }
@@ -230,7 +235,8 @@ fn base_builder(params: &CapacityParams, mix: &EventMix) -> LoadConfigBuilder {
         .backend(params.backend)
         .trace_sample(params.trace_sample)
         .pin(params.pin)
-        .wait(params.wait);
+        .wait(params.wait)
+        .dispatch_batch(params.dispatch_batch.max(1));
     if let Some(ms) = params.metrics_interval_ms {
         b = b.metrics_interval(SimDuration::from_secs_f64(ms / 1e3));
         // A live endpoint needs windows to publish, so it rides the
@@ -300,6 +306,60 @@ fn deployment_tag(d: Deployment) -> u64 {
         Deployment::OnvmUpf => 202,
         Deployment::L25gc => 303,
     }
+}
+
+/// Batch sizes the staged-dispatch ladder visits.
+pub const DISPATCH_BATCHES: [usize; 4] = [1, 8, 32, 128];
+
+/// Offered rate the dispatch ladder drives, events/s. Deliberately far
+/// past the calibrated shard capacity: the open-loop dispatcher replays
+/// virtual arrivals at wall speed, so a saturating rate makes the
+/// dispatch plane itself — routing, staging, ring crossings, wakeups —
+/// the wall-clock bottleneck, and gives staged bursts arrival gaps
+/// tight enough to genuinely fill every configured batch size instead
+/// of deadline-flushing singles.
+pub const DISPATCH_OFFERED_EPS: f64 = 20_000.0;
+
+/// Reruns one threaded L25GC point at every batch size in
+/// [`DISPATCH_BATCHES`], holding seed and offered load
+/// ([`DISPATCH_OFFERED_EPS`]) fixed. The runs use the Queue policy with
+/// wide rings so admission control — which reads *wall-clock* ring
+/// occupancy — never engages: that is what makes every virtual-time
+/// column byte-identical across the ladder (the latency columns are
+/// backlog-dominated by construction — this is a dispatcher stress, not
+/// a latency claim), leaving [`CapacityPoint::wall_eps`] as the only
+/// column batching is allowed to move.
+pub fn dispatch_ladder(params: &CapacityParams) -> Vec<(usize, CapacityPoint)> {
+    let deployment = Deployment::L25gc;
+    let profiles: ProfileSet = calibrate(deployment);
+    let mix = EventMix::default();
+    let offered = DISPATCH_OFFERED_EPS;
+    DISPATCH_BATCHES
+        .iter()
+        .map(|&batch| {
+            let cfg = LoadConfig::builder()
+                .ues(params.ues)
+                .shard_cfg(ShardConfig {
+                    shards: params.shards,
+                    high_water: 1 << 14,
+                    policy: OverloadPolicy::Queue,
+                    ring_capacity: 1 << 15,
+                })
+                .mix(mix.clone())
+                .burst(params.burst)
+                .offered_eps(offered)
+                .duration(SimDuration::from_secs_f64(params.duration_s))
+                .seed(point_seed(params, deployment, 0))
+                .backend(ExecBackend::Threaded)
+                .pin(params.pin)
+                .wait(params.wait)
+                .dispatch_batch(batch)
+                .build()
+                .expect("dispatch ladder config is valid");
+            let point = CapacityPoint::from_report(offered, &run(cfg, &profiles));
+            (batch, point)
+        })
+        .collect()
 }
 
 /// The last point that still behaves: low loss, near-offered throughput,
@@ -1118,5 +1178,32 @@ mod tests {
         assert!(rows.iter().all(|r| r.achieved_eps > 0.0));
         // More workers never reduce throughput by much (self-limiting).
         assert!(rows.last().unwrap().achieved_eps >= rows[0].achieved_eps * 0.9);
+    }
+
+    #[test]
+    fn dispatch_ladder_moves_only_the_wall_clock_column() {
+        let params = CapacityParams {
+            ues: 5_000,
+            shards: 2,
+            duration_s: 1.0,
+            ..small_params()
+        };
+        let ladder = dispatch_ladder(&params);
+        assert_eq!(ladder.len(), DISPATCH_BATCHES.len());
+        assert_eq!(ladder[0].0, 1, "ladder starts at per-event dispatch");
+        let base = &ladder[0].1;
+        assert_eq!(base.loss_pct, 0.0, "ladder config must stay unshed");
+        for (batch, p) in &ladder {
+            // Virtual-time truth is batch-invariant: exact counts and
+            // exact quantiles, not tolerances.
+            assert_eq!(p.achieved_eps, base.achieved_eps, "batch={batch}");
+            assert_eq!(p.p50_ms, base.p50_ms, "batch={batch}");
+            assert_eq!(p.p99_ms, base.p99_ms, "batch={batch}");
+            assert_eq!(p.queue_wait_p99_ms, base.queue_wait_p99_ms);
+            assert_eq!(p.service_p99_ms, base.service_p99_ms);
+            assert_eq!(p.loss_pct, 0.0);
+            // The threaded backend always reports its wall-clock rate.
+            assert!(p.wall_eps.is_some(), "batch={batch}");
+        }
     }
 }
